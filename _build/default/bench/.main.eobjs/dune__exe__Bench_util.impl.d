@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Crypto Database Dist Executor List Pager Predicate Printf Sparta Sqldb Stdx Table Value Wre

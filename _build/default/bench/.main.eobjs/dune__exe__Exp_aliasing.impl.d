@@ -1,0 +1,1 @@
+bench/exp_aliasing.ml: Array Attacks Bench_util Crypto Dist List Option Printf Stdx String Wre

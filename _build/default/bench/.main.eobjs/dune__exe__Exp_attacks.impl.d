@@ -1,0 +1,1 @@
+bench/exp_attacks.ml: Array Attacks Bench_util Crypto Dist List Printf Seq Sparta Stdx String Wre

@@ -1,0 +1,1 @@
+bench/exp_correlation.ml: Array Attacks Bench_util Crypto Dist List Printf Sparta Stdx String Wre

@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Bench_util Dist Float Printf Stdx String

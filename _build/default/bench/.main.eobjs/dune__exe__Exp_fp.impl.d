@@ -1,0 +1,1 @@
+bench/exp_fp.ml: Array Bench_util List Printf Sparta Stdx Wre

@@ -1,0 +1,1 @@
+bench/exp_indcuda.ml: Attacks Bench_util Float Int64 List Printf Stdx Wre

@@ -1,0 +1,1 @@
+bench/exp_index_ablation.ml: Array Bench_util Crypto List Printf Sparta Sqldb Stdx Wre

@@ -1,0 +1,1 @@
+bench/exp_lambda.ml: Array Bench_util Crypto Dist List Option Printf Seq Sparta Stdx String Wre

@@ -1,0 +1,1 @@
+bench/exp_latency.ml: Array Bench_util List Printf Sparta Sqldb Stdx

@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Array Attacks Bechamel Bench_util Benchmark Bytes Char Crypto Dist Hashtbl Instance List Measure Option Printf Staged Stdx String Test Time Toolkit Wre

@@ -1,0 +1,1 @@
+bench/exp_updates.ml: Array Attacks Bench_util Crypto Dist Int64 List Printf Seq Sparta Stdx String Wre

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Exp_aliasing Exp_attacks Exp_correlation Exp_fig2 Exp_fp Exp_indcuda Exp_index_ablation Exp_lambda Exp_latency Exp_micro Exp_table1 Exp_updates List Printf Sys

@@ -1,0 +1,135 @@
+(* Shared machinery for the experiment harness: dataset construction,
+   query execution under the paper's cold/warm protocols, and result
+   aggregation by result-size bucket. *)
+
+open Sqldb
+
+type scale = { label : string; rows : int }
+
+let scales = [ ("100k", 100_000); ("1m", 1_000_000); ("10m", 10_000_000) ]
+
+let default_rows = 100_000
+
+let data_seed = 20_190_624L (* DSN 2019 *)
+
+let mib bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+
+let generate_rows n =
+  let gen = Sparta.Generator.create ~seed:data_seed in
+  Array.of_seq (Sparta.Generator.rows gen ~n)
+
+let enc_columns = Sparta.Generator.encrypted_columns
+
+let dist_of_rows rows =
+  Wre.Dist_est.of_rows ~schema:Sparta.Generator.schema ~columns:enc_columns (Array.to_seq rows)
+
+(* Plaintext reference database: same table, same indexed columns. *)
+let build_plain rows =
+  let db = Database.create () in
+  let t = Database.create_table db ~name:"main" ~schema:Sparta.Generator.schema in
+  ignore (Table.create_index t ~column:"id");
+  List.iter (fun c -> ignore (Table.create_index t ~column:c)) enc_columns;
+  let (), wall_ns =
+    Stdx.Clock.time_it (fun () -> Array.iter (fun r -> ignore (Table.insert t r)) rows)
+  in
+  (db, t, wall_ns)
+
+let build_encrypted ~kind ~dist_of rows =
+  let db = Database.create () in
+  let master = Crypto.Keys.generate (Stdx.Prng.create 1L) in
+  let edb =
+    Wre.Encrypted_db.create ~db ~name:"main" ~plain_schema:Sparta.Generator.schema
+      ~key_column:"id" ~encrypted_columns:enc_columns ~kind ~master ~dist_of ~seed:2L ()
+  in
+  let (), wall_ns =
+    Stdx.Clock.time_it (fun () ->
+        Array.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) rows)
+  in
+  (db, edb, wall_ns)
+
+let make_queries ~dist_of ~n =
+  Sparta.Query_gen.generate ~seed:3L ~columns:enc_columns
+    ~counts:(fun col ->
+      let d = dist_of col in
+      Array.to_list
+        (Array.map (fun v -> (v, Dist.Empirical.count d v)) (Dist.Empirical.support d)))
+    ~n ()
+
+(* Creation cost = wall-clock client work (crypto and row building)
+   plus the simulated write I/O for every dirtied page (heap +
+   indexes), matching the paper's end-to-end load measurement. *)
+let creation_seconds ~pager ~total_bytes ~wall_ns =
+  let pages = float_of_int total_bytes /. float_of_int (Pager.config pager).page_size in
+  (wall_ns +. (pages *. (Pager.config pager).io_miss_ns)) /. 1e9
+
+type cache_mode = Cold | Warm
+
+type query_cost = {
+  bucket : int;
+  returned : int;
+  sim_ms : float;
+  wall_ms : float;
+}
+
+(* Run the query mix against a plaintext table. *)
+let run_plain_queries ~db ~table ~projection ~mode queries =
+  List.map
+    (fun (q : Sparta.Query_gen.query) ->
+      if mode = Cold then Database.drop_caches db;
+      let r =
+        Executor.run table ~projection (Predicate.Eq (q.column, Value.Text q.value))
+      in
+      {
+        bucket = Sparta.Query_gen.bucket_of q.expected;
+        returned = Array.length r.row_ids;
+        sim_ms = Pager.sim_ms r.stats;
+        wall_ms = r.wall_ns /. 1e6;
+      })
+    queries
+
+(* Run the query mix against an encrypted database. The client-side
+   work (computing tags, decrypting results) is part of wall time, as
+   in the paper ("the time shown for each query includes the time to
+   compute the encrypted query"). *)
+let run_encrypted_queries ~db ~edb ~projection ~mode queries =
+  List.map
+    (fun (q : Sparta.Query_gen.query) ->
+      if mode = Cold then Database.drop_caches db;
+      let (result : Executor.result), wall_ns =
+        Stdx.Clock.time_it (fun () ->
+            match projection with
+            | Executor.Row_ids -> Wre.Encrypted_db.search_ids edb ~column:q.column q.value
+            | Executor.All_columns ->
+                snd (Wre.Encrypted_db.search_rows edb ~column:q.column q.value))
+      in
+      {
+        bucket = Sparta.Query_gen.bucket_of q.expected;
+        returned = Array.length result.row_ids;
+        sim_ms = Pager.sim_ms result.stats;
+        wall_ms = wall_ns /. 1e6;
+      })
+    queries
+
+(* Mean cost per result-size bucket; buckets with no queries yield
+   None. *)
+let by_bucket costs =
+  Array.init 5 (fun b ->
+      let sims =
+        List.filter_map (fun c -> if c.bucket = b then Some c.sim_ms else None) costs
+      in
+      if sims = [] then None else Some (Stdx.Stats.mean (Array.of_list sims)))
+
+let fmt_opt = function None -> "-" | Some v -> Printf.sprintf "%.2f" v
+
+let schemes_for_latency =
+  [
+    ("plaintext", None);
+    ("fixed-100", Some (Wre.Scheme.Fixed 100));
+    ("fixed-1000", Some (Wre.Scheme.Fixed 1000));
+    ("poisson-100", Some (Wre.Scheme.Poisson 100.0));
+    ("poisson-1000", Some (Wre.Scheme.Poisson 1000.0));
+    ("poisson-10000", Some (Wre.Scheme.Poisson 10_000.0));
+  ]
+
+let heading title =
+  Printf.printf "\n=== %s ===\n%!" title

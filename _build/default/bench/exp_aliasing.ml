@@ -1,0 +1,57 @@
+(* Ablation A1 — the proportional-salts aliasing problem, exactly the
+   paper's §V-B example: P_M = {m1: 0.7, m2: 0.3}. With N_T = 10 the
+   per-tag frequencies line up (0.07 vs 0.075 — indistinguishable up to
+   sampling noise); with N_T = 12 rounding gives 8 and 4 salts whose
+   per-tag frequencies differ by 17%, and a frequency attack separates
+   the two plaintexts again. *)
+
+let master = Crypto.Keys.of_raw ~k0:(String.make 16 'k') ~k1:(String.make 32 'K')
+
+let run_config ~n_records total_tags =
+  let g = Stdx.Prng.create 6L in
+  let dist = Dist.Empirical.of_counts [ ("m1", 7); ("m2", 3) ] in
+  let kind = Wre.Scheme.Proportional total_tags in
+  let enc = Wre.Column_enc.create ~master ~column:"c" ~kind ~dist () in
+  let plaintexts =
+    Array.init n_records (fun _ -> Dist.Empirical.sampler dist g)
+  in
+  let snap = Attacks.Snapshot.of_column enc g ~plaintexts in
+  let score = Attacks.Metrics.score snap ~guess:(Attacks.Frequency.greedy_likelihood snap ~kind) in
+  let salts m = Array.length (Option.get (Wre.Column_enc.salt_set enc m)).Wre.Salts.salts in
+  (salts "m1", salts "m2", score)
+
+let run ~rows:n_records () =
+  Bench_util.heading
+    (Printf.sprintf "Ablation A1: proportional-salt aliasing (V-B example, %d records)" n_records);
+  let t =
+    Stdx.Table_fmt.create
+      [
+        "N_T";
+        "salts m1";
+        "salts m2";
+        "per-tag freq m1";
+        "per-tag freq m2";
+        "attack record recovery";
+        "baseline";
+      ]
+  in
+  List.iter
+    (fun total_tags ->
+      let s1, s2, score = run_config ~n_records total_tags in
+      Stdx.Table_fmt.add_row t
+        [
+          string_of_int total_tags;
+          string_of_int s1;
+          string_of_int s2;
+          Printf.sprintf "%.4f" (0.7 /. float_of_int s1);
+          Printf.sprintf "%.4f" (0.3 /. float_of_int s2);
+          Printf.sprintf "%.1f%%" (100.0 *. score.record_recovery);
+          Printf.sprintf "%.1f%%" (100.0 *. score.baseline);
+        ])
+    [ 10; 12; 20; 24 ];
+  Stdx.Table_fmt.print t;
+  Printf.printf
+    "reading: when N_T divides the frequencies evenly (10, 20) every tag has the\n\
+     same frequency and the attack is at its baseline; rounding (12, 24) recreates\n\
+     a per-tag frequency gap the attack exploits — the aliasing defect that\n\
+     motivates Poisson random frequencies.\n"

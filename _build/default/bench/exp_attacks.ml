@@ -1,0 +1,87 @@
+(* Ablation A2 — inference-attack recovery per scheme. Quantifies the
+   paper's motivating claim (previous easily-deployable schemes fall to
+   frequency analysis) and its central one (WRE with Poisson salts does
+   not). Also runs the Lacharite-Paterson subset-sum matching attack
+   against the Poisson scheme and shows bucketization removing it. *)
+
+let master = Crypto.Keys.of_raw ~k0:(String.make 16 'x') ~k1:(String.make 32 'y')
+
+let run ~rows:n_records () =
+  Bench_util.heading
+    (Printf.sprintf "Ablation A2: inference attacks on the fname column (%d records)" n_records);
+  let g = Stdx.Prng.create 9L in
+  let gen = Sparta.Generator.create ~seed:Bench_util.data_seed in
+  let plaintexts =
+    Array.of_seq
+      (Seq.map
+         (fun r -> Sparta.Generator.column_string r ~column:"fname")
+         (Sparta.Generator.rows gen ~n:n_records))
+  in
+  let dist = Dist.Empirical.of_values (Array.to_seq plaintexts) in
+  let t =
+    Stdx.Table_fmt.create
+      [ "scheme"; "distinct tags"; "rank-matching"; "l1-matching"; "scheme-aware greedy"; "baseline" ]
+  in
+  List.iter
+    (fun kind ->
+      let enc = Wre.Column_enc.create ~master ~column:"fname" ~kind ~dist () in
+      let snap = Attacks.Snapshot.of_column enc g ~plaintexts in
+      let pct f = Printf.sprintf "%.1f%%" (100.0 *. f) in
+      let rank = (Attacks.Metrics.score snap ~guess:(Attacks.Frequency.rank_matching snap)).record_recovery in
+      let l1 =
+        (Attacks.Metrics.score snap ~guess:(Attacks.Frequency.l1_matching ~max_tags:1200 snap ~kind))
+          .record_recovery
+      in
+      let greedy =
+        (Attacks.Metrics.score snap ~guess:(Attacks.Frequency.greedy_likelihood snap ~kind))
+          .record_recovery
+      in
+      Stdx.Table_fmt.add_row t
+        [
+          Wre.Scheme.to_string kind;
+          string_of_int (Attacks.Snapshot.n_distinct_tags snap);
+          pct rank;
+          pct l1;
+          pct greedy;
+          pct (Dist.Empirical.max_prob dist);
+        ])
+    [
+      Wre.Scheme.Det;
+      Wre.Scheme.Fixed 10;
+      Wre.Scheme.Fixed 100;
+      Wre.Scheme.Proportional 1000;
+      Wre.Scheme.Poisson 100.0;
+      Wre.Scheme.Poisson 1000.0;
+      Wre.Scheme.Bucketized 1000.0;
+    ];
+  Stdx.Table_fmt.print t;
+
+  Bench_util.heading "A2b: Lacharite-Paterson subset-sum matching attack (V-C limitation)";
+  let t2 =
+    Stdx.Table_fmt.create
+      [ "scheme"; "target"; "expected count"; "subset found"; "tag precision"; "tag recall" ]
+  in
+  List.iter
+    (fun kind ->
+      let enc = Wre.Column_enc.create ~master ~column:"fname" ~kind ~dist () in
+      let snap = Attacks.Snapshot.of_column enc g ~plaintexts in
+      List.iter
+        (fun target ->
+          let r = Attacks.Subset_sum.attack snap ~target ~tolerance:2 () in
+          Stdx.Table_fmt.add_row t2
+            [
+              Wre.Scheme.to_string kind;
+              target;
+              string_of_int r.expected_count;
+              string_of_bool r.found;
+              Printf.sprintf "%.2f" r.tag_precision;
+              Printf.sprintf "%.2f" r.tag_recall;
+            ])
+        [ (Dist.Empirical.support dist).(0); (Dist.Empirical.support dist).(5) ])
+    [ Wre.Scheme.Poisson 300.0; Wre.Scheme.Poisson 3000.0; Wre.Scheme.Bucketized 3000.0 ];
+  Stdx.Table_fmt.print t2;
+  Printf.printf
+    "reading: the counting attack always *finds* a subset, but its precision\n\
+     against Poisson WRE is far from 1 (a solution is not the correct one), and\n\
+     under bucketization tag counts are plaintext-independent so precision is\n\
+     meaningless noise — the attack the bucketized scheme was built to kill.\n"

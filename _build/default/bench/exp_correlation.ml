@@ -1,0 +1,65 @@
+(* Ablation A6 — cross-column leakage beyond single-column security.
+   Encrypt the correlated (city, zip) pair and the weakly-correlated
+   (fname, lname) pair under each scheme; measure the tag-level mutual
+   information that survives frequency smoothing, and run the
+   co-occurrence linkage attack that turns city-zip structure back into
+   per-record city recovery. This probes the boundary the paper draws
+   around Theorem V.1 ("Single-Column Security"). *)
+
+let master = Crypto.Keys.of_raw ~k0:(String.make 16 'c') ~k1:(String.make 32 'C')
+
+let run ~rows:n_records () =
+  Bench_util.heading
+    (Printf.sprintf "Ablation A6: cross-column correlation leakage (%d records)" n_records);
+  let gen = Sparta.Generator.create ~seed:Bench_util.data_seed in
+  let rows = Array.of_seq (Sparta.Generator.rows gen ~n:n_records) in
+  let col c r = Sparta.Generator.column_string r ~column:c in
+  let pairs_of a b = Array.map (fun r -> (col a r, col b r)) rows in
+  let experiments =
+    [ ("city-zip (zip determines city)", pairs_of "city" "zip");
+      ("fname-lname (nearly independent)", pairs_of "fname" "lname") ]
+  in
+  List.iter
+    (fun (label, pairs) ->
+      Printf.printf "\n%s:\n" label;
+      let dist_a = Dist.Empirical.of_values (Array.to_seq (Array.map fst pairs)) in
+      let dist_b = Dist.Empirical.of_values (Array.to_seq (Array.map snd pairs)) in
+      let t =
+        Stdx.Table_fmt.create
+          [
+            "scheme";
+            "MI plain (bits)";
+            "MI tags (bits)";
+            "graph components";
+            "linkage recovery";
+            "baseline";
+          ]
+      in
+      List.iter
+        (fun kind ->
+          let g = Stdx.Prng.create 15L in
+          let enc_a = Wre.Column_enc.create ~master ~column:"a" ~kind ~dist:dist_a () in
+          let enc_b = Wre.Column_enc.create ~master ~column:"b" ~kind ~dist:dist_b () in
+          let view = Attacks.Correlation.of_columns enc_a enc_b g ~pairs in
+          let r = Attacks.Correlation.linkage_attack view in
+          Stdx.Table_fmt.add_row t
+            [
+              Wre.Scheme.to_string kind;
+              Printf.sprintf "%.2f" (Attacks.Correlation.mutual_information_bits view `Plain);
+              Printf.sprintf "%.2f" (Attacks.Correlation.mutual_information_bits view `Tags);
+              string_of_int r.components;
+              Printf.sprintf "%.1f%%" (100.0 *. r.score.record_recovery);
+              Printf.sprintf "%.1f%%" (100.0 *. r.score.baseline);
+            ])
+        [ Wre.Scheme.Det; Wre.Scheme.Poisson 1000.0; Wre.Scheme.Bucketized 1000.0 ];
+      Stdx.Table_fmt.print t)
+    experiments;
+  Printf.printf
+    "\nreading: per-column smoothing does not erase cross-column structure — for\n\
+     city-zip the tag co-occurrence graph still has ~one component per city, and\n\
+     rank-matching component masses recovers most records' city under DET and\n\
+     plain Poisson alike. Bucketized salts share tags across plaintexts, merging\n\
+     components and collapsing the attack. This is exactly why Theorem V.1 is\n\
+     scoped to a single column; multi-column leakage is acknowledged open ground.\n\
+     (Tag-side MI is a plug-in estimate and biased upward when most tag pairs\n\
+     are singletons — compare the component/recovery columns, not raw MI.)\n"

@@ -1,0 +1,65 @@
+(* Ablation A7 — access method for the tag columns. The paper relies on
+   the DBMS's "built-in indexing techniques" without choosing one; tags
+   are uniformly random 64-bit integers queried only by equality, so
+   hash indexes are the natural fit. Compare B-tree and hash tag
+   indexes on storage and cold-cache query cost, plus the HMAC-vs-
+   SipHash tag PRF on bulk-load time. *)
+
+let run ~rows:n_rows ~n_queries () =
+  Bench_util.heading
+    (Printf.sprintf "Ablation A7: tag index access method + tag PRF (%d rows)" n_rows);
+  let rows = Bench_util.generate_rows n_rows in
+  let dist_of = Bench_util.dist_of_rows rows in
+  let queries = Bench_util.make_queries ~dist_of ~n:n_queries in
+  let t =
+    Stdx.Table_fmt.create
+      [
+        "configuration";
+        "load wall (s)";
+        "index MB";
+        "cold SELECT ID total (ms)";
+        "cold SELECT * total (ms)";
+      ]
+  in
+  let build ~tag_index ~tag_algo label =
+    let db = Sqldb.Database.create () in
+    let master = Crypto.Keys.generate (Stdx.Prng.create 1L) in
+    let edb =
+      Wre.Encrypted_db.create ~tag_index ~tag_algo ~db ~name:"main"
+        ~plain_schema:Sparta.Generator.schema ~key_column:"id"
+        ~encrypted_columns:Bench_util.enc_columns ~kind:(Wre.Scheme.Poisson 1000.0) ~master
+        ~dist_of ~seed:2L ()
+    in
+    let (), wall_ns =
+      Stdx.Clock.time_it (fun () ->
+          Array.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) rows)
+    in
+    let total projection =
+      List.fold_left
+        (fun acc (c : Bench_util.query_cost) -> acc +. c.sim_ms)
+        0.0
+        (Bench_util.run_encrypted_queries ~db ~edb ~projection ~mode:Bench_util.Cold queries)
+    in
+    let ids_ms = total Sqldb.Executor.Row_ids in
+    let star_ms = total Sqldb.Executor.All_columns in
+    Stdx.Table_fmt.add_row t
+      [
+        label;
+        Printf.sprintf "%.2f" (wall_ns /. 1e9);
+        Printf.sprintf "%.1f" (Bench_util.mib (Sqldb.Table.index_bytes (Wre.Encrypted_db.table edb)));
+        Printf.sprintf "%.0f" ids_ms;
+        Printf.sprintf "%.0f" star_ms;
+      ]
+  in
+  build ~tag_index:Sqldb.Table_index.Btree ~tag_algo:Crypto.Prf.Hmac_sha256 "btree + hmac-sha256";
+  build ~tag_index:Sqldb.Table_index.Hash ~tag_algo:Crypto.Prf.Hmac_sha256 "hash  + hmac-sha256";
+  build ~tag_index:Sqldb.Table_index.Hash ~tag_algo:Crypto.Prf.Siphash24 "hash  + siphash-2-4";
+  Stdx.Table_fmt.print t;
+  Printf.printf
+    "reading: a hash probe touches one bucket page where a B-tree walks a\n\
+     root-to-leaf path, so the hash advantage on SELECT ID grows with table size\n\
+     (tree height); at small scales the two are comparable and the hash pays\n\
+     power-of-two directory rounding in storage. SipHash shaves the per-tag\n\
+     crypto, a small slice of a load dominated by the 22 AES-CTR column\n\
+     encryptions. Neither choice changes any security property: both remain a\n\
+     PRF + an equality index, exactly the interface the paper assumes.\n"

@@ -1,0 +1,99 @@
+(* Figures 4-7 — query response time by result size, for the paper's
+   six configurations (plaintext, Fixed 100/1000, Poisson lambda
+   100/1000/10000), under the four protocols:
+
+     Fig 4: cold cache,  SELECT ID
+     Fig 5: cold cache,  SELECT *
+     Fig 6: warm cache,  SELECT ID
+     Fig 7: warm cache,  SELECT *
+
+   Each scheme's database is built once and reused for all four
+   figures; the reported metric is the simulated-storage latency
+   (misses x disk + CPU), the axis the paper's figures vary. *)
+
+type series = {
+  name : string;
+  fig4 : float option array;
+  fig5 : float option array;
+  fig6 : float option array;
+  fig7 : float option array;
+  cold_total_ms : float;
+  warm_total_ms : float;
+}
+
+let run_scheme ~rows ~dist_of ~queries (name, kind_opt) =
+  Printf.printf "  building %-14s ...%!" name;
+  let (run_all : Sqldb.Executor.projection -> Bench_util.cache_mode -> Bench_util.query_cost list)
+      =
+    match kind_opt with
+    | None ->
+        let db, table, _ = Bench_util.build_plain rows in
+        fun projection mode ->
+          Bench_util.run_plain_queries ~db ~table ~projection ~mode queries
+    | Some kind ->
+        let db, edb, _ = Bench_util.build_encrypted ~kind ~dist_of rows in
+        fun projection mode ->
+          Bench_util.run_encrypted_queries ~db ~edb ~projection ~mode queries
+  in
+  (* Cold runs first (each query drops caches); a full SELECT * pass
+     then fills the buffer pool so the warm runs really are warm — the
+     paper's "cache was left alone" scenario. *)
+  let cold_ids = run_all Sqldb.Executor.Row_ids Bench_util.Cold in
+  let cold_star = run_all Sqldb.Executor.All_columns Bench_util.Cold in
+  let _warmup = run_all Sqldb.Executor.All_columns Bench_util.Warm in
+  let warm_ids = run_all Sqldb.Executor.Row_ids Bench_util.Warm in
+  let warm_star = run_all Sqldb.Executor.All_columns Bench_util.Warm in
+  Printf.printf " done\n%!";
+  let total costs =
+    List.fold_left (fun acc (c : Bench_util.query_cost) -> acc +. c.sim_ms) 0.0 costs
+  in
+  {
+    name;
+    fig4 = Bench_util.by_bucket cold_ids;
+    fig5 = Bench_util.by_bucket cold_star;
+    fig6 = Bench_util.by_bucket warm_ids;
+    fig7 = Bench_util.by_bucket warm_star;
+    cold_total_ms = total cold_star;
+    warm_total_ms = total warm_star;
+  }
+
+let print_figure title pick (all : series list) =
+  Bench_util.heading title;
+  let t =
+    Stdx.Table_fmt.create
+      ("scheme \\ result size"
+      :: List.init 5 (fun b -> Sparta.Query_gen.bucket_label b ^ " (ms)"))
+  in
+  List.iter
+    (fun s ->
+      Stdx.Table_fmt.add_row t (s.name :: Array.to_list (Array.map Bench_util.fmt_opt (pick s))))
+    all;
+  Stdx.Table_fmt.print t
+
+let run ~rows:n_rows ~n_queries () =
+  Bench_util.heading
+    (Printf.sprintf "Figures 4-7: query latency, %d rows, %d queries per protocol" n_rows
+       n_queries);
+  let rows = Bench_util.generate_rows n_rows in
+  let dist_of = Bench_util.dist_of_rows rows in
+  let queries = Bench_util.make_queries ~dist_of ~n:n_queries in
+  let all = List.map (run_scheme ~rows ~dist_of ~queries) Bench_util.schemes_for_latency in
+  print_figure "Figure 4: cold cache, SELECT ID" (fun s -> s.fig4) all;
+  print_figure "Figure 5: cold cache, SELECT *" (fun s -> s.fig5) all;
+  print_figure "Figure 6: warm cache, SELECT ID" (fun s -> s.fig6) all;
+  print_figure "Figure 7: warm cache, SELECT *" (fun s -> s.fig7) all;
+  (* The paper's headline: Poisson within ~27% of plaintext. *)
+  (match
+     ( List.find_opt (fun s -> s.name = "plaintext") all,
+       List.find_opt (fun s -> s.name = "poisson-100") all )
+   with
+  | Some p, Some w ->
+      Printf.printf
+        "\nSELECT * totals vs plaintext (paper claim: Poisson within ~27%%):\n\
+        \  cold: plaintext %.1f ms, poisson-100 %.1f ms (+%.0f%%)\n\
+        \  warm: plaintext %.1f ms, poisson-100 %.1f ms (+%.0f%%)\n"
+        p.cold_total_ms w.cold_total_ms
+        (100.0 *. ((w.cold_total_ms /. p.cold_total_ms) -. 1.0))
+        p.warm_total_ms w.warm_total_ms
+        (100.0 *. ((w.warm_total_ms /. p.warm_total_ms) -. 1.0))
+  | _ -> ())

@@ -1,0 +1,79 @@
+(* B0 — Bechamel micro-benchmarks of the primitives on the encryption
+   hot path: raw AES block, CTR encryption of a typical field, the
+   HMAC search-tag PRF, salt-set generation, and one full WRE Enc per
+   scheme. One Test.make per operation; OLS estimate of ns/run. *)
+
+open Bechamel
+open Toolkit
+
+let master = Crypto.Keys.of_raw ~k0:(String.make 16 'm') ~k1:(String.make 32 'M')
+
+let dist =
+  Dist.Empirical.of_counts
+    (List.init 50 (fun i -> (Printf.sprintf "value-%02d" i, 1 + ((50 - i) * 3))))
+
+let tests () =
+  let g = Stdx.Prng.create 1L in
+  let aes_key = Crypto.Aes128.expand (String.make 16 'a') in
+  let block = Bytes.make 16 'b' in
+  let ctr_key = Crypto.Ctr.of_raw (String.make 16 'c') in
+  let prf_key = Crypto.Prf.of_raw (String.make 32 'p') in
+  let field = String.make 24 'f' in
+  let enc_of kind = Wre.Column_enc.create ~master ~column:"bench" ~kind ~dist () in
+  let encs =
+    List.map
+      (fun kind -> (Wre.Scheme.to_string kind, enc_of kind))
+      [
+        Wre.Scheme.Det;
+        Wre.Scheme.Fixed 100;
+        Wre.Scheme.Poisson 1000.0;
+        Wre.Scheme.Bucketized 1000.0;
+      ]
+  in
+  (* Pre-warm salt caches so the benchmark measures steady-state Enc. *)
+  List.iter
+    (fun (_, enc) ->
+      Array.iter (fun m -> ignore (Wre.Column_enc.search_tags enc m)) (Dist.Empirical.support dist))
+    encs;
+  [
+    Test.make ~name:"sha256/1KiB" (Staged.stage (fun () -> Crypto.Sha256.digest (String.make 1024 'x')));
+    Test.make ~name:"aes128/block" (Staged.stage (fun () -> Crypto.Aes128.encrypt_block aes_key block ~off:0));
+    Test.make ~name:"ctr/24B-field" (Staged.stage (fun () -> Crypto.Ctr.encrypt_random ctr_key g field));
+    Test.make ~name:"prf/search-tag-hmac"
+      (Staged.stage (fun () -> Crypto.Prf.tag prf_key ~salt:3 ~message:field));
+    Test.make ~name:"prf/search-tag-siphash"
+      (Staged.stage
+         (let sip_key = Crypto.Prf.of_raw ~algo:Crypto.Prf.Siphash24 (String.make 32 (Char.chr 112)) in
+          fun () -> Crypto.Prf.tag sip_key ~salt:3 ~message:field));
+    Test.make ~name:"getSalts/poisson-1000"
+      (Staged.stage (fun () -> Wre.Salts.poisson ~seed:"bench" ~lambda:1000.0 ~prob:0.02));
+    Test.make ~name:"hungarian/40x40"
+      (Staged.stage
+         (let cost = Array.init 40 (fun i -> Array.init 40 (fun j -> float_of_int ((i * j) mod 7))) in
+          fun () -> Attacks.Hungarian.solve cost));
+  ]
+  @ List.map
+      (fun (name, enc) ->
+        Test.make ~name:("wre-enc/" ^ name)
+          (Staged.stage (fun () -> Wre.Column_enc.encrypt enc g "value-07")))
+      encs
+
+let run () =
+  Bench_util.heading "B0: Bechamel micro-benchmarks (ns per operation, OLS)";
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t = Stdx.Table_fmt.create [ "operation"; "ns/op"; "r^2" ] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let est =
+        match Analyze.OLS.estimates ols_result with Some [ e ] -> e | Some (e :: _) -> e | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
+      Stdx.Table_fmt.add_row t [ name; Printf.sprintf "%.0f" est; Printf.sprintf "%.3f" r2 ])
+    (List.sort compare rows);
+  Stdx.Table_fmt.print t

@@ -1,0 +1,86 @@
+(* Ablation A5 — updates (paper §IV "Updates"). WRE inserts are plain
+   appends: new records drawn from the profiled distribution do not
+   change the tag-frequency picture, so the snapshot adversary gains
+   nothing. This experiment loads half the dataset, snapshots the
+   adversary's view, appends the second half (including a spray of
+   genuinely novel values under the `Min_frequency policy), and
+   compares:
+
+   - attack recovery before vs after the update wave;
+   - statistical distance between the tag-frequency distributions. *)
+
+let master = Crypto.Keys.of_raw ~k0:(String.make 16 'u') ~k1:(String.make 32 'U')
+
+let tag_distribution (snap : Attacks.Snapshot.t) =
+  Dist.Empirical.of_counts
+    (Array.to_list
+       (Array.map (fun (tag, c) -> (Int64.to_string tag, c)) snap.observations))
+
+let run ~rows:n_records () =
+  Bench_util.heading
+    (Printf.sprintf "Ablation A5: security under updates (%d + %d records)" (n_records / 2)
+       (n_records / 2));
+  let gen = Sparta.Generator.create ~seed:Bench_util.data_seed in
+  let all =
+    Array.of_seq
+      (Seq.map
+         (fun r -> Sparta.Generator.column_string r ~column:"lname")
+         (Sparta.Generator.rows gen ~n:n_records))
+  in
+  let half = Array.length all / 2 in
+  let first = Array.sub all 0 half and second = Array.sub all half (Array.length all - half) in
+  (* The distribution is profiled on the FIRST half only, as a real
+     deployment would at initialization time. *)
+  let dist = Dist.Empirical.of_values (Array.to_seq first) in
+  let g = Stdx.Prng.create 14L in
+  let t =
+    Stdx.Table_fmt.create
+      [
+        "scheme";
+        "attack before";
+        "attack after";
+        "tag-freq distance";
+        "novel values inserted";
+      ]
+  in
+  List.iter
+    (fun kind ->
+      let enc =
+        Wre.Column_enc.create ~fallback:`Min_frequency ~master ~column:"lname" ~kind ~dist ()
+      in
+      let snap_before = Attacks.Snapshot.of_column enc g ~plaintexts:first in
+      let score_before =
+        Attacks.Metrics.score snap_before ~guess:(Attacks.Frequency.greedy_likelihood snap_before ~kind)
+      in
+      (* Update wave: the second half, plus 1% novel values the initial
+         profile has never seen. *)
+      let novel = Array.init (half / 100) (fun i -> Printf.sprintf "NewName%04d" i) in
+      let updated = Array.concat [ first; second; novel ] in
+      let snap_after = Attacks.Snapshot.of_column enc g ~plaintexts:updated in
+      let score_after =
+        Attacks.Metrics.score snap_after ~guess:(Attacks.Frequency.greedy_likelihood snap_after ~kind)
+      in
+      let distance =
+        Dist.Empirical.statistical_distance (tag_distribution snap_before)
+          (tag_distribution snap_after)
+      in
+      Stdx.Table_fmt.add_row t
+        [
+          Wre.Scheme.to_string kind;
+          Printf.sprintf "%.1f%%" (100.0 *. score_before.record_recovery);
+          Printf.sprintf "%.1f%%" (100.0 *. score_after.record_recovery);
+          Printf.sprintf "%.3f" distance;
+          string_of_int (Array.length novel);
+        ])
+    [
+      Wre.Scheme.Det;
+      Wre.Scheme.Poisson 1000.0;
+      Wre.Scheme.Bucketized 1000.0;
+    ];
+  Stdx.Table_fmt.print t;
+  Printf.printf
+    "reading: appending records drawn from the profiled distribution leaves the\n\
+     Poisson/bucketized attack recovery at baseline (paper IV: updates are plain\n\
+     appends and stay snapshot-secure). The tag-frequency distance reflects\n\
+     sampling noise plus the 1%% novel values, which fall back to minimum-\n\
+     frequency salting. DET is broken before and after.\n"

@@ -1,0 +1,423 @@
+(* wre — command-line companion for the WRE library.
+
+   Subcommands:
+     keygen       generate a fresh (k0, k1) master key pair
+     schemes      list the salt-allocation schemes and their knobs
+     lambda-for   compute the Poisson rate for a security target
+     demo         end-to-end encrypt/search/decrypt on sample data
+     attack       run the frequency-analysis attack against a scheme *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed for reproducible runs." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scheme_arg =
+  let parse s = Wre.Scheme.of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf k = Format.pp_print_string ppf (Wre.Scheme.to_string k) in
+  let scheme_conv = Arg.conv (parse, print) in
+  let doc = "WRE scheme: det, fixed-N, proportional-N, poisson-L, bucketized-L." in
+  Arg.(value & opt scheme_conv (Wre.Scheme.Poisson 1000.0) & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+(* ---------------- keygen ---------------- *)
+
+let keygen seed =
+  let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
+  let k0, k1 = Crypto.Keys.export master in
+  Printf.printf "k0 = %s\nk1 = %s\n" (Stdx.Bytes_util.to_hex k0) (Stdx.Bytes_util.to_hex k1);
+  Printf.printf
+    "store both secrets; every per-column subkey is derived from them with HKDF.\n"
+
+let keygen_cmd =
+  let doc = "Generate a fresh (k0, k1) master key pair." in
+  Cmd.v (Cmd.info "keygen" ~doc) Term.(const keygen $ seed_arg)
+
+(* ---------------- schemes ---------------- *)
+
+let schemes () =
+  let t =
+    Stdx.Table_fmt.create
+      [ "scheme"; "parameter"; "tags per plaintext"; "inference resistance"; "false positives" ]
+  in
+  List.iter
+    (fun row -> Stdx.Table_fmt.add_row t row)
+    [
+      [ "det"; "-"; "1"; "none (broken by frequency analysis)"; "no" ];
+      [ "fixed-N"; "N salts"; "N"; "weak (counts merely diluted)"; "no" ];
+      [ "proportional-N"; "N total tags"; "~ N*P(m)"; "good, except integer aliasing"; "no" ];
+      [ "poisson-L"; "rate lambda"; "~ L*P(m)+1"; "advantage <= e^(-L*tau)"; "no" ];
+      [ "bucketized-L"; "rate lambda"; "~ L*P(m)+1"; "IND-CUDA (Theorem V.1)"; "yes, ~1/L" ];
+    ];
+  Stdx.Table_fmt.print t
+
+let schemes_cmd =
+  let doc = "Describe the available salt-allocation schemes." in
+  Cmd.v (Cmd.info "schemes" ~doc) Term.(const schemes $ const ())
+
+(* ---------------- lambda-for ---------------- *)
+
+let lambda_for omega tau =
+  if omega <= 0.0 || omega >= 1.0 then `Error (false, "omega must be in (0,1)")
+  else if tau <= 0.0 || tau > 1.0 then `Error (false, "tau must be in (0,1]")
+  else begin
+    let lambda = Dist.Exponential.lambda_for_security ~omega ~tau in
+    Printf.printf
+      "lambda >= %.0f  (distinguishing advantage e^(-lambda*tau) <= %g for the rarest\n\
+       plaintext, frequency tau = %g). Expect ~lambda + |M| search tags per column and\n\
+       ~lambda*P(m)+1 tags per query.\n"
+      (Float.round lambda) omega tau;
+    `Ok ()
+  end
+
+let lambda_for_cmd =
+  let omega =
+    Arg.(value & opt float 0.01 & info [ "omega" ] ~docv:"OMEGA" ~doc:"Security target in (0,1).")
+  in
+  let tau =
+    Arg.(
+      value
+      & opt float 0.001
+      & info [ "tau" ] ~docv:"TAU" ~doc:"Smallest plaintext frequency in the column.")
+  in
+  let doc = "Poisson rate required for a security target (paper V-C)." in
+  Cmd.v (Cmd.info "lambda-for" ~doc) Term.(ret (const lambda_for $ omega $ tau))
+
+(* ---------------- demo ---------------- *)
+
+let demo seed kind rows =
+  let gen = Sparta.Generator.create ~seed in
+  let data = Array.of_seq (Sparta.Generator.rows gen ~n:rows) in
+  let dist_of =
+    Wre.Dist_est.of_rows ~schema:Sparta.Generator.schema
+      ~columns:Sparta.Generator.encrypted_columns (Array.to_seq data)
+  in
+  let db = Sqldb.Database.create () in
+  let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
+  let edb =
+    Wre.Encrypted_db.create ~db ~name:"main" ~plain_schema:Sparta.Generator.schema
+      ~key_column:"id" ~encrypted_columns:Sparta.Generator.encrypted_columns ~kind ~master
+      ~dist_of ~seed ()
+  in
+  Array.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) data;
+  Printf.printf "loaded %d census-like records under %s\n" rows (Wre.Scheme.to_string kind);
+  let target = Sparta.Generator.column_string data.(0) ~column:"lname" in
+  Printf.printf "searching lname = %s:\n  %s\n" target
+    (Format.asprintf "%a" Sqldb.Predicate.pp
+       (Wre.Encrypted_db.search_predicate edb ~column:"lname" target));
+  let results, raw = Wre.Encrypted_db.search_rows edb ~column:"lname" target in
+  Printf.printf "server returned %d rows, client kept %d after decryption\n"
+    (Array.length raw.row_ids) (List.length results);
+  List.iteri
+    (fun i row ->
+      if i < 5 then
+        Printf.printf "  %s %s, %s (%s)\n"
+          (Sparta.Generator.column_string row ~column:"fname")
+          (Sparta.Generator.column_string row ~column:"lname")
+          (Sparta.Generator.column_string row ~column:"city")
+          (Sparta.Generator.column_string row ~column:"state"))
+    results
+
+let demo_cmd =
+  let rows =
+    Arg.(value & opt int 5000 & info [ "rows" ] ~docv:"N" ~doc:"Number of records to generate.")
+  in
+  let doc = "End-to-end encrypt, search and decrypt on generated census data." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const demo $ seed_arg $ scheme_arg $ rows)
+
+(* ---------------- attack ---------------- *)
+
+let attack seed kind rows column =
+  let gen = Sparta.Generator.create ~seed in
+  let plaintexts =
+    Array.of_seq
+      (Seq.map (fun r -> Sparta.Generator.column_string r ~column) (Sparta.Generator.rows gen ~n:rows))
+  in
+  let dist = Dist.Empirical.of_values (Array.to_seq plaintexts) in
+  let g = Stdx.Prng.create seed in
+  let master = Crypto.Keys.generate g in
+  let enc = Wre.Column_enc.create ~master ~column ~kind ~dist () in
+  let snap = Attacks.Snapshot.of_column enc g ~plaintexts in
+  Printf.printf "%s column, %d records, %d distinct values, %d distinct tags\n" column rows
+    (Dist.Empirical.support_size dist)
+    (Attacks.Snapshot.n_distinct_tags snap);
+  List.iter
+    (fun (name, guess) ->
+      Printf.printf "  %-22s %s\n" name
+        (Format.asprintf "%a" Attacks.Metrics.pp (Attacks.Metrics.score snap ~guess)))
+    [
+      ("rank matching", Attacks.Frequency.rank_matching snap);
+      ("scheme-aware greedy", Attacks.Frequency.greedy_likelihood snap ~kind);
+    ]
+
+let attack_cmd =
+  let rows =
+    Arg.(value & opt int 20000 & info [ "rows" ] ~docv:"N" ~doc:"Number of records to attack.")
+  in
+  let column =
+    Arg.(
+      value & opt string "fname"
+      & info [ "column" ] ~docv:"COL" ~doc:"Which census column to encrypt and attack.")
+  in
+  let doc = "Run frequency-analysis inference attacks against a scheme." in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ seed_arg $ scheme_arg $ rows $ column)
+
+(* ---------------- encrypt-csv / query-csv ---------------- *)
+
+(* Column spec: "id:int,name:text,score:real?,photo:blob" — '?' marks
+   nullable. *)
+let parse_columns spec =
+  let parse_one part =
+    match String.split_on_char ':' part with
+    | [ name; ty ] ->
+        let nullable = String.length ty > 0 && ty.[String.length ty - 1] = '?' in
+        let ty = if nullable then String.sub ty 0 (String.length ty - 1) else ty in
+        let ty =
+          match String.lowercase_ascii ty with
+          | "int" -> Ok Sqldb.Value.TInt
+          | "real" -> Ok Sqldb.Value.TReal
+          | "text" -> Ok Sqldb.Value.TText
+          | "blob" -> Ok Sqldb.Value.TBlob
+          | other -> Error (Printf.sprintf "unknown type %S in column spec" other)
+        in
+        Result.map (fun ty -> { Sqldb.Schema.name; ty; nullable }) ty
+    | _ -> Error (Printf.sprintf "malformed column spec %S (want name:type)" part)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> ( match parse_one p with Ok c -> go (c :: acc) rest | Error e -> Error e)
+  in
+  go [] (String.split_on_char ',' spec)
+
+let columns_to_spec schema =
+  String.concat ","
+    (List.map
+       (fun (c : Sqldb.Schema.column) ->
+         Printf.sprintf "%s:%s%s" c.name
+           (String.lowercase_ascii (Sqldb.Value.ty_name c.ty))
+           (if c.nullable then "?" else ""))
+       (Array.to_list (Sqldb.Schema.columns schema)))
+
+(* Sidecar: the client-side secret material an encrypted CSV needs to
+   be queried later — keys, scheme, schema, and the per-column profiled
+   distributions. INI-ish sections. *)
+let write_sidecar ~path ~kind ~master ~schema ~key_column ~encrypted ~seed ~dists =
+  let k0, k1 = Crypto.Keys.export master in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[wre]\n";
+  Buffer.add_string buf (Printf.sprintf "scheme=%s\n" (Wre.Scheme.to_string kind));
+  Buffer.add_string buf (Printf.sprintf "k0=%s\n" (Stdx.Bytes_util.to_hex k0));
+  Buffer.add_string buf (Printf.sprintf "k1=%s\n" (Stdx.Bytes_util.to_hex k1));
+  Buffer.add_string buf (Printf.sprintf "seed=%Ld\n" seed);
+  Buffer.add_string buf (Printf.sprintf "key_column=%s\n" key_column);
+  Buffer.add_string buf (Printf.sprintf "encrypted=%s\n" (String.concat "," encrypted));
+  Buffer.add_string buf (Printf.sprintf "columns=%s\n" (columns_to_spec schema));
+  List.iter
+    (fun (col, dist) ->
+      Buffer.add_string buf (Printf.sprintf "[dist %s]\n" col);
+      List.iter
+        (fun (v, c) -> Buffer.add_string buf (Sqldb.Csv.render [ [ v; string_of_int c ] ]))
+        (Dist.Empirical.to_counts dist))
+    dists;
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let parse_sidecar text =
+  let lines = String.split_on_char '\n' text in
+  let kv = Hashtbl.create 16 in
+  let dists = Hashtbl.create 8 in
+  let current = ref `Main in
+  let err = ref None in
+  List.iter
+    (fun line ->
+      if !err = None && line <> "" then
+        if line.[0] = '[' then begin
+          if line = "[wre]" then current := `Main
+          else if String.length line > 7 && String.sub line 0 6 = "[dist " then begin
+            let col = String.sub line 6 (String.length line - 7) in
+            Hashtbl.replace dists col [];
+            current := `Dist col
+          end
+          else err := Some (Printf.sprintf "unknown sidecar section %S" line)
+        end
+        else begin
+          match !current with
+          | `Main -> (
+              match String.index_opt line '=' with
+              | Some i ->
+                  Hashtbl.replace kv (String.sub line 0 i)
+                    (String.sub line (i + 1) (String.length line - i - 1))
+              | None -> err := Some (Printf.sprintf "malformed sidecar line %S" line))
+          | `Dist col -> (
+              match Sqldb.Csv.parse (line ^ "\n") with
+              | Ok [ [ v; c ] ] -> (
+                  match int_of_string_opt c with
+                  | Some c -> Hashtbl.replace dists col ((v, c) :: Hashtbl.find dists col)
+                  | None -> err := Some (Printf.sprintf "bad count in %S" line))
+              | _ -> err := Some (Printf.sprintf "bad dist line %S" line))
+        end)
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      let get k =
+        match Hashtbl.find_opt kv k with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "sidecar is missing %S" k)
+      in
+      let ( let* ) = Result.bind in
+      let* scheme_str = get "scheme" in
+      let* kind = Wre.Scheme.of_string scheme_str in
+      let* k0 = get "k0" in
+      let* k1 = get "k1" in
+      let* seed = get "seed" in
+      let* key_column = get "key_column" in
+      let* encrypted = get "encrypted" in
+      let* columns = get "columns" in
+      let* cols = parse_columns columns in
+      let schema = Sqldb.Schema.create cols in
+      let dist_of col =
+        match Hashtbl.find_opt dists col with
+        | Some counts -> Dist.Empirical.of_counts counts
+        | None -> failwith (Printf.sprintf "sidecar has no distribution for %S" col)
+      in
+      Ok
+        ( kind,
+          Crypto.Keys.of_raw ~k0:(Stdx.Bytes_util.of_hex k0) ~k1:(Stdx.Bytes_util.of_hex k1),
+          Int64.of_string seed,
+          key_column,
+          String.split_on_char ',' encrypted,
+          schema,
+          dist_of )
+
+let encrypt_csv input output sidecar columns_spec key_column encrypted_spec seed kind =
+  let ( let* ) = Result.bind in
+  let result =
+    let* cols = parse_columns columns_spec in
+    let schema = Sqldb.Schema.create cols in
+    let encrypted = String.split_on_char ',' encrypted_spec in
+    let* cells = Sqldb.Csv.parse (read_file input) in
+    let* rows = Sqldb.Csv.typed_rows ~schema ~header:true cells in
+    let dist_of = Wre.Dist_est.of_rows ~schema ~columns:encrypted (List.to_seq rows) in
+    let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
+    let db = Sqldb.Database.create () in
+    let edb =
+      Wre.Encrypted_db.create ~fallback:`Min_frequency ~db ~name:"t" ~plain_schema:schema
+        ~key_column ~encrypted_columns:encrypted ~kind ~master ~dist_of ~seed ()
+    in
+    List.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) rows;
+    let table = Wre.Encrypted_db.table edb in
+    let enc_schema = Wre.Encrypted_db.encrypted_schema edb in
+    let enc_rows =
+      List.init (Sqldb.Table.row_count table) (fun i -> Sqldb.Table.peek_row table i)
+    in
+    Out_channel.with_open_text output (fun oc ->
+        Out_channel.output_string oc
+          (Sqldb.Csv.render (Sqldb.Csv.header_of enc_schema :: Sqldb.Csv.untyped_rows enc_rows)));
+    write_sidecar ~path:sidecar ~kind ~master ~schema ~key_column ~encrypted ~seed
+      ~dists:(List.map (fun c -> (c, dist_of c)) encrypted);
+    Printf.printf "encrypted %d rows -> %s (key material in %s)\n" (List.length rows) output
+      sidecar;
+    Ok ()
+  in
+  match result with Ok () -> `Ok () | Error e -> `Error (false, e)
+
+let query_csv input sidecar sql =
+  let ( let* ) = Result.bind in
+  let result =
+    let* kind, master, seed, key_column, encrypted, schema, dist_of =
+      parse_sidecar (read_file sidecar)
+    in
+    let db = Sqldb.Database.create () in
+    let edb =
+      Wre.Encrypted_db.create ~fallback:`Min_frequency ~db ~name:"t" ~plain_schema:schema
+        ~key_column ~encrypted_columns:encrypted ~kind ~master ~dist_of ~seed ()
+    in
+    let enc_schema = Wre.Encrypted_db.encrypted_schema edb in
+    let* cells = Sqldb.Csv.parse (read_file input) in
+    let* enc_rows = Sqldb.Csv.typed_rows ~schema:enc_schema ~header:true cells in
+    List.iter (fun r -> ignore (Wre.Encrypted_db.insert_encrypted edb r)) enc_rows;
+    let proxy = Wre.Proxy.create edb in
+    let* r = Wre.Proxy.execute proxy sql in
+    print_string (Sqldb.Csv.render (r.columns :: Sqldb.Csv.untyped_rows r.rows));
+    Printf.eprintf "(%d rows; server handled %d encrypted rows)\n" (List.length r.rows)
+      r.server_rows;
+    Ok ()
+  in
+  match result with Ok () -> `Ok () | Error e -> `Error (false, e)
+
+let encrypt_csv_cmd =
+  let input =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "input" ] ~docv:"FILE" ~doc:"Plaintext CSV with header row.")
+  in
+  let output =
+    Arg.(
+      value & opt string "encrypted.csv"
+      & info [ "output" ] ~docv:"FILE" ~doc:"Encrypted CSV to write.")
+  in
+  let sidecar =
+    Arg.(
+      value & opt string "wre-keys.sidecar"
+      & info [ "sidecar" ] ~docv:"FILE" ~doc:"Key material + distributions (keep secret).")
+  in
+  let columns =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "columns" ] ~docv:"SPEC" ~doc:"Schema, e.g. id:int,name:text,notes:text?.")
+  in
+  let key_column =
+    Arg.(
+      value & opt string "id"
+      & info [ "key-column" ] ~docv:"COL" ~doc:"Plaintext integer key column.")
+  in
+  let encrypted =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "encrypt" ] ~docv:"COLS" ~doc:"Comma-separated searchable text columns.")
+  in
+  let doc = "Encrypt a CSV file into a searchable encrypted CSV + key sidecar." in
+  Cmd.v (Cmd.info "encrypt-csv" ~doc)
+    Term.(
+      ret
+        (const encrypt_csv $ input $ output $ sidecar $ columns $ key_column $ encrypted
+       $ seed_arg $ scheme_arg))
+
+let query_csv_cmd =
+  let input =
+    Arg.(required & opt (some file) None & info [ "input" ] ~docv:"FILE" ~doc:"Encrypted CSV.")
+  in
+  let sidecar =
+    Arg.(
+      required & opt (some file) None
+      & info [ "sidecar" ] ~docv:"FILE" ~doc:"Sidecar from encrypt-csv.")
+  in
+  let sql =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SQL" ~doc:"Plaintext SELECT, e.g. \"SELECT * FROM t WHERE name = 'Alice'\".")
+  in
+  let doc = "Query an encrypted CSV with plaintext SQL (rewriting proxy + decryption)." in
+  Cmd.v (Cmd.info "query-csv" ~doc) Term.(ret (const query_csv $ input $ sidecar $ sql))
+
+let () =
+  let doc = "weakly randomized encryption (DSN 2019) toolkit" in
+  let info = Cmd.info "wre" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            keygen_cmd;
+            schemes_cmd;
+            lambda_for_cmd;
+            demo_cmd;
+            attack_cmd;
+            encrypt_csv_cmd;
+            query_csv_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/census_database.ml: Array Crypto Database Dist Executor List Pager Predicate Printf Sparta Sqldb Stdx Sys Table Value Wre

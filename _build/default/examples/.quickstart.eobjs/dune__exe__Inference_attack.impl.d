@@ -1,0 +1,1 @@
+examples/inference_attack.ml: Array Attacks Crypto Dist Format List Printf Seq Sparta Stdx Sys Wre

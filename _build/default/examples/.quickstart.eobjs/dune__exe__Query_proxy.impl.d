@@ -1,0 +1,1 @@
+examples/query_proxy.ml: Array Crypto Format List Printf Sparta Sqldb Stdx String Wre

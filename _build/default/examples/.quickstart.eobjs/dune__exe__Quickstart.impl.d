@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Crypto Database Executor Format Int64 List Predicate Schema Sqldb Stdx String Table Value Wre

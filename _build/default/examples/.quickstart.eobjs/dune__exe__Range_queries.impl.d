@@ -1,0 +1,1 @@
+examples/range_queries.ml: Array Crypto List Printf Sparta Sqldb Stdx Wre

@@ -1,0 +1,1 @@
+examples/tuning_lambda.ml: Array Crypto Dist List Option Printf Seq Sparta Stdx Wre

@@ -1,0 +1,50 @@
+(* Why deterministic ESE is broken and WRE is not: run the
+   frequency-analysis inference attack of Naveed–Kamara–Wright against
+   the first-name column under every scheme.
+
+     dune exec examples/inference_attack.exe -- [n_rows]          *)
+
+let n_rows = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 30_000
+
+let () =
+  let g = Stdx.Prng.create 31337L in
+  let gen = Sparta.Generator.create ~seed:5L in
+  let plaintexts =
+    Array.of_seq
+      (Seq.map
+         (fun row -> Sparta.Generator.column_string row ~column:"fname")
+         (Sparta.Generator.rows gen ~n:n_rows))
+  in
+  let dist = Dist.Empirical.of_values (Array.to_seq plaintexts) in
+  Printf.printf
+    "attacking the fname column of %d records (%d distinct names, mode %.2f%%)\n\
+     adversary: snapshot of the tag column + exact auxiliary distribution\n\n"
+    n_rows
+    (Dist.Empirical.support_size dist)
+    (100.0 *. Dist.Empirical.max_prob dist);
+  Printf.printf "%-18s %9s | %-42s | %-42s\n" "scheme" "tags" "rank-matching attack"
+    "scheme-aware greedy attack";
+  let master = Crypto.Keys.generate g in
+  List.iter
+    (fun kind ->
+      let enc = Wre.Column_enc.create ~master ~column:"fname" ~kind ~dist () in
+      let snap = Attacks.Snapshot.of_column enc g ~plaintexts in
+      let rank = Attacks.Metrics.score snap ~guess:(Attacks.Frequency.rank_matching snap) in
+      let greedy =
+        Attacks.Metrics.score snap ~guess:(Attacks.Frequency.greedy_likelihood snap ~kind)
+      in
+      Printf.printf "%-18s %9d | %-42s | %-42s\n" (Wre.Scheme.to_string kind)
+        (Attacks.Snapshot.n_distinct_tags snap)
+        (Format.asprintf "%a" Attacks.Metrics.pp rank)
+        (Format.asprintf "%a" Attacks.Metrics.pp greedy))
+    [
+      Wre.Scheme.Det;
+      Wre.Scheme.Fixed 10;
+      Wre.Scheme.Fixed 100;
+      Wre.Scheme.Proportional 1000;
+      Wre.Scheme.Poisson 1000.0;
+      Wre.Scheme.Bucketized 1000.0;
+    ];
+  Printf.printf
+    "\nreading: DET leaks nearly everything; fixed salts only dilute counts; the\n\
+     Poisson schemes push every attack down to the guess-the-mode baseline.\n"

@@ -1,0 +1,1 @@
+lib/attacks/correlation.ml: Array Dist Fun Hashtbl Int64 List Metrics Option Snapshot Wre

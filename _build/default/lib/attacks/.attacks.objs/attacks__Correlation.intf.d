@@ -1,0 +1,1 @@
+lib/attacks/correlation.mli: Dist Metrics Stdx Wre

@@ -1,0 +1,1 @@
+lib/attacks/frequency.ml: Array Dist Float Hashtbl Hungarian Option Snapshot Stdx Wre

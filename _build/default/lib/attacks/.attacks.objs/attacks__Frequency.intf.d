@@ -1,0 +1,1 @@
+lib/attacks/frequency.mli: Snapshot Wre

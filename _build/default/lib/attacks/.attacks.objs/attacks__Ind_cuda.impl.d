@@ -1,0 +1,1 @@
+lib/attacks/ind_cuda.ml: Array Crypto Dist Float Hashtbl List Option Printf Stdx Wre

@@ -1,0 +1,1 @@
+lib/attacks/ind_cuda.mli: Wre

@@ -1,0 +1,1 @@
+lib/attacks/metrics.ml: Array Dist Format Hashtbl Option Snapshot

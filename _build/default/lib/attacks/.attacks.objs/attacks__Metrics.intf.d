@@ -1,0 +1,1 @@
+lib/attacks/metrics.mli: Format Snapshot

@@ -1,0 +1,1 @@
+lib/attacks/snapshot.ml: Array Dist Hashtbl Int64 Option Sqldb Wre

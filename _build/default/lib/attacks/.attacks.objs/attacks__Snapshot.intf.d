@@ -1,0 +1,1 @@
+lib/attacks/snapshot.mli: Dist Stdx Wre

@@ -1,0 +1,1 @@
+lib/attacks/subset_sum.ml: Array Dist Float Hashtbl List Snapshot

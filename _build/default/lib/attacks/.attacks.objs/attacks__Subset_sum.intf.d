@@ -1,0 +1,1 @@
+lib/attacks/subset_sum.mli: Snapshot

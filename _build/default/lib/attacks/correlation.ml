@@ -1,0 +1,137 @@
+type view = {
+  records : ((int64 * int64) * (string * string)) array;
+  aux_a : Dist.Empirical.t;
+  aux_b : Dist.Empirical.t;
+}
+
+let of_columns enc_a enc_b g ~pairs =
+  let records =
+    Array.map
+      (fun (a, b) ->
+        let tag_a, _ = Wre.Column_enc.encrypt enc_a g a in
+        let tag_b, _ = Wre.Column_enc.encrypt enc_b g b in
+        ((tag_a, tag_b), (a, b)))
+      pairs
+  in
+  {
+    records;
+    aux_a = Dist.Empirical.of_values (Array.to_seq (Array.map fst pairs));
+    aux_b = Dist.Empirical.of_values (Array.to_seq (Array.map snd pairs));
+  }
+
+(* Plug-in MI over generic pair observations. *)
+let mi_of_pairs pairs =
+  let n = float_of_int (Array.length pairs) in
+  if n = 0.0 then 0.0
+  else begin
+    let joint = Hashtbl.create 1024 and ma = Hashtbl.create 256 and mb = Hashtbl.create 256 in
+    let bump table key = Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key)) in
+    Array.iter
+      (fun (a, b) ->
+        bump joint (a, b);
+        bump ma a;
+        bump mb b)
+      pairs;
+    let log2 x = log x /. log 2.0 in
+    Hashtbl.fold
+      (fun (a, b) c acc ->
+        let p_ab = float_of_int c /. n in
+        let p_a = float_of_int (Hashtbl.find ma a) /. n in
+        let p_b = float_of_int (Hashtbl.find mb b) /. n in
+        acc +. (p_ab *. log2 (p_ab /. (p_a *. p_b))))
+      joint 0.0
+  end
+
+let mutual_information_bits view side =
+  match side with
+  | `Tags -> mi_of_pairs (Array.map (fun (tags, _) -> tags) view.records)
+  | `Plain -> mi_of_pairs (Array.map (fun (_, plain) -> plain) view.records)
+
+(* ---------------- Linkage attack ---------------- *)
+
+type result = { components : int; score : Metrics.score }
+
+module Union_find = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+  let rec find t x =
+    if t.parent.(x) = x then x
+    else begin
+      let root = find t t.parent.(x) in
+      t.parent.(x) <- root;
+      root
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then
+      if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+      else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+      else begin
+        t.parent.(rb) <- ra;
+        t.rank.(ra) <- t.rank.(ra) + 1
+      end
+end
+
+let linkage_attack view =
+  (* Index the distinct tag_b values. *)
+  let b_index = Hashtbl.create 1024 in
+  Array.iter
+    (fun ((_, tag_b), _) ->
+      if not (Hashtbl.mem b_index tag_b) then Hashtbl.replace b_index tag_b (Hashtbl.length b_index))
+    view.records;
+  let n_b = Hashtbl.length b_index in
+  let uf = Union_find.create n_b in
+  (* All tag_b co-occurring with one tag_a belong together. *)
+  let first_b_of_a = Hashtbl.create 1024 in
+  Array.iter
+    (fun ((tag_a, tag_b), _) ->
+      let b = Hashtbl.find b_index tag_b in
+      match Hashtbl.find_opt first_b_of_a tag_a with
+      | None -> Hashtbl.replace first_b_of_a tag_a b
+      | Some b0 -> Union_find.union uf b0 b)
+    view.records;
+  (* Component record masses. *)
+  let comp_count = Hashtbl.create 256 in
+  Array.iter
+    (fun ((_, tag_b), _) ->
+      let root = Union_find.find uf (Hashtbl.find b_index tag_b) in
+      Hashtbl.replace comp_count root (1 + Option.value ~default:0 (Hashtbl.find_opt comp_count root)))
+    view.records;
+  (* Rank-match components (by mass) against the aux distribution of
+     column a. *)
+  let comps =
+    List.sort
+      (fun (_, c0) (_, c1) -> compare c1 c0)
+      (Hashtbl.fold (fun root c acc -> (root, c) :: acc) comp_count [])
+  in
+  let support = Dist.Empirical.support view.aux_a in
+  let guess_of_root = Hashtbl.create 256 in
+  List.iteri
+    (fun rank (root, _) ->
+      if rank < Array.length support then Hashtbl.replace guess_of_root root support.(rank))
+    comps;
+  (* Score on column a via a synthetic snapshot keyed by tag_b: each
+     record's guess is its component's label. *)
+  let snapshot_records =
+    Array.map (fun ((_, tag_b), (a, _)) -> (tag_b, a)) view.records
+  in
+  let guess tag_b =
+    match Hashtbl.find_opt b_index tag_b with
+    | None -> None
+    | Some b -> Hashtbl.find_opt guess_of_root (Union_find.find uf b)
+  in
+  let observations =
+    let counts = Hashtbl.create 1024 in
+    Array.iter
+      (fun (tag, _) ->
+        Hashtbl.replace counts tag (1 + Option.value ~default:0 (Hashtbl.find_opt counts tag)))
+      snapshot_records;
+    let obs = Array.of_seq (Hashtbl.to_seq counts) in
+    Array.sort (fun (t0, c0) (t1, c1) -> if c0 <> c1 then compare c1 c0 else Int64.compare t0 t1) obs;
+    obs
+  in
+  let snap = { Snapshot.observations; records = snapshot_records; aux = view.aux_a } in
+  { components = List.length comps; score = Metrics.score snap ~guess }

@@ -1,0 +1,70 @@
+let rank_matching (snap : Snapshot.t) =
+  let support = Dist.Empirical.support snap.aux in
+  let mapping = Hashtbl.create (Array.length snap.observations) in
+  Array.iteri
+    (fun rank (tag, _count) ->
+      if rank < Array.length support then Hashtbl.replace mapping tag support.(rank))
+    snap.observations;
+  fun tag -> Hashtbl.find_opt mapping tag
+
+(* Expected frequency of one tag of plaintext [m] under [kind]. *)
+let expected_tag_freq kind aux m =
+  let p = Dist.Empirical.prob aux m in
+  p /. Wre.Scheme.expected_tags_per_plaintext kind ~dist:aux m
+
+let l1_matching ?(max_tags = 2000) (snap : Snapshot.t) ~kind =
+  let support = Dist.Empirical.support snap.aux in
+  let n_records = float_of_int (Snapshot.n_records snap) in
+  (* Build plaintext "slots": each plaintext appears once per expected
+     tag so the assignment can be one-to-one. *)
+  let slots = Stdx.Vec.create () in
+  Array.iter
+    (fun m ->
+      let k =
+        int_of_float (Float.round (Wre.Scheme.expected_tags_per_plaintext kind ~dist:snap.aux m))
+      in
+      for _ = 1 to max 1 k do
+        Stdx.Vec.push slots m
+      done)
+    support;
+  let slots = Stdx.Vec.to_array slots in
+  let tags = Array.sub snap.observations 0 (min max_tags (Array.length snap.observations)) in
+  let n = Array.length tags and m_slots = Array.length slots in
+  let mapping = Hashtbl.create n in
+  if n > 0 && m_slots > 0 then begin
+    (* Rows must not exceed columns for the solver; drop the rarest
+       tags if the snapshot has more tags than slots. *)
+    let n = min n m_slots in
+    let tags = Array.sub tags 0 n in
+    let cost =
+      Array.map
+        (fun (_, count) ->
+          let f_obs = float_of_int count /. n_records in
+          Array.map (fun m -> Float.abs (f_obs -. expected_tag_freq kind snap.aux m)) slots)
+        tags
+    in
+    let assignment = Hungarian.solve cost in
+    Array.iteri (fun i (tag, _) -> Hashtbl.replace mapping tag slots.(assignment.(i))) tags
+  end;
+  fun tag -> Hashtbl.find_opt mapping tag
+
+let greedy_likelihood (snap : Snapshot.t) ~kind =
+  let support = Dist.Empirical.support snap.aux in
+  let n_records = float_of_int (Snapshot.n_records snap) in
+  let expected = Array.map (fun m -> (m, expected_tag_freq kind snap.aux m)) support in
+  let mapping = Hashtbl.create (Array.length snap.observations) in
+  Array.iter
+    (fun (tag, count) ->
+      let f_obs = float_of_int count /. n_records in
+      let best = ref None and best_d = ref infinity in
+      Array.iter
+        (fun (m, f_exp) ->
+          let d = Float.abs (f_obs -. f_exp) in
+          if d < !best_d then begin
+            best_d := d;
+            best := Some m
+          end)
+        expected;
+      Option.iter (fun m -> Hashtbl.replace mapping tag m) !best)
+    snap.observations;
+  fun tag -> Hashtbl.find_opt mapping tag

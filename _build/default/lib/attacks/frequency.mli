@@ -1,0 +1,31 @@
+(** Frequency-analysis inference attacks (Naveed–Kamara–Wright style).
+
+    Three attackers of increasing sophistication, all consuming only
+    the snapshot view:
+
+    - {!rank_matching}: sort tags by observed count, plaintexts by aux
+      probability, match rank to rank — classical frequency analysis.
+    - {!l1_matching}: the ℓ1-optimal assignment (Hungarian) between
+      tags and plaintexts; NKW's "frequency analysis is ℓ1-optimal"
+      attacker. When there are more tags than plaintexts, plaintext
+      slots are replicated in proportion to the scheme's expected
+      tags-per-plaintext so multi-salt schemes are attacked on their
+      own terms.
+    - {!greedy_likelihood}: each tag is independently assigned the
+      plaintext whose expected per-tag frequency (under a known scheme)
+      is closest — the natural scheme-aware attack against Fixed and
+      Proportional salts.
+
+    Against DET these recover essentially the whole database; against
+    correctly parameterized Poisson/Bucketized WRE they collapse to
+    the guess-the-mode baseline — the A2 ablation regenerates that
+    comparison. *)
+
+val rank_matching : Snapshot.t -> int64 -> string option
+
+val l1_matching : ?max_tags:int -> Snapshot.t -> kind:Wre.Scheme.kind -> int64 -> string option
+(** [max_tags] (default 2000) caps the assignment size for the cubic
+    solver; beyond it only the most frequent tags are matched (the
+    rest return [None] — attacks degrade, which is itself the point). *)
+
+val greedy_likelihood : Snapshot.t -> kind:Wre.Scheme.kind -> int64 -> string option

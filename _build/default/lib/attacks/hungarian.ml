@@ -1,0 +1,67 @@
+(* Potentials formulation with 1-based sentinel row/column 0, after the
+   classic competitive-programming presentation (e-maxx). *)
+
+let solve cost =
+  let n = Array.length cost in
+  if n = 0 then [||]
+  else begin
+    let m = Array.length cost.(0) in
+    if n > m then invalid_arg "Hungarian.solve: need rows <= columns";
+    Array.iter
+      (fun row -> if Array.length row <> m then invalid_arg "Hungarian.solve: ragged matrix")
+      cost;
+    let u = Array.make (n + 1) 0.0 and v = Array.make (m + 1) 0.0 in
+    let p = Array.make (m + 1) 0 (* column j matched to row p.(j) *) in
+    let way = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      p.(0) <- i;
+      let j0 = ref 0 in
+      let minv = Array.make (m + 1) infinity in
+      let used = Array.make (m + 1) false in
+      let continue = ref true in
+      while !continue do
+        used.(!j0) <- true;
+        let i0 = p.(!j0) in
+        let delta = ref infinity and j1 = ref 0 in
+        for j = 1 to m do
+          if not used.(j) then begin
+            let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        for j = 0 to m do
+          if used.(j) then begin
+            u.(p.(j)) <- u.(p.(j)) +. !delta;
+            v.(j) <- v.(j) -. !delta
+          end
+          else minv.(j) <- minv.(j) -. !delta
+        done;
+        j0 := !j1;
+        if p.(!j0) = 0 then continue := false
+      done;
+      (* Augment along the alternating path. *)
+      let j = ref !j0 in
+      while !j <> 0 do
+        let j1 = way.(!j) in
+        p.(!j) <- p.(j1);
+        j := j1
+      done
+    done;
+    let assignment = Array.make n (-1) in
+    for j = 1 to m do
+      if p.(j) > 0 then assignment.(p.(j) - 1) <- j - 1
+    done;
+    assignment
+  end
+
+let total_cost cost assignment =
+  let acc = ref 0.0 in
+  Array.iteri (fun i j -> acc := !acc +. cost.(i).(j)) assignment;
+  !acc

@@ -1,0 +1,15 @@
+(** Hungarian algorithm (Kuhn–Munkres) for min-cost assignment.
+
+    Frequency analysis phrased as an optimization — find the
+    tag-to-plaintext matching minimizing total ℓ1 distance between
+    observed tag frequencies and auxiliary plaintext frequencies — is
+    the optimal-attack formulation of Naveed–Kamara–Wright. This is the
+    O(n²·m) potentials implementation. *)
+
+val solve : float array array -> int array
+(** [solve cost] for an [n × m] matrix with [n ≤ m] returns
+    [assignment] with [assignment.(i)] the column matched to row [i];
+    columns are used at most once and total cost is minimal.
+    Raises [Invalid_argument] if [n > m] or the matrix is ragged. *)
+
+val total_cost : float array array -> int array -> float

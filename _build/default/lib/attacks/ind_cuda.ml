@@ -1,0 +1,98 @@
+type adversary = {
+  name : string;
+  choose : n:int -> string list * string list;
+  distinguish : n:int -> kind:Wre.Scheme.kind -> int64 array -> int;
+}
+
+let distinct_count tags =
+  let seen = Hashtbl.create (Array.length tags) in
+  Array.iter (fun t -> Hashtbl.replace seen t ()) tags;
+  Hashtbl.length seen
+
+let max_count_of tags =
+  let counts = Hashtbl.create (Array.length tags) in
+  Array.iter
+    (fun t -> Hashtbl.replace counts t (1 + Option.value ~default:0 (Hashtbl.find_opt counts t)))
+    tags;
+  Hashtbl.fold (fun _ c acc -> max c acc) counts 0
+
+let unique_messages n = List.init n (Printf.sprintf "msg-%06d")
+let repeated_message n = List.init n (fun _ -> "msg-000000")
+
+(* Expected distinct tag count when all n records encrypt ONE message:
+   with per-message salts it is ≈ the salt count; with distinct
+   messages it is exactly n. Guess b by which side the observation is
+   closer to. *)
+let expected_single_message_tags kind n =
+  match kind with
+  | Wre.Scheme.Det -> 1.0
+  | Wre.Scheme.Fixed k -> Float.min (float_of_int k) (float_of_int n)
+  | Wre.Scheme.Proportional _ -> Float.min (float_of_int n) (float_of_int n)
+  | Wre.Scheme.Poisson lambda | Wre.Scheme.Bucketized lambda ->
+      Float.min (lambda +. 1.0) (float_of_int n)
+
+let capped_exponential =
+  {
+    name = "capped-exponential";
+    choose = (fun ~n -> (unique_messages n, repeated_message n));
+    distinguish =
+      (fun ~n ~kind tags ->
+        let d = float_of_int (distinct_count tags) in
+        let expect_m1 = expected_single_message_tags kind n in
+        let expect_m0 = float_of_int n in
+        if Float.abs (d -. expect_m0) <= Float.abs (d -. expect_m1) then 0 else 1);
+  }
+
+let max_count =
+  {
+    name = "max-count";
+    choose = (fun ~n -> (unique_messages n, repeated_message n));
+    distinguish =
+      (fun ~n ~kind tags ->
+        let m = float_of_int (max_count_of tags) in
+        (* Under M0 every tag count is ~1 (plus PRF luck); under M1 the
+           heaviest salt of the single message carries many records. *)
+        let expect_m1 = Float.max 1.0 (float_of_int n /. expected_single_message_tags kind n) in
+        if Float.abs (m -. 1.0) <= Float.abs (m -. expect_m1) then 0 else 1);
+  }
+
+type outcome = {
+  adversary : string;
+  kind : Wre.Scheme.kind;
+  trials : int;
+  successes : int;
+  success_rate : float;
+  advantage : float;
+}
+
+let play ~kind adv ~n ~trials ~seed =
+  if n <= 0 || trials <= 0 then invalid_arg "Ind_cuda.play: n and trials must be positive";
+  let g = Stdx.Prng.create seed in
+  let m0, m1 = adv.choose ~n in
+  if List.length m0 <> List.length m1 then invalid_arg "Ind_cuda.play: |M0| <> |M1|";
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    let master = Crypto.Keys.generate g in
+    let b = if Stdx.Prng.bool g then 1 else 0 in
+    let chosen = Array.of_list (if b = 0 then m0 else m1) in
+    (* The challenger's PRS: a keyed shuffle under a fresh key. *)
+    let shuffled =
+      Crypto.Prs.shuffle
+        ~key:(Crypto.Keys.shuffle_key master ~column:"challenge")
+        ~context:"ind-cuda" chosen
+    in
+    let dist = Dist.Empirical.of_values (Array.to_seq shuffled) in
+    let enc = Wre.Column_enc.create ~master ~column:"game" ~kind ~dist () in
+    let tags = Array.map (fun m -> fst (Wre.Column_enc.encrypt enc g m)) shuffled in
+    let guess = adv.distinguish ~n ~kind tags in
+    if guess = b then incr successes
+  done;
+  let rate = float_of_int !successes /. float_of_int trials in
+  {
+    adversary = adv.name;
+    kind;
+    trials;
+    successes = !successes;
+    success_rate = rate;
+    advantage = Float.max 0.0 (2.0 *. (rate -. 0.5));
+  }

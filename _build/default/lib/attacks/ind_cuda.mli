@@ -1,0 +1,38 @@
+(** Empirical IND-CUDA game (paper Definition 7).
+
+    The challenger draws fresh keys, flips [b], pseudo-randomly
+    shuffles the chosen message list M_b, encrypts it, and hands the
+    adversary the resulting tag column; the adversary guesses [b].
+    Theorem V.1 says the bucketized scheme keeps every
+    polynomial adversary at success ½; the plain Poisson scheme is
+    ½ + e^{-λτ}-ish. This harness measures concrete adversaries'
+    success rates over many trials — the A3 experiment plots the
+    advantage shrinking in λ for Poisson and staying ≈0 for
+    Bucketized. *)
+
+type adversary = {
+  name : string;
+  choose : n:int -> string list * string list;
+      (** (M₀, M₁), equal lengths, equal message sizes *)
+  distinguish : n:int -> kind:Wre.Scheme.kind -> int64 array -> int;
+      (** given the shuffled tag column, guess b *)
+}
+
+val capped_exponential : adversary
+(** The paper's §V-C adversary: M₀ = n distinct messages, M₁ = n copies
+    of one message; distinguishes on the number of distinct tags. *)
+
+val max_count : adversary
+(** Variant distinguishing on the largest single tag count. *)
+
+type outcome = {
+  adversary : string;
+  kind : Wre.Scheme.kind;
+  trials : int;
+  successes : int;
+  success_rate : float;
+  advantage : float;  (** 2·(rate − ½), clamped at 0 *)
+}
+
+val play : kind:Wre.Scheme.kind -> adversary -> n:int -> trials:int -> seed:int64 -> outcome
+(** Runs the full game [trials] times with fresh keys each time. *)

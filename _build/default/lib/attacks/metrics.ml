@@ -1,0 +1,37 @@
+type score = { record_recovery : float; value_recovery : float; baseline : float }
+
+let score (snap : Snapshot.t) ~guess =
+  let n = Array.length snap.records in
+  if n = 0 then invalid_arg "Metrics.score: empty snapshot";
+  (* Per-record accuracy. *)
+  let correct = ref 0 in
+  (* Per-value: a value counts as recovered when the majority of its
+     records are decoded to it. *)
+  let per_value_total = Hashtbl.create 64 and per_value_hit = Hashtbl.create 64 in
+  Array.iter
+    (fun (tag, truth) ->
+      let hit = match guess tag with Some g -> g = truth | None -> false in
+      if hit then incr correct;
+      Hashtbl.replace per_value_total truth
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_value_total truth));
+      if hit then
+        Hashtbl.replace per_value_hit truth
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_value_hit truth)))
+    snap.records;
+  let values = Hashtbl.length per_value_total in
+  let recovered_values =
+    Hashtbl.fold
+      (fun v total acc ->
+        let hits = Option.value ~default:0 (Hashtbl.find_opt per_value_hit v) in
+        if 2 * hits > total then acc + 1 else acc)
+      per_value_total 0
+  in
+  {
+    record_recovery = float_of_int !correct /. float_of_int n;
+    value_recovery = float_of_int recovered_values /. float_of_int values;
+    baseline = Dist.Empirical.max_prob snap.aux;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "records %.1f%% / values %.1f%% (baseline %.1f%%)"
+    (100.0 *. s.record_recovery) (100.0 *. s.value_recovery) (100.0 *. s.baseline)

@@ -1,0 +1,19 @@
+(** Scoring inference attacks.
+
+    The headline number in the inference-attack literature (and the one
+    the paper's motivation cites from Naveed–Kamara–Wright) is the
+    fraction of *records* whose plaintext the attack recovers; value
+    recovery (fraction of distinct plaintext values guessed right) is
+    also reported. *)
+
+type score = {
+  record_recovery : float;  (** fraction of records decoded correctly *)
+  value_recovery : float;  (** fraction of distinct plaintexts with ≥1 tag mapped to them correctly for a majority of its records *)
+  baseline : float;  (** record recovery of always guessing the aux mode *)
+}
+
+val score : Snapshot.t -> guess:(int64 -> string option) -> score
+(** Evaluate a tag→plaintext mapping against the snapshot's ground
+    truth. Unmapped tags count as wrong. *)
+
+val pp : Format.formatter -> score -> unit

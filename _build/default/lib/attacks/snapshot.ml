@@ -1,0 +1,57 @@
+type t = {
+  observations : (int64 * int) array;
+  records : (int64 * string) array;
+  aux : Dist.Empirical.t;
+}
+
+let observations_of_records records =
+  let counts = Hashtbl.create 1024 in
+  Array.iter
+    (fun (tag, _) ->
+      Hashtbl.replace counts tag (1 + Option.value ~default:0 (Hashtbl.find_opt counts tag)))
+    records;
+  let obs = Array.of_seq (Hashtbl.to_seq counts) in
+  Array.sort
+    (fun (t0, c0) (t1, c1) -> if c0 <> c1 then compare c1 c0 else Int64.compare t0 t1)
+    obs;
+  obs
+
+let of_column enc g ~plaintexts =
+  let records =
+    Array.map
+      (fun m ->
+        let tag, _ct = Wre.Column_enc.encrypt enc g m in
+        (tag, m))
+      plaintexts
+  in
+  {
+    observations = observations_of_records records;
+    records;
+    aux = Dist.Empirical.of_values (Array.to_seq plaintexts);
+  }
+
+let of_table edb ~column ~plaintexts =
+  let table = Wre.Encrypted_db.table edb in
+  let schema = Sqldb.Table.schema table in
+  let tag_pos = Sqldb.Schema.column_index schema (Wre.Encrypted_db.tag_column column) in
+  let n = Sqldb.Table.row_count table in
+  if n <> Array.length plaintexts then
+    invalid_arg "Snapshot.of_table: ground truth length does not match table";
+  let records =
+    Array.init n (fun id ->
+        match (Sqldb.Table.peek_row table id).(tag_pos) with
+        | Sqldb.Value.Int tag -> (tag, plaintexts.(id))
+        | v -> invalid_arg ("Snapshot.of_table: non-int tag " ^ Sqldb.Value.to_string v))
+  in
+  {
+    observations = observations_of_records records;
+    records;
+    aux = Dist.Empirical.of_values (Array.to_seq plaintexts);
+  }
+
+let n_records t = Array.length t.records
+let n_distinct_tags t = Array.length t.observations
+
+let tag_frequencies t =
+  let n = float_of_int (n_records t) in
+  Array.map (fun (_, c) -> float_of_int c /. n) t.observations

@@ -1,0 +1,33 @@
+(** The snapshot adversary's view and ground truth.
+
+    The paper's threat model (§I, §III) gives the adversary exactly
+    one artifact: the encrypted database at rest — here, the multiset
+    of search tags of one column — plus auxiliary knowledge of the
+    plaintext distribution. This module packages that view, and keeps
+    the ground truth (which tag each record's plaintext produced)
+    alongside so attack accuracy can be scored. *)
+
+type t = {
+  observations : (int64 * int) array;
+      (** distinct tags with their counts, descending by count *)
+  records : (int64 * string) array;
+      (** per record: its tag and (ground truth) its plaintext *)
+  aux : Dist.Empirical.t;  (** the adversary's auxiliary distribution *)
+}
+
+val of_column : Wre.Column_enc.t -> Stdx.Prng.t -> plaintexts:string array -> t
+(** Encrypt each plaintext once through the column encryptor and
+    collect the tag column — the snapshot an attacker of §I obtains by
+    stealing a backup. The auxiliary information is the exact empirical
+    distribution of [plaintexts] (the strongest realistic aux). *)
+
+val of_table :
+  Wre.Encrypted_db.t -> column:string -> plaintexts:string array -> t
+(** Snapshot the tag column of an existing encrypted table. The
+    [plaintexts] array gives the ground truth in row order. *)
+
+val n_records : t -> int
+val n_distinct_tags : t -> int
+
+val tag_frequencies : t -> float array
+(** Observed tag counts normalized by the record count, descending. *)

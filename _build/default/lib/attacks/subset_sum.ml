@@ -1,0 +1,67 @@
+type result = {
+  target : string;
+  expected_count : int;
+  found : bool;
+  achieved_sum : int;
+  subset : int64 list;
+  tag_precision : float;
+  tag_recall : float;
+}
+
+let attack (snap : Snapshot.t) ~target ?(tolerance = 0) () =
+  let n = Snapshot.n_records snap in
+  let expected =
+    int_of_float (Float.round (Dist.Empirical.prob snap.aux target *. float_of_int n))
+  in
+  let tags = Array.map fst snap.observations in
+  let counts = Array.map snd snap.observations in
+  let t = Array.length counts in
+  (* dp.(s) = index of the tag whose inclusion first reached sum s
+     (-1 unreachable, -2 the empty start). *)
+  let cap = min n (expected + tolerance) in
+  let dp = Array.make (cap + 1) (-1) in
+  dp.(0) <- -2;
+  for i = 0 to t - 1 do
+    let c = counts.(i) in
+    (* Descend so each tag is used at most once. *)
+    for s = cap downto c do
+      if dp.(s) = -1 && dp.(s - c) <> -1 && dp.(s - c) <> i then dp.(s) <- i
+    done
+  done;
+  (* Best achievable sum inside the tolerance window. *)
+  let lo = max 0 (expected - tolerance) in
+  let achieved = ref (-1) in
+  for s = lo to cap do
+    if dp.(s) <> -1 && (!achieved = -1 || abs (s - expected) < abs (!achieved - expected)) then
+      achieved := s
+  done;
+  let subset =
+    if !achieved = -1 then []
+    else begin
+      let acc = ref [] and s = ref !achieved in
+      while !s > 0 do
+        let i = dp.(!s) in
+        assert (i >= 0);
+        acc := tags.(i) :: !acc;
+        s := !s - counts.(i)
+      done;
+      !acc
+    end
+  in
+  (* Ground truth: tags actually produced by the target plaintext. *)
+  let true_tags = Hashtbl.create 16 in
+  Array.iter
+    (fun (tag, m) -> if m = target then Hashtbl.replace true_tags tag ())
+    snap.records;
+  let picked = List.length subset in
+  let hit = List.length (List.filter (Hashtbl.mem true_tags) subset) in
+  let truth = Hashtbl.length true_tags in
+  {
+    target;
+    expected_count = expected;
+    found = !achieved <> -1;
+    achieved_sum = max 0 !achieved;
+    subset;
+    tag_precision = (if picked = 0 then 0.0 else float_of_int hit /. float_of_int picked);
+    tag_recall = (if truth = 0 then 0.0 else float_of_int hit /. float_of_int truth);
+  }

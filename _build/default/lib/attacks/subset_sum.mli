@@ -1,0 +1,26 @@
+(** The Lacharité–Paterson counting attack (paper §V-C "Limitations").
+
+    Against (non-bucketized) Poisson WRE the adversary knows each
+    plaintext's expected record count [P_M(m)·n] and can search for a
+    subset of observed tag counts summing to it. Solving the subset-sum
+    instance is easy in practice (counts are small integers); the
+    paper's observation is that a solution need not be the *correct*
+    one — {!attack} therefore reports both whether a subset was found
+    and how much of it is actually right, and the A2/attacks bench
+    shows the correctness collapsing as λ grows while bucketization
+    removes the attack entirely. *)
+
+type result = {
+  target : string;
+  expected_count : int;  (** the adversary's target sum *)
+  found : bool;  (** a subset within tolerance exists *)
+  achieved_sum : int;
+  subset : int64 list;  (** the tags picked *)
+  tag_precision : float;  (** |picked ∩ true| / |picked| *)
+  tag_recall : float;  (** |picked ∩ true| / |true| *)
+}
+
+val attack : Snapshot.t -> target:string -> ?tolerance:int -> unit -> result
+(** Dynamic-programming subset sum over the snapshot's tag counts,
+    reconstructing one witness subset. [tolerance] (default 0) accepts
+    any sum in [expected ± tolerance]. *)

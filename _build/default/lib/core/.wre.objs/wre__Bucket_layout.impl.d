@@ -1,0 +1,1 @@
+lib/core/bucket_layout.ml: Array Crypto Dist Float Hashtbl List Option Printf Salts Stdx

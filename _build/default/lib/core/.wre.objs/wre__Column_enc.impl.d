@@ -1,0 +1,1 @@
+lib/core/column_enc.ml: Array Bucket_layout Crypto Dist Hashtbl Int64 List Option Salts Scheme Stdx

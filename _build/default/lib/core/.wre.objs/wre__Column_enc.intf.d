@@ -1,0 +1,1 @@
+lib/core/column_enc.mli: Bucket_layout Crypto Dist Salts Scheme Stdx

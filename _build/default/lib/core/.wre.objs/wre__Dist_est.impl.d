@@ -1,0 +1,1 @@
+lib/core/dist_est.ml: Array Dist Hashtbl List Option Printf Schema Seq Sqldb Value

@@ -1,0 +1,1 @@
+lib/core/dist_est.mli: Dist Seq Sqldb

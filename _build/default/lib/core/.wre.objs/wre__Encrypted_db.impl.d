@@ -1,0 +1,1 @@
+lib/core/encrypted_db.ml: Array Column_enc Crypto Database Executor Hashtbl Int64 List Predicate Printf Range_index Schema Scheme Sqldb Stdx Table Table_index Value Value_codec

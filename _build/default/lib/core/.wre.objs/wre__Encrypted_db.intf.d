@@ -1,0 +1,1 @@
+lib/core/encrypted_db.mli: Column_enc Crypto Dist Range_index Scheme Sqldb

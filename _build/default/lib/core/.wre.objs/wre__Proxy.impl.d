@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Array Column_enc Encrypted_db Executor Format List Predicate Printf Result Schema Sql Sqldb Value

@@ -1,0 +1,1 @@
+lib/core/proxy.mli: Encrypted_db Sqldb

@@ -1,0 +1,1 @@
+lib/core/range_index.ml: Array Crypto Int64 List Stdx

@@ -1,0 +1,1 @@
+lib/core/salts.ml: Array Crypto Dist Float Fun Hashtbl Printf Stdx

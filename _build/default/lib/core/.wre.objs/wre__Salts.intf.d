@@ -1,0 +1,1 @@
+lib/core/salts.mli: Stdx

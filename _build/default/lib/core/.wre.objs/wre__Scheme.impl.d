@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Dist Float Fun List Printf String

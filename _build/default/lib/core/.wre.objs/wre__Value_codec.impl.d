@@ -1,0 +1,1 @@
+lib/core/value_codec.ml: Bytes Int64 Printf Sqldb Stdx String Value

@@ -1,0 +1,95 @@
+type t = {
+  lambda : float;
+  widths : float array;
+  per_message : (string, Salts.t) Hashtbl.t;
+  by_bucket : string list array; (* inverted: bucket -> overlapping messages *)
+  masses : (string, float) Hashtbl.t; (* message -> retrieved bucket mass *)
+}
+
+let lambda t = t.lambda
+let bucket_count t = Array.length t.widths
+let bucket_widths t = Array.copy t.widths
+
+let create ~seed ~shuffle_key ~column ~dist ~lambda =
+  if lambda <= 0.0 then invalid_arg "Bucket_layout.create: lambda must be positive";
+  let drbg = Crypto.Drbg.create ~seed in
+  let widths =
+    Dist.Poisson.process_on_interval ~rate:lambda ~length:1.0 (Dist.Source.of_drbg drbg)
+  in
+  let support = Dist.Empirical.support dist in
+  let shuffled = Crypto.Prs.shuffle ~key:shuffle_key ~context:column support in
+  let n_buckets = Array.length widths in
+  let per_message = Hashtbl.create (Array.length shuffled) in
+  let by_bucket = Array.make n_buckets [] in
+  let masses = Hashtbl.create (Array.length shuffled) in
+  (* Walk messages and buckets in lockstep; both tile [0,1). A bucket
+     whose end lies beyond the current message's interval is kept for
+     the next message — that sharing is the point of the scheme. *)
+  let b = ref 0 in
+  let bucket_start = ref 0.0 in
+  let fr = ref 0.0 in
+  Array.iter
+    (fun m ->
+      let p = Dist.Empirical.prob dist m in
+      let m_end = !fr +. p in
+      let salts = Stdx.Vec.create () in
+      let overlaps = Stdx.Vec.create () in
+      let continue = ref true in
+      while !continue && !b < n_buckets do
+        let b_end = !bucket_start +. widths.(!b) in
+        let overlap = Float.min b_end m_end -. Float.max !bucket_start !fr in
+        if overlap > 1e-15 then begin
+          Stdx.Vec.push salts !b;
+          Stdx.Vec.push overlaps overlap;
+          by_bucket.(!b) <- m :: by_bucket.(!b)
+        end;
+        (* Advance only if this bucket is exhausted by the message. *)
+        if b_end <= m_end +. 1e-15 then begin
+          bucket_start := b_end;
+          incr b
+        end
+        else continue := false
+      done;
+      if Stdx.Vec.length salts = 0 then begin
+        (* Degenerate float-rounding corner: give the message the
+           nearest bucket so every supported plaintext is encryptable. *)
+        let fallback = min (max 0 (!b - 1)) (n_buckets - 1) in
+        Stdx.Vec.push salts fallback;
+        Stdx.Vec.push overlaps p;
+        by_bucket.(fallback) <- m :: by_bucket.(fallback)
+      end;
+      let overlaps = Stdx.Vec.to_array overlaps in
+      let total = Array.fold_left ( +. ) 0.0 overlaps in
+      let salt_ids = Stdx.Vec.to_array salts in
+      Hashtbl.replace per_message m
+        { Salts.salts = salt_ids; weights = Array.map (fun o -> o /. total) overlaps };
+      Hashtbl.replace masses m (Array.fold_left (fun acc s -> acc +. widths.(s)) 0.0 salt_ids);
+      fr := m_end)
+    shuffled;
+  { lambda; widths; per_message; by_bucket; masses }
+
+let salts_for t m = Hashtbl.find_opt t.per_message m
+
+let returned_mass t m = Option.value ~default:0.0 (Hashtbl.find_opt t.masses m)
+
+let messages_sharing t bucket =
+  if bucket < 0 || bucket >= Array.length t.by_bucket then
+    invalid_arg "Bucket_layout.messages_sharing: bucket out of range";
+  List.rev t.by_bucket.(bucket)
+
+let validate t =
+  let sum = Array.fold_left ( +. ) 0.0 t.widths in
+  if Array.exists (fun w -> w <= 0.0) t.widths then Error "non-positive bucket width"
+  else if Float.abs (sum -. 1.0) > 1e-6 then
+    Error (Printf.sprintf "bucket widths sum to %.9f" sum)
+  else begin
+    let bad = ref None in
+    Hashtbl.iter
+      (fun m salts ->
+        if !bad = None then
+          match Salts.validate salts with
+          | Ok () -> ()
+          | Error e -> bad := Some (Printf.sprintf "message %S: %s" m e))
+      t.per_message;
+    match !bad with None -> Ok () | Some e -> Error e
+  end

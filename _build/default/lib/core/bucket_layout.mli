@@ -1,0 +1,46 @@
+(** Bucketized Poisson salt allocation (paper §V-C1, Algorithm 2).
+
+    One rate-λ Poisson process is sampled over the whole unit interval,
+    independent of the plaintext frequencies; the plaintext domain is
+    laid out on [\[0,1)] in a pseudo-random-shuffle order, each
+    plaintext owning a sub-interval of width [P_M(m)]. A plaintext's
+    salts are the buckets its interval overlaps — so a bucket straddling
+    two plaintexts is a salt for both, which is what gives the scheme
+    its IND-CUDA security (tag frequencies are independent of the
+    plaintexts) and its false positives.
+
+    The layout is deterministic in (seed, shuffle key, distribution, λ):
+    encryptor and searcher rebuild the identical layout. *)
+
+type t
+
+val create :
+  seed:string ->
+  shuffle_key:string ->
+  column:string ->
+  dist:Dist.Empirical.t ->
+  lambda:float ->
+  t
+
+val lambda : t -> float
+val bucket_count : t -> int
+
+val bucket_widths : t -> float array
+(** Tag frequencies the encrypted column will exhibit — Exponential(λ)
+    interarrivals independent of the data. *)
+
+val salts_for : t -> string -> Salts.t option
+(** Buckets overlapping the plaintext's interval, weighted by overlap —
+    [None] when the plaintext is outside the distribution's support. *)
+
+val returned_mass : t -> string -> float
+(** Total probability mass of the buckets a search for this plaintext
+    retrieves (≥ P_M(m); the excess is the expected false-positive
+    fraction of the database). *)
+
+val messages_sharing : t -> int -> string list
+(** Plaintexts whose intervals overlap a given bucket. *)
+
+val validate : t -> (unit, string) result
+(** Structural invariants: widths positive and summing to 1; every
+    supported plaintext covered; per-message salt sets valid. *)

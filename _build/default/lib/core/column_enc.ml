@@ -1,0 +1,135 @@
+exception Unknown_plaintext of string
+
+type fallback = [ `Reject | `Min_frequency ]
+
+(* Salt sets are cached per plaintext; the full tag list is only
+   materialized for *searched* plaintexts (search_cache). Encryption
+   computes just the sampled salt's tag — under Fixed-1000 on a
+   near-unique column, eagerly tagging every salt of every value would
+   mean 10^8 PRF calls for tags no query ever asks for. *)
+type cached = { salts : Salts.t; alias : Stdx.Sampling.Alias.t }
+
+type t = {
+  column : string;
+  kind : Scheme.kind;
+  dist : Dist.Empirical.t;
+  fallback : fallback;
+  prf : Crypto.Prf.key;
+  data_key : Crypto.Ctr.key;
+  master : Crypto.Keys.master;
+  layout : Bucket_layout.t option;
+  cache : (string, cached option) Hashtbl.t;
+  search_cache : (string, int64 list) Hashtbl.t;
+}
+
+let create ?(fallback = `Reject) ?tag_algo ~master ~column ~kind ~dist () =
+  let layout =
+    match kind with
+    | Scheme.Bucketized lambda ->
+        Some
+          (Bucket_layout.create
+             ~seed:(Crypto.Keys.salt_seed master ~column ~context:"bucketized")
+             ~shuffle_key:(Crypto.Keys.shuffle_key master ~column)
+             ~column ~dist ~lambda)
+    | Scheme.Det | Scheme.Fixed _ | Scheme.Proportional _ | Scheme.Poisson _ -> None
+  in
+  {
+    column;
+    kind;
+    dist;
+    fallback;
+    prf = Crypto.Keys.prf_key ?algo:tag_algo master ~column;
+    data_key = Crypto.Keys.data_key master ~column;
+    master;
+    layout;
+    cache = Hashtbl.create 256;
+    search_cache = Hashtbl.create 64;
+  }
+
+let column t = t.column
+let kind t = t.kind
+let dist t = t.dist
+let bucket_layout t = t.layout
+
+(* Salt set for a plaintext outside the profiled support, under the
+   [`Min_frequency] update policy. *)
+let fallback_salts t m =
+  let tau = Dist.Empirical.min_prob t.dist in
+  match t.kind with
+  | Scheme.Det -> Some Salts.det
+  | Scheme.Fixed n -> Some (Salts.fixed ~n)
+  | Scheme.Proportional _ -> Some Salts.det
+  | Scheme.Poisson lambda ->
+      let seed = Crypto.Keys.salt_seed t.master ~column:t.column ~context:("msg:" ^ m) in
+      Some (Salts.poisson ~seed ~lambda ~prob:tau)
+  | Scheme.Bucketized _ ->
+      let layout = Option.get t.layout in
+      let n = Bucket_layout.bucket_count layout in
+      let drbg =
+        Crypto.Drbg.create
+          ~seed:(Crypto.Keys.salt_seed t.master ~column:t.column ~context:("fallback:" ^ m))
+      in
+      Some { Salts.salts = [| Crypto.Drbg.int drbg n |]; weights = [| 1.0 |] }
+
+let compute_salts t m =
+  let with_fallback = function
+    | Some s -> Some s
+    | None -> (match t.fallback with `Reject -> None | `Min_frequency -> fallback_salts t m)
+  in
+  match t.kind with
+  | Scheme.Det -> Some Salts.det
+  | Scheme.Fixed n -> Some (Salts.fixed ~n)
+  | Scheme.Proportional total_tags ->
+      let p = Dist.Empirical.prob t.dist m in
+      with_fallback (if p <= 0.0 then None else Some (Salts.proportional ~total_tags ~prob:p))
+  | Scheme.Poisson lambda ->
+      let p = Dist.Empirical.prob t.dist m in
+      with_fallback
+        (if p <= 0.0 then None
+         else
+           let seed = Crypto.Keys.salt_seed t.master ~column:t.column ~context:("msg:" ^ m) in
+           Some (Salts.poisson ~seed ~lambda ~prob:p))
+  | Scheme.Bucketized _ -> with_fallback (Bucket_layout.salts_for (Option.get t.layout) m)
+
+let tag_of_salt t m salt =
+  if Scheme.is_bucketized t.kind then Crypto.Prf.tag_salt_only t.prf ~salt
+  else Crypto.Prf.tag t.prf ~salt ~message:m
+
+let cached t m =
+  match Hashtbl.find_opt t.cache m with
+  | Some c -> c
+  | None ->
+      let c =
+        Option.map
+          (fun salts -> { salts; alias = Stdx.Sampling.Alias.create salts.Salts.weights })
+          (compute_salts t m)
+      in
+      Hashtbl.replace t.cache m c;
+      c
+
+let salt_set t m = Option.map (fun c -> c.salts) (cached t m)
+
+let encrypt t g m =
+  match cached t m with
+  | None -> raise (Unknown_plaintext m)
+  | Some c ->
+      let i = Stdx.Sampling.Alias.sample c.alias g in
+      (tag_of_salt t m c.salts.Salts.salts.(i), Crypto.Ctr.encrypt_random t.data_key g m)
+
+let search_tags t m =
+  match Hashtbl.find_opt t.search_cache m with
+  | Some tags -> tags
+  | None ->
+      let tags =
+        match cached t m with
+        | None -> []
+        | Some c ->
+            (* The same tag can appear twice only if the PRF collides on
+               two salts; dedup so the SQL IN-list stays minimal. *)
+            List.sort_uniq Int64.compare
+              (Array.to_list (Array.map (tag_of_salt t m) c.salts.Salts.salts))
+      in
+      Hashtbl.replace t.search_cache m tags;
+      tags
+
+let decrypt t ct = Crypto.Ctr.decrypt t.data_key ct

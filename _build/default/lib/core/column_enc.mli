@@ -1,0 +1,60 @@
+(** Per-column WRE encryptor: the scheme Π = (Gen, Enc, Dec, Search) of
+    paper Fig. 1 instantiated for one database column.
+
+    Enc produces a (search tag, ciphertext) pair; Search expands a
+    plaintext into the OR-of-tags list the server can answer from a
+    standard index; Dec discards the tag and CTR-decrypts. The salt
+    set for each plaintext is cached (with an alias sampler) because
+    encryption is called once per row at 10M-record scale. *)
+
+type t
+
+exception Unknown_plaintext of string
+(** Raised by {!encrypt} for values outside the distribution's support
+    under the distribution-dependent schemes (Proportional, Poisson,
+    Bucketized) when the fallback policy is [`Reject]. *)
+
+type fallback =
+  [ `Reject  (** paper semantics: the distribution is fixed at init *)
+  | `Min_frequency
+    (** updates extension (paper §IV defers this to future work):
+        treat a novel plaintext as having the column's smallest known
+        frequency τ. Poisson allocates salts on [0, τ]; Proportional
+        gives one salt; Bucketized maps the value to one
+        pseudo-randomly chosen existing bucket. New values become
+        encryptable and searchable; their security degrades gracefully
+        to "as protected as the rarest profiled value". *) ]
+
+val create :
+  ?fallback:fallback ->
+  ?tag_algo:Crypto.Prf.algo ->
+  master:Crypto.Keys.master ->
+  column:string ->
+  kind:Scheme.kind ->
+  dist:Dist.Empirical.t ->
+  unit ->
+  t
+(** [tag_algo] selects the search-tag PRF backend (default
+    HMAC-SHA256; SipHash-2-4 for bulk-load-bound deployments). *)
+
+val column : t -> string
+val kind : t -> Scheme.kind
+val dist : t -> Dist.Empirical.t
+
+val salt_set : t -> string -> Salts.t option
+(** The deterministic salt set for a plaintext ([None] outside support
+    for distribution-dependent schemes). *)
+
+val encrypt : t -> Stdx.Prng.t -> string -> int64 * string
+(** [(tag, ciphertext)]: tag = F_{k1}(s‖m) (or F_{k1}(s) when
+    bucketized), ciphertext = AES-CTR(k0, m) under a fresh nonce. *)
+
+val search_tags : t -> string -> int64 list
+(** All tags a SELECT … WHERE col = m must OR together. Empty for
+    unknown plaintexts. *)
+
+val decrypt : t -> string -> string
+(** Inverse of the ciphertext half of {!encrypt}. *)
+
+val bucket_layout : t -> Bucket_layout.t option
+(** Exposed for the false-positive experiments; [Some] iff bucketized. *)

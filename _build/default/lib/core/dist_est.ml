@@ -1,0 +1,42 @@
+open Sqldb
+
+let of_rows ~schema ~columns rows =
+  let positions =
+    List.map
+      (fun c ->
+        match Schema.column_index_opt schema c with
+        | Some i -> (c, i)
+        | None -> invalid_arg (Printf.sprintf "Dist_est.of_rows: unknown column %S" c))
+      columns
+  in
+  let counts = Hashtbl.create (List.length columns) in
+  List.iter (fun (c, _) -> Hashtbl.replace counts c (Hashtbl.create 1024)) positions;
+  Seq.iter
+    (fun row ->
+      List.iter
+        (fun (c, i) ->
+          match row.(i) with
+          | Value.Text s ->
+              let table = Hashtbl.find counts c in
+              Hashtbl.replace table s (1 + Option.value ~default:0 (Hashtbl.find_opt table s))
+          | v ->
+              invalid_arg
+                (Printf.sprintf "Dist_est.of_rows: column %S holds non-text %s" c
+                   (Value.to_string v)))
+        positions)
+    rows;
+  let dists = Hashtbl.create (List.length columns) in
+  List.iter
+    (fun (c, _) ->
+      let table = Hashtbl.find counts c in
+      if Hashtbl.length table = 0 then
+        invalid_arg (Printf.sprintf "Dist_est.of_rows: column %S is empty" c);
+      Hashtbl.replace dists c
+        (Dist.Empirical.of_counts (Hashtbl.fold (fun v n acc -> (v, n) :: acc) table [])))
+    positions;
+  fun c ->
+    match Hashtbl.find_opt dists c with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Dist_est: column %S was not profiled" c)
+
+let of_strings seq = Dist.Empirical.of_values seq

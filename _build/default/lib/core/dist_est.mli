@@ -1,0 +1,21 @@
+(** Plaintext-distribution estimation.
+
+    WRE's distribution-dependent allocators need [P_M] per encrypted
+    column. The paper's position: "the distribution can also be
+    calculated during database initialization" (§I) — this module does
+    exactly that, in one pass over the plaintext rows before they are
+    encrypted. *)
+
+val of_rows :
+  schema:Sqldb.Schema.t ->
+  columns:string list ->
+  Sqldb.Value.t array Seq.t ->
+  string ->
+  Dist.Empirical.t
+(** [of_rows ~schema ~columns rows] counts the text values of each
+    requested column and returns the per-column lookup. Forces the
+    sequence once. Raises [Invalid_argument] if a requested column is
+    missing, non-text, or empty. *)
+
+val of_strings : string Seq.t -> Dist.Empirical.t
+(** Distribution of a single column given directly as strings. *)

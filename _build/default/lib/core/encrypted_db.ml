@@ -1,0 +1,263 @@
+open Sqldb
+
+let tag_column c = c ^ "_tag"
+let data_column c = c ^ "_data"
+
+type t = {
+  table : Table.t;
+  plain_schema : Schema.t;
+  key_column : string;
+  key_pos : int; (* in plain schema *)
+  kind : Scheme.kind;
+  encrypted_columns : string list;
+  encryptors : (string, Column_enc.t) Hashtbl.t;
+  data_keys : (string, Crypto.Ctr.key) Hashtbl.t; (* non-searchable columns *)
+  g : Stdx.Prng.t;
+  range_indexes : (string, Range_index.t) Hashtbl.t;
+  (* Plain-column position -> encrypted-table position maps, built once. *)
+  enc_schema : Schema.t;
+  plain_to_enc :
+    [ `Key of int | `Data of int | `Searchable of int * int | `Ranged of int * int ] array;
+}
+
+let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
+    ?(range_columns = []) ?range_training ~db ~name ~plain_schema ~key_column ~encrypted_columns
+    ~kind ~master ~dist_of ~seed () =
+  let key_pos =
+    match Schema.column_index_opt plain_schema key_column with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Encrypted_db.create: unknown key column %S" key_column)
+  in
+  (match (Schema.columns plain_schema).(key_pos).ty with
+  | Value.TInt -> ()
+  | _ -> invalid_arg "Encrypted_db.create: key column must be INT");
+  let is_searchable c = List.mem c encrypted_columns in
+  List.iter
+    (fun c ->
+      match Schema.column_index_opt plain_schema c with
+      | None -> invalid_arg (Printf.sprintf "Encrypted_db.create: unknown column %S" c)
+      | Some i ->
+          if (Schema.columns plain_schema).(i).ty <> Value.TText then
+            invalid_arg (Printf.sprintf "Encrypted_db.create: column %S must be TEXT" c))
+    encrypted_columns;
+  let range_of = List.to_seq range_columns |> Hashtbl.of_seq in
+  List.iter
+    (fun (c, buckets) ->
+      if buckets < 1 then invalid_arg "Encrypted_db.create: range buckets must be positive";
+      match Schema.column_index_opt plain_schema c with
+      | None -> invalid_arg (Printf.sprintf "Encrypted_db.create: unknown range column %S" c)
+      | Some i ->
+          if (Schema.columns plain_schema).(i).ty <> Value.TInt then
+            invalid_arg (Printf.sprintf "Encrypted_db.create: range column %S must be INT" c);
+          if is_searchable c || c = key_column then
+            invalid_arg (Printf.sprintf "Encrypted_db.create: column %S cannot be both" c))
+    range_columns;
+  (* Encrypted schema: key passthrough; every other plain column gets a
+     _data blob; searchable columns additionally get a _tag int;
+     range-indexed INT columns get a _rtag int (bucket tag). *)
+  let plain_cols = Schema.columns plain_schema in
+  let enc_cols = ref [] and mapping = Array.make (Array.length plain_cols) (`Key 0) in
+  let pos = ref 0 in
+  let add col =
+    enc_cols := col :: !enc_cols;
+    let p = !pos in
+    incr pos;
+    p
+  in
+  Array.iteri
+    (fun i (col : Schema.column) ->
+      if i = key_pos then
+        mapping.(i) <- `Key (add { Schema.name = col.name; ty = Value.TInt; nullable = false })
+      else if is_searchable col.name then begin
+        let tag_pos = add { Schema.name = tag_column col.name; ty = Value.TInt; nullable = false } in
+        let data_pos =
+          add { Schema.name = data_column col.name; ty = Value.TBlob; nullable = false }
+        in
+        mapping.(i) <- `Searchable (tag_pos, data_pos)
+      end
+      else if Hashtbl.mem range_of col.name then begin
+        let rtag_pos =
+          add { Schema.name = col.name ^ "_rtag"; ty = Value.TInt; nullable = false }
+        in
+        let data_pos =
+          add { Schema.name = data_column col.name; ty = Value.TBlob; nullable = false }
+        in
+        mapping.(i) <- `Ranged (rtag_pos, data_pos)
+      end
+      else
+        mapping.(i) <-
+          `Data (add { Schema.name = data_column col.name; ty = Value.TBlob; nullable = false }))
+    plain_cols;
+  let enc_schema = Schema.create (List.rev !enc_cols) in
+  let table = Database.create_table db ~name ~schema:enc_schema in
+  ignore (Table.create_index table ~column:key_column);
+  List.iter
+    (fun c -> ignore (Table.create_index ~kind:tag_index table ~column:(tag_column c)))
+    encrypted_columns;
+  List.iter
+    (fun (c, _) -> ignore (Table.create_index table ~column:(c ^ "_rtag")))
+    range_columns;
+  let encryptors = Hashtbl.create (List.length encrypted_columns) in
+  List.iter
+    (fun c ->
+      Hashtbl.replace encryptors c
+        (Column_enc.create ~fallback ?tag_algo ~master ~column:c ~kind ~dist:(dist_of c) ()))
+    encrypted_columns;
+  let data_keys = Hashtbl.create 16 in
+  Array.iter
+    (fun (col : Schema.column) ->
+      if col.name <> key_column && not (is_searchable col.name) then
+        Hashtbl.replace data_keys col.name (Crypto.Keys.data_key master ~column:col.name))
+    plain_cols;
+  let range_indexes = Hashtbl.create (List.length range_columns) in
+  List.iter
+    (fun (c, buckets) ->
+      let training =
+        match range_training with
+        | Some f -> f c
+        | None ->
+            invalid_arg "Encrypted_db.create: range_columns requires range_training"
+      in
+      Hashtbl.replace range_indexes c (Range_index.create ~master ~column:c ~buckets ~training))
+    range_columns;
+  {
+    table;
+    plain_schema;
+    key_column;
+    key_pos;
+    kind;
+    encrypted_columns;
+    encryptors;
+    data_keys;
+    g = Stdx.Prng.create seed;
+    range_indexes;
+    enc_schema;
+    plain_to_enc = mapping;
+  }
+
+let table t = t.table
+let kind t = t.kind
+let encrypted_columns t = t.encrypted_columns
+let plain_schema t = t.plain_schema
+let key_column t = t.key_column
+
+let column_encryptor t c =
+  match Hashtbl.find_opt t.encryptors c with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Encrypted_db: column %S is not searchable" c)
+
+let plain_text_of v =
+  match v with
+  | Value.Text s -> s
+  | _ -> invalid_arg "Encrypted_db: searchable column value must be TEXT"
+
+let insert t row =
+  (match Schema.validate_row t.plain_schema row with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Encrypted_db.insert: " ^ e));
+  let out = Array.make (Schema.arity t.enc_schema) Value.Null in
+  let plain_cols = Schema.columns t.plain_schema in
+  Array.iteri
+    (fun i v ->
+      match t.plain_to_enc.(i) with
+      | `Key p -> out.(p) <- v
+      | `Searchable (tag_pos, data_pos) ->
+          let enc = Hashtbl.find t.encryptors plain_cols.(i).name in
+          let tag, ct = Column_enc.encrypt enc t.g (plain_text_of v) in
+          out.(tag_pos) <- Value.Int tag;
+          out.(data_pos) <- Value.Blob ct
+      | `Ranged (rtag_pos, data_pos) ->
+          let ri = Hashtbl.find t.range_indexes plain_cols.(i).name in
+          let key = Hashtbl.find t.data_keys plain_cols.(i).name in
+          let raw = match v with Value.Int x -> x | _ -> assert false in
+          out.(rtag_pos) <- Value.Int (Range_index.tag_of_value ri raw);
+          out.(data_pos) <- Value.Blob (Crypto.Ctr.encrypt_random key t.g (Value_codec.encode v))
+      | `Data p ->
+          let key = Hashtbl.find t.data_keys plain_cols.(i).name in
+          out.(p) <- Value.Blob (Crypto.Ctr.encrypt_random key t.g (Value_codec.encode v)))
+    row;
+  Table.insert t.table out
+
+let encrypted_schema t = t.enc_schema
+
+let insert_encrypted t row = Table.insert t.table row
+
+let delete_row t id = Table.delete t.table id
+
+let tags_for t ~column m = Column_enc.search_tags (column_encryptor t column) m
+
+let search_predicate t ~column m =
+  let tags = tags_for t ~column m in
+  Predicate.In (tag_column column, List.map (fun tag -> Value.Int tag) tags)
+
+let search_ids t ~column m =
+  Executor.run t.table ~projection:Executor.Row_ids (search_predicate t ~column m)
+
+let range_index t column =
+  match Hashtbl.find_opt t.range_indexes column with
+  | Some ri -> ri
+  | None -> invalid_arg (Printf.sprintf "Encrypted_db: column %S is not range-indexed" column)
+
+let range_columns t = Hashtbl.fold (fun c _ acc -> c :: acc) t.range_indexes []
+
+let range_predicate t ~column ~lo ~hi =
+  let tags = Range_index.tags_for_range (range_index t column) ~lo ~hi in
+  Predicate.In (column ^ "_rtag", List.map (fun tag -> Value.Int tag) tags)
+
+let decrypt_row t enc_row =
+  let plain_cols = Schema.columns t.plain_schema in
+  Array.mapi
+    (fun i (col : Schema.column) ->
+      match t.plain_to_enc.(i) with
+      | `Key p -> enc_row.(p)
+      | `Searchable (_, data_pos) -> begin
+          let enc = Hashtbl.find t.encryptors col.name in
+          match enc_row.(data_pos) with
+          | Value.Blob ct -> Value.Text (Column_enc.decrypt enc ct)
+          | v -> invalid_arg ("Encrypted_db.decrypt_row: expected blob, got " ^ Value.to_string v)
+        end
+      | `Data p | `Ranged (_, p) -> begin
+          let key = Hashtbl.find t.data_keys col.name in
+          match enc_row.(p) with
+          | Value.Blob ct -> Value_codec.decode_exn (Crypto.Ctr.decrypt key ct)
+          | v -> invalid_arg ("Encrypted_db.decrypt_row: expected blob, got " ^ Value.to_string v)
+        end)
+    plain_cols
+
+let search_rows t ~column m =
+  let result =
+    Executor.run t.table ~projection:Executor.All_columns (search_predicate t ~column m)
+  in
+  let col_pos = Schema.column_index t.plain_schema column in
+  let decrypted = Array.to_list (Array.map (decrypt_row t) result.rows) in
+  let rows =
+    if Scheme.is_bucketized t.kind then
+      (* Client-side false-positive filter (paper §V-C1). *)
+      List.filter
+        (fun row -> match row.(col_pos) with Value.Text s -> s = m | _ -> false)
+        decrypted
+    else decrypted
+  in
+  (rows, result)
+
+(* Range search over a bucketized INT column: server returns every row
+   in the overlapping buckets; the client decrypts and keeps the rows
+   actually inside the range (edge-bucket false positives drop out). *)
+let search_range t ~column ~lo ~hi =
+  let result =
+    Executor.run t.table ~projection:Executor.All_columns (range_predicate t ~column ~lo ~hi)
+  in
+  let col_pos = Schema.column_index t.plain_schema column in
+  let in_range v =
+    match v with
+    | Value.Int x ->
+        (match lo with None -> true | Some l -> Int64.compare x l >= 0)
+        && (match hi with None -> true | Some h -> Int64.compare x h <= 0)
+    | _ -> false
+  in
+  let rows =
+    List.filter
+      (fun row -> in_range row.(col_pos))
+      (Array.to_list (Array.map (decrypt_row t) result.rows))
+  in
+  (rows, result)

@@ -1,0 +1,108 @@
+(** The encrypted database: WRE deployed on an unmodified SQL engine.
+
+    Mirrors the paper's evaluation setup (§VI-A): each searchable
+    column expands into a 64-bit integer search-tag column (indexed by
+    the server like any other column) plus an AES-CTR blob column; all
+    remaining non-key columns are stored as AES-CTR blobs; the integer
+    primary key stays in the clear so [SELECT ID] works. The server
+    never runs custom code — searches compile to
+    [WHERE col_tag IN (t₁, …, t_k)].
+
+    For the bucketized scheme, server results can contain false
+    positives; {!search_rows} filters them client-side after
+    decryption, {!search_ids} returns the raw server answer (what the
+    false-positive experiments of Figs. 8–9 measure). *)
+
+type t
+
+val create :
+  ?fallback:Column_enc.fallback ->
+  ?tag_algo:Crypto.Prf.algo ->
+  ?tag_index:Sqldb.Table_index.kind ->
+  ?range_columns:(string * int) list ->
+  ?range_training:(string -> int64 array) ->
+  db:Sqldb.Database.t ->
+  name:string ->
+  plain_schema:Sqldb.Schema.t ->
+  key_column:string ->
+  encrypted_columns:string list ->
+  kind:Scheme.kind ->
+  master:Crypto.Keys.master ->
+  dist_of:(string -> Dist.Empirical.t) ->
+  seed:int64 ->
+  unit ->
+  t
+(** [key_column] must be an INT column of [plain_schema];
+    [encrypted_columns] must be TEXT columns. Creates the encrypted
+    table and indexes (key + every tag column) inside [db]. [seed]
+    drives the weak randomness (salt choice, CTR nonces). [fallback]
+    (default [`Reject]) governs inserts of plaintexts outside the
+    profiled distribution — see {!Column_enc.fallback}. [tag_algo]
+    picks the search-tag PRF backend; [tag_index] the access method
+    for the tag columns (default [Btree]; [Hash] suits the random
+    integer tags and equality-only workload).
+
+    [range_columns] lists INT columns to support range queries on, with
+    their bucket counts (see {!Range_index}); [range_training] must
+    then supply each such column's plaintext values for the equi-depth
+    histogram (profiled at initialization like [dist_of]). *)
+
+val table : t -> Sqldb.Table.t
+val kind : t -> Scheme.kind
+val encrypted_columns : t -> string list
+val plain_schema : t -> Sqldb.Schema.t
+val key_column : t -> string
+val column_encryptor : t -> string -> Column_enc.t
+val tag_column : string -> string
+val data_column : string -> string
+
+val insert : t -> Sqldb.Value.t array -> int
+(** Encrypt a plaintext row (in [plain_schema] order) and insert it. *)
+
+val encrypted_schema : t -> Sqldb.Schema.t
+(** The schema of the encrypted table (for export). *)
+
+val delete_row : t -> int -> bool
+(** Tombstone an encrypted row by id (WRE deletes are plain tombstones:
+    the stale tags stay in the index until vacuum, which is safe under
+    the snapshot model — frequencies only shrink). *)
+
+val insert_encrypted : t -> Sqldb.Value.t array -> int
+(** Load an already-encrypted row (in encrypted-schema order) — the
+    restore path when re-attaching an exported encrypted table. The
+    row is schema-checked but not re-encrypted. *)
+
+val search_ids : t -> column:string -> string -> Sqldb.Executor.result
+(** [SELECT ID WHERE col = m], server-side only (index scan over tags;
+    may include bucketized false positives). *)
+
+val search_rows : t -> column:string -> string -> Sqldb.Value.t array list * Sqldb.Executor.result
+(** [SELECT * WHERE col = m]: fetches rows, decrypts them client-side,
+    and (for bucketized schemes) drops false positives. Returns the
+    plaintext rows and the raw server-side result. *)
+
+val decrypt_row : t -> Sqldb.Value.t array -> Sqldb.Value.t array
+(** Decrypt one encrypted-table row back to [plain_schema] order. *)
+
+val search_predicate : t -> column:string -> string -> Sqldb.Predicate.t
+(** The WHERE clause a search compiles to (exposed for tests/EXPLAIN). *)
+
+val tags_for : t -> column:string -> string -> int64 list
+
+(* Bucketized range queries (extension; see {!Range_index}). *)
+
+val range_columns : t -> string list
+val range_index : t -> string -> Range_index.t
+
+val range_predicate :
+  t -> column:string -> lo:int64 option -> hi:int64 option -> Sqldb.Predicate.t
+(** The rtag IN-list a range compiles to. *)
+
+val search_range :
+  t ->
+  column:string ->
+  lo:int64 option ->
+  hi:int64 option ->
+  Sqldb.Value.t array list * Sqldb.Executor.result
+(** Decrypted rows truly inside the inclusive range, plus the raw
+    server result (a superset: whole buckets). *)

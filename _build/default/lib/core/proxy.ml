@@ -1,0 +1,232 @@
+open Sqldb
+
+type t = { edb : Encrypted_db.t }
+
+let create edb = { edb }
+
+type rewritten = {
+  server_sql : string;
+  server_predicate : Predicate.t;
+  residual : Predicate.t;
+}
+
+type query_result = {
+  columns : string list;
+  rows : Value.t array list;
+  affected : int;
+  server_rows : int;
+  exec : Executor.result option;
+}
+
+(* Split a plaintext predicate into (server part, residual part).
+   Only AND-combinations distribute; any leg the server cannot check
+   becomes residual. A leg is server-checkable when it is:
+   - Eq/In on an encrypted (searchable) column -> rewritten to tags;
+   - Eq/In/Range on the plaintext key column -> passed through. *)
+let rec split t key_column = function
+  | Predicate.True -> Ok (Predicate.True, Predicate.True)
+  | Predicate.And ps ->
+      let rec go acc_server acc_res = function
+        | [] -> Ok (Predicate.And (List.rev acc_server), Predicate.And (List.rev acc_res))
+        | p :: rest -> (
+            match split t key_column p with
+            | Error e -> Error e
+            | Ok (s, r) -> go (s :: acc_server) (r :: acc_res) rest)
+      in
+      go [] [] ps
+  | Predicate.Eq (col, Value.Text v) when List.mem col (Encrypted_db.encrypted_columns t.edb) ->
+      Ok (Encrypted_db.search_predicate t.edb ~column:col v, Predicate.Eq (col, Value.Text v))
+  | Predicate.In (col, vs) when List.mem col (Encrypted_db.encrypted_columns t.edb) ->
+      (* OR of per-value tag lists; each value may be a Text. *)
+      let rec tags acc = function
+        | [] -> Ok (List.concat (List.rev acc))
+        | Value.Text v :: rest -> (
+            match Encrypted_db.search_predicate t.edb ~column:col v with
+            | Predicate.In (_, ts) -> tags (ts :: acc) rest
+            | _ -> Error "unexpected rewrite shape")
+        | _ -> Error (Printf.sprintf "IN-list on encrypted column %S must hold strings" col)
+      in
+      Result.map
+        (fun ts -> (Predicate.In (Encrypted_db.tag_column col, ts), Predicate.In (col, vs)))
+        (tags [] vs)
+  | Predicate.Eq (col, _) when List.mem col (Encrypted_db.encrypted_columns t.edb) ->
+      Error (Printf.sprintf "encrypted column %S only supports string equality" col)
+  | (Predicate.Eq (col, _) | Predicate.In (col, _) | Predicate.Range (col, _, _)) as p
+    when col = key_column ->
+      Ok (p, Predicate.True)
+  | Predicate.Range (col, lo, hi) as p
+    when List.mem col (Encrypted_db.range_columns t.edb) -> (
+      (* Bucketized range rewrite: overlapping buckets server-side, the
+         true range client-side. *)
+      let bound = function
+        | None -> Ok None
+        | Some (Value.Int x) -> Ok (Some x)
+        | Some _ -> Error (Printf.sprintf "range column %S takes integer bounds" col)
+      in
+      match (bound lo, bound hi) with
+      | Ok lo', Ok hi' -> Ok (Encrypted_db.range_predicate t.edb ~column:col ~lo:lo' ~hi:hi', p)
+      | Error e, _ | _, Error e -> Error e)
+  | Predicate.Eq (col, Value.Int x) when List.mem col (Encrypted_db.range_columns t.edb) ->
+      (* Point query on a range column = one-bucket range. *)
+      Ok
+        ( Encrypted_db.range_predicate t.edb ~column:col ~lo:(Some x) ~hi:(Some x),
+          Predicate.Eq (col, Value.Int x) )
+  | p ->
+      (* Not server-checkable: full client-side filter. The server leg
+         is True (no restriction). *)
+      Ok (Predicate.True, p)
+
+(* Compact nested True/And noise for readable server SQL. *)
+let rec simplify = function
+  | Predicate.And ps ->
+      let ps = List.filter (fun p -> p <> Predicate.True) (List.map simplify ps) in
+      (match ps with [] -> Predicate.True | [ p ] -> p | ps -> Predicate.And ps)
+  | Predicate.Or ps -> Predicate.Or (List.map simplify ps)
+  | Predicate.Not p -> Predicate.Not (simplify p)
+  | p -> p
+
+let rewrite_select t (s : Sql.select) =
+  match split t (Encrypted_db.key_column t.edb) s.where with
+  | Error e -> Error e
+  | Ok (server, residual) ->
+      let server = simplify server and residual = simplify residual in
+      let server_sql =
+        Format.asprintf "SELECT * FROM %s WHERE %a" s.table Predicate.pp server
+      in
+      Ok { server_sql; server_predicate = server; residual }
+
+(* Shared SELECT/DELETE/UPDATE front half: run the rewritten server
+   query, decrypt, apply the residual predicate; returns surviving
+   (row_id, plaintext_row) pairs plus the raw executor result. *)
+let fetch_matching t where =
+  match split t (Encrypted_db.key_column t.edb) where with
+  | Error e -> Error e
+  | Ok (server, residual) -> (
+      let server = simplify server and residual = simplify residual in
+      let table = Encrypted_db.table t.edb in
+      match Executor.run table ~projection:Executor.All_columns server with
+      | exception Not_found -> Error "predicate references an unknown column"
+      | exec -> (
+          let plain_schema = Encrypted_db.plain_schema t.edb in
+          match Predicate.compile plain_schema residual with
+          | exception Not_found -> Error "residual predicate references an unknown column"
+          | eval ->
+              let pairs =
+                Array.to_list exec.row_ids
+                |> List.mapi (fun i id -> (id, Encrypted_db.decrypt_row t.edb exec.rows.(i)))
+                |> List.filter (fun (_, plain) -> eval plain)
+              in
+              Ok (pairs, exec)))
+
+let execute t src =
+  match Sql.parse src with
+  | Error e -> Error e
+  | Ok (Sql.Create_table _) -> Error "the proxy does not rewrite CREATE TABLE"
+  | Ok (Sql.Delete { table = _; where }) -> (
+      match fetch_matching t where with
+      | Error e -> Error e
+      | Ok (pairs, exec) ->
+          let n =
+            List.fold_left
+              (fun acc (id, _) -> if Encrypted_db.delete_row t.edb id then acc + 1 else acc)
+              0 pairs
+          in
+          Ok
+            {
+              columns = [];
+              rows = [];
+              affected = n;
+              server_rows = Array.length exec.row_ids;
+              exec = Some exec;
+            })
+  | Ok (Sql.Update { table = _; assignments; where }) -> (
+      let plain_schema = Encrypted_db.plain_schema t.edb in
+      match List.map (fun (c, v) -> (Schema.column_index plain_schema c, v)) assignments with
+      | exception Not_found -> Error "SET references an unknown column"
+      | positions -> (
+          match fetch_matching t where with
+          | Error e -> Error e
+          | Ok (pairs, exec) -> (
+              match
+                List.iter
+                  (fun (id, plain) ->
+                    let row = Array.copy plain in
+                    List.iter (fun (i, v) -> row.(i) <- v) positions;
+                    ignore (Encrypted_db.delete_row t.edb id);
+                    ignore (Encrypted_db.insert t.edb row))
+                  pairs
+              with
+              | () ->
+                  Ok
+                    {
+                      columns = [];
+                      rows = [];
+                      affected = List.length pairs;
+                      server_rows = Array.length exec.row_ids;
+                      exec = Some exec;
+                    }
+              | exception Invalid_argument e -> Error e
+              | exception Column_enc.Unknown_plaintext v ->
+                  Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v))))
+  | Ok (Sql.Insert { table = _; values }) -> (
+      match Encrypted_db.insert t.edb (Array.of_list values) with
+      | _id -> Ok { columns = []; rows = []; affected = 1; server_rows = 0; exec = None }
+      | exception Invalid_argument e -> Error e
+      | exception Column_enc.Unknown_plaintext v ->
+          Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v))
+  | Ok (Sql.Select s) -> (
+      match rewrite_select t s with
+      | Error e -> Error e
+      | Ok { server_predicate; residual; _ } -> (
+          let table = Encrypted_db.table t.edb in
+          match Executor.run table ~projection:Executor.All_columns server_predicate with
+          | exception Not_found -> Error "predicate references an unknown column"
+          | exec ->
+              (* Decrypt, then apply the residual plaintext predicate
+                 (this also removes bucketized false positives, since
+                 the rewritten equality stays in the residual). *)
+              let decrypted =
+                List.map (fun r -> Encrypted_db.decrypt_row t.edb r) (Array.to_list exec.rows)
+              in
+              (* Resolve residual against the plaintext schema. *)
+              let plain_schema =
+                (* decrypt_row returns rows in plain-schema order; we
+                   need that schema for compilation. *)
+                Encrypted_db.plain_schema t.edb
+              in
+              (match Predicate.compile plain_schema residual with
+              | exception Not_found -> Error "residual predicate references an unknown column"
+              | eval -> (
+                  let kept = List.filter eval decrypted in
+                  let limited =
+                    match s.limit with
+                    | None -> kept
+                    | Some n -> List.filteri (fun i _ -> i < n) kept
+                  in
+                  match s.projection with
+                  | `Star ->
+                      let columns =
+                        List.map
+                          (fun (c : Schema.column) -> c.name)
+                          (Array.to_list (Schema.columns plain_schema))
+                      in
+                      Ok { columns; rows = limited; affected = 0; server_rows = Array.length exec.rows; exec = Some exec }
+                  | `Columns cols -> (
+                      match
+                        List.map (fun c -> (c, Schema.column_index plain_schema c)) cols
+                      with
+                      | exception Not_found -> Error "projected column does not exist"
+                      | pairs ->
+                          let rows =
+                            List.map
+                              (fun row -> Array.of_list (List.map (fun (_, i) -> row.(i)) pairs))
+                              limited
+                          in
+                          Ok
+                            {
+                              columns = cols;
+                              rows;
+                              affected = 0;
+                              server_rows = Array.length exec.rows;
+                              exec = Some exec;
+                            })))))

@@ -1,0 +1,47 @@
+(** Query-rewriting proxy: the paper's deployment story.
+
+    §I: an efficiently searchable encryption "might be done through a
+    query proxy rather than a complex database construction" — the
+    CryptDB model. Applications speak plaintext SQL against the
+    original schema; the proxy rewrites each statement for the
+    encrypted table, sends it to the unmodified server, decrypts the
+    answer and applies any residual filtering client-side.
+
+    Rewriting rules for a SELECT:
+    - equality / IN on an encrypted column → [col_tag IN (tags…)];
+    - predicates on the plaintext key column pass through;
+    - anything else (predicates on non-searchable columns, negations,
+      disjunctions across columns) cannot be evaluated by the server —
+      it stays as a client-side filter over the decrypted rows, and the
+      server-side predicate keeps only the AND-legs it can handle.
+
+    INSERT statements are encrypted field-by-field. *)
+
+type t
+
+val create : Encrypted_db.t -> t
+
+type rewritten = {
+  server_sql : string;  (** what actually goes to the DBMS (for logs/tests) *)
+  server_predicate : Sqldb.Predicate.t;
+  residual : Sqldb.Predicate.t;  (** evaluated client-side after decryption *)
+}
+
+val rewrite_select : t -> Sqldb.Sql.select -> (rewritten, string) result
+(** Expose the rewrite without executing (tests, EXPLAIN). *)
+
+type query_result = {
+  columns : string list;
+  rows : Sqldb.Value.t array list;  (** decrypted, residual-filtered, projected *)
+  affected : int;  (** rows inserted / deleted / updated *)
+  server_rows : int;  (** rows the server returned (incl. bucketized FPs) *)
+  exec : Sqldb.Executor.result option;
+}
+
+val execute : t -> string -> (query_result, string) result
+(** Parse plaintext SQL (SELECT / INSERT / DELETE / UPDATE against the
+    plaintext schema), run it through the encrypted database. DELETE
+    and UPDATE decrypt and residual-filter before touching rows, so
+    bucketized false positives are never deleted or rewritten; UPDATE
+    re-encrypts the new version (tombstoning the old, like the
+    engine's own MVCC-style update). *)

@@ -1,0 +1,49 @@
+type t = {
+  boundaries : int64 array; (* bucket i covers (boundaries.(i-1), boundaries.(i)]; last bucket unbounded *)
+  prf : Crypto.Prf.key;
+}
+
+let create ~master ~column ~buckets ~training =
+  if buckets < 1 then invalid_arg "Range_index.create: need at least one bucket";
+  if Array.length training = 0 then invalid_arg "Range_index.create: empty training data";
+  let sorted = Array.copy training in
+  Array.sort Int64.compare sorted;
+  let n = Array.length sorted in
+  (* Equi-depth: boundary i at the (i+1)/buckets quantile; dedup so
+     heavily repeated values collapse into one bucket. *)
+  let raw =
+    Array.init (max 0 (buckets - 1)) (fun i -> sorted.((i + 1) * n / buckets |> min (n - 1)))
+  in
+  let dedup = Stdx.Vec.create () in
+  Array.iter
+    (fun b ->
+      if Stdx.Vec.is_empty dedup || Stdx.Vec.get dedup (Stdx.Vec.length dedup - 1) <> b then
+        Stdx.Vec.push dedup b)
+    raw;
+  {
+    boundaries = Stdx.Vec.to_array dedup;
+    prf = Crypto.Keys.prf_key master ~column:(column ^ "/range");
+  }
+
+let bucket_count t = Array.length t.boundaries + 1
+let boundaries t = Array.copy t.boundaries
+
+(* First bucket whose upper bound is >= v; the last bucket catches the
+   rest. *)
+let bucket_of t v =
+  let lo = ref 0 and hi = ref (Array.length t.boundaries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare t.boundaries.(mid) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let tag_of_bucket t b = Crypto.Prf.tag_salt_only t.prf ~salt:b
+
+let tag_of_value t v = tag_of_bucket t (bucket_of t v)
+
+let tags_for_range t ~lo ~hi =
+  let first = match lo with None -> 0 | Some v -> bucket_of t v in
+  let last = match hi with None -> bucket_count t - 1 | Some v -> bucket_of t v in
+  if last < first then []
+  else List.init (last - first + 1) (fun i -> tag_of_bucket t (first + i))

@@ -1,0 +1,41 @@
+(** Bucketized range queries over encrypted numeric columns.
+
+    WRE proper answers equality only. For range predicates the paper
+    points at the bucketization line of work (§II: Hore et al. [32,33],
+    Wang–Du [49]) rather than order-revealing encryption — ORE's
+    leakage is exactly what the rest of the paper is trying to avoid.
+    This module implements that classical design as an extension:
+
+    - the data owner builds an equi-depth histogram of the column from
+      the profiled plaintext (same trust model as [P_M]);
+    - each value is tagged with [F_{k1}(bucket id)] — a deterministic
+      tag per bucket, so the server only learns which of ~B buckets a
+      row falls in (tunable leakage, like λ);
+    - a range query expands to the overlapping buckets' tags; edge
+      buckets contribute false positives the client filters after
+      decryption, exactly like the bucketized equality scheme.
+
+    Equi-depth buckets make every tag appear with ≈equal frequency, so
+    tag counts leak nothing beyond the bucket partition itself. *)
+
+type t
+
+val create :
+  master:Crypto.Keys.master -> column:string -> buckets:int -> training:int64 array -> t
+(** Build boundaries from an equi-depth histogram of [training] (the
+    plaintext column at initialization). [buckets ≥ 1]; fewer distinct
+    training values than buckets degrades gracefully. *)
+
+val bucket_count : t -> int
+(** Actual buckets after boundary deduplication. *)
+
+val bucket_of : t -> int64 -> int
+val tag_of_value : t -> int64 -> int64
+(** The search tag stored next to the value's AES ciphertext. *)
+
+val tags_for_range : t -> lo:int64 option -> hi:int64 option -> int64 list
+(** Tags of every bucket overlapping the inclusive range. *)
+
+val boundaries : t -> int64 array
+(** Upper bounds (inclusive) of each bucket except the last, which is
+    unbounded. Exposed for tests. *)

@@ -1,0 +1,54 @@
+type kind =
+  | Det
+  | Fixed of int
+  | Proportional of int
+  | Poisson of float
+  | Bucketized of float
+
+let float_label x =
+  if Float.is_integer x then string_of_int (int_of_float x) else string_of_float x
+
+let to_string = function
+  | Det -> "det"
+  | Fixed n -> Printf.sprintf "fixed-%d" n
+  | Proportional n -> Printf.sprintf "proportional-%d" n
+  | Poisson l -> Printf.sprintf "poisson-%s" (float_label l)
+  | Bucketized l -> Printf.sprintf "bucketized-%s" (float_label l)
+
+let of_string s =
+  let parse_param prefix conv make =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      match conv (String.sub s plen (String.length s - plen)) with
+      | Some v -> Some (make v)
+      | None -> None
+    else None
+  in
+  if s = "det" then Ok Det
+  else
+    let attempts =
+      [
+        parse_param "fixed-" int_of_string_opt (fun n -> Fixed n);
+        parse_param "proportional-" int_of_string_opt (fun n -> Proportional n);
+        parse_param "poisson-" float_of_string_opt (fun l -> Poisson l);
+        parse_param "bucketized-" float_of_string_opt (fun l -> Bucketized l);
+      ]
+    in
+    match List.find_map Fun.id attempts with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (Printf.sprintf
+             "unknown scheme %S (expected det | fixed-N | proportional-N | poisson-L | \
+              bucketized-L)"
+             s)
+
+let expected_tags_per_plaintext kind ~dist m =
+  let p = Dist.Empirical.prob dist m in
+  match kind with
+  | Det -> 1.0
+  | Fixed n -> float_of_int n
+  | Proportional n -> Float.max 1.0 (Float.round (p *. float_of_int n))
+  | Poisson lambda | Bucketized lambda -> (lambda *. p) +. 1.0
+
+let is_bucketized = function Bucketized _ -> true | Det | Fixed _ | Proportional _ | Poisson _ -> false

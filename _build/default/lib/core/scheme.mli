@@ -1,0 +1,30 @@
+(** WRE scheme variants and their security parameters.
+
+    One constructor per salt-allocation strategy from paper §V, plus
+    deterministic encryption as the degenerate baseline. The parameter
+    is the paper's security knob: number of salts for Fixed, total tag
+    budget for Proportional, Poisson rate λ for the two Poisson
+    variants. *)
+
+type kind =
+  | Det  (** one salt per plaintext — deterministic ESE, the baseline broken by inference attacks *)
+  | Fixed of int  (** §V-A: [N] salts per plaintext, uniform *)
+  | Proportional of int  (** §V-B: [N_T] total tags, allocated ∝ P_M(m) *)
+  | Poisson of float  (** §V-C / Algorithm 1: rate λ per-plaintext Poisson process *)
+  | Bucketized of float  (** §V-C1 / Algorithm 2: rate λ global Poisson process, IND-CUDA secure *)
+
+val to_string : kind -> string
+(** Stable label, e.g. ["poisson-1000"]; used in reports and key
+    derivation contexts. *)
+
+val of_string : string -> (kind, string) result
+(** Inverse of {!to_string} (accepts ["det"], ["fixed-N"],
+    ["proportional-N"], ["poisson-L"], ["bucketized-L"]). *)
+
+val expected_tags_per_plaintext : kind -> dist:Dist.Empirical.t -> string -> float
+(** Expected number of distinct search tags a value's queries must
+    enumerate — the query-cost driver of Figs. 4–7. *)
+
+val is_bucketized : kind -> bool
+(** Bucketized schemes tag with [F(s)] instead of [F(s‖m)] and can
+    return false positives. *)

@@ -1,0 +1,35 @@
+open Sqldb
+
+let encode = function
+  | Value.Null -> "N"
+  | Value.Int x ->
+      let b = Bytes.create 9 in
+      Bytes.set b 0 'I';
+      Stdx.Bytes_util.put_u64_be b 1 x;
+      Bytes.unsafe_to_string b
+  | Value.Real x ->
+      let b = Bytes.create 9 in
+      Bytes.set b 0 'R';
+      Stdx.Bytes_util.put_u64_be b 1 (Int64.bits_of_float x);
+      Bytes.unsafe_to_string b
+  | Value.Text s -> "T" ^ s
+  | Value.Blob s -> "B" ^ s
+
+let decode s =
+  if String.length s = 0 then Error "empty encoding"
+  else
+    match s.[0] with
+    | 'N' -> if String.length s = 1 then Ok Value.Null else Error "trailing bytes after NULL"
+    | 'I' ->
+        if String.length s = 9 then Ok (Value.Int (Stdx.Bytes_util.get_u64_be s 1))
+        else Error "INT payload must be 8 bytes"
+    | 'R' ->
+        if String.length s = 9 then
+          Ok (Value.Real (Int64.float_of_bits (Stdx.Bytes_util.get_u64_be s 1)))
+        else Error "REAL payload must be 8 bytes"
+    | 'T' -> Ok (Value.Text (String.sub s 1 (String.length s - 1)))
+    | 'B' -> Ok (Value.Blob (String.sub s 1 (String.length s - 1)))
+    | c -> Error (Printf.sprintf "unknown type byte %C" c)
+
+let decode_exn s =
+  match decode s with Ok v -> v | Error e -> invalid_arg ("Value_codec.decode_exn: " ^ e)

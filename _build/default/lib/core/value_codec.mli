@@ -1,0 +1,13 @@
+(** Canonical byte encoding of SQL values for AES encryption.
+
+    Every non-key column of the encrypted table stores
+    [Enc'_{k0}(encode v)] as a blob; decryption decodes back to the
+    original typed value. The encoding is 1 type byte + payload, so it
+    round-trips exactly (including NULL and negative numbers). *)
+
+val encode : Sqldb.Value.t -> string
+
+val decode : string -> (Sqldb.Value.t, string) result
+(** Total: malformed input yields [Error]. *)
+
+val decode_exn : string -> Sqldb.Value.t

@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Char Ctr Hmac String

@@ -1,0 +1,1 @@
+lib/crypto/ctr.ml: Aes128 Bytes Char Stdx String

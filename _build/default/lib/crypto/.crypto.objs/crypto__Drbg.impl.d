@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Buffer Hmac Int64 Stdx String

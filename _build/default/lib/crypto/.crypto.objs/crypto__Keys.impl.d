@@ -1,0 +1,1 @@
+lib/crypto/keys.ml: Bytes Ctr Hkdf Prf Stdx String

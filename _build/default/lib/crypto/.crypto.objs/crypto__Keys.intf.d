@@ -1,0 +1,1 @@
+lib/crypto/keys.mli: Ctr Prf Stdx

@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Bytes Hmac Int64 Siphash Stdx String

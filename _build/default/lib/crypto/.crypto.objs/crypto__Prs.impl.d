@@ -1,0 +1,1 @@
+lib/crypto/prs.ml: Array Drbg Hkdf Stdx

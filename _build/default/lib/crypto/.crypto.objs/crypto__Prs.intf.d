@@ -1,0 +1,1 @@
+lib/crypto/prs.mli: Stdx

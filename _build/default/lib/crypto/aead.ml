@@ -1,0 +1,31 @@
+type key = { enc : Ctr.key; mac : string }
+
+let tag_len = 16
+
+let of_raw raw =
+  if String.length raw <> 32 then invalid_arg "Aead.of_raw: key must be 32 bytes";
+  { enc = Ctr.of_raw (String.sub raw 0 16); mac = String.sub raw 16 16 }
+
+let ciphertext_overhead = Ctr.ciphertext_overhead + tag_len
+
+let mac_of key body = String.sub (Hmac.mac ~key:key.mac body) 0 tag_len
+
+let encrypt key g pt =
+  let body = Ctr.encrypt_random key.enc g pt in
+  body ^ mac_of key body
+
+let constant_time_eq a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0
+
+let decrypt key ct =
+  if String.length ct < ciphertext_overhead then Error "ciphertext too short"
+  else begin
+    let body = String.sub ct 0 (String.length ct - tag_len) in
+    let tag = String.sub ct (String.length ct - tag_len) tag_len in
+    if constant_time_eq tag (mac_of key body) then Ok (Ctr.decrypt key.enc body)
+    else Error "authentication failed"
+  end

@@ -1,0 +1,24 @@
+(** Authenticated encryption: AES-128-CTR then HMAC-SHA256
+    (encrypt-then-MAC, truncated 16-byte tag).
+
+    The paper's construction stores bare CTR ciphertexts — confidential
+    but malleable, which is fine against its snapshot adversary (who
+    only reads). A deployment that also worries about *tampering* with
+    the backup can swap this in for {!Ctr} at +16 bytes per value; the
+    corruption tests in the suite show the difference (CTR silently
+    garbles, AEAD refuses). *)
+
+type key
+
+val of_raw : string -> key
+(** 32 bytes: 16 for AES-CTR, 16 for the MAC key. *)
+
+val encrypt : key -> Stdx.Prng.t -> string -> string
+(** [nonce ‖ ctr-ciphertext ‖ tag]. *)
+
+val decrypt : key -> string -> (string, string) result
+(** Verifies the tag (constant-time) before decrypting; [Error] on any
+    modification or truncation. *)
+
+val ciphertext_overhead : int
+(** 32 bytes: 16 nonce + 16 tag. *)

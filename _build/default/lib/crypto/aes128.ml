@@ -1,0 +1,204 @@
+let block_size = 16
+let rounds = 10
+
+(* GF(2^8) multiplication with the AES reduction polynomial x^8+x^4+x^3+x+1. *)
+let gmul a b =
+  let a = ref a and b = ref b and p = ref 0 in
+  for _ = 0 to 7 do
+    if !b land 1 <> 0 then p := !p lxor !a;
+    let hi = !a land 0x80 in
+    a := (!a lsl 1) land 0xff;
+    if hi <> 0 then a := !a lxor 0x1b;
+    b := !b lsr 1
+  done;
+  !p
+
+(* S-box = affine(inverse). The inverse table is built by brute force
+   once at module initialization; 2^16 multiplies is negligible. *)
+let sbox, inv_sbox =
+  let inv = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gmul a b = 1 then inv.(a) <- b
+    done
+  done;
+  let rotl8 x n = ((x lsl n) lor (x lsr (8 - n))) land 0xff in
+  let s = Array.make 256 0 and si = Array.make 256 0 in
+  for x = 0 to 255 do
+    let i = inv.(x) in
+    let v = i lxor rotl8 i 1 lxor rotl8 i 2 lxor rotl8 i 3 lxor rotl8 i 4 lxor 0x63 in
+    s.(x) <- v;
+    si.(v) <- x
+  done;
+  (s, si)
+
+(* Single-byte multiplication tables for the MixColumns coefficients;
+   table lookups keep the per-block cost low enough for 10M-record bulk
+   loads. *)
+let mul_table c = Array.init 256 (fun x -> gmul x c)
+
+let mul2 = mul_table 2
+let mul3 = mul_table 3
+let mul9 = mul_table 9
+let mul11 = mul_table 11
+let mul13 = mul_table 13
+let mul14 = mul_table 14
+
+type key = { rk : int array (* (rounds+1) * 16 byte-wise round keys *) }
+
+let expand raw =
+  if String.length raw <> 16 then invalid_arg "Aes128.expand: key must be 16 bytes";
+  let rk = Array.make ((rounds + 1) * 16) 0 in
+  for i = 0 to 15 do
+    rk.(i) <- Char.code raw.[i]
+  done;
+  let rcon = ref 1 in
+  (* Words are 4 bytes; word i for i in [4, 44). *)
+  for w = 4 to (4 * (rounds + 1)) - 1 do
+    let prev = (w - 1) * 4 and back = (w - 4) * 4 and cur = w * 4 in
+    let t0, t1, t2, t3 =
+      if w mod 4 = 0 then begin
+        (* RotWord + SubWord + Rcon *)
+        let b0 = sbox.(rk.(prev + 1)) lxor !rcon in
+        let b1 = sbox.(rk.(prev + 2)) in
+        let b2 = sbox.(rk.(prev + 3)) in
+        let b3 = sbox.(rk.(prev)) in
+        rcon := gmul !rcon 2;
+        (b0, b1, b2, b3)
+      end
+      else (rk.(prev), rk.(prev + 1), rk.(prev + 2), rk.(prev + 3))
+    in
+    rk.(cur) <- rk.(back) lxor t0;
+    rk.(cur + 1) <- rk.(back + 1) lxor t1;
+    rk.(cur + 2) <- rk.(back + 2) lxor t2;
+    rk.(cur + 3) <- rk.(back + 3) lxor t3
+  done;
+  { rk }
+
+let add_round_key state key round =
+  let base = round * 16 in
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor key.rk.(base + i)
+  done
+
+(* State layout: column-major as in FIPS 197 — state.(4*c + r) is row r,
+   column c, matching the byte order of the input block. *)
+
+let shift_rows state =
+  (* row 1: rotate left by 1; row 2: by 2; row 3: by 3 *)
+  let t = state.(1) in
+  state.(1) <- state.(5);
+  state.(5) <- state.(9);
+  state.(9) <- state.(13);
+  state.(13) <- t;
+  let t = state.(2) in
+  state.(2) <- state.(10);
+  state.(10) <- t;
+  let t = state.(6) in
+  state.(6) <- state.(14);
+  state.(14) <- t;
+  let t = state.(15) in
+  state.(15) <- state.(11);
+  state.(11) <- state.(7);
+  state.(7) <- state.(3);
+  state.(3) <- t
+
+let inv_shift_rows state =
+  let t = state.(13) in
+  state.(13) <- state.(9);
+  state.(9) <- state.(5);
+  state.(5) <- state.(1);
+  state.(1) <- t;
+  let t = state.(2) in
+  state.(2) <- state.(10);
+  state.(10) <- t;
+  let t = state.(6) in
+  state.(6) <- state.(14);
+  state.(14) <- t;
+  let t = state.(3) in
+  state.(3) <- state.(7);
+  state.(7) <- state.(11);
+  state.(11) <- state.(15);
+  state.(15) <- t
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = state.(i) and a1 = state.(i + 1) and a2 = state.(i + 2) and a3 = state.(i + 3) in
+    state.(i) <- mul2.(a0) lxor mul3.(a1) lxor a2 lxor a3;
+    state.(i + 1) <- a0 lxor mul2.(a1) lxor mul3.(a2) lxor a3;
+    state.(i + 2) <- a0 lxor a1 lxor mul2.(a2) lxor mul3.(a3);
+    state.(i + 3) <- mul3.(a0) lxor a1 lxor a2 lxor mul2.(a3)
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = state.(i) and a1 = state.(i + 1) and a2 = state.(i + 2) and a3 = state.(i + 3) in
+    state.(i) <- mul14.(a0) lxor mul11.(a1) lxor mul13.(a2) lxor mul9.(a3);
+    state.(i + 1) <- mul9.(a0) lxor mul14.(a1) lxor mul11.(a2) lxor mul13.(a3);
+    state.(i + 2) <- mul13.(a0) lxor mul9.(a1) lxor mul14.(a2) lxor mul11.(a3);
+    state.(i + 3) <- mul11.(a0) lxor mul13.(a1) lxor mul9.(a2) lxor mul14.(a3)
+  done
+
+let sub_bytes state =
+  for i = 0 to 15 do
+    state.(i) <- sbox.(state.(i))
+  done
+
+let inv_sub_bytes state =
+  for i = 0 to 15 do
+    state.(i) <- inv_sbox.(state.(i))
+  done
+
+let load state b off =
+  for i = 0 to 15 do
+    state.(i) <- Char.code (Bytes.get b (off + i))
+  done
+
+let store state b off =
+  for i = 0 to 15 do
+    Bytes.set b (off + i) (Char.chr state.(i))
+  done
+
+let encrypt_block key b ~off =
+  let state = Array.make 16 0 in
+  load state b off;
+  add_round_key state key 0;
+  for round = 1 to rounds - 1 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key round
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key state key rounds;
+  store state b off
+
+let decrypt_block key b ~off =
+  let state = Array.make 16 0 in
+  load state b off;
+  add_round_key state key rounds;
+  for round = rounds - 1 downto 1 do
+    inv_shift_rows state;
+    inv_sub_bytes state;
+    add_round_key state key round;
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  inv_sub_bytes state;
+  add_round_key state key 0;
+  store state b off
+
+let encrypt_string key s =
+  if String.length s <> 16 then invalid_arg "Aes128.encrypt_string: need one 16-byte block";
+  let b = Bytes.of_string s in
+  encrypt_block key b ~off:0;
+  Bytes.unsafe_to_string b
+
+let decrypt_string key s =
+  if String.length s <> 16 then invalid_arg "Aes128.decrypt_string: need one 16-byte block";
+  let b = Bytes.of_string s in
+  decrypt_block key b ~off:0;
+  Bytes.unsafe_to_string b

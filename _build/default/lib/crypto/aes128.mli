@@ -1,0 +1,31 @@
+(** AES-128 block cipher (FIPS 197), implemented from scratch.
+
+    This is the strongly randomized "Enc'" half of WRE: the paper stores
+    an AES encryption of each plaintext next to the weakly-randomized
+    search tag (§IV, §VI-A "another column to hold the (strongly
+    randomized) AES-encrypted data"). Only the raw block transform lives
+    here; the IND-CPA mode is {!Ctr}.
+
+    The S-box is derived algebraically (inverse in GF(2^8) followed by
+    the affine map) rather than pasted in, and the implementation is
+    validated against the FIPS 197 Appendix B/C vectors. *)
+
+type key
+(** Expanded key schedule. *)
+
+val expand : string -> key
+(** [expand k] requires a 16-byte key. *)
+
+val encrypt_block : key -> bytes -> off:int -> unit
+(** Encrypt 16 bytes of [bytes] in place at [off]. *)
+
+val decrypt_block : key -> bytes -> off:int -> unit
+(** Inverse cipher, in place. *)
+
+val encrypt_string : key -> string -> string
+(** Convenience: encrypt exactly one 16-byte block. *)
+
+val decrypt_string : key -> string -> string
+
+val block_size : int
+(** 16. *)

@@ -1,0 +1,60 @@
+type key = Aes128.key
+
+let of_raw raw = Aes128.expand raw
+
+let ciphertext_overhead = 16
+
+(* Big-endian increment of the low 64 bits of the counter block; the
+   nonce occupies the high 64 bits, so a single message never wraps into
+   another message's keystream. *)
+let incr_counter block =
+  let rec bump i =
+    if i >= 8 then begin
+      let b = Char.code (Bytes.get block i) in
+      if b = 0xff then begin
+        Bytes.set block i '\x00';
+        bump (i - 1)
+      end
+      else Bytes.set block i (Char.chr (b + 1))
+    end
+  in
+  bump 15
+
+let keystream_xor key ~nonce ~src ~src_off ~dst ~dst_off ~len =
+  let counter = Bytes.of_string nonce in
+  (* Zero the low 64 bits so the starting counter is nonce_hi ‖ 0. *)
+  Bytes.fill counter 8 8 '\x00';
+  let block = Bytes.create 16 in
+  let pos = ref 0 in
+  while !pos < len do
+    Bytes.blit counter 0 block 0 16;
+    Aes128.encrypt_block key block ~off:0;
+    let n = min 16 (len - !pos) in
+    for i = 0 to n - 1 do
+      Bytes.set dst
+        (dst_off + !pos + i)
+        (Char.chr (Char.code src.[src_off + !pos + i] lxor Char.code (Bytes.get block i)))
+    done;
+    incr_counter counter;
+    pos := !pos + 16
+  done
+
+let encrypt key ~nonce pt =
+  if String.length nonce <> 16 then invalid_arg "Ctr.encrypt: nonce must be 16 bytes";
+  let len = String.length pt in
+  let out = Bytes.create (16 + len) in
+  Bytes.blit_string nonce 0 out 0 16;
+  keystream_xor key ~nonce ~src:pt ~src_off:0 ~dst:out ~dst_off:16 ~len;
+  Bytes.unsafe_to_string out
+
+let encrypt_random key g pt =
+  let nonce = Bytes.unsafe_to_string (Stdx.Prng.bytes g 16) in
+  encrypt key ~nonce pt
+
+let decrypt key ct =
+  if String.length ct < 16 then invalid_arg "Ctr.decrypt: ciphertext too short";
+  let nonce = String.sub ct 0 16 in
+  let len = String.length ct - 16 in
+  let out = Bytes.create len in
+  keystream_xor key ~nonce ~src:ct ~src_off:16 ~dst:out ~dst_off:0 ~len;
+  Bytes.unsafe_to_string out

@@ -1,0 +1,28 @@
+(** AES-128-CTR randomized encryption (NIST SP 800-38A).
+
+    This is the IND-CPA secure scheme Π' = (Gen', Enc', Dec') the WRE
+    template composes with (paper Fig. 1): it leaks nothing about the
+    plaintext beyond its length. Ciphertext layout is
+    [nonce (16 bytes) ‖ keystream ⊕ plaintext]; a fresh random nonce is
+    drawn for every encryption from the caller-supplied entropy
+    source. *)
+
+type key
+
+val of_raw : string -> key
+(** 16-byte AES key. *)
+
+val encrypt : key -> nonce:string -> string -> string
+(** [encrypt k ~nonce pt] with an exactly-16-byte [nonce]; deterministic
+    given the nonce (exposed for tests — use {!encrypt_random} in
+    production paths). *)
+
+val encrypt_random : key -> Stdx.Prng.t -> string -> string
+(** Encrypt under a fresh random nonce drawn from the given generator. *)
+
+val decrypt : key -> string -> string
+(** Raises [Invalid_argument] if the ciphertext is shorter than one
+    nonce. *)
+
+val ciphertext_overhead : int
+(** Bytes added to every plaintext (the nonce): 16. *)

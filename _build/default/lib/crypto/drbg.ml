@@ -1,0 +1,46 @@
+type t = { mutable key : string; mutable value : string }
+
+let update t provided =
+  t.key <- Hmac.mac ~key:t.key (t.value ^ "\x00" ^ provided);
+  t.value <- Hmac.mac ~key:t.key t.value;
+  if provided <> "" then begin
+    t.key <- Hmac.mac ~key:t.key (t.value ^ "\x01" ^ provided);
+    t.value <- Hmac.mac ~key:t.key t.value
+  end
+
+let create ~seed =
+  let t = { key = String.make 32 '\x00'; value = String.make 32 '\x01' } in
+  update t seed;
+  t
+
+let generate t n =
+  if n < 0 then invalid_arg "Drbg.generate: negative length";
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.value <- Hmac.mac ~key:t.key t.value;
+    Buffer.add_string buf t.value
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let uint64 t = Stdx.Bytes_util.get_u64_be (generate t 8) 0
+
+let float t =
+  let r = Int64.shift_right_logical (uint64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Drbg.int: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (uint64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.add (Int64.sub Int64.max_int bound64) 1L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Drbg.exponential: rate must be positive";
+  let u = float t in
+  -.log1p (-.u) /. rate

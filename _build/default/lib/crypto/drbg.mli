@@ -1,0 +1,28 @@
+(** Deterministic random bit generator (HMAC-DRBG, NIST SP 800-90A,
+    without reseeding).
+
+    [getSalts] must return the same salt set at encryption time and at
+    query time without storing any state on the server, so all of its
+    internal randomness is drawn from a DRBG seeded by
+    [HKDF(k1, context)] — per message for the Poisson allocator, per
+    column for the bucketized allocator (see DESIGN.md §5). *)
+
+type t
+
+val create : seed:string -> t
+(** Instantiate from arbitrary seed material. *)
+
+val generate : t -> int -> string
+(** [generate t n] is the next [n] pseudo-random bytes. *)
+
+val uint64 : t -> int64
+(** Next 8 bytes as an unsigned 64-bit integer. *)
+
+val float : t -> float
+(** Uniform in [\[0,1)], 53-bit resolution, derived from {!uint64}. *)
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)] without modulo bias. *)
+
+val exponential : t -> rate:float -> float
+(** Inverse-CDF Exponential(rate) sample: [-ln(1-U)/rate]. *)

@@ -1,0 +1,18 @@
+(** HKDF with HMAC-SHA256 (RFC 5869).
+
+    The scheme holds two master keys [(k0, k1)]; every per-column and
+    per-purpose subkey (CTR data key, search-tag PRF key, salt-DRBG
+    seed, shuffle key) is derived with HKDF so that the deployable
+    surface only ever stores two secrets. Validated against the RFC
+    5869 test vectors. *)
+
+val extract : ?salt:string -> ikm:string -> unit -> string
+(** [extract ~salt ~ikm ()] is the 32-byte pseudorandom key. An absent
+    salt means 32 zero bytes, per the RFC. *)
+
+val expand : prk:string -> info:string -> len:int -> string
+(** Expand to [len] bytes ([len <= 255 * 32]). *)
+
+val derive : ikm:string -> info:string -> len:int -> string
+(** extract-then-expand in one call, with the RFC's default (all-zero)
+    extract salt. *)

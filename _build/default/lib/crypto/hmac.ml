@@ -1,0 +1,32 @@
+let block = Sha256.block_size
+
+let normalize_key key =
+  if String.length key > block then Sha256.digest key else key
+
+let pad key byte =
+  let b = Bytes.make block (Char.chr byte) in
+  String.iteri (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor byte))) key;
+  Bytes.unsafe_to_string b
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (pad key 0x36);
+  Sha256.feed inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (pad key 0x5c);
+  Sha256.feed outer inner_digest;
+  Sha256.finalize outer
+
+let mac_hex ~key msg = Stdx.Bytes_util.to_hex (mac ~key msg)
+
+let mac_u64 ~key msg = Stdx.Bytes_util.get_u64_be (mac ~key msg) 0
+
+let verify ~key msg ~tag =
+  let expected = mac ~key msg in
+  String.length tag = String.length expected
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code expected.[i])) tag;
+  !acc = 0

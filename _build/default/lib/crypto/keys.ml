@@ -1,0 +1,25 @@
+type master = { k0 : string; k1 : string }
+
+let generate g =
+  {
+    k0 = Bytes.unsafe_to_string (Stdx.Prng.bytes g 16);
+    k1 = Bytes.unsafe_to_string (Stdx.Prng.bytes g 32);
+  }
+
+let of_raw ~k0 ~k1 =
+  if String.length k0 < 16 then invalid_arg "Keys.of_raw: k0 must be at least 16 bytes";
+  if String.length k1 < 16 then invalid_arg "Keys.of_raw: k1 must be at least 16 bytes";
+  { k0; k1 }
+
+let export m = (m.k0, m.k1)
+
+let data_key m ~column =
+  Ctr.of_raw (Hkdf.derive ~ikm:m.k0 ~info:("wre/data/" ^ column) ~len:16)
+
+let prf_key ?algo m ~column =
+  Prf.of_raw ?algo (Hkdf.derive ~ikm:m.k1 ~info:("wre/prf/" ^ column) ~len:32)
+
+let salt_seed m ~column ~context =
+  Hkdf.derive ~ikm:m.k1 ~info:("wre/salts/" ^ column ^ "/" ^ context) ~len:32
+
+let shuffle_key m ~column = Hkdf.derive ~ikm:m.k1 ~info:("wre/shuffle/" ^ column) ~len:32

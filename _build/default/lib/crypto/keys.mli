@@ -1,0 +1,32 @@
+(** Key management for the WRE scheme.
+
+    The paper's Gen returns [(k0, k1)]: [k0] keys the IND-CPA data
+    encryption, [k1] keys the search-tag PRF. This module generates the
+    master pair and derives all per-column subkeys with HKDF, so a
+    deployment stores exactly two secrets. *)
+
+type master
+(** The (k0, k1) master pair. *)
+
+val generate : Stdx.Prng.t -> master
+(** Fresh random master keys. The PRNG stands in for the OS entropy
+    source in this reproduction; see DESIGN.md. *)
+
+val of_raw : k0:string -> k1:string -> master
+(** Import existing 16/32-byte master keys (e.g. from a KMS). *)
+
+val export : master -> string * string
+(** Raw (k0, k1) for escrow. Handle with care. *)
+
+val data_key : master -> column:string -> Ctr.key
+(** Per-column AES-CTR key derived from k0. *)
+
+val prf_key : ?algo:Prf.algo -> master -> column:string -> Prf.key
+(** Per-column search-tag PRF key derived from k1. *)
+
+val salt_seed : master -> column:string -> context:string -> string
+(** 32-byte DRBG seed for getSalts pseudo-randomness, derived from k1.
+    [context] distinguishes per-message from per-column streams. *)
+
+val shuffle_key : master -> column:string -> string
+(** Key for the pseudo-random shuffle of Algorithm 2. *)

@@ -1,0 +1,18 @@
+let permutation ~key ~context n =
+  if n < 0 then invalid_arg "Prs.permutation: negative size";
+  let seed = Hkdf.derive ~ikm:key ~info:("wre/prs/" ^ context) ~len:32 in
+  let drbg = Drbg.create ~seed in
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Drbg.int drbg (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  perm
+
+let shuffle ~key ~context a =
+  let perm = permutation ~key ~context (Array.length a) in
+  Array.map (fun i -> a.(i)) perm
+
+let shuffle_in_place g a = Stdx.Sampling.shuffle g a

@@ -1,0 +1,24 @@
+(** Pseudo-random shuffle (paper Definition 6).
+
+    A deterministic keyed permutation of a list, indistinguishable from
+    a uniformly random shuffle to anyone without the key. Implemented
+    as Fisher–Yates driven by an HMAC-DRBG seeded with
+    [HKDF(key, context)].
+
+    Two call sites in the paper:
+    - the IND-CUDA challenger shuffles the selected message list before
+      encrypting (Definition 7);
+    - the bucketized Poisson allocator shuffles the plaintext domain to
+      fix the order in which plaintexts are laid out on the unit
+      interval (Algorithm 2, line 11). *)
+
+val permutation : key:string -> context:string -> int -> int array
+(** [permutation ~key ~context n] is a keyed permutation of
+    [0 .. n-1]. Deterministic in [(key, context, n)]. *)
+
+val shuffle : key:string -> context:string -> 'a array -> 'a array
+(** Apply the keyed permutation to a copy of the array. *)
+
+val shuffle_in_place : Stdx.Prng.t -> 'a array -> unit
+(** Non-keyed uniform shuffle used by the challenger when true
+    randomness is fine (statistical experiments). *)

@@ -1,0 +1,157 @@
+(* FIPS 180-4 SHA-256. Words are kept in OCaml native ints masked to 32
+   bits; on 64-bit platforms this avoids Int32 boxing in the compression
+   loop, which matters because every search tag and every AES key
+   schedule flows through HMAC-SHA256. *)
+
+let block_size = 64
+let digest_size = 32
+
+let k =
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1; 0x923f82a4;
+     0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe;
+     0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc; 0x2de92c6f;
+     0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7;
+     0xc6e00bf3; 0xd5a79147; 0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+     0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116;
+     0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f; 0x682e6ff3;
+     0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208; 0x90befffa; 0xa4506ceb; 0xbef9a3f7;
+     0xc67178f2 |]
+
+type ctx = {
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
+  mutable h5 : int;
+  mutable h6 : int;
+  mutable h7 : int;
+  buf : bytes; (* partial block *)
+  mutable buf_len : int;
+  mutable total : int64; (* bytes fed so far *)
+  w : int array; (* message schedule scratch *)
+}
+
+let init () =
+  {
+    h0 = 0x6a09e667;
+    h1 = 0xbb67ae85;
+    h2 = 0x3c6ef372;
+    h3 = 0xa54ff53a;
+    h4 = 0x510e527f;
+    h5 = 0x9b05688c;
+    h6 = 0x1f83d9ab;
+    h7 = 0x5be0cd19;
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0L;
+    w = Array.make 64 0;
+  }
+
+let mask = 0xFFFFFFFF
+
+let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let compress ctx block off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let j = off + (4 * i) in
+    w.(i) <-
+      (Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3))
+  done;
+  for i = 16 to 63 do
+    let w15 = w.(i - 15) and w2 = w.(i - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+  done;
+  let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 and d = ref ctx.h3 in
+  let e = ref ctx.h4 and f = ref ctx.h5 and g = ref ctx.h6 and h = ref ctx.h7 in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let temp1 = (!h + s1 + ch + k.(i) + w.(i)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let temp2 = (s0 + maj) land mask in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := (!d + temp1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (temp1 + temp2) land mask
+  done;
+  ctx.h0 <- (ctx.h0 + !a) land mask;
+  ctx.h1 <- (ctx.h1 + !b) land mask;
+  ctx.h2 <- (ctx.h2 + !c) land mask;
+  ctx.h3 <- (ctx.h3 + !d) land mask;
+  ctx.h4 <- (ctx.h4 + !e) land mask;
+  ctx.h5 <- (ctx.h5 + !f) land mask;
+  ctx.h6 <- (ctx.h6 + !g) land mask;
+  ctx.h7 <- (ctx.h7 + !h) land mask
+
+let feed_bytes ctx src ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Sha256.feed_bytes: slice out of range";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref off and remaining = ref len in
+  (* Top up a partial block first. *)
+  if ctx.buf_len > 0 then begin
+    let take = min !remaining (block_size - ctx.buf_len) in
+    Bytes.blit src !pos ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.buf_len = block_size then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !remaining >= block_size do
+    compress ctx src !pos;
+    pos := !pos + block_size;
+    remaining := !remaining - block_size
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit src !pos ctx.buf 0 !remaining;
+    ctx.buf_len <- !remaining
+  end
+
+let feed ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let finalize ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
+  let pad_len =
+    let rem = (ctx.buf_len + 1 + 8) mod block_size in
+    if rem = 0 then 1 else 1 + (block_size - rem)
+  in
+  let pad = Bytes.make (pad_len + 8) '\x00' in
+  Bytes.set pad 0 '\x80';
+  Bytes.set_int64_be pad pad_len bit_len;
+  feed_bytes ctx pad ~off:0 ~len:(Bytes.length pad);
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create digest_size in
+  let put i v = Bytes.set_int32_be out (4 * i) (Int32.of_int v) in
+  put 0 ctx.h0;
+  put 1 ctx.h1;
+  put 2 ctx.h2;
+  put 3 ctx.h3;
+  put 4 ctx.h4;
+  put 5 ctx.h5;
+  put 6 ctx.h6;
+  put 7 ctx.h7;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  feed ctx s;
+  finalize ctx
+
+let digest_hex s = Stdx.Bytes_util.to_hex (digest s)

@@ -1,0 +1,64 @@
+type key = { k0 : int64; k1 : int64 }
+
+let of_raw raw =
+  if String.length raw <> 16 then invalid_arg "Siphash.of_raw: key must be 16 bytes";
+  { k0 = Stdx.Bytes_util.get_u64_le raw 0; k1 = Stdx.Bytes_util.get_u64_le raw 8 }
+
+let rotl x b = Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+
+(* One SipRound over the four lanes. *)
+let[@inline] sipround v0 v1 v2 v3 =
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  (v0, v1, v2, v3)
+
+let hash key msg =
+  let len = String.length msg in
+  let v0 = ref (Int64.logxor key.k0 0x736f6d6570736575L) in
+  let v1 = ref (Int64.logxor key.k1 0x646f72616e646f6dL) in
+  let v2 = ref (Int64.logxor key.k0 0x6c7967656e657261L) in
+  let v3 = ref (Int64.logxor key.k1 0x7465646279746573L) in
+  let compress m rounds =
+    v3 := Int64.logxor !v3 m;
+    for _ = 1 to rounds do
+      let a, b, c, d = sipround !v0 !v1 !v2 !v3 in
+      v0 := a;
+      v1 := b;
+      v2 := c;
+      v3 := d
+    done;
+    v0 := Int64.logxor !v0 m
+  in
+  let full_blocks = len / 8 in
+  for i = 0 to full_blocks - 1 do
+    compress (Stdx.Bytes_util.get_u64_le msg (8 * i)) 2
+  done;
+  (* Final block: remaining bytes little-endian, length in the top byte. *)
+  let last = ref (Int64.shift_left (Int64.of_int (len land 0xff)) 56) in
+  for i = 0 to (len mod 8) - 1 do
+    last :=
+      Int64.logor !last
+        (Int64.shift_left (Int64.of_int (Char.code msg.[(full_blocks * 8) + i])) (8 * i))
+  done;
+  compress !last 2;
+  v2 := Int64.logxor !v2 0xffL;
+  for _ = 1 to 4 do
+    let a, b, c, d = sipround !v0 !v1 !v2 !v3 in
+    v0 := a;
+    v1 := b;
+    v2 := c;
+    v3 := d
+  done;
+  Int64.logxor (Int64.logxor !v0 !v1) (Int64.logxor !v2 !v3)

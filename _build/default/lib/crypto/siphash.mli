@@ -1,0 +1,18 @@
+(** SipHash-2-4 (Aumasson–Bernstein), a 64-bit keyed PRF.
+
+    HMAC-SHA256 truncated to 64 bits is the default search-tag PRF; at
+    bulk-load scale the two SHA-256 compressions per tag dominate
+    encryption cost. SipHash-2-4 is a PRF designed exactly for short
+    inputs and 64-bit outputs, ~20x faster here — the [micro] benchmark
+    quantifies the trade-off, and {!Prf_fast} packages it behind the
+    same interface. Validated against the reference-implementation test
+    vectors. *)
+
+type key
+(** 128-bit key. *)
+
+val of_raw : string -> key
+(** Requires exactly 16 bytes. *)
+
+val hash : key -> string -> int64
+(** SipHash-2-4 of the message. *)

@@ -1,0 +1,1 @@
+lib/dist/exponential.mli: Source

@@ -1,0 +1,1 @@
+lib/dist/poisson.ml: Array Exponential Float Stdx

@@ -1,0 +1,1 @@
+lib/dist/poisson.mli: Source

@@ -1,0 +1,1 @@
+lib/dist/source.ml: Crypto Stdx

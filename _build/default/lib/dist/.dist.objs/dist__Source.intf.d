@@ -1,0 +1,1 @@
+lib/dist/source.mli: Crypto Stdx

@@ -1,0 +1,1 @@
+lib/dist/stat_tests.mli:

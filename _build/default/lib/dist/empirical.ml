@@ -1,0 +1,88 @@
+type t = {
+  probs : (string, float) Hashtbl.t;
+  counts : (string, int) Hashtbl.t;
+  support : string array; (* descending probability, lexicographic tie-break *)
+  total_count : int;
+  mutable alias : Stdx.Sampling.Alias.t option; (* lazily built *)
+}
+
+let make_support probs =
+  let items = Hashtbl.fold (fun v p acc -> (v, p) :: acc) probs [] in
+  let sorted =
+    List.sort (fun (v0, p0) (v1, p1) -> if p0 <> p1 then compare p1 p0 else compare v0 v1) items
+  in
+  Array.of_list (List.map fst sorted)
+
+let of_counts pairs =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (v, c) ->
+      if c <= 0 then invalid_arg "Empirical.of_counts: counts must be positive";
+      Hashtbl.replace counts v (c + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    pairs;
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) counts 0 in
+  if total = 0 then invalid_arg "Empirical.of_counts: empty distribution";
+  let probs = Hashtbl.create (Hashtbl.length counts) in
+  Hashtbl.iter (fun v c -> Hashtbl.replace probs v (float_of_int c /. float_of_int total)) counts;
+  { probs; counts; support = make_support probs; total_count = total; alias = None }
+
+let of_values seq =
+  let counts = Hashtbl.create 64 in
+  Seq.iter
+    (fun v -> Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    seq;
+  of_counts (Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts [])
+
+let of_probabilities pairs =
+  if pairs = [] then invalid_arg "Empirical.of_probabilities: empty distribution";
+  let raw = Hashtbl.create 64 in
+  List.iter
+    (fun (v, p) ->
+      if p <= 0.0 || Float.is_nan p then
+        invalid_arg "Empirical.of_probabilities: weights must be positive";
+      Hashtbl.replace raw v (p +. Option.value ~default:0.0 (Hashtbl.find_opt raw v)))
+    pairs;
+  let total = Hashtbl.fold (fun _ p acc -> acc +. p) raw 0.0 in
+  let probs = Hashtbl.create (Hashtbl.length raw) in
+  Hashtbl.iter (fun v p -> Hashtbl.replace probs v (p /. total)) raw;
+  { probs; counts = Hashtbl.create 1; support = make_support probs; total_count = 0; alias = None }
+
+let prob t v = Option.value ~default:0.0 (Hashtbl.find_opt t.probs v)
+
+let to_counts t =
+  if t.total_count = 0 then invalid_arg "Empirical.to_counts: distribution has no counts";
+  Array.to_list
+    (Array.map (fun v -> (v, Option.value ~default:0 (Hashtbl.find_opt t.counts v))) t.support)
+let count t v = Option.value ~default:0 (Hashtbl.find_opt t.counts v)
+let support t = Array.copy t.support
+let support_size t = Array.length t.support
+let total_count t = t.total_count
+
+let min_prob t =
+  (* Support is sorted descending, so the minimum is the last entry. *)
+  prob t t.support.(Array.length t.support - 1)
+
+let max_prob t = prob t t.support.(0)
+
+let entropy_bits t =
+  Hashtbl.fold (fun _ p acc -> acc -. (p *. (log p /. log 2.0))) t.probs 0.0
+
+let min_entropy_bits t = -.(log (max_prob t) /. log 2.0)
+
+let sampler t g =
+  let alias =
+    match t.alias with
+    | Some a -> a
+    | None ->
+        let a = Stdx.Sampling.Alias.create (Array.map (prob t) t.support) in
+        t.alias <- Some a;
+        a
+  in
+  t.support.(Stdx.Sampling.Alias.sample alias g)
+
+let statistical_distance a b =
+  let union = Hashtbl.create 64 in
+  Array.iter (fun v -> Hashtbl.replace union v ()) a.support;
+  Array.iter (fun v -> Hashtbl.replace union v ()) b.support;
+  let acc = Hashtbl.fold (fun v () acc -> acc +. abs_float (prob a v -. prob b v)) union 0.0 in
+  0.5 *. acc

@@ -1,0 +1,54 @@
+(** Empirical discrete distributions over string-valued plaintexts.
+
+    WRE needs the plaintext distribution [P_M] both at encryption time
+    (the data owner computes it "during database initialization", paper
+    §IV) and on the attacker's side (the auxiliary information that
+    powers inference attacks). Both are represented here: a frequency
+    table over plaintext values with deterministic iteration order. *)
+
+type t
+
+val of_counts : (string * int) list -> t
+(** Build from value/count pairs. Counts must be positive; duplicate
+    values are summed. *)
+
+val of_values : string Seq.t -> t
+(** Count occurrences in a stream of values. *)
+
+val of_probabilities : (string * float) list -> t
+(** Build from an explicit pmf (weights normalized; must be positive). *)
+
+val prob : t -> string -> float
+(** [P_M(m)]; 0 for values outside the support. *)
+
+val count : t -> string -> int
+(** Raw count (0 if built from probabilities without counts). *)
+
+val to_counts : t -> (string * int) list
+(** Value/count pairs in support order — the serializable form (the
+    client must keep the profiled distribution alongside its keys to
+    recompute salt sets later). Only valid for count-built
+    distributions. *)
+
+val support : t -> string array
+(** Values sorted by descending probability, ties broken
+    lexicographically — the canonical order used everywhere (attacks,
+    salt allocation), so results are reproducible. *)
+
+val support_size : t -> int
+val total_count : t -> int
+
+val min_prob : t -> float
+(** Smallest plaintext probability τ = min_m P_M(m) — the τ in the λ
+    security bound. (The paper's prose says "max" but uses the smallest
+    frequency; the bound needs the minimum since e^{-λτ} is largest
+    there.) *)
+
+val max_prob : t -> float
+val entropy_bits : t -> float
+val min_entropy_bits : t -> float
+val sampler : t -> Stdx.Prng.t -> string
+(** Draw a value according to the distribution (alias method, cached). *)
+
+val statistical_distance : t -> t -> float
+(** Δ over the union of supports. *)

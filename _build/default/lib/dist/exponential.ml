@@ -1,0 +1,45 @@
+let check_rate rate = if rate <= 0.0 then invalid_arg "Exponential: rate must be positive"
+
+let pdf ~rate x =
+  check_rate rate;
+  if x < 0.0 then 0.0 else rate *. exp (-.rate *. x)
+
+let cdf ~rate x =
+  check_rate rate;
+  if x < 0.0 then 0.0 else 1.0 -. exp (-.rate *. x)
+
+let ccdf ~rate x =
+  check_rate rate;
+  if x < 0.0 then 1.0 else exp (-.rate *. x)
+
+let sample ~rate u =
+  check_rate rate;
+  -.log1p (-.u ()) /. rate
+
+let mean ~rate =
+  check_rate rate;
+  1.0 /. rate
+
+module Capped = struct
+  let cdf ~rate ~tau x = if x >= tau then 1.0 else cdf ~rate x
+  let ccdf ~rate ~tau x = if x >= tau then 0.0 else ccdf ~rate x
+
+  let sample ~rate ~tau u =
+    let x = sample ~rate u in
+    if x > tau then tau else x
+
+  let point_mass_at_tau ~rate ~tau =
+    check_rate rate;
+    exp (-.rate *. tau)
+end
+
+let distance_to_capped ~rate ~tau =
+  check_rate rate;
+  if tau < 0.0 then invalid_arg "Exponential.distance_to_capped: negative tau";
+  exp (-.rate *. tau)
+
+let lambda_for_security ~omega ~tau =
+  if omega <= 0.0 || omega >= 1.0 then
+    invalid_arg "Exponential.lambda_for_security: omega must be in (0,1)";
+  if tau <= 0.0 then invalid_arg "Exponential.lambda_for_security: tau must be positive";
+  -.log omega /. tau

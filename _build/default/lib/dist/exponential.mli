@@ -1,0 +1,43 @@
+(** Exponential and capped-Exponential distributions.
+
+    The Poisson WRE proof (paper §V-C) hinges on the statistical
+    distance between a standard Exponential(λ) and the "capped
+    Exponential" with parameters (λ, τ): identical to the Exponential
+    left of τ, with all mass above τ lumped onto the point τ. The
+    distance is exactly [exp (-λ τ)] — {!distance_to_capped} — which is
+    what makes the first-salt frequency indistinguishable for large λ.
+    Figure 2 plots the two CCDFs. *)
+
+val pdf : rate:float -> float -> float
+val cdf : rate:float -> float -> float
+
+val ccdf : rate:float -> float -> float
+(** Complementary CDF [P(X > x)] — the quantity plotted in Fig. 2. *)
+
+val sample : rate:float -> Source.t -> float
+(** Inverse-CDF sampling. *)
+
+val mean : rate:float -> float
+
+module Capped : sig
+  val cdf : rate:float -> tau:float -> float -> float
+  (** Identical to the Exponential CDF below [tau]; 1 at and above. *)
+
+  val ccdf : rate:float -> tau:float -> float -> float
+
+  val sample : rate:float -> tau:float -> Source.t -> float
+  (** An Exponential(rate) draw, except values above [tau] land on
+      [tau] — exactly the distribution of the first interarrival slot
+      in Algorithm 1. *)
+
+  val point_mass_at_tau : rate:float -> tau:float -> float
+  (** [P(X = tau)] — the lump the cap creates: [exp (-rate * tau)]. *)
+end
+
+val distance_to_capped : rate:float -> tau:float -> float
+(** Statistical distance Δ(Exp(λ), CappedExp(λ, τ)) = e^{-λτ}
+    (paper §V-C). *)
+
+val lambda_for_security : omega:float -> tau:float -> float
+(** Smallest λ with distinguishing advantage ≤ ω for a plaintext of
+    frequency τ: λ ≥ -ln(ω)/τ (paper §V-C). *)

@@ -1,0 +1,87 @@
+let check_rate rate = if rate <= 0.0 then invalid_arg "Poisson: rate must be positive"
+
+(* log k! via lgamma-style Stirling series for k > 20, exact below. *)
+let log_factorial =
+  let table = Array.make 21 0.0 in
+  let () =
+    for k = 2 to 20 do
+      table.(k) <- table.(k - 1) +. log (float_of_int k)
+    done
+  in
+  fun k ->
+    if k < 0 then invalid_arg "Poisson: negative count"
+    else if k <= 20 then table.(k)
+    else begin
+      let x = float_of_int k +. 1.0 in
+      (* Stirling series for ln Γ(x) *)
+      ((x -. 0.5) *. log x) -. x
+      +. (0.5 *. log (2.0 *. Float.pi))
+      +. (1.0 /. (12.0 *. x))
+      -. (1.0 /. (360.0 *. (x ** 3.0)))
+    end
+
+let pmf ~rate k =
+  check_rate rate;
+  if k < 0 then 0.0
+  else exp ((float_of_int k *. log rate) -. rate -. log_factorial k)
+
+let cdf ~rate k =
+  check_rate rate;
+  if k < 0 then 0.0
+  else begin
+    (* Sum pmf terms with a recurrence to avoid recomputing factorials. *)
+    let acc = ref 0.0 and term = ref (exp (-.rate)) in
+    for i = 0 to k do
+      if i > 0 then term := !term *. rate /. float_of_int i;
+      acc := !acc +. !term
+    done;
+    min 1.0 !acc
+  end
+
+let sample_knuth ~rate u =
+  let threshold = exp (-.rate) in
+  let rec loop k p =
+    let p = p *. (1.0 -. u ()) in
+    if p <= threshold then k else loop (k + 1) p
+  in
+  loop 0 1.0
+
+let rec sample ~rate u =
+  check_rate rate;
+  if rate <= 30.0 then sample_knuth ~rate u
+  else begin
+    (* Split the interval: arrivals over disjoint sub-intervals are
+       independent Poissons, so Poisson(rate) = Poisson(30) summed
+       rate/30 times plus a remainder. Keeps Knuth's method in its
+       numerically safe range. *)
+    let chunks = int_of_float (rate /. 30.0) in
+    let remainder = rate -. (30.0 *. float_of_int chunks) in
+    let total = ref 0 in
+    for _ = 1 to chunks do
+      total := !total + sample_knuth ~rate:30.0 u
+    done;
+    if remainder > 0.0 then total := !total + sample ~rate:remainder u;
+    !total
+  end
+
+let process_on_interval ~rate ~length u =
+  check_rate rate;
+  if length <= 0.0 then invalid_arg "Poisson.process_on_interval: length must be positive";
+  let slots = Stdx.Vec.create () in
+  let total = ref 0.0 in
+  while !total < length do
+    let x = Exponential.sample ~rate u in
+    let x = if x <= 0.0 then epsilon_float else x in
+    Stdx.Vec.push slots x;
+    total := !total +. x
+  done;
+  (* Truncate the final slot so the weights sum exactly to [length]
+     (Algorithm 1 line 9). *)
+  let n = Stdx.Vec.length slots in
+  let last = Stdx.Vec.get slots (n - 1) in
+  Stdx.Vec.set slots (n - 1) (length -. (!total -. last));
+  Stdx.Vec.to_array slots
+
+let expected_arrivals ~rate ~length =
+  check_rate rate;
+  rate *. length

@@ -1,0 +1,29 @@
+(** Poisson distribution and Poisson process.
+
+    The Poisson WRE allocator (paper §V-C, Algorithm 1) samples the
+    arrivals of a rate-λ Poisson process on the interval
+    [\[0, P_M(m)\]]; the interarrival times become the search-tag
+    frequencies. {!process_on_interval} returns those interarrivals
+    directly, including the final truncated slot, so that the weights
+    sum exactly to the interval length. *)
+
+val pmf : rate:float -> int -> float
+(** [pmf ~rate k] = e^{-rate} rate^k / k!. Computed in log space so
+    large rates do not overflow. *)
+
+val cdf : rate:float -> int -> float
+
+val sample : rate:float -> Source.t -> int
+(** Draw a Poisson(rate) count. Knuth's method for small rates; for
+    rate > 30 the count is accumulated from Exponential interarrivals
+    in chunks, which is exact (unlike a normal approximation) and fast
+    enough for the rates the schemes use. *)
+
+val process_on_interval : rate:float -> length:float -> Source.t -> float array
+(** Interarrival slots of a rate-λ Poisson process restricted to
+    [\[0, length\]]: Exponential(λ) draws accumulated until the total
+    exceeds [length], with the last slot truncated so the array sums to
+    [length]. Always non-empty; a single-element result means zero
+    arrivals landed inside the interval (the "capped" case). *)
+
+val expected_arrivals : rate:float -> length:float -> float

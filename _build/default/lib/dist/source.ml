@@ -1,0 +1,4 @@
+type t = unit -> float
+
+let of_prng g () = Stdx.Prng.float g
+let of_drbg d () = Crypto.Drbg.float d

@@ -1,0 +1,11 @@
+(** Uniform randomness sources for the samplers.
+
+    The Poisson salt allocators must draw their randomness from a keyed
+    DRBG (so encryption and search agree on the salt set), while
+    statistical experiments draw from a fast PRNG. Both are adapted to
+    a single [unit -> float] supplier of uniforms in [\[0,1)]. *)
+
+type t = unit -> float
+
+val of_prng : Stdx.Prng.t -> t
+val of_drbg : Crypto.Drbg.t -> t

@@ -1,0 +1,57 @@
+let ks_statistic xs ~cdf =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stat_tests.ks_statistic: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let d = ref 0.0 in
+  for i = 0 to n - 1 do
+    let f = cdf sorted.(i) in
+    let hi = (float_of_int (i + 1) /. float_of_int n) -. f in
+    let lo = f -. (float_of_int i /. float_of_int n) in
+    d := max !d (max hi lo)
+  done;
+  !d
+
+let ks_two_sample xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx = 0 || ny = 0 then invalid_arg "Stat_tests.ks_two_sample: empty sample";
+  let sx = Array.copy xs and sy = Array.copy ys in
+  Array.sort compare sx;
+  Array.sort compare sy;
+  let d = ref 0.0 and i = ref 0 and j = ref 0 in
+  while !i < nx && !j < ny do
+    if sx.(!i) <= sy.(!j) then incr i else incr j;
+    let fx = float_of_int !i /. float_of_int nx in
+    let fy = float_of_int !j /. float_of_int ny in
+    d := max !d (abs_float (fx -. fy))
+  done;
+  !d
+
+let ks_critical ~n ~alpha =
+  let c =
+    if alpha >= 0.10 then 1.224
+    else if alpha >= 0.05 then 1.358
+    else if alpha >= 0.01 then 1.628
+    else 1.949
+  in
+  c /. sqrt (float_of_int n)
+
+let chi_square ~observed ~expected =
+  let n = Array.length observed in
+  if n <> Array.length expected then invalid_arg "Stat_tests.chi_square: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    if expected.(i) <= 0.0 then invalid_arg "Stat_tests.chi_square: expected must be positive";
+    let d = float_of_int observed.(i) -. expected.(i) in
+    acc := !acc +. (d *. d /. expected.(i))
+  done;
+  !acc
+
+let chi_square_critical_df ~df =
+  if df <= 0 then invalid_arg "Stat_tests.chi_square_critical_df: df must be positive";
+  (* Wilson–Hilferty: χ²_p(df) ≈ df (1 - 2/(9 df) + z_p sqrt(2/(9 df)))^3,
+     z_0.99 = 2.326. *)
+  let k = float_of_int df in
+  let z = 2.326 in
+  let t = 1.0 -. (2.0 /. (9.0 *. k)) +. (z *. sqrt (2.0 /. (9.0 *. k))) in
+  k *. (t ** 3.0)

@@ -1,0 +1,19 @@
+(** Statistical tests used to validate the samplers and to power the
+    empirical IND-CUDA distinguishers. *)
+
+val ks_statistic : float array -> cdf:(float -> float) -> float
+(** One-sample Kolmogorov–Smirnov statistic against a reference CDF. *)
+
+val ks_two_sample : float array -> float array -> float
+(** Two-sample KS statistic. *)
+
+val ks_critical : n:int -> alpha:float -> float
+(** Asymptotic one-sample critical value c(α)·√(1/n) for
+    α ∈ {0.10, 0.05, 0.01, 0.001}. *)
+
+val chi_square : observed:int array -> expected:float array -> float
+(** Pearson's χ² statistic; expected entries must be positive. *)
+
+val chi_square_critical_df : df:int -> float
+(** Rough 99th-percentile of χ²(df) via the Wilson–Hilferty
+    approximation — good enough for sanity tests. *)

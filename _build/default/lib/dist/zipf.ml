@@ -1,0 +1,13 @@
+type t = { n : int; probs : float array; alias : Stdx.Sampling.Alias.t }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let raw = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let probs = Array.map (fun w -> w /. total) raw in
+  { n; probs; alias = Stdx.Sampling.Alias.create probs }
+
+let pmf t k = if k < 1 || k > t.n then 0.0 else t.probs.(k - 1)
+let weights t = Array.copy t.probs
+let sample t g = 1 + Stdx.Sampling.Alias.sample t.alias g

@@ -1,0 +1,20 @@
+(** Bounded Zipf (zeta) distribution.
+
+    Real identifier columns — first names, last names, cities — are
+    heavy-tailed; the SPARTA generator models them with rank-frequency
+    curves of this family. [pmf ~n ~s k ∝ 1/k^s] for ranks
+    [k ∈ 1..n]. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [n] ranks, exponent [s ≥ 0] (s = 0 is uniform). *)
+
+val pmf : t -> int -> float
+(** Probability of rank [k ∈ 1..n]; 0 outside. *)
+
+val weights : t -> float array
+(** Normalized probabilities indexed by rank-1 (length [n]). *)
+
+val sample : t -> Stdx.Prng.t -> int
+(** Draw a rank in [1..n] (alias method, O(1) per draw). *)

@@ -1,0 +1,1 @@
+lib/sparta/generator.ml: Array Buffer Dist Float Int64 Names_data Printf Schema Seq Sqldb Stdx String Value

@@ -1,0 +1,1 @@
+lib/sparta/generator.mli: Seq Sqldb

@@ -1,0 +1,1 @@
+lib/sparta/names_data.ml:

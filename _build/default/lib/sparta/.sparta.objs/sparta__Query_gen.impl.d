@@ -1,0 +1,1 @@
+lib/sparta/query_gen.ml: Array List Stdx

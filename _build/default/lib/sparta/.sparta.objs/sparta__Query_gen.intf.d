@@ -1,0 +1,1 @@
+lib/sparta/query_gen.mli:

@@ -1,0 +1,170 @@
+open Sqldb
+
+let schema =
+  Schema.create
+    [
+      { name = "id"; ty = TInt; nullable = false };
+      { name = "fname"; ty = TText; nullable = false };
+      { name = "lname"; ty = TText; nullable = false };
+      { name = "ssn"; ty = TText; nullable = false };
+      { name = "dob"; ty = TText; nullable = false };
+      { name = "sex"; ty = TText; nullable = false };
+      { name = "citizenship"; ty = TText; nullable = false };
+      { name = "race"; ty = TText; nullable = false };
+      { name = "state"; ty = TText; nullable = false };
+      { name = "city"; ty = TText; nullable = false };
+      { name = "zip"; ty = TText; nullable = false };
+      { name = "address"; ty = TText; nullable = false };
+      { name = "phone"; ty = TText; nullable = false };
+      { name = "email"; ty = TText; nullable = false };
+      { name = "language"; ty = TText; nullable = false };
+      { name = "marital_status"; ty = TText; nullable = false };
+      { name = "education"; ty = TText; nullable = false };
+      { name = "occupation"; ty = TText; nullable = false };
+      { name = "income"; ty = TInt; nullable = false };
+      { name = "hours_worked"; ty = TInt; nullable = false };
+      { name = "weeks_worked"; ty = TInt; nullable = false };
+      { name = "military"; ty = TText; nullable = false };
+      { name = "notes"; ty = TText; nullable = true };
+    ]
+
+let encrypted_columns = [ "fname"; "lname"; "ssn"; "city"; "zip" ]
+
+type t = {
+  g : Stdx.Prng.t;
+  fname : Dist.Zipf.t;
+  lname : Dist.Zipf.t;
+  city : Dist.Zipf.t;
+  language : Dist.Zipf.t;
+  occupation : Dist.Zipf.t;
+  race : Dist.Zipf.t;
+  marital : Dist.Zipf.t;
+  education : Dist.Zipf.t;
+  citizenship : Dist.Zipf.t;
+  military : Dist.Zipf.t;
+  zips : string array array; (* per city *)
+  zip_weights : Dist.Zipf.t array;
+}
+
+(* Zipf exponents fitted by eye to the published rank/frequency shapes:
+   surnames are close to s=1 (Smith ≈ 0.88%), first names flatter,
+   city populations s ≈ 1.07 (classic Zipf's law for cities). *)
+let create ~seed =
+  let g = Stdx.Prng.create seed in
+  let zips =
+    Array.mapi
+      (fun i (_, _, n_zips) ->
+        Array.init n_zips (fun k -> Printf.sprintf "%05d" (10001 + (i * 73) + (k * 7))))
+      Names_data.cities
+  in
+  {
+    g;
+    fname = Dist.Zipf.create ~n:(Array.length Names_data.first_names) ~s:0.55;
+    lname = Dist.Zipf.create ~n:(Array.length Names_data.last_names) ~s:0.75;
+    city = Dist.Zipf.create ~n:(Array.length Names_data.cities) ~s:1.07;
+    language = Dist.Zipf.create ~n:(Array.length Names_data.languages) ~s:2.2;
+    occupation = Dist.Zipf.create ~n:(Array.length Names_data.occupations) ~s:0.7;
+    race = Dist.Zipf.create ~n:(Array.length Names_data.races) ~s:1.6;
+    marital = Dist.Zipf.create ~n:(Array.length Names_data.marital_statuses) ~s:1.0;
+    education = Dist.Zipf.create ~n:(Array.length Names_data.education_levels) ~s:0.8;
+    citizenship = Dist.Zipf.create ~n:(Array.length Names_data.citizenships) ~s:2.5;
+    military = Dist.Zipf.create ~n:(Array.length Names_data.military_statuses) ~s:3.0;
+    zips;
+    zip_weights =
+      Array.map
+        (fun (_, _, n_zips) -> Dist.Zipf.create ~n:n_zips ~s:0.6)
+        Names_data.cities;
+  }
+
+let pick t zipf (table : string array) = table.(Dist.Zipf.sample zipf t.g - 1)
+
+let ssn t =
+  (* Area 001..899 excluding 666, like real SSNs. *)
+  let area = ref (1 + Stdx.Prng.int t.g 899) in
+  if !area = 666 then area := 667;
+  Printf.sprintf "%03d-%02d-%04d" !area (1 + Stdx.Prng.int t.g 99) (Stdx.Prng.int t.g 10000)
+
+let dob t =
+  let year = 1935 + Stdx.Prng.int t.g 71 in
+  let month = 1 + Stdx.Prng.int t.g 12 in
+  let day = 1 + Stdx.Prng.int t.g 28 in
+  Printf.sprintf "%04d-%02d-%02d" year month day
+
+let address t =
+  Printf.sprintf "%d %s %s"
+    (1 + Stdx.Prng.int t.g 9899)
+    (Stdx.Sampling.choose t.g Names_data.street_names)
+    (Stdx.Sampling.choose t.g Names_data.street_suffixes)
+
+let phone t =
+  Printf.sprintf "(%03d) %03d-%04d"
+    (201 + Stdx.Prng.int t.g 780)
+    (200 + Stdx.Prng.int t.g 800)
+    (Stdx.Prng.int t.g 10000)
+
+(* Log-normal-ish income in whole dollars, clamped to a plausible
+   range; the exact shape is irrelevant (income stays plaintext). *)
+let income t =
+  let z = (Stdx.Prng.float t.g +. Stdx.Prng.float t.g +. Stdx.Prng.float t.g -. 1.5) /. 0.6 in
+  let v = exp (10.6 +. (0.7 *. z)) in
+  Int64.of_float (Float.max 8000.0 (Float.min 480000.0 v))
+
+(* Free-text filler for the notes column: 60-140 common-English words,
+   matching SPARTA's Project-Gutenberg-derived text fields in size and
+   compressibility (the paper's rows average ≈1.1 KB with these). *)
+let prose t =
+  let n_words = 60 + Stdx.Prng.int t.g 81 in
+  let buf = Buffer.create (n_words * 6) in
+  for i = 0 to n_words - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Stdx.Sampling.choose t.g Names_data.prose_words)
+  done;
+  Buffer.contents buf
+
+let row t ~id =
+  let fname = pick t t.fname Names_data.first_names in
+  let lname = pick t t.lname Names_data.last_names in
+  let city_rank = Dist.Zipf.sample t.city t.g - 1 in
+  let city, state, _ = Names_data.cities.(city_rank) in
+  let zips = t.zips.(city_rank) in
+  let zip = zips.(Dist.Zipf.sample t.zip_weights.(city_rank) t.g - 1) in
+  let sex = if Stdx.Prng.bool t.g then "M" else "F" in
+  let email =
+    Printf.sprintf "%s.%s%d@example.com" (String.lowercase_ascii fname)
+      (String.lowercase_ascii lname) (Stdx.Prng.int t.g 1000)
+  in
+  let notes = if Stdx.Prng.int t.g 10 = 0 then Value.Null else Value.Text (prose t) in
+  [|
+    Value.Int (Int64.of_int id);
+    Value.Text fname;
+    Value.Text lname;
+    Value.Text (ssn t);
+    Value.Text (dob t);
+    Value.Text sex;
+    Value.Text (pick t t.citizenship Names_data.citizenships);
+    Value.Text (pick t t.race Names_data.races);
+    Value.Text state;
+    Value.Text city;
+    Value.Text zip;
+    Value.Text (address t);
+    Value.Text (phone t);
+    Value.Text email;
+    Value.Text (pick t t.language Names_data.languages);
+    Value.Text (pick t t.marital Names_data.marital_statuses);
+    Value.Text (pick t t.education Names_data.education_levels);
+    Value.Text (pick t t.occupation Names_data.occupations);
+    Value.Int (income t);
+    Value.Int (Int64.of_int (10 + Stdx.Prng.int t.g 51));
+    Value.Int (Int64.of_int (1 + Stdx.Prng.int t.g 52));
+    Value.Text (pick t t.military Names_data.military_statuses);
+    notes;
+  |]
+
+let rows t ~n =
+  Seq.init n (fun id -> row t ~id)
+
+let column_string generated ~column =
+  let i = Schema.column_index schema column in
+  match generated.(i) with
+  | Value.Text s -> s
+  | v -> invalid_arg (Printf.sprintf "Generator.column_string: %s is %s" column (Value.to_string v))

@@ -1,0 +1,29 @@
+(** Census-like row generator (the SPARTA data generator stand-in).
+
+    Produces rows for a 23-column person table whose identifier columns
+    (first name, last name, city, zip, …) follow the heavy-tailed
+    rank/frequency curves of the real US Census lists — the property
+    inference attacks exploit and WRE must smooth. Fully deterministic
+    given the seed. *)
+
+val schema : Sqldb.Schema.t
+(** The 23-column plaintext schema; primary key column ["id"]. *)
+
+val encrypted_columns : string list
+(** The five columns the paper encrypts with WRE:
+    fname, lname, ssn, city, zip (§VI-A). *)
+
+type t
+
+val create : seed:int64 -> t
+
+val row : t -> id:int -> Sqldb.Value.t array
+(** Generate the row with the given primary key. Successive calls with
+    increasing ids stream a database. *)
+
+val rows : t -> n:int -> Sqldb.Value.t array Seq.t
+(** [rows t ~n] is ids 0..n-1 as a sequence. *)
+
+val column_string : Sqldb.Value.t array -> column:string -> string
+(** Extract a column of a generated row as the plaintext string WRE
+    encrypts. Raises for non-text columns. *)

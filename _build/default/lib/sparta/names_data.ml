@@ -1,0 +1,159 @@
+(* Embedded identifier vocabularies, in descending real-world rank
+   order. The original SPARTA generator draws from full US Census
+   frequency files; those files are not available offline, so each list
+   here carries the top of the real rank order and the generator
+   re-creates the heavy-tailed frequency curve by fitting a Zipf
+   exponent per column (see Generator). DESIGN.md §2 documents this
+   substitution. *)
+
+let first_names =
+  [|
+    "James"; "Mary"; "John"; "Patricia"; "Robert"; "Jennifer"; "Michael"; "Linda"; "William";
+    "Elizabeth"; "David"; "Barbara"; "Richard"; "Susan"; "Joseph"; "Jessica"; "Thomas"; "Sarah";
+    "Charles"; "Karen"; "Christopher"; "Nancy"; "Daniel"; "Lisa"; "Matthew"; "Margaret";
+    "Anthony"; "Betty"; "Donald"; "Sandra"; "Mark"; "Ashley"; "Paul"; "Dorothy"; "Steven";
+    "Kimberly"; "Andrew"; "Emily"; "Kenneth"; "Donna"; "Joshua"; "Michelle"; "Kevin"; "Carol";
+    "Brian"; "Amanda"; "George"; "Melissa"; "Edward"; "Deborah"; "Ronald"; "Stephanie";
+    "Timothy"; "Rebecca"; "Jason"; "Laura"; "Jeffrey"; "Sharon"; "Ryan"; "Cynthia"; "Jacob";
+    "Kathleen"; "Gary"; "Amy"; "Nicholas"; "Shirley"; "Eric"; "Angela"; "Jonathan"; "Helen";
+    "Stephen"; "Anna"; "Larry"; "Brenda"; "Justin"; "Pamela"; "Scott"; "Nicole"; "Brandon";
+    "Emma"; "Benjamin"; "Samantha"; "Samuel"; "Katherine"; "Frank"; "Christine"; "Gregory";
+    "Debra"; "Raymond"; "Rachel"; "Alexander"; "Catherine"; "Patrick"; "Carolyn"; "Jack";
+    "Janet"; "Dennis"; "Ruth"; "Jerry"; "Maria"; "Tyler"; "Heather"; "Aaron"; "Diane"; "Jose";
+    "Virginia"; "Henry"; "Julie"; "Adam"; "Joyce"; "Douglas"; "Victoria"; "Nathan"; "Kelly";
+    "Peter"; "Christina"; "Zachary"; "Lauren"; "Kyle"; "Joan"; "Walter"; "Evelyn"; "Harold";
+    "Olivia"; "Carl"; "Judith"; "Jeremy"; "Megan"; "Keith"; "Cheryl"; "Roger"; "Martha";
+    "Gerald"; "Andrea"; "Ethan"; "Frances"; "Arthur"; "Hannah"; "Terry"; "Jacqueline"; "Sean";
+    "Ann"; "Christian"; "Gloria"; "Austin"; "Jean"; "Noah"; "Kathryn"; "Lawrence"; "Alice";
+    "Jesse"; "Teresa"; "Joe"; "Sara"; "Bryan"; "Janice"; "Billy"; "Doris"; "Jordan"; "Madison";
+    "Albert"; "Julia"; "Dylan"; "Grace"; "Bruce"; "Judy"; "Willie"; "Abigail"; "Gabriel";
+    "Marie"; "Alan"; "Denise"; "Juan"; "Beverly"; "Logan"; "Amber"; "Wayne"; "Theresa"; "Ralph";
+    "Marilyn"; "Roy"; "Danielle"; "Eugene"; "Diana"; "Randy"; "Brittany"; "Vincent"; "Natalie";
+    "Russell"; "Sophia"; "Louis"; "Rose"; "Philip"; "Isabella"; "Bobby"; "Alexis"; "Johnny";
+    "Kayla"; "Bradley"; "Charlotte";
+  |]
+
+let last_names =
+  [|
+    "Smith"; "Johnson"; "Williams"; "Brown"; "Jones"; "Garcia"; "Miller"; "Davis"; "Rodriguez";
+    "Martinez"; "Hernandez"; "Lopez"; "Gonzalez"; "Wilson"; "Anderson"; "Thomas"; "Taylor";
+    "Moore"; "Jackson"; "Martin"; "Lee"; "Perez"; "Thompson"; "White"; "Harris"; "Sanchez";
+    "Clark"; "Ramirez"; "Lewis"; "Robinson"; "Walker"; "Young"; "Allen"; "King"; "Wright";
+    "Scott"; "Torres"; "Nguyen"; "Hill"; "Flores"; "Green"; "Adams"; "Nelson"; "Baker"; "Hall";
+    "Rivera"; "Campbell"; "Mitchell"; "Carter"; "Roberts"; "Gomez"; "Phillips"; "Evans";
+    "Turner"; "Diaz"; "Parker"; "Cruz"; "Edwards"; "Collins"; "Reyes"; "Stewart"; "Morris";
+    "Morales"; "Murphy"; "Cook"; "Rogers"; "Gutierrez"; "Ortiz"; "Morgan"; "Cooper"; "Peterson";
+    "Bailey"; "Reed"; "Kelly"; "Howard"; "Ramos"; "Kim"; "Cox"; "Ward"; "Richardson"; "Watson";
+    "Brooks"; "Chavez"; "Wood"; "James"; "Bennett"; "Gray"; "Mendoza"; "Ruiz"; "Hughes";
+    "Price"; "Alvarez"; "Castillo"; "Sanders"; "Patel"; "Myers"; "Long"; "Ross"; "Foster";
+    "Jimenez"; "Powell"; "Jenkins"; "Perry"; "Russell"; "Sullivan"; "Bell"; "Coleman"; "Butler";
+    "Henderson"; "Barnes"; "Gonzales"; "Fisher"; "Vasquez"; "Simmons"; "Romero"; "Jordan";
+    "Patterson"; "Alexander"; "Hamilton"; "Graham"; "Reynolds"; "Griffin"; "Wallace"; "Moreno";
+    "West"; "Cole"; "Hayes"; "Bryant"; "Herrera"; "Gibson"; "Ellis"; "Tran"; "Medina"; "Aguilar";
+    "Stevens"; "Murray"; "Ford"; "Castro"; "Marshall"; "Owens"; "Harrison"; "Fernandez";
+    "McDonald"; "Woods"; "Washington"; "Kennedy"; "Wells"; "Vargas"; "Henry"; "Chen"; "Freeman";
+    "Webb"; "Tucker"; "Guzman"; "Burns"; "Crawford"; "Olson"; "Simpson"; "Porter"; "Hunter";
+    "Gordon"; "Mendez"; "Silva"; "Shaw"; "Snyder"; "Mason"; "Dixon"; "Munoz"; "Hunt"; "Hicks";
+    "Holmes"; "Palmer"; "Wagner"; "Black"; "Robertson"; "Boyd"; "Rose"; "Stone"; "Salazar";
+    "Fox"; "Warren"; "Mills"; "Meyer"; "Rice"; "Schmidt"; "Garza"; "Daniels"; "Ferguson";
+    "Nichols"; "Stephens"; "Soto"; "Weaver"; "Ryan"; "Gardner"; "Payne"; "Grant"; "Dunn";
+    "Kelley"; "Spencer"; "Hawkins";
+  |]
+
+(* (city, state, number of zip codes the generator synthesizes for it) *)
+let cities =
+  [|
+    ("New York", "NY", 8); ("Los Angeles", "CA", 7); ("Chicago", "IL", 6); ("Houston", "TX", 6);
+    ("Phoenix", "AZ", 5); ("Philadelphia", "PA", 5); ("San Antonio", "TX", 4);
+    ("San Diego", "CA", 4); ("Dallas", "TX", 4); ("San Jose", "CA", 3); ("Austin", "TX", 3);
+    ("Jacksonville", "FL", 3); ("Fort Worth", "TX", 3); ("Columbus", "OH", 3);
+    ("Indianapolis", "IN", 3); ("Charlotte", "NC", 3); ("San Francisco", "CA", 3);
+    ("Seattle", "WA", 3); ("Denver", "CO", 3); ("Washington", "DC", 3); ("Nashville", "TN", 2);
+    ("Oklahoma City", "OK", 2); ("El Paso", "TX", 2); ("Boston", "MA", 2); ("Portland", "OR", 2);
+    ("Las Vegas", "NV", 2); ("Detroit", "MI", 2); ("Memphis", "TN", 2); ("Louisville", "KY", 2);
+    ("Baltimore", "MD", 2); ("Milwaukee", "WI", 2); ("Albuquerque", "NM", 2); ("Tucson", "AZ", 2);
+    ("Fresno", "CA", 2); ("Sacramento", "CA", 2); ("Kansas City", "MO", 2); ("Mesa", "AZ", 2);
+    ("Atlanta", "GA", 2); ("Omaha", "NE", 2); ("Colorado Springs", "CO", 2); ("Raleigh", "NC", 2);
+    ("Miami", "FL", 2); ("Long Beach", "CA", 2); ("Virginia Beach", "VA", 2); ("Oakland", "CA", 2);
+    ("Minneapolis", "MN", 2); ("Tulsa", "OK", 2); ("Tampa", "FL", 2); ("Arlington", "TX", 2);
+    ("New Orleans", "LA", 2); ("Wichita", "KS", 1); ("Bakersfield", "CA", 1); ("Cleveland", "OH", 1);
+    ("Aurora", "CO", 1); ("Anaheim", "CA", 1); ("Honolulu", "HI", 1); ("Santa Ana", "CA", 1);
+    ("Riverside", "CA", 1); ("Corpus Christi", "TX", 1); ("Lexington", "KY", 1);
+    ("Henderson", "NV", 1); ("Stockton", "CA", 1); ("Saint Paul", "MN", 1); ("Cincinnati", "OH", 1);
+    ("St. Louis", "MO", 1); ("Pittsburgh", "PA", 1); ("Greensboro", "NC", 1); ("Lincoln", "NE", 1);
+    ("Anchorage", "AK", 1); ("Plano", "TX", 1); ("Orlando", "FL", 1); ("Irvine", "CA", 1);
+    ("Newark", "NJ", 1); ("Durham", "NC", 1); ("Chula Vista", "CA", 1); ("Toledo", "OH", 1);
+    ("Fort Wayne", "IN", 1); ("St. Petersburg", "FL", 1); ("Laredo", "TX", 1);
+    ("Jersey City", "NJ", 1); ("Chandler", "AZ", 1); ("Madison", "WI", 1); ("Lubbock", "TX", 1);
+    ("Scottsdale", "AZ", 1); ("Reno", "NV", 1); ("Buffalo", "NY", 1); ("Gilbert", "AZ", 1);
+    ("Glendale", "AZ", 1); ("North Las Vegas", "NV", 1); ("Winston-Salem", "NC", 1);
+    ("Chesapeake", "VA", 1); ("Norfolk", "VA", 1); ("Fremont", "CA", 1); ("Garland", "TX", 1);
+    ("Irving", "TX", 1); ("Hialeah", "FL", 1); ("Richmond", "VA", 1); ("Boise", "ID", 1);
+    ("Spokane", "WA", 1); ("Baton Rouge", "LA", 1);
+  |]
+
+let languages =
+  [|
+    "English"; "Spanish"; "Chinese"; "Tagalog"; "Vietnamese"; "Arabic"; "French"; "Korean";
+    "Russian"; "German"; "Haitian Creole"; "Hindi"; "Portuguese"; "Italian"; "Polish";
+    "Japanese"; "Urdu"; "Persian"; "Gujarati"; "Greek";
+  |]
+
+let occupations =
+  [|
+    "Retail Salesperson"; "Cashier"; "Office Clerk"; "Registered Nurse"; "Customer Service Rep";
+    "Food Prep Worker"; "Laborer"; "Waiter"; "Secretary"; "Janitor"; "Truck Driver";
+    "Stock Clerk"; "Manager"; "Bookkeeper"; "Elementary Teacher"; "Nursing Aide";
+    "Sales Representative"; "Maintenance Worker"; "Assembler"; "Software Developer";
+    "Accountant"; "Security Guard"; "Receptionist"; "Cook"; "Carpenter"; "Electrician";
+    "Police Officer"; "Mechanic"; "Physician"; "Lawyer";
+  |]
+
+let street_names =
+  [|
+    "Main"; "Oak"; "Pine"; "Maple"; "Cedar"; "Elm"; "Washington"; "Lake"; "Hill"; "Park";
+    "Walnut"; "Spring"; "North"; "Ridge"; "Church"; "Willow"; "Mill"; "Sunset"; "Railroad";
+    "Jackson"; "River"; "Meadow"; "Chestnut"; "Franklin"; "Highland";
+  |]
+
+let street_suffixes = [| "St"; "Ave"; "Rd"; "Blvd"; "Ln"; "Dr"; "Ct"; "Way" |]
+
+let states =
+  [|
+    "CA"; "TX"; "FL"; "NY"; "PA"; "IL"; "OH"; "GA"; "NC"; "MI"; "NJ"; "VA"; "WA"; "AZ"; "MA";
+    "TN"; "IN"; "MO"; "MD"; "WI"; "CO"; "MN"; "SC"; "AL"; "LA"; "KY"; "OR"; "OK"; "CT"; "UT";
+    "IA"; "NV"; "AR"; "MS"; "KS"; "NM"; "NE"; "ID"; "WV"; "HI"; "NH"; "ME"; "MT"; "RI"; "DE";
+    "SD"; "ND"; "AK"; "DC"; "VT"; "WY";
+  |]
+
+let races =
+  [| "White"; "Black"; "Hispanic"; "Asian"; "Two or More"; "American Indian"; "Pacific Islander" |]
+
+let marital_statuses = [| "Married"; "Never Married"; "Divorced"; "Widowed"; "Separated" |]
+
+let education_levels =
+  [|
+    "High School"; "Some College"; "Bachelors"; "Less than High School"; "Associates"; "Masters";
+    "Professional"; "Doctorate";
+  |]
+
+let citizenships = [| "US Citizen"; "Naturalized"; "Permanent Resident"; "Non-Resident" |]
+
+(* Word stock for the free-text notes column. SPARTA fills its long
+   text fields with Project Gutenberg prose; a Markov-free bag-of-words
+   sentence generator over this list reproduces the storage shape
+   (hundreds of bytes of compressible English per row). *)
+let prose_words =
+  [|
+    "the"; "of"; "and"; "a"; "to"; "in"; "he"; "was"; "that"; "it"; "his"; "her"; "with"; "as";
+    "had"; "for"; "she"; "not"; "at"; "but"; "be"; "on"; "they"; "have"; "him"; "which"; "said";
+    "from"; "this"; "all"; "were"; "by"; "when"; "we"; "there"; "been"; "their"; "one"; "so";
+    "an"; "or"; "no"; "if"; "would"; "who"; "what"; "them"; "will"; "out"; "up"; "more"; "then";
+    "into"; "has"; "some"; "could"; "now"; "very"; "time"; "man"; "its"; "your"; "our"; "over";
+    "like"; "these"; "may"; "did"; "only"; "other"; "me"; "my"; "upon"; "any"; "little"; "down";
+    "made"; "before"; "must"; "through"; "such"; "where"; "after"; "without"; "again"; "old";
+    "great"; "himself"; "never"; "day"; "house"; "long"; "came"; "while"; "two"; "against";
+    "eyes"; "place"; "own"; "still"; "night"; "good"; "nothing"; "under"; "might"; "part";
+  |]
+
+let military_statuses = [| "None"; "Veteran"; "Active"; "Reserve" |]

@@ -1,0 +1,39 @@
+type query = { column : string; value : string; expected : int }
+
+let bucket_of n =
+  if n <= 1 then 0
+  else if n <= 10 then 1
+  else if n <= 100 then 2
+  else if n <= 1000 then 3
+  else if n <= 10000 then 4
+  else 5
+
+let bucket_label = function
+  | 0 -> "1"
+  | 1 -> "2-10"
+  | 2 -> "11-100"
+  | 3 -> "101-1k"
+  | 4 -> "1k-10k"
+  | _ -> ">10k"
+
+let generate ~seed ~columns ~counts ~n ?(max_result = 10_000) () =
+  let g = Stdx.Prng.create seed in
+  (* buckets.(b) = candidate (column, value, count) list *)
+  let buckets = Array.make 5 [] in
+  List.iter
+    (fun col ->
+      List.iter
+        (fun (value, count) ->
+          if count >= 1 && count <= max_result then begin
+            let b = bucket_of count in
+            buckets.(b) <- { column = col; value; expected = count } :: buckets.(b)
+          end)
+        (counts col))
+    columns;
+  let pools = Array.map Array.of_list buckets in
+  let non_empty = Array.to_list pools |> List.filter (fun p -> Array.length p > 0) in
+  if non_empty = [] then invalid_arg "Query_gen.generate: no candidate values";
+  let pools = Array.of_list non_empty in
+  List.init n (fun i ->
+      let pool = pools.(i mod Array.length pools) in
+      Stdx.Sampling.choose g pool)

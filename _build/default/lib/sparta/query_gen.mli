@@ -1,0 +1,35 @@
+(** Equality-query generator (the SPARTA query generator stand-in).
+
+    The paper's evaluation runs >1,000 SPARTA-generated equality
+    queries per database, "consisting of a mix of queries that returned
+    result sizes between 1 and 10,000 records" (§VI-A). This module
+    reproduces that mix: given the generated plaintext rows, it buckets
+    candidate values by true result size and samples queries evenly
+    across logarithmic size buckets. *)
+
+type query = {
+  column : string;  (** one of the encrypted columns *)
+  value : string;  (** plaintext equality target *)
+  expected : int;  (** true number of matching rows *)
+}
+
+val generate :
+  seed:int64 ->
+  columns:string list ->
+  counts:(string -> (string * int) list) ->
+  n:int ->
+  ?max_result:int ->
+  unit ->
+  query list
+(** [generate ~seed ~columns ~counts ~n ()] draws [n] queries.
+    [counts col] must list every distinct value of [col] with its row
+    count. Values with counts above [max_result] (default 10,000) are
+    excluded, matching the paper's cap. Buckets [1], [2,10],
+    [11,100], [101,1000], [1001,10000] are sampled round-robin; empty
+    buckets are skipped. *)
+
+val bucket_of : int -> int
+(** Index of the logarithmic size bucket a result size falls into
+    (0 = exactly 1 … 4 = 1001-10,000, 5 = larger). *)
+
+val bucket_label : int -> string

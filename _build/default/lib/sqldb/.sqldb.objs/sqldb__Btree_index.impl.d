@@ -1,0 +1,1 @@
+lib/sqldb/btree_index.ml: Array Hashtbl List Pager Stdx Value

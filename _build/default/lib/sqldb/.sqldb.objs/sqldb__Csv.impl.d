@@ -1,0 +1,1 @@
+lib/sqldb/csv.ml: Array Buffer Int64 List Printf Schema Stdx String Value

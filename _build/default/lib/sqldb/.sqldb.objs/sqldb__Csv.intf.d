@@ -1,0 +1,1 @@
+lib/sqldb/csv.mli: Schema Value

@@ -1,0 +1,1 @@
+lib/sqldb/database.ml: Executor Hashtbl Pager Printf Table

@@ -1,0 +1,1 @@
+lib/sqldb/database.mli: Executor Pager Predicate Schema Table Value

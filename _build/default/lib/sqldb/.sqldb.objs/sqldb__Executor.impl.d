@@ -1,0 +1,1 @@
+lib/sqldb/executor.ml: Array List Option Pager Predicate Stdx Table Table_index Value

@@ -1,0 +1,1 @@
+lib/sqldb/executor.mli: Pager Predicate Table Value

@@ -1,0 +1,1 @@
+lib/sqldb/hash_index.mli: Pager Value

@@ -1,0 +1,1 @@
+lib/sqldb/pager.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/sqldb/predicate.ml: Array Format Hashtbl List Schema Value

@@ -1,0 +1,1 @@
+lib/sqldb/predicate.mli: Format Schema Value

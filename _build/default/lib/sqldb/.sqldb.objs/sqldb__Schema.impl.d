@@ -1,0 +1,1 @@
+lib/sqldb/schema.ml: Array Format Hashtbl Printf Value

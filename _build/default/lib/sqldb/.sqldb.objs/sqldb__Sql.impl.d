@@ -1,0 +1,1 @@
+lib/sqldb/sql.ml: Array Buffer Database Executor Int64 List Predicate Printf Schema Stdx String Table Value

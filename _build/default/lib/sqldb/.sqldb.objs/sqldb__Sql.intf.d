@@ -1,0 +1,1 @@
+lib/sqldb/sql.mli: Database Executor Predicate Schema Value

@@ -1,0 +1,1 @@
+lib/sqldb/table.ml: Array Hashtbl Pager Printf Schema Stdx Table_index Value

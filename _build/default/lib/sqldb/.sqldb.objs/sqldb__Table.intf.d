@@ -1,0 +1,1 @@
+lib/sqldb/table.mli: Pager Schema Table_index Value

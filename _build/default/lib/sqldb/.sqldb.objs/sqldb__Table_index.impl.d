@@ -1,0 +1,1 @@
+lib/sqldb/table_index.ml: Btree_index Hash_index

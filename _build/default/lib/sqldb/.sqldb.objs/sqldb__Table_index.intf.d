@@ -1,0 +1,1 @@
+lib/sqldb/table_index.mli: Btree_index Hash_index Pager Value

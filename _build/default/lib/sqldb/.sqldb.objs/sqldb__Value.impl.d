@@ -1,0 +1,1 @@
+lib/sqldb/value.ml: Float Format Hashtbl Int64 Stdlib Stdx String

@@ -1,0 +1,38 @@
+(** Non-unique B-tree index.
+
+    Logically a sorted multimap from key values to row ids. Physically
+    it models a PostgreSQL B-tree for the pager: entries are packed
+    into 8 KiB leaf pages in key order (so equal keys are contiguous,
+    and an equality lookup touches [height] internal pages plus
+    [⌈matches / entries_per_leaf⌉] consecutive leaves), and internal
+    fanout determines the height. Sizes reported by {!size_bytes} feed
+    the Table I ciphertext-expansion experiment.
+
+    Inserts mark the index dirty; the sorted leaf layout is rebuilt
+    lazily on the next lookup (a bulk-load-then-query engine, which is
+    the paper's usage pattern). *)
+
+type t
+
+val create : Pager.t -> name:string -> t
+val name : t -> string
+val insert : t -> Value.t -> int -> unit
+
+val lookup : t -> Value.t -> int array
+(** Row ids for an equality match; touches index pages via the pager. *)
+
+val lookup_many : t -> Value.t list -> int array
+(** OR-of-equalities: union of per-key lookups, deduplicated, in heap
+    order — the plan WRE search queries compile to. *)
+
+val range : t -> ?lo:Value.t -> ?hi:Value.t -> unit -> int array
+(** Inclusive range scan over keys. *)
+
+val entry_count : t -> int
+val distinct_keys : t -> int
+val height : t -> int
+val leaf_pages : t -> int
+val page_count : t -> int
+
+val size_bytes : t -> int
+(** page_count × page size. *)

@@ -1,0 +1,168 @@
+let parse text =
+  let rows = Stdx.Vec.create () in
+  let row = Stdx.Vec.create () in
+  let cell = Buffer.create 32 in
+  let n = String.length text in
+  let i = ref 0 in
+  let error = ref None in
+  let flush_cell () =
+    Stdx.Vec.push row (Buffer.contents cell);
+    Buffer.clear cell
+  in
+  let flush_row () =
+    flush_cell ();
+    Stdx.Vec.push rows (Stdx.Vec.to_list row);
+    Stdx.Vec.clear row
+  in
+  while !error = None && !i < n do
+    let c = text.[!i] in
+    if c = '"' then begin
+      (* Quoted field: must start at the beginning of the cell. *)
+      if Buffer.length cell > 0 then error := Some (Printf.sprintf "stray quote at offset %d" !i)
+      else begin
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !error = None do
+          if !i >= n then error := Some "unterminated quoted field"
+          else if text.[!i] = '"' then
+            if !i + 1 < n && text.[!i + 1] = '"' then begin
+              Buffer.add_char cell '"';
+              i := !i + 2
+            end
+            else begin
+              closed := true;
+              incr i
+            end
+          else begin
+            Buffer.add_char cell text.[!i];
+            incr i
+          end
+        done;
+        (* After the closing quote only a separator may follow. *)
+        if !error = None && !i < n && text.[!i] <> ',' && text.[!i] <> '\n' && text.[!i] <> '\r'
+        then error := Some (Printf.sprintf "garbage after quoted field at offset %d" !i)
+      end
+    end
+    else if c = ',' then begin
+      flush_cell ();
+      incr i
+    end
+    else if c = '\n' then begin
+      flush_row ();
+      incr i
+    end
+    else if c = '\r' then begin
+      if !i + 1 < n && text.[!i + 1] = '\n' then begin
+        flush_row ();
+        i := !i + 2
+      end
+      else begin
+        flush_row ();
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char cell c;
+      incr i
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      (* Final line without trailing newline. *)
+      if Buffer.length cell > 0 || Stdx.Vec.length row > 0 then flush_row ();
+      Ok (Stdx.Vec.to_list rows)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_cell s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render rows =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map render_cell row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let header_of schema =
+  List.map (fun (c : Schema.column) -> c.name) (Array.to_list (Schema.columns schema))
+
+let typed_cell (col : Schema.column) cell =
+  if cell = "" && col.nullable then Ok Value.Null
+  else
+    match col.ty with
+    | Value.TInt -> (
+        match Int64.of_string_opt cell with
+        | Some v -> Ok (Value.Int v)
+        | None -> Error (Printf.sprintf "column %S: %S is not an integer" col.name cell))
+    | Value.TReal -> (
+        match float_of_string_opt cell with
+        | Some v -> Ok (Value.Real v)
+        | None -> Error (Printf.sprintf "column %S: %S is not a number" col.name cell))
+    | Value.TText -> Ok (Value.Text cell)
+    | Value.TBlob -> (
+        match Stdx.Bytes_util.of_hex cell with
+        | v -> Ok (Value.Blob v)
+        | exception Invalid_argument _ ->
+            Error (Printf.sprintf "column %S: %S is not hex" col.name cell))
+
+let typed_rows ~schema ~header rows =
+  let cols = Schema.columns schema in
+  let convert_row line_no cells =
+    if List.length cells <> Array.length cols then
+      Error
+        (Printf.sprintf "line %d: %d cells for %d columns" line_no (List.length cells)
+           (Array.length cols))
+    else begin
+      let out = Array.make (Array.length cols) Value.Null in
+      let err = ref None in
+      List.iteri
+        (fun i cell ->
+          if !err = None then
+            match typed_cell cols.(i) cell with
+            | Ok v -> out.(i) <- v
+            | Error e -> err := Some (Printf.sprintf "line %d: %s" line_no e))
+        cells;
+      match !err with None -> Ok out | Some e -> Error e
+    end
+  in
+  let data, start_line =
+    match (header, rows) with
+    | false, rows -> (Ok rows, 1)
+    | true, [] -> (Error "empty file where a header was expected", 2)
+    | true, hd :: tl ->
+        if hd = header_of schema then (Ok tl, 2)
+        else (Error "header does not match the schema's column names", 2)
+  in
+  match data with
+  | Error e -> Error e
+  | Ok rows ->
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | r :: rest -> (
+            match convert_row i r with Error e -> Error e | Ok row -> go (i + 1) (row :: acc) rest)
+      in
+      go start_line [] rows
+
+let untyped_cell = function
+  | Value.Null -> ""
+  | Value.Int v -> Int64.to_string v
+  | Value.Real v -> Printf.sprintf "%.17g" v
+  | Value.Text s -> s
+  | Value.Blob s -> Stdx.Bytes_util.to_hex s
+
+let untyped_rows rows = List.map (fun row -> List.map untyped_cell (Array.to_list row)) rows

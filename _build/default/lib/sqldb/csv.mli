@@ -1,0 +1,26 @@
+(** CSV reading/writing (RFC 4180 quoting).
+
+    The CLI's end-to-end story — encrypt a plaintext CSV into an
+    encrypted CSV plus key material, later reload and query it — runs
+    through this module. Typed conversion maps CSV cells onto a
+    {!Schema}: INT/REAL cells are parsed, empty cells become NULL for
+    nullable columns, and BLOB cells are hex. *)
+
+val parse : string -> (string list list, string) result
+(** Parse CSV text into rows of cells. Handles quoted fields containing
+    commas, quotes ([""] escape) and newlines. Skips a trailing empty
+    line. *)
+
+val render : string list list -> string
+(** Inverse of {!parse}; quotes exactly the cells that need it. *)
+
+val typed_rows :
+  schema:Schema.t -> header:bool -> string list list -> (Value.t array list, string) result
+(** Convert parsed cells to schema-typed rows. With [header:true] the
+    first row must name the schema's columns (in order). *)
+
+val untyped_rows : Value.t array list -> string list list
+(** Render typed rows back to cells ([to_string]-style; blobs as hex,
+    NULL as the empty cell). *)
+
+val header_of : Schema.t -> string list

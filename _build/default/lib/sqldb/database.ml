@@ -1,0 +1,27 @@
+type t = { pager : Pager.t; catalog : (string, Table.t) Hashtbl.t }
+
+let create ?config () = { pager = Pager.create ?config (); catalog = Hashtbl.create 8 }
+
+let pager t = t.pager
+
+let create_table t ~name ~schema =
+  if Hashtbl.mem t.catalog name then
+    invalid_arg (Printf.sprintf "Database.create_table: table %S already exists" name);
+  let table = Table.create t.pager ~name ~schema in
+  Hashtbl.replace t.catalog name table;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.catalog name with Some tbl -> tbl | None -> raise Not_found
+
+let table_opt t name = Hashtbl.find_opt t.catalog name
+let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.catalog []
+
+let insert t ~table:name row = Table.insert (table t name) row
+
+let query t ~table:name ~projection p = Executor.run (table t name) ~projection p
+
+let drop_caches t = Pager.drop_caches t.pager
+
+let heap_bytes t = Hashtbl.fold (fun _ tbl acc -> acc + Table.heap_bytes tbl) t.catalog 0
+let total_bytes t = Hashtbl.fold (fun _ tbl acc -> acc + Table.total_bytes tbl) t.catalog 0

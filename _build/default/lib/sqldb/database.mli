@@ -1,0 +1,34 @@
+(** Database catalog: the deployable surface.
+
+    A [Database.t] stands in for the unmodified cloud DBMS of the
+    paper: the WRE client only ever creates tables, inserts rows,
+    builds standard indexes and runs SELECT queries against it —
+    no custom server-side machinery, which is the whole point of
+    "easily deployable" encryption. *)
+
+type t
+
+val create : ?config:Pager.config -> unit -> t
+val pager : t -> Pager.t
+
+val create_table : t -> name:string -> schema:Schema.t -> Table.t
+(** Raises [Invalid_argument] if the name is taken. *)
+
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val table_opt : t -> string -> Table.t option
+val tables : t -> Table.t list
+
+val insert : t -> table:string -> Value.t array -> int
+
+val query : t -> table:string -> projection:Executor.projection -> Predicate.t -> Executor.result
+
+val drop_caches : t -> unit
+(** Cold-cache protocol between queries (paper §VI-B). *)
+
+val total_bytes : t -> int
+(** All heaps + all indexes: the "DB + Indexes Size" of Table I. *)
+
+val heap_bytes : t -> int
+(** All heaps only: the "DB Size" column of Table I. *)

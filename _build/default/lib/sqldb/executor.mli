@@ -1,0 +1,31 @@
+(** Query planner and executor.
+
+    Implements the two query shapes of the paper's evaluation:
+    - [SELECT ID FROM t WHERE …] — answered from indexes alone when the
+      predicate allows (an index-only scan; "these queries only require
+      that the DBMS scan the indexes", §VI-B);
+    - [SELECT * FROM t WHERE …] — additionally fetches each matching
+      row from its heap page and charges transfer bytes.
+
+    Planning: an [Eq]/[In] predicate over an indexed column becomes an
+    index (multi-)lookup; a conjunction uses the first indexable leg
+    and filters the rest; anything else is a sequential scan. *)
+
+type projection =
+  | Row_ids  (** SELECT ID *)
+  | All_columns  (** SELECT * *)
+
+type plan_kind = Index_scan of string | Seq_scan
+
+type result = {
+  row_ids : int array;
+  rows : Value.t array array;  (** empty for [Row_ids] *)
+  plan : plan_kind;
+  wall_ns : float;  (** measured executor time *)
+  stats : Pager.stats;  (** pager-counter delta for this query *)
+}
+
+val explain : Table.t -> Predicate.t -> plan_kind
+(** The plan that {!run} would choose, without executing. *)
+
+val run : Table.t -> projection:projection -> Predicate.t -> result

@@ -1,0 +1,81 @@
+type config = {
+  page_size : int;
+  io_miss_ns : float;
+  cpu_row_ns : float;
+  cpu_probe_ns : float;
+  cpu_transfer_ns_per_byte : float;
+}
+
+let default_config =
+  {
+    page_size = 8192;
+    io_miss_ns = 200_000.0;
+    cpu_row_ns = 150.0;
+    cpu_probe_ns = 5_000.0;
+    cpu_transfer_ns_per_byte = 1.0;
+  }
+
+type rel = { id : int; name : string }
+
+type t = {
+  cfg : config;
+  cache : (int * int, unit) Hashtbl.t;
+  mutable next_rel : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_rows : int;
+  mutable acc_sim_ns : float;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    cache = Hashtbl.create 4096;
+    next_rel = 0;
+    n_hits = 0;
+    n_misses = 0;
+    n_rows = 0;
+    acc_sim_ns = 0.0;
+  }
+
+let config t = t.cfg
+
+let make_rel t ~name =
+  let id = t.next_rel in
+  t.next_rel <- id + 1;
+  { id; name }
+
+let rel_name r = r.name
+
+let touch t rel page =
+  let key = (rel.id, page) in
+  if Hashtbl.mem t.cache key then t.n_hits <- t.n_hits + 1
+  else begin
+    t.n_misses <- t.n_misses + 1;
+    t.acc_sim_ns <- t.acc_sim_ns +. t.cfg.io_miss_ns;
+    Hashtbl.replace t.cache key ()
+  end
+
+let charge_rows t n =
+  t.n_rows <- t.n_rows + n;
+  t.acc_sim_ns <- t.acc_sim_ns +. (float_of_int n *. t.cfg.cpu_row_ns)
+
+let charge_probe t = t.acc_sim_ns <- t.acc_sim_ns +. t.cfg.cpu_probe_ns
+
+let charge_transfer t n =
+  t.acc_sim_ns <- t.acc_sim_ns +. (float_of_int n *. t.cfg.cpu_transfer_ns_per_byte)
+
+let drop_caches t = Hashtbl.reset t.cache
+
+type stats = { hits : int; misses : int; rows_examined : int; sim_ns : float }
+
+let stats t =
+  { hits = t.n_hits; misses = t.n_misses; rows_examined = t.n_rows; sim_ns = t.acc_sim_ns }
+
+let reset_stats t =
+  t.n_hits <- 0;
+  t.n_misses <- 0;
+  t.n_rows <- 0;
+  t.acc_sim_ns <- 0.0
+
+let sim_ms s = s.sim_ns /. 1e6

@@ -1,0 +1,65 @@
+(** Buffer-pool and I/O cost model.
+
+    The paper's query-latency figures (Figs. 4–7) are dominated by
+    storage behaviour: a cold run pays a random read for every page not
+    in the OS/Postgres caches, a warm run pays almost none. The engine
+    here keeps all data in memory, so it models that axis explicitly: a
+    set of cached [(relation, page)] pairs, a simulated latency charged
+    on every miss, and a CPU charge per row examined. Real wall-clock
+    time of the executor is measured separately; the *simulated* clock
+    is what reproduces the paper's cold/warm shapes on a machine with
+    no spinning disks.
+
+    Benchmarks reproduce the paper's two scenarios by calling
+    {!drop_caches} before each query (cold) or leaving the cache alone
+    (warm) — exactly the protocol of §VI-A. *)
+
+type t
+
+type config = {
+  page_size : int;  (** bytes per page; 8192 like PostgreSQL *)
+  io_miss_ns : float;  (** simulated latency per page miss *)
+  cpu_row_ns : float;  (** simulated CPU per row examined *)
+  cpu_probe_ns : float;  (** simulated CPU per index probe (one per tag in an IN-list) *)
+  cpu_transfer_ns_per_byte : float;  (** network/serialization cost for returned bytes *)
+}
+
+val default_config : config
+(** 8 KiB pages, 200 µs per miss (10k-RPM array random read), 150 ns
+    per row, 5 µs per index probe, 1 ns per returned byte (≈1 Gbps
+    wire, paper §VI-A). *)
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+type rel
+(** A relation (heap or index) with its own page number space. *)
+
+val make_rel : t -> name:string -> rel
+val rel_name : rel -> string
+
+val touch : t -> rel -> int -> unit
+(** Access one page: cache hit or miss-and-fill. *)
+
+val charge_rows : t -> int -> unit
+(** CPU charge for examining [n] rows. *)
+
+val charge_probe : t -> unit
+(** CPU charge for one B-tree descent — what makes a 1,000-tag WRE
+    query slower than a single-tag plaintext query even when every
+    page is cached (the warm-cache ordering of Figs. 6–7). *)
+
+val charge_transfer : t -> int -> unit
+(** Wire charge for returning [n] bytes. *)
+
+val drop_caches : t -> unit
+(** Empty the buffer pool (the paper's
+    [echo 3 > /proc/sys/vm/drop_caches] plus Postgres restart). *)
+
+type stats = { hits : int; misses : int; rows_examined : int; sim_ns : float }
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Zero the counters without touching the cache contents. *)
+
+val sim_ms : stats -> float

@@ -1,0 +1,58 @@
+type column = { name : string; ty : Value.ty; nullable : bool }
+
+type t = { cols : column array; by_name : (string, int) Hashtbl.t }
+
+let create columns =
+  if columns = [] then invalid_arg "Schema.create: no columns";
+  let cols = Array.of_list columns in
+  let by_name = Hashtbl.create (Array.length cols) in
+  Array.iteri
+    (fun i c ->
+      if c.name = "" then invalid_arg "Schema.create: empty column name";
+      if Hashtbl.mem by_name c.name then
+        invalid_arg (Printf.sprintf "Schema.create: duplicate column %S" c.name);
+      Hashtbl.add by_name c.name i)
+    cols;
+  { cols; by_name }
+
+let columns t = Array.copy t.cols
+let arity t = Array.length t.cols
+
+let column_index t name =
+  match Hashtbl.find_opt t.by_name name with Some i -> i | None -> raise Not_found
+
+let column_index_opt t name = Hashtbl.find_opt t.by_name name
+let column_name t i = t.cols.(i).name
+
+let validate_row t row =
+  if Array.length row <> Array.length t.cols then
+    Error
+      (Printf.sprintf "row arity %d does not match schema arity %d" (Array.length row)
+         (Array.length t.cols))
+  else begin
+    let err = ref None in
+    Array.iteri
+      (fun i v ->
+        if !err = None then begin
+          let col = t.cols.(i) in
+          match Value.ty_of v with
+          | None -> if not col.nullable then err := Some (Printf.sprintf "column %S is NOT NULL" col.name)
+          | Some ty ->
+              if ty <> col.ty then
+                err :=
+                  Some
+                    (Printf.sprintf "column %S expects %s, got %s" col.name (Value.ty_name col.ty)
+                       (Value.ty_name ty))
+        end)
+      row;
+    match !err with None -> Ok () | Some e -> Error e
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf c ->
+         Format.fprintf ppf "%s %s%s" c.name (Value.ty_name c.ty)
+           (if c.nullable then "" else " NOT NULL")))
+    (Array.to_list t.cols)

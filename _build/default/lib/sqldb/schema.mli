@@ -1,0 +1,27 @@
+(** Table schemas.
+
+    A schema is an ordered list of typed, named columns. Inserts are
+    checked against it (type and nullability), mirroring what a real
+    DBMS enforces — the WRE layer depends on the engine accepting its
+    extra tag/ciphertext columns exactly like any application column. *)
+
+type column = { name : string; ty : Value.ty; nullable : bool }
+
+type t
+
+val create : column list -> t
+(** Column names must be unique and non-empty. *)
+
+val columns : t -> column array
+val arity : t -> int
+
+val column_index : t -> string -> int
+(** Raises [Not_found] for unknown columns. *)
+
+val column_index_opt : t -> string -> int option
+val column_name : t -> int -> string
+
+val validate_row : t -> Value.t array -> (unit, string) result
+(** Arity, per-column type, and nullability check. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,503 @@
+(* Lexer + recursive-descent parser for the SQL fragment. *)
+
+type select = {
+  projection : [ `Star | `Columns of string list ];
+  table : string;
+  where : Predicate.t;
+  limit : int option;
+}
+
+type statement =
+  | Select of select
+  | Insert of { table : string; values : Value.t list }
+  | Create_table of { table : string; columns : Schema.column list }
+  | Delete of { table : string; where : Predicate.t }
+  | Update of { table : string; assignments : (string * Value.t) list; where : Predicate.t }
+
+(* ---------------- Lexer ---------------- *)
+
+type token =
+  | Ident of string
+  | Int_lit of int64
+  | Float_lit of float
+  | String_lit of string
+  | Blob_lit of string
+  | Star
+  | Comma
+  | Lparen
+  | Rparen
+  | Eq
+  | Neq
+  | Le
+  | Ge
+  | Lt
+  | Gt
+  | Eof
+
+exception Parse_error of string * int
+
+let error pos fmt = Printf.ksprintf (fun m -> raise (Parse_error (m, pos))) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = Stdx.Vec.create () in
+  let push pos tok = Stdx.Vec.push tokens (tok, pos) in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      i := !j;
+      (* X'ab12' blob literal *)
+      if (word = "x" || word = "X") && !i < n && src.[!i] = '\'' then begin
+        let k = ref (!i + 1) in
+        while !k < n && src.[!k] <> '\'' do
+          incr k
+        done;
+        if !k >= n then error pos "unterminated blob literal";
+        let hex = String.sub src (!i + 1) (!k - !i - 1) in
+        i := !k + 1;
+        match Stdx.Bytes_util.of_hex hex with
+        | s -> push pos (Blob_lit s)
+        | exception Invalid_argument _ -> error pos "malformed hex in blob literal"
+      end
+      else push pos (Ident word)
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let j = ref (!i + 1) in
+      while !j < n && (is_digit src.[!j] || src.[!j] = '.' || src.[!j] = 'e' || src.[!j] = '-' && src.[!j - 1] = 'e') do
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      i := !j;
+      if String.contains text '.' || String.contains text 'e' then
+        match float_of_string_opt text with
+        | Some f -> push pos (Float_lit f)
+        | None -> error pos "malformed number %S" text
+      else begin
+        match Int64.of_string_opt text with
+        | Some v -> push pos (Int_lit v)
+        | None -> error pos "malformed integer %S" text
+      end
+    end
+    else if c = '\'' then begin
+      (* string literal with '' escape *)
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while not !closed do
+        if !j >= n then error pos "unterminated string literal";
+        if src.[!j] = '\'' then
+          if !j + 1 < n && src.[!j + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            j := !j + 2
+          end
+          else begin
+            closed := true;
+            incr j
+          end
+        else begin
+          Buffer.add_char buf src.[!j];
+          incr j
+        end
+      done;
+      i := !j;
+      push pos (String_lit (Buffer.contents buf))
+    end
+    else begin
+      incr i;
+      match c with
+      | '*' -> push pos Star
+      | ',' -> push pos Comma
+      | '(' -> push pos Lparen
+      | ')' -> push pos Rparen
+      | '=' -> push pos Eq
+      | ';' -> () (* trailing semicolons are noise *)
+      | '<' ->
+          if !i < n && src.[!i] = '=' then begin
+            incr i;
+            push pos Le
+          end
+          else if !i < n && src.[!i] = '>' then begin
+            incr i;
+            push pos Neq
+          end
+          else push pos Lt
+      | '>' ->
+          if !i < n && src.[!i] = '=' then begin
+            incr i;
+            push pos Ge
+          end
+          else push pos Gt
+      | '!' ->
+          if !i < n && src.[!i] = '=' then begin
+            incr i;
+            push pos Neq
+          end
+          else error pos "unexpected character '!'"
+      | _ -> error pos "unexpected character %C" c
+    end
+  done;
+  push n Eof;
+  Stdx.Vec.to_array tokens
+
+(* ---------------- Parser ---------------- *)
+
+type parser_state = { toks : (token * int) array; mutable cur : int }
+
+let peek p = fst p.toks.(p.cur)
+let pos p = snd p.toks.(p.cur)
+let advance p = p.cur <- p.cur + 1
+
+let keyword p = match peek p with Ident w -> Some (String.uppercase_ascii w) | _ -> None
+
+let expect_keyword p kw =
+  match keyword p with
+  | Some w when w = kw -> advance p
+  | _ -> error (pos p) "expected %s" kw
+
+let accept_keyword p kw =
+  match keyword p with
+  | Some w when w = kw ->
+      advance p;
+      true
+  | _ -> false
+
+let expect_ident p =
+  match peek p with
+  | Ident w -> (
+      match String.uppercase_ascii w with
+      | "SELECT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "IN" | "BETWEEN" | "LIMIT"
+      | "INSERT" | "INTO" | "VALUES" | "CREATE" | "TABLE" | "NULL" | "DELETE" | "UPDATE" | "SET"
+        ->
+          error (pos p) "keyword %S where an identifier was expected" w
+      | _ ->
+          advance p;
+          w)
+  | _ -> error (pos p) "expected an identifier"
+
+let expect p tok what =
+  if peek p = tok then advance p else error (pos p) "expected %s" what
+
+let parse_literal p =
+  match peek p with
+  | Int_lit v ->
+      advance p;
+      Value.Int v
+  | Float_lit v ->
+      advance p;
+      Value.Real v
+  | String_lit s ->
+      advance p;
+      Value.Text s
+  | Blob_lit s ->
+      advance p;
+      Value.Blob s
+  | Ident w when String.uppercase_ascii w = "NULL" ->
+      advance p;
+      Value.Null
+  | _ -> error (pos p) "expected a literal"
+
+let rec parse_or p =
+  let left = parse_and p in
+  if accept_keyword p "OR" then
+    let right = parse_or p in
+    match right with Predicate.Or rs -> Predicate.Or (left :: rs) | r -> Predicate.Or [ left; r ]
+  else left
+
+and parse_and p =
+  let left = parse_not p in
+  if accept_keyword p "AND" then
+    let right = parse_and p in
+    match right with Predicate.And rs -> Predicate.And (left :: rs) | r -> Predicate.And [ left; r ]
+  else left
+
+and parse_not p =
+  if accept_keyword p "NOT" then Predicate.Not (parse_not p) else parse_atom p
+
+and parse_atom p =
+  if peek p = Lparen then begin
+    advance p;
+    let e = parse_or p in
+    expect p Rparen "')'";
+    e
+  end
+  else begin
+    match keyword p with
+    | Some "TRUE" ->
+        advance p;
+        Predicate.True
+    | _ ->
+        let col = expect_ident p in
+        if accept_keyword p "IN" then begin
+          expect p Lparen "'('";
+          let vs = ref [ parse_literal p ] in
+          while peek p = Comma do
+            advance p;
+            vs := parse_literal p :: !vs
+          done;
+          expect p Rparen "')'";
+          Predicate.In (col, List.rev !vs)
+        end
+        else if accept_keyword p "BETWEEN" then begin
+          let lo = parse_literal p in
+          expect_keyword p "AND";
+          let hi = parse_literal p in
+          Predicate.Range (col, Some lo, Some hi)
+        end
+        else begin
+          match peek p with
+          | Eq ->
+              advance p;
+              Predicate.Eq (col, parse_literal p)
+          | Neq ->
+              advance p;
+              Predicate.Not (Predicate.Eq (col, parse_literal p))
+          | Le ->
+              advance p;
+              Predicate.Range (col, None, Some (parse_literal p))
+          | Ge ->
+              advance p;
+              Predicate.Range (col, Some (parse_literal p), None)
+          | Lt | Gt ->
+              (* Strict bounds are not representable in the inclusive
+                 Range; the engine's workload never needs them. *)
+              error (pos p) "strict comparisons are not supported; use BETWEEN / <= / >="
+          | _ -> error (pos p) "expected a comparison after column %S" col
+        end
+  end
+
+let parse_select p =
+  expect_keyword p "SELECT";
+  let projection =
+    if peek p = Star then begin
+      advance p;
+      `Star
+    end
+    else begin
+      let cols = ref [ expect_ident p ] in
+      while peek p = Comma do
+        advance p;
+        cols := expect_ident p :: !cols
+      done;
+      `Columns (List.rev !cols)
+    end
+  in
+  expect_keyword p "FROM";
+  let table = expect_ident p in
+  let where = if accept_keyword p "WHERE" then parse_or p else Predicate.True in
+  let limit =
+    if accept_keyword p "LIMIT" then begin
+      match peek p with
+      | Int_lit v ->
+          advance p;
+          Some (Int64.to_int v)
+      | _ -> error (pos p) "expected an integer after LIMIT"
+    end
+    else None
+  in
+  { projection; table; where; limit }
+
+let parse_insert p =
+  expect_keyword p "INSERT";
+  expect_keyword p "INTO";
+  let table = expect_ident p in
+  expect_keyword p "VALUES";
+  expect p Lparen "'('";
+  let vs = ref [ parse_literal p ] in
+  while peek p = Comma do
+    advance p;
+    vs := parse_literal p :: !vs
+  done;
+  expect p Rparen "')'";
+  Insert { table; values = List.rev !vs }
+
+let parse_create p =
+  expect_keyword p "CREATE";
+  expect_keyword p "TABLE";
+  let table = expect_ident p in
+  expect p Lparen "'('";
+  let parse_coldef () =
+    let name = expect_ident p in
+    let ty =
+      match keyword p with
+      | Some ("INT" | "INTEGER" | "BIGINT") ->
+          advance p;
+          Value.TInt
+      | Some ("REAL" | "FLOAT" | "DOUBLE") ->
+          advance p;
+          Value.TReal
+      | Some ("TEXT" | "VARCHAR" | "STRING") ->
+          advance p;
+          Value.TText
+      | Some ("BLOB" | "BYTEA") ->
+          advance p;
+          Value.TBlob
+      | _ -> error (pos p) "expected a column type"
+    in
+    let nullable =
+      if accept_keyword p "NOT" then begin
+        expect_keyword p "NULL";
+        false
+      end
+      else true
+    in
+    { Schema.name; ty; nullable }
+  in
+  let cols = ref [ parse_coldef () ] in
+  while peek p = Comma do
+    advance p;
+    cols := parse_coldef () :: !cols
+  done;
+  expect p Rparen "')'";
+  Create_table { table; columns = List.rev !cols }
+
+let parse_delete p =
+  expect_keyword p "DELETE";
+  expect_keyword p "FROM";
+  let table = expect_ident p in
+  let where = if accept_keyword p "WHERE" then parse_or p else Predicate.True in
+  Delete { table; where }
+
+let parse_update p =
+  expect_keyword p "UPDATE";
+  let table = expect_ident p in
+  expect_keyword p "SET";
+  let parse_assignment () =
+    let col = expect_ident p in
+    expect p Eq "'='";
+    (col, parse_literal p)
+  in
+  let assignments = ref [ parse_assignment () ] in
+  while peek p = Comma do
+    advance p;
+    assignments := parse_assignment () :: !assignments
+  done;
+  let where = if accept_keyword p "WHERE" then parse_or p else Predicate.True in
+  Update { table; assignments = List.rev !assignments; where }
+
+let parse_statement p =
+  match keyword p with
+  | Some "SELECT" -> Select (parse_select p)
+  | Some "INSERT" -> parse_insert p
+  | Some "CREATE" -> parse_create p
+  | Some "DELETE" -> parse_delete p
+  | Some "UPDATE" -> parse_update p
+  | _ -> error (pos p) "expected SELECT, INSERT, CREATE, DELETE or UPDATE"
+
+let run_parser f src =
+  match tokenize src with
+  | exception Parse_error (m, i) -> Error (Printf.sprintf "%s (at offset %d)" m i)
+  | toks -> (
+      let p = { toks; cur = 0 } in
+      match f p with
+      | result ->
+          if peek p <> Eof then Error (Printf.sprintf "trailing input at offset %d" (pos p))
+          else Ok result
+      | exception Parse_error (m, i) -> Error (Printf.sprintf "%s (at offset %d)" m i))
+
+let parse src = run_parser parse_statement src
+let parse_predicate src = run_parser parse_or src
+
+(* ---------------- Execution ---------------- *)
+
+type query_result = {
+  columns : string list;
+  rows : Value.t array list;
+  affected : int;
+  exec : Executor.result option;
+}
+
+let empty_result ?(affected = 0) () = { columns = []; rows = []; affected; exec = None }
+
+let take limit l =
+  match limit with
+  | None -> l
+  | Some n -> List.filteri (fun i _ -> i < n) l
+
+let execute db src =
+  match parse src with
+  | Error e -> Error e
+  | Ok (Select s) -> (
+      match Database.table_opt db s.table with
+      | None -> Error (Printf.sprintf "no such table %S" s.table)
+      | Some table -> (
+          let schema = Table.schema table in
+          let project =
+            match s.projection with
+            | `Star -> Ok (List.map (fun (c : Schema.column) -> c.name) (Array.to_list (Schema.columns schema)))
+            | `Columns cols ->
+                let missing = List.filter (fun c -> Schema.column_index_opt schema c = None) cols in
+                if missing = [] then Ok cols
+                else Error (Printf.sprintf "no such column %S" (List.hd missing))
+          in
+          match project with
+          | Error e -> Error e
+          | Ok columns -> (
+              match Executor.run table ~projection:Executor.All_columns s.where with
+              | exception Not_found -> Error "predicate references an unknown column"
+              | exec ->
+                  let idxs = List.map (Schema.column_index schema) columns in
+                  let rows =
+                    take s.limit
+                      (List.map
+                         (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs))
+                         (Array.to_list exec.rows))
+                  in
+                  Ok { columns; rows; affected = 0; exec = Some exec })))
+  | Ok (Insert { table; values }) -> (
+      match Database.table_opt db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some t -> (
+          match Table.insert t (Array.of_list values) with
+          | _id -> Ok (empty_result ~affected:1 ())
+          | exception Invalid_argument e -> Error e))
+  | Ok (Create_table { table; columns }) -> (
+      match Schema.create columns with
+      | schema -> (
+          match Database.create_table db ~name:table ~schema with
+          | _t -> Ok (empty_result ())
+          | exception Invalid_argument e -> Error e)
+      | exception Invalid_argument e -> Error e)
+  | Ok (Delete { table; where }) -> (
+      match Database.table_opt db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some t -> (
+          match Executor.run t ~projection:Executor.Row_ids where with
+          | exception Not_found -> Error "predicate references an unknown column"
+          | r ->
+              let n =
+                Array.fold_left (fun acc id -> if Table.delete t id then acc + 1 else acc) 0 r.row_ids
+              in
+              Ok (empty_result ~affected:n ())))
+  | Ok (Update { table; assignments; where }) -> (
+      match Database.table_opt db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some t -> (
+          let schema = Table.schema t in
+          match List.map (fun (c, v) -> (Schema.column_index schema c, v)) assignments with
+          | exception Not_found -> Error "SET references an unknown column"
+          | positions -> (
+              match Executor.run t ~projection:Executor.Row_ids where with
+              | exception Not_found -> Error "predicate references an unknown column"
+              | r -> (
+                  match
+                    Array.iter
+                      (fun id ->
+                        let row = Array.copy (Table.peek_row t id) in
+                        List.iter (fun (i, v) -> row.(i) <- v) positions;
+                        ignore (Table.update t id row))
+                      r.row_ids
+                  with
+                  | () -> Ok (empty_result ~affected:(Array.length r.row_ids) ())
+                  | exception Invalid_argument e -> Error e))))

@@ -1,0 +1,44 @@
+(** A small SQL front-end for the engine.
+
+    Covers the fragment the paper's evaluation exercises (and that the
+    WRE proxy must rewrite): single-table SELECT with equality / IN /
+    BETWEEN predicates combined with AND/OR/NOT, column projection or
+    [*], LIMIT; INSERT INTO … VALUES; CREATE TABLE. Hand-written lexer
+    and recursive-descent parser — no external parser generators in the
+    sealed environment.
+
+    Identifiers are case-sensitive; keywords are not. String literals
+    use single quotes with [''] escaping; blob literals are [X'hex']. *)
+
+type select = {
+  projection : [ `Star | `Columns of string list ];
+  table : string;
+  where : Predicate.t;
+  limit : int option;
+}
+
+type statement =
+  | Select of select
+  | Insert of { table : string; values : Value.t list }
+  | Create_table of { table : string; columns : Schema.column list }
+  | Delete of { table : string; where : Predicate.t }
+  | Update of { table : string; assignments : (string * Value.t) list; where : Predicate.t }
+
+val parse : string -> (statement, string) result
+(** Parse one statement. The error message includes the offending
+    position. *)
+
+val parse_predicate : string -> (Predicate.t, string) result
+(** Parse a bare WHERE-clause expression (used by tests and the proxy). *)
+
+type query_result = {
+  columns : string list;  (** names of the projected columns *)
+  rows : Value.t array list;
+  affected : int;  (** rows inserted / deleted / updated *)
+  exec : Executor.result option;  (** None for non-SELECT statements *)
+}
+
+val execute : Database.t -> string -> (query_result, string) result
+(** Parse and run a statement against the database. SELECT projects and
+    applies LIMIT client-side of the executor; INSERT/CREATE return an
+    empty row set. *)

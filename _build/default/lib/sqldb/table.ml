@@ -1,0 +1,133 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  pager : Pager.t;
+  heap_rel : Pager.rel;
+  rows : Value.t array Stdx.Vec.t;
+  row_pages : int Stdx.Vec.t;
+  live : bool Stdx.Vec.t;
+  mutable n_dead : int;
+  mutable cur_page : int;
+  mutable cur_fill : int; (* bytes used on the current heap page *)
+  mutable data_bytes : int; (* logical tuple bytes, for avg_row_bytes *)
+  indexes : (string, Table_index.t) Hashtbl.t;
+}
+
+let page_header = 24
+let tuple_header = 24
+let line_pointer = 4
+let maxalign n = (n + 7) land lnot 7
+
+let create pager ~name ~schema =
+  {
+    name;
+    schema;
+    pager;
+    heap_rel = Pager.make_rel pager ~name:(name ^ ".heap");
+    rows = Stdx.Vec.create ();
+    row_pages = Stdx.Vec.create ();
+    live = Stdx.Vec.create ();
+    n_dead = 0;
+    cur_page = 0;
+    cur_fill = 0;
+    data_bytes = 0;
+    indexes = Hashtbl.create 4;
+  }
+
+let name t = t.name
+let schema t = t.schema
+let pager t = t.pager
+
+let tuple_bytes schema row =
+  let data = Array.fold_left (fun acc v -> acc + Value.heap_bytes v) 0 row in
+  let null_bitmap = if Array.exists (fun v -> v = Value.Null) row then (Schema.arity schema + 7) / 8 else 0 in
+  tuple_header + line_pointer + maxalign (data + null_bitmap)
+
+let insert t row =
+  (match Schema.validate_row t.schema row with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Table.insert(%s): %s" t.name e));
+  let bytes = tuple_bytes t.schema row in
+  let usable = (Pager.config t.pager).page_size - page_header in
+  if t.cur_fill + bytes > usable && t.cur_fill > 0 then begin
+    t.cur_page <- t.cur_page + 1;
+    t.cur_fill <- 0
+  end;
+  t.cur_fill <- t.cur_fill + bytes;
+  t.data_bytes <- t.data_bytes + bytes;
+  let id = Stdx.Vec.length t.rows in
+  Stdx.Vec.push t.rows (Array.copy row);
+  Stdx.Vec.push t.row_pages t.cur_page;
+  Stdx.Vec.push t.live true;
+  Hashtbl.iter
+    (fun col idx -> Table_index.insert idx row.(Schema.column_index t.schema col) id)
+    t.indexes;
+  id
+
+let row_count t = Stdx.Vec.length t.rows
+let live_count t = row_count t - t.n_dead
+let is_live t id = Stdx.Vec.get t.live id
+
+let delete t id =
+  if Stdx.Vec.get t.live id then begin
+    Stdx.Vec.set t.live id false;
+    t.n_dead <- t.n_dead + 1;
+    true
+  end
+  else false
+
+let peek_row t id = Stdx.Vec.get t.rows id
+
+let row_page t id = Stdx.Vec.get t.row_pages id
+
+let read_row t id =
+  let row = peek_row t id in
+  Pager.touch t.pager t.heap_rel (row_page t id);
+  Pager.charge_rows t.pager 1;
+  Pager.charge_transfer t.pager (tuple_bytes t.schema row);
+  row
+
+let scan t f =
+  let n = Stdx.Vec.length t.rows in
+  let last_page = ref (-1) in
+  for id = 0 to n - 1 do
+    (* Dead tuples still cost a page visit (they occupy the heap until
+       vacuumed) but are not surfaced. *)
+    let page = Stdx.Vec.get t.row_pages id in
+    if page <> !last_page then begin
+      Pager.touch t.pager t.heap_rel page;
+      last_page := page
+    end;
+    if Stdx.Vec.get t.live id then f id (Stdx.Vec.get t.rows id)
+  done;
+  Pager.charge_rows t.pager n
+
+let update t id row =
+  if not (Stdx.Vec.get t.live id) then
+    invalid_arg (Printf.sprintf "Table.update(%s): row %d is dead" t.name id);
+  (match Schema.validate_row t.schema row with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Table.update(%s): %s" t.name e));
+  ignore (delete t id);
+  insert t row
+
+let create_index ?(kind = Table_index.Btree) t ~column =
+  match Hashtbl.find_opt t.indexes column with
+  | Some idx -> idx
+  | None ->
+      let col_pos = Schema.column_index t.schema column in
+      let idx = Table_index.create kind t.pager ~name:(t.name ^ "." ^ column ^ ".idx") in
+      Stdx.Vec.iteri (fun id row -> Table_index.insert idx row.(col_pos) id) t.rows;
+      Hashtbl.replace t.indexes column idx;
+      idx
+
+let index_on t ~column = Hashtbl.find_opt t.indexes column
+let indexes t = Hashtbl.fold (fun _ idx acc -> idx :: acc) t.indexes []
+
+let heap_pages t = if row_count t = 0 then 0 else t.cur_page + 1
+let heap_bytes t = heap_pages t * (Pager.config t.pager).page_size
+let index_bytes t = Hashtbl.fold (fun _ idx acc -> acc + Table_index.size_bytes idx) t.indexes 0
+let total_bytes t = heap_bytes t + index_bytes t
+
+let avg_row_bytes t =
+  if row_count t = 0 then 0.0 else float_of_int t.data_bytes /. float_of_int (row_count t)

@@ -1,0 +1,72 @@
+(** Heap tables.
+
+    Rows are stored in insertion order and packed into 8 KiB heap pages
+    with PostgreSQL-style per-tuple overhead (24-byte header + 4-byte
+    line pointer, MAXALIGN'd data). The page assignment is what makes
+    the cold-cache `SELECT *` experiments faithful: rows matching one
+    search tag were inserted at random times, so fetching them touches
+    that many distinct heap pages. *)
+
+type t
+
+val create : Pager.t -> name:string -> schema:Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+val pager : t -> Pager.t
+
+val insert : t -> Value.t array -> int
+(** Validates against the schema, appends, updates every index.
+    Returns the new row id. Raises [Invalid_argument] on schema
+    violations. *)
+
+val row_count : t -> int
+(** Rows ever inserted (live + dead); row ids range over this. *)
+
+val live_count : t -> int
+(** Rows not yet deleted. *)
+
+val is_live : t -> int -> bool
+
+val delete : t -> int -> bool
+(** Tombstone a row (Postgres-style: the heap tuple and its index
+    entries stay until a vacuum; scans and lookups skip it). Returns
+    [false] if the row was already dead. *)
+
+val update : t -> int -> Value.t array -> int
+(** MVCC-style update: tombstone the old version, insert the new one
+    (fresh row id, re-indexed). Raises if the old row is dead or the
+    new row violates the schema. *)
+
+val read_row : t -> int -> Value.t array
+(** Fetch through the pager (touches the row's heap page and charges
+    CPU + transfer); out-of-range ids raise [Invalid_argument]. *)
+
+val peek_row : t -> int -> Value.t array
+(** Read without cost accounting (for test assertions and internal
+    scans that account separately). *)
+
+val row_page : t -> int -> int
+(** Heap page number holding a row. *)
+
+val scan : t -> (int -> Value.t array -> unit) -> unit
+(** Full sequential scan: touches every heap page once and charges CPU
+    per row. *)
+
+val create_index : ?kind:Table_index.kind -> t -> column:string -> Table_index.t
+(** Build (or return the existing) index on a column, backfilling
+    current rows. Default access method is [Btree]; at most one index
+    per column (asking again with a different kind returns the
+    existing index). *)
+
+val index_on : t -> column:string -> Table_index.t option
+val indexes : t -> Table_index.t list
+
+(* Storage accounting (Table I). *)
+
+val heap_pages : t -> int
+val heap_bytes : t -> int
+val index_bytes : t -> int
+val total_bytes : t -> int
+(** heap + all indexes. *)
+
+val avg_row_bytes : t -> float

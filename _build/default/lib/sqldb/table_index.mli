@@ -1,0 +1,19 @@
+(** Uniform view over the two index access methods. *)
+
+type kind = Btree | Hash
+
+type t = B of Btree_index.t | H of Hash_index.t
+
+val create : kind -> Pager.t -> name:string -> t
+val kind : t -> kind
+val name : t -> string
+val insert : t -> Value.t -> int -> unit
+val lookup : t -> Value.t -> int array
+val lookup_many : t -> Value.t list -> int array
+
+val range : t -> ?lo:Value.t -> ?hi:Value.t -> unit -> int array option
+(** [None] for hash indexes — they cannot serve range scans, and the
+    planner falls back to a sequential scan. *)
+
+val entry_count : t -> int
+val size_bytes : t -> int

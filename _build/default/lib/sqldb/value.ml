@@ -1,0 +1,57 @@
+type t =
+  | Null
+  | Int of int64
+  | Real of float
+  | Text of string
+  | Blob of string
+
+type ty = TInt | TReal | TText | TBlob
+
+let ty_of = function
+  | Null -> None
+  | Int _ -> Some TInt
+  | Real _ -> Some TReal
+  | Text _ -> Some TText
+  | Blob _ -> Some TBlob
+
+let ty_name = function TInt -> "INT" | TReal -> "REAL" | TText -> "TEXT" | TBlob -> "BLOB"
+
+let rank = function Null -> 0 | Int _ -> 1 | Real _ -> 2 | Text _ -> 3 | Blob _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Int64.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Text x, Text y -> String.compare x y
+  | Blob x, Blob y -> String.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Int x -> Int64.to_int x lxor (Int64.to_int (Int64.shift_right_logical x 32) * 0x9e3779b1)
+  | Real x -> Hashtbl.hash x
+  | Text s -> Hashtbl.hash s
+  | Blob s -> Hashtbl.hash s lxor 0x5bd1e995
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int x -> Format.fprintf ppf "%Ld" x
+  | Real x -> Format.fprintf ppf "%g" x
+  | Text s -> Format.fprintf ppf "'%s'" s
+  | Blob s -> Format.fprintf ppf "x'%s'" (Stdx.Bytes_util.to_hex s)
+
+let to_string v = Format.asprintf "%a" pp v
+
+let varlena_bytes n = if n + 1 < 127 then n + 1 else n + 4
+
+let heap_bytes = function
+  | Null -> 0
+  | Int _ | Real _ -> 8
+  | Text s | Blob s -> varlena_bytes (String.length s)
+
+let maxalign n = (n + 7) land lnot 7
+
+let index_key_bytes v = maxalign (max 8 (heap_bytes v))

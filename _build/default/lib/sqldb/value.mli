@@ -1,0 +1,38 @@
+(** SQL values.
+
+    The engine is dynamically typed at the cell level, like a real DBMS
+    executor: a cell is [Null], a 64-bit integer, a float, text, or an
+    opaque blob (used for AES ciphertexts). *)
+
+type t =
+  | Null
+  | Int of int64
+  | Real of float
+  | Text of string
+  | Blob of string
+
+type ty = TInt | TReal | TText | TBlob
+
+val ty_of : t -> ty option
+(** [None] for [Null]. *)
+
+val ty_name : ty -> string
+val compare : t -> t -> int
+(** Total order: Null < Int < Real < Text < Blob, natural order within
+    a type. Ints and Reals do not compare numerically across types —
+    columns are homogeneous, as enforced by {!Schema}. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val heap_bytes : t -> int
+(** Bytes this value occupies in a heap tuple, following PostgreSQL's
+    layout rules: Int/Real 8; Text/Blob are varlena, 1-byte header when
+    total < 127 else 4-byte header; Null occupies no data bytes (it is
+    carried by the tuple's null bitmap). *)
+
+val index_key_bytes : t -> int
+(** Bytes of the key portion of a B-tree index entry for this value
+    (datum size MAXALIGN'd to 8). *)

@@ -1,0 +1,1 @@
+lib/stdx/bytes_util.ml: Bytes Char Int32 List String

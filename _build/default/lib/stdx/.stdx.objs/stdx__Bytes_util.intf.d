@@ -1,0 +1,1 @@
+lib/stdx/bytes_util.mli:

@@ -1,0 +1,1 @@
+lib/stdx/prng.ml: Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/stdx/sampling.ml: Array Float Prng Stack

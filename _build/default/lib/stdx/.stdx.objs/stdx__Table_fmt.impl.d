@@ -1,0 +1,1 @@
+lib/stdx/table_fmt.ml: Array Buffer String Vec

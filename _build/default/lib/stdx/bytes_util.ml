@@ -1,0 +1,50 @@
+let hex_digits = "0123456789abcdef"
+
+let to_hex s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.unsafe_set b (2 * i) hex_digits.[c lsr 4];
+    Bytes.unsafe_set b ((2 * i) + 1) hex_digits.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string b
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Bytes_util.of_hex: not a hex digit"
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Bytes_util.of_hex: odd length";
+  String.init (n / 2) (fun i -> Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+
+let put_u32_be b off v = Bytes.set_int32_be b off v
+let get_u32_be s off = String.get_int32_be s off
+let put_u64_be b off v = Bytes.set_int64_be b off v
+let get_u64_be s off = String.get_int64_be s off
+let put_u64_le b off v = Bytes.set_int64_le b off v
+let get_u64_le s off = String.get_int64_le s off
+
+let length_prefixed parts =
+  let total = List.fold_left (fun acc s -> acc + 4 + String.length s) 0 parts in
+  let b = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun s ->
+      put_u32_be b !off (Int32.of_int (String.length s));
+      Bytes.blit_string s 0 b (!off + 4) (String.length s);
+      off := !off + 4 + String.length s)
+    parts;
+  Bytes.unsafe_to_string b
+
+let xor_into ~src ~dst ~len =
+  if len > String.length src || len > Bytes.length dst then
+    invalid_arg "Bytes_util.xor_into: length out of range";
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor Char.code (String.unsafe_get src i)))
+  done

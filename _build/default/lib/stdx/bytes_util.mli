@@ -1,0 +1,24 @@
+(** Byte-string helpers shared by the crypto layer and storage engine. *)
+
+val to_hex : string -> string
+(** Lowercase hex encoding. *)
+
+val of_hex : string -> string
+(** Inverse of {!to_hex}. Raises [Invalid_argument] on malformed input. *)
+
+val put_u32_be : bytes -> int -> int32 -> unit
+val get_u32_be : string -> int -> int32
+val put_u64_be : bytes -> int -> int64 -> unit
+val get_u64_be : string -> int -> int64
+val put_u64_le : bytes -> int -> int64 -> unit
+val get_u64_le : string -> int -> int64
+
+val length_prefixed : string list -> string
+(** Unambiguous encoding of a string list: each element is prefixed with
+    its 4-byte big-endian length. Used to build PRF inputs so that
+    [(salt, message)] pairs of different splits can never collide
+    (paper §IV's salt-encoding requirement). *)
+
+val xor_into : src:string -> dst:bytes -> len:int -> unit
+(** [xor_into ~src ~dst ~len] XORs the first [len] bytes of [src] into
+    [dst] in place. *)

@@ -1,0 +1,6 @@
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let time_it f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, now_ns () -. t0)

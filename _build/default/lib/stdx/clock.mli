@@ -1,0 +1,8 @@
+(** Wall-clock timing for the executor and benchmarks. *)
+
+val now_ns : unit -> float
+(** Monotonic-enough timestamp in nanoseconds ([Sys.time]-free;
+    microsecond resolution from the OS time of day). *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** Run a thunk, returning its result and elapsed nanoseconds. *)

@@ -1,0 +1,80 @@
+module Splitmix = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  let next t =
+    t.state <- Int64.add t.state golden;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+end
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let create seed =
+  let sm = Splitmix.create seed in
+  let s0 = Splitmix.next sm in
+  let s1 = Splitmix.next sm in
+  let s2 = Splitmix.next sm in
+  let s3 = Splitmix.next sm in
+  (* An all-zero state would be a fixed point; splitmix64 cannot produce
+     four zero outputs in a row, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create (int64 t)
+
+let bits32 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (int64 t) 1 in
+    (* r is uniform in [0, 2^63) *)
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.add (Int64.sub Int64.max_int bound64) 1L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let float t =
+  let r = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bytes t n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let r = ref (int64 t) in
+    let k = min 8 (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.unsafe_set b (!i + j) (Char.unsafe_chr (Int64.to_int (Int64.logand !r 0xFFL)));
+      r := Int64.shift_right_logical !r 8
+    done;
+    i := !i + k
+  done;
+  b

@@ -1,0 +1,50 @@
+(** Deterministic, splittable pseudo-random number generators.
+
+    Two generators are provided:
+    - {!Splitmix}: splitmix64, used for seeding and cheap stream splitting.
+    - xoshiro256** (the default [t]): fast, high-quality general-purpose
+      PRNG used everywhere the library needs "weak" (non-cryptographic)
+      randomness — e.g. picking which salt to use for a given encryption.
+
+    These generators are deliberately {e not} cryptographically secure.
+    Security-relevant randomness (key generation, DRBG streams inside
+    [getSalts]) lives in [Crypto]. *)
+
+type t
+(** Mutable xoshiro256** generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator; the 256-bit internal state is
+    expanded from [seed] with splitmix64, so any seed is acceptable. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s continuation. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits32 : t -> int
+(** 30 uniform bits as a non-negative [int] (compatible with
+    [Random.bits]). *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)], 53-bit resolution. *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> bytes
+(** [bytes g n] is [n] uniformly random bytes. *)
+
+module Splitmix : sig
+  type t
+
+  val create : int64 -> t
+  val next : t -> int64
+end

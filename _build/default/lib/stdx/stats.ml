@@ -1,0 +1,105 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    if p <= 0.0 then sorted.(0)
+    else if p >= 100.0 then sorted.(n - 1)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    end
+  end
+
+let median xs = percentile xs 50.0
+
+let summary xs =
+  Printf.sprintf "n=%d mean=%.4g p50=%.4g p95=%.4g max=%.4g" (Array.length xs) (mean xs)
+    (median xs) (percentile xs 95.0) (percentile xs 100.0)
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n = 0 then nan
+  else begin
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then nan else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+(* Average ranks so that ties are handled correctly. *)
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2.0 +. 1.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then { lo = 0.0; hi = 0.0; counts = Array.make bins 0 }
+  else begin
+    let lo = Array.fold_left min xs.(0) xs in
+    let hi = Array.fold_left max xs.(0) xs in
+    let counts = Array.make bins 0 in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = if b >= bins then bins - 1 else if b < 0 then 0 else b in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    { lo; hi; counts }
+  end
+
+let total_variation p q =
+  let n = Array.length p in
+  if n <> Array.length q then invalid_arg "Stats.total_variation: length mismatch";
+  let sp = Array.fold_left ( +. ) 0.0 p and sq = Array.fold_left ( +. ) 0.0 q in
+  if sp <= 0.0 || sq <= 0.0 then invalid_arg "Stats.total_variation: zero mass";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. abs_float ((p.(i) /. sp) -. (q.(i) /. sq))
+  done;
+  0.5 *. !acc

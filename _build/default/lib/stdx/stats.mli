@@ -1,0 +1,36 @@
+(** Descriptive statistics used by the benchmark harness and the attack
+    evaluation. All functions operate on float arrays and do not modify
+    their input unless noted. *)
+
+val mean : float array -> float
+(** Arithmetic mean. [nan] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator). 0 when n < 2. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation
+    between order statistics. Sorts a copy. *)
+
+val median : float array -> float
+
+val summary : float array -> string
+(** One-line "n/mean/p50/p95/max" summary for reports. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; [nan] if either side is constant. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson on average ranks). *)
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+val histogram : bins:int -> float array -> histogram
+(** Equal-width histogram over [min, max] of the data. *)
+
+val total_variation : float array -> float array -> float
+(** Total-variation distance between two discrete distributions given as
+    (not necessarily normalized) weight vectors of equal length:
+    [0.5 * sum |p_i - q_i|] after normalization. *)

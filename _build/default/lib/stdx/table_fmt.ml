@@ -1,0 +1,35 @@
+type t = { headers : string array; rows : string array Vec.t }
+
+let create headers = { headers = Array.of_list headers; rows = Vec.create () }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let cells = Array.of_list cells in
+  if Array.length cells > n then invalid_arg "Table_fmt.add_row: too many cells";
+  let row = Array.make n "" in
+  Array.blit cells 0 row 0 (Array.length cells);
+  Vec.push t.rows row
+
+let render t =
+  let n = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  Vec.iter (fun row -> Array.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row) t.rows;
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf row.(i);
+      Buffer.add_string buf (String.make (widths.(i) - String.length row.(i)) ' ')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_string buf "  ";
+    Buffer.add_string buf (String.make widths.(i) '-')
+  done;
+  Buffer.add_char buf '\n';
+  Vec.iter emit_row t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

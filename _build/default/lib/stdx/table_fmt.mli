@@ -1,0 +1,16 @@
+(** Aligned ASCII tables for benchmark and experiment reports. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val render : t -> string
+(** Render with column-aligned padding and a header separator. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,32 @@
+(** Growable arrays.
+
+    OCaml 5.1 has no [Dynarray] in the standard library; this is the
+    minimal growable-array abstraction used by the storage engine and the
+    workload generators. Amortized O(1) [push]. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the last element. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val map : ('a -> 'b) -> 'a t -> 'b t
+val exists : ('a -> bool) -> 'a t -> bool
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_array : 'a array -> 'a t
+val of_list : 'a list -> 'a t
+val sort : ('a -> 'a -> int) -> 'a t -> unit

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array Attacks Crypto Dist Float Fun Gen Hashtbl Int64 List Printf QCheck QCheck_alcotest Sqldb Stdx String Wre

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Crypto Float Fun Hashtbl List Printf QCheck QCheck_alcotest Result Stdx String

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Float Gen List Printf QCheck QCheck_alcotest Stdx

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Attacks Crypto Dist Lazy List Printf Sparta Sqldb Stdx Wre

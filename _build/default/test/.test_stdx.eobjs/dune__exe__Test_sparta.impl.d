@@ -1,0 +1,1 @@
+test/test_sparta.ml: Alcotest Array Dist Hashtbl Int64 List Seq Sparta Sqldb String

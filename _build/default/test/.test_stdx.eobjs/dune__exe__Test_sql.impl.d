@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Crypto Database Executor Int64 Lazy List Option Predicate Printf QCheck QCheck_alcotest Result Schema Sql Sqldb String Table Value Wre

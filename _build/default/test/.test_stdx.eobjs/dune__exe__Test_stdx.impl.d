@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Bytes Float Fun Gen List Printf QCheck QCheck_alcotest Stdx String

@@ -1,0 +1,1 @@
+test/test_wre.ml: Alcotest Array Crypto Dist Float Gen Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Result Sqldb Stdx String Wre

@@ -1,0 +1,406 @@
+(* Attack-library tests: the Hungarian solver against brute force, the
+   frequency attacks' expected efficacy per scheme, the subset-sum
+   attack's construction, and the IND-CUDA harness. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let master = Crypto.Keys.of_raw ~k0:(String.make 16 'a') ~k1:(String.make 32 'b')
+
+(* A skewed plaintext column. *)
+let make_snapshot ?(n = 8000) ?(seed = 17L) kind =
+  let g = Stdx.Prng.create seed in
+  let zipf = Dist.Zipf.create ~n:50 ~s:1.0 in
+  let plaintexts = Array.init n (fun _ -> Printf.sprintf "v%02d" (Dist.Zipf.sample zipf g)) in
+  let dist = Dist.Empirical.of_values (Array.to_seq plaintexts) in
+  let enc = Wre.Column_enc.create ~master ~column:"c" ~kind ~dist () in
+  Attacks.Snapshot.of_column enc g ~plaintexts
+
+(* ---------------- Snapshot ---------------- *)
+
+let test_snapshot_counts () =
+  let snap = make_snapshot Wre.Scheme.Det in
+  check_int "records" 8000 (Attacks.Snapshot.n_records snap);
+  check_int "det tags = distinct values" (Dist.Empirical.support_size snap.aux)
+    (Attacks.Snapshot.n_distinct_tags snap);
+  let freqs = Attacks.Snapshot.tag_frequencies snap in
+  check_float "frequencies sum to 1" 1.0 (Array.fold_left ( +. ) 0.0 freqs);
+  (* observations sorted descending *)
+  let sorted = Array.copy freqs in
+  Array.sort (fun a b -> compare b a) sorted;
+  Alcotest.(check (array (float 1e-12))) "descending" sorted freqs
+
+let test_snapshot_of_table_matches () =
+  (* Snapshot built from an encrypted table equals one built inline. *)
+  let schema =
+    Sqldb.Schema.create
+      [ { name = "id"; ty = TInt; nullable = false }; { name = "name"; ty = TText; nullable = false } ]
+  in
+  let g = Stdx.Prng.create 3L in
+  let values = Array.init 500 (fun _ -> if Stdx.Prng.bool g then "x" else "y") in
+  let rows =
+    Array.to_list
+      (Array.mapi (fun i v -> [| Sqldb.Value.Int (Int64.of_int i); Sqldb.Value.Text v |]) values)
+  in
+  let db = Sqldb.Database.create () in
+  let dist_of = Wre.Dist_est.of_rows ~schema ~columns:[ "name" ] (List.to_seq rows) in
+  let edb =
+    Wre.Encrypted_db.create ~db ~name:"t" ~plain_schema:schema ~key_column:"id"
+      ~encrypted_columns:[ "name" ] ~kind:Wre.Scheme.Det ~master ~dist_of ~seed:4L ()
+  in
+  List.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) rows;
+  let snap = Attacks.Snapshot.of_table edb ~column:"name" ~plaintexts:values in
+  check_int "records" 500 (Attacks.Snapshot.n_records snap);
+  check_int "det: two tags" 2 (Attacks.Snapshot.n_distinct_tags snap)
+
+(* ---------------- Metrics ---------------- *)
+
+let test_metrics_perfect_and_empty () =
+  let snap = make_snapshot Wre.Scheme.Det in
+  (* Build the perfect oracle from ground truth. *)
+  let oracle = Hashtbl.create 64 in
+  Array.iter (fun (tag, m) -> Hashtbl.replace oracle tag m) snap.records;
+  let perfect = Attacks.Metrics.score snap ~guess:(Hashtbl.find_opt oracle) in
+  check_float "perfect records" 1.0 perfect.record_recovery;
+  check_float "perfect values" 1.0 perfect.value_recovery;
+  let nothing = Attacks.Metrics.score snap ~guess:(fun _ -> None) in
+  check_float "empty records" 0.0 nothing.record_recovery;
+  check_float "empty values" 0.0 nothing.value_recovery;
+  check_bool "baseline is mode prob" true (nothing.baseline > 0.0 && nothing.baseline < 1.0)
+
+let test_metrics_value_majority_rule () =
+  (* Value recovery requires a strict majority of that value's records
+     to decode correctly. *)
+  let records = Array.concat [ Array.make 3 (1L, "a"); Array.make 2 (2L, "a"); Array.make 5 (3L, "b") ] in
+  let snap =
+    {
+      Attacks.Snapshot.observations = [| (3L, 5); (1L, 3); (2L, 2) |];
+      records;
+      aux = Dist.Empirical.of_counts [ ("a", 5); ("b", 5) ];
+    }
+  in
+  (* Guess maps tag 1 -> a (3 of a's 5 records correct: majority),
+     tag 3 -> wrong. *)
+  let guess = function 1L -> Some "a" | 3L -> Some "a" | _ -> None in
+  let s = Attacks.Metrics.score snap ~guess in
+  check_float "records 3/10" 0.3 s.record_recovery;
+  check_float "values: a recovered, b not" 0.5 s.value_recovery
+
+(* ---------------- Hungarian ---------------- *)
+
+let test_hungarian_known () =
+  let cost = [| [| 4.0; 1.0; 3.0 |]; [| 2.0; 0.0; 5.0 |]; [| 3.0; 2.0; 2.0 |] |] in
+  let a = Attacks.Hungarian.solve cost in
+  check_float "optimal cost" 5.0 (Attacks.Hungarian.total_cost cost a);
+  (* Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2). *)
+  Alcotest.(check (array int)) "assignment" [| 1; 0; 2 |] a
+
+let test_hungarian_rectangular () =
+  let cost = [| [| 10.0; 1.0; 10.0; 10.0 |]; [| 1.0; 10.0; 10.0; 10.0 |] |] in
+  let a = Attacks.Hungarian.solve cost in
+  Alcotest.(check (array int)) "picks cheap columns" [| 1; 0 |] a
+
+let test_hungarian_rejects () =
+  check_bool "empty ok" true (Attacks.Hungarian.solve [||] = [||]);
+  let raised =
+    try
+      ignore (Attacks.Hungarian.solve [| [| 1.0 |]; [| 2.0 |] |]);
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "rows > cols rejected" true raised
+
+let brute_force_best cost =
+  let n = Array.length cost in
+  let cols = Array.init n Fun.id in
+  let best = ref infinity in
+  let rec permute k =
+    if k = n then begin
+      let c = ref 0.0 in
+      for i = 0 to n - 1 do
+        c := !c +. cost.(i).(cols.(i))
+      done;
+      if !c < !best then best := !c
+    end
+    else
+      for i = k to n - 1 do
+        let t = cols.(k) in
+        cols.(k) <- cols.(i);
+        cols.(i) <- t;
+        permute (k + 1);
+        let t = cols.(k) in
+        cols.(k) <- cols.(i);
+        cols.(i) <- t
+      done
+  in
+  permute 0;
+  !best
+
+let qcheck_hungarian_optimal =
+  QCheck.Test.make ~name:"hungarian matches brute force (n<=5)" ~count:50
+    QCheck.(list_of_size (Gen.return 25) (float_range 0.0 10.0))
+    (fun flat ->
+      let cost = Array.init 5 (fun i -> Array.of_list (List.filteri (fun j _ -> j / 5 = i) flat)) in
+      let a = Attacks.Hungarian.solve cost in
+      Float.abs (Attacks.Hungarian.total_cost cost a -. brute_force_best cost) < 1e-9)
+
+(* ---------------- Frequency attacks ---------------- *)
+
+let test_rank_matching_breaks_det () =
+  let snap = make_snapshot Wre.Scheme.Det in
+  let s = Attacks.Metrics.score snap ~guess:(Attacks.Frequency.rank_matching snap) in
+  check_bool "high recovery vs det" true (s.record_recovery > 0.5);
+  check_bool "beats baseline" true (s.record_recovery > s.baseline)
+
+let test_attacks_fail_against_poisson () =
+  let snap = make_snapshot (Wre.Scheme.Poisson 2000.0) in
+  List.iter
+    (fun (name, guess) ->
+      let s = Attacks.Metrics.score snap ~guess in
+      check_bool (name ^ " below 1.5x baseline") true (s.record_recovery < 1.5 *. s.baseline))
+    [
+      ("rank", Attacks.Frequency.rank_matching snap);
+      ("greedy", Attacks.Frequency.greedy_likelihood snap ~kind:(Wre.Scheme.Poisson 2000.0));
+    ]
+
+let test_attacks_fail_against_bucketized () =
+  let kind = Wre.Scheme.Bucketized 2000.0 in
+  let snap = make_snapshot kind in
+  let s = Attacks.Metrics.score snap ~guess:(Attacks.Frequency.greedy_likelihood snap ~kind) in
+  check_bool "below 1.5x baseline" true (s.record_recovery < 1.5 *. s.baseline)
+
+let test_greedy_beats_rank_on_fixed () =
+  (* Fixed salts split every plaintext into N uniform shares; the
+     scheme-aware greedy attack exploits that structure, plain rank
+     matching cannot. *)
+  let kind = Wre.Scheme.Fixed 8 in
+  let snap = make_snapshot kind in
+  let rank = Attacks.Metrics.score snap ~guess:(Attacks.Frequency.rank_matching snap) in
+  let greedy = Attacks.Metrics.score snap ~guess:(Attacks.Frequency.greedy_likelihood snap ~kind) in
+  check_bool "greedy stronger" true (greedy.record_recovery > rank.record_recovery);
+  check_bool "greedy beats baseline" true (greedy.record_recovery > greedy.baseline)
+
+let test_l1_matching_breaks_det () =
+  let snap = make_snapshot ~n:4000 Wre.Scheme.Det in
+  let s =
+    Attacks.Metrics.score snap ~guess:(Attacks.Frequency.l1_matching snap ~kind:Wre.Scheme.Det)
+  in
+  check_bool "l1 high recovery vs det" true (s.record_recovery > 0.5)
+
+let test_l1_matching_max_tags_cap () =
+  let snap = make_snapshot ~n:4000 (Wre.Scheme.Fixed 4) in
+  (* Cap far below the tag count: must still terminate and produce a
+     partial mapping. *)
+  let guess = Attacks.Frequency.l1_matching ~max_tags:20 snap ~kind:(Wre.Scheme.Fixed 4) in
+  let s = Attacks.Metrics.score snap ~guess in
+  check_bool "bounded recovery" true (s.record_recovery >= 0.0 && s.record_recovery <= 1.0)
+
+(* ---------------- Subset sum ---------------- *)
+
+let test_subset_sum_constructed () =
+  (* Hand-built snapshot where the target's count decomposes uniquely:
+     counts 100 (target, two tags of 60+40) among decoys 7, 9, 11. *)
+  let records =
+    Array.concat
+      [
+        Array.make 60 (1L, "target");
+        Array.make 40 (2L, "target");
+        Array.make 7 (3L, "d1");
+        Array.make 9 (4L, "d2");
+        Array.make 11 (5L, "d3");
+      ]
+  in
+  let snap =
+    {
+      Attacks.Snapshot.observations =
+        [| (1L, 60); (2L, 40); (5L, 11); (4L, 9); (3L, 7) |];
+      records;
+      aux = Dist.Empirical.of_values (Array.to_seq (Array.map snd records));
+    }
+  in
+  let r = Attacks.Subset_sum.attack snap ~target:"target" () in
+  check_bool "found" true r.found;
+  check_int "sum" 100 r.achieved_sum;
+  check_float "perfect precision" 1.0 r.tag_precision;
+  check_float "perfect recall" 1.0 r.tag_recall
+
+let test_subset_sum_ambiguous_poisson () =
+  (* Against real Poisson WRE the attack finds *a* subset but not a
+     reliable one (paper §V-C limitation). *)
+  let snap = make_snapshot ~n:6000 (Wre.Scheme.Poisson 400.0) in
+  let target = (Dist.Empirical.support snap.aux).(0) in
+  let r = Attacks.Subset_sum.attack snap ~target ~tolerance:3 () in
+  check_bool "a subset exists" true r.found;
+  check_bool "but imperfect" true (r.tag_precision < 0.999)
+
+let test_subset_sum_tolerance () =
+  let records = Array.concat [ Array.make 10 (1L, "t"); Array.make 5 (2L, "o") ] in
+  let snap =
+    {
+      Attacks.Snapshot.observations = [| (1L, 10); (2L, 5) |];
+      records;
+      aux = Dist.Empirical.of_counts [ ("t", 11); ("o", 4) ];
+    }
+  in
+  (* Expected count for t = 11 but only 10+5 available: exact fails,
+     tolerance 1 matches the 10-subset. *)
+  let exact = Attacks.Subset_sum.attack snap ~target:"t" () in
+  check_bool "exact fails" false exact.found;
+  let tol = Attacks.Subset_sum.attack snap ~target:"t" ~tolerance:1 () in
+  check_bool "tolerant succeeds" true tol.found;
+  check_int "picks 10" 10 tol.achieved_sum
+
+(* ---------------- Correlation ---------------- *)
+
+(* Two-column world: b determines a (like zip determines city). *)
+let correlated_pairs n seed =
+  let g = Stdx.Prng.create seed in
+  Array.init n (fun _ ->
+      let b = Stdx.Prng.int g 12 in
+      (Printf.sprintf "city%d" (b / 3), Printf.sprintf "zip%02d" b))
+
+let independent_pairs n seed =
+  let g = Stdx.Prng.create seed in
+  Array.init n (fun _ ->
+      (Printf.sprintf "a%d" (Stdx.Prng.int g 4), Printf.sprintf "b%d" (Stdx.Prng.int g 4)))
+
+let make_view kind pairs =
+  let g = Stdx.Prng.create 19L in
+  let dist_a = Dist.Empirical.of_values (Array.to_seq (Array.map fst pairs)) in
+  let dist_b = Dist.Empirical.of_values (Array.to_seq (Array.map snd pairs)) in
+  let enc_a = Wre.Column_enc.create ~master ~column:"ca" ~kind ~dist:dist_a () in
+  let enc_b = Wre.Column_enc.create ~master ~column:"cb" ~kind ~dist:dist_b () in
+  Attacks.Correlation.of_columns enc_a enc_b g ~pairs
+
+let test_correlation_mi () =
+  let view = make_view Wre.Scheme.Det (correlated_pairs 6000 1L) in
+  let mi_plain = Attacks.Correlation.mutual_information_bits view `Plain in
+  let mi_tags = Attacks.Correlation.mutual_information_bits view `Tags in
+  check_bool "plain MI positive" true (mi_plain > 0.5);
+  (* Under DET tags are a bijection of plaintexts: identical MI. *)
+  check_bool "det preserves MI exactly" true (Float.abs (mi_plain -. mi_tags) < 1e-9);
+  let indep = make_view Wre.Scheme.Det (independent_pairs 6000 2L) in
+  check_bool "independent columns near-zero MI" true
+    (Attacks.Correlation.mutual_information_bits indep `Plain < 0.05)
+
+let test_correlation_linkage_breaks_poisson () =
+  (* The headline: single-column-secure Poisson still loses the
+     correlated column to the linkage attack... *)
+  let view = make_view (Wre.Scheme.Poisson 500.0) (correlated_pairs 8000 3L) in
+  let r = Attacks.Correlation.linkage_attack view in
+  check_bool "components ~ number of cities" true (r.components >= 3 && r.components <= 6);
+  check_bool "recovery far above baseline" true
+    (r.score.record_recovery > 2.0 *. r.score.baseline)
+
+let test_correlation_linkage_blunted_by_bucketization () =
+  (* ...while bucketized tag sharing merges the components. *)
+  let view = make_view (Wre.Scheme.Bucketized 500.0) (correlated_pairs 8000 4L) in
+  let r = Attacks.Correlation.linkage_attack view in
+  check_bool "few components" true (r.components <= 2);
+  check_bool "recovery at baseline" true
+    (r.score.record_recovery <= (1.2 *. r.score.baseline) +. 0.02)
+
+let test_correlation_linkage_needs_correlation () =
+  (* On independent columns the graph collapses to one component and
+     the attack degrades to guessing the mode. *)
+  let view = make_view (Wre.Scheme.Poisson 500.0) (independent_pairs 8000 5L) in
+  let r = Attacks.Correlation.linkage_attack view in
+  check_bool "single component" true (r.components <= 2);
+  check_bool "no better than baseline" true
+    (r.score.record_recovery <= (1.2 *. r.score.baseline) +. 0.02)
+
+(* ---------------- IND-CUDA ---------------- *)
+
+let test_ind_cuda_det_distinguishable () =
+  let o =
+    Attacks.Ind_cuda.play ~kind:Wre.Scheme.Det Attacks.Ind_cuda.capped_exponential ~n:100
+      ~trials:30 ~seed:1L
+  in
+  check_bool "det fully distinguishable" true (o.advantage > 0.9)
+
+let test_ind_cuda_poisson_low_lambda_broken () =
+  let o =
+    Attacks.Ind_cuda.play ~kind:(Wre.Scheme.Poisson 5.0) Attacks.Ind_cuda.capped_exponential
+      ~n:300 ~trials:30 ~seed:2L
+  in
+  check_bool "low lambda broken" true (o.advantage > 0.8)
+
+let test_ind_cuda_poisson_high_lambda_secure () =
+  let o =
+    Attacks.Ind_cuda.play ~kind:(Wre.Scheme.Poisson 50_000.0) Attacks.Ind_cuda.capped_exponential
+      ~n:60 ~trials:60 ~seed:3L
+  in
+  check_bool "high lambda near coin flip" true (o.advantage < 0.35)
+
+let test_ind_cuda_bucketized_secure_even_low_lambda () =
+  let o =
+    Attacks.Ind_cuda.play ~kind:(Wre.Scheme.Bucketized 20.0) Attacks.Ind_cuda.capped_exponential
+      ~n:300 ~trials:60 ~seed:4L
+  in
+  check_bool "bucketized near coin flip" true (o.advantage < 0.35)
+
+let test_ind_cuda_max_count_adversary () =
+  let o =
+    Attacks.Ind_cuda.play ~kind:Wre.Scheme.Det Attacks.Ind_cuda.max_count ~n:100 ~trials:30
+      ~seed:5L
+  in
+  check_bool "max-count also breaks det" true (o.advantage > 0.9);
+  check_int "trials recorded" 30 o.trials;
+  check_bool "rate consistent" true
+    (Float.abs (o.success_rate -. (float_of_int o.successes /. 30.0)) < 1e-9)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "attacks"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "counts" `Quick test_snapshot_counts;
+          Alcotest.test_case "of_table" `Quick test_snapshot_of_table_matches;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "perfect/empty" `Quick test_metrics_perfect_and_empty;
+          Alcotest.test_case "value majority rule" `Quick test_metrics_value_majority_rule;
+        ] );
+      ( "hungarian",
+        [
+          Alcotest.test_case "known matrix" `Quick test_hungarian_known;
+          Alcotest.test_case "rectangular" `Quick test_hungarian_rectangular;
+          Alcotest.test_case "rejects" `Quick test_hungarian_rejects;
+        ] );
+      ( "frequency",
+        [
+          Alcotest.test_case "rank breaks det" `Quick test_rank_matching_breaks_det;
+          Alcotest.test_case "fails vs poisson" `Quick test_attacks_fail_against_poisson;
+          Alcotest.test_case "fails vs bucketized" `Quick test_attacks_fail_against_bucketized;
+          Alcotest.test_case "greedy beats rank on fixed" `Quick test_greedy_beats_rank_on_fixed;
+          Alcotest.test_case "l1 breaks det" `Quick test_l1_matching_breaks_det;
+          Alcotest.test_case "l1 max_tags cap" `Quick test_l1_matching_max_tags_cap;
+        ] );
+      ( "subset_sum",
+        [
+          Alcotest.test_case "constructed exact" `Quick test_subset_sum_constructed;
+          Alcotest.test_case "ambiguous vs poisson" `Quick test_subset_sum_ambiguous_poisson;
+          Alcotest.test_case "tolerance" `Quick test_subset_sum_tolerance;
+        ] );
+      ( "correlation",
+        [
+          Alcotest.test_case "mutual information" `Quick test_correlation_mi;
+          Alcotest.test_case "linkage breaks poisson" `Quick
+            test_correlation_linkage_breaks_poisson;
+          Alcotest.test_case "bucketization blunts linkage" `Quick
+            test_correlation_linkage_blunted_by_bucketization;
+          Alcotest.test_case "needs correlation" `Quick test_correlation_linkage_needs_correlation;
+        ] );
+      ( "ind_cuda",
+        [
+          Alcotest.test_case "det distinguishable" `Quick test_ind_cuda_det_distinguishable;
+          Alcotest.test_case "poisson low lambda" `Quick test_ind_cuda_poisson_low_lambda_broken;
+          Alcotest.test_case "poisson high lambda" `Slow test_ind_cuda_poisson_high_lambda_secure;
+          Alcotest.test_case "bucketized secure" `Quick test_ind_cuda_bucketized_secure_even_low_lambda;
+          Alcotest.test_case "max-count adversary" `Quick test_ind_cuda_max_count_adversary;
+        ] );
+      ("properties", q [ qcheck_hungarian_optimal ]);
+    ]

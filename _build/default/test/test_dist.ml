@@ -1,0 +1,368 @@
+(* Distribution library tests: closed-form identities, sampler
+   goodness-of-fit, and the capped-Exponential facts the paper's
+   security argument relies on. *)
+
+let check_float eps = Alcotest.(check (float eps))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prng_source seed = Dist.Source.of_prng (Stdx.Prng.create seed)
+
+(* ---------------- Exponential ---------------- *)
+
+let test_exp_pdf_cdf () =
+  check_float 1e-12 "cdf 0" 0.0 (Dist.Exponential.cdf ~rate:2.0 0.0);
+  check_float 1e-12 "cdf negative" 0.0 (Dist.Exponential.cdf ~rate:2.0 (-1.0));
+  check_float 1e-9 "cdf 1" (1.0 -. exp (-2.0)) (Dist.Exponential.cdf ~rate:2.0 1.0);
+  check_float 1e-9 "ccdf complements" 1.0
+    (Dist.Exponential.cdf ~rate:2.0 0.7 +. Dist.Exponential.ccdf ~rate:2.0 0.7);
+  check_float 1e-9 "pdf" (2.0 *. exp (-2.0)) (Dist.Exponential.pdf ~rate:2.0 1.0);
+  check_float 1e-12 "mean" 0.5 (Dist.Exponential.mean ~rate:2.0)
+
+let test_exp_rejects_bad_rate () =
+  Alcotest.check_raises "rate 0" (Invalid_argument "Exponential: rate must be positive")
+    (fun () -> ignore (Dist.Exponential.pdf ~rate:0.0 1.0))
+
+let test_exp_sample_ks () =
+  let u = prng_source 42L in
+  let n = 5000 in
+  let xs = Array.init n (fun _ -> Dist.Exponential.sample ~rate:3.0 u) in
+  let d = Dist.Stat_tests.ks_statistic xs ~cdf:(Dist.Exponential.cdf ~rate:3.0) in
+  check_bool "KS passes at 1%" true (d < Dist.Stat_tests.ks_critical ~n ~alpha:0.01)
+
+let test_exp_sample_mean () =
+  let u = prng_source 7L in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Dist.Exponential.sample ~rate:5.0 u
+  done;
+  check_bool "mean near 1/5" true (Float.abs ((!acc /. float_of_int n) -. 0.2) < 0.01)
+
+(* ---------------- Capped Exponential (paper Fig. 2 facts) ---------------- *)
+
+let test_capped_identical_below_tau () =
+  let rate = 4.0 and tau = 0.5 in
+  List.iter
+    (fun x ->
+      check_float 1e-12 "cdf equal below tau" (Dist.Exponential.cdf ~rate x)
+        (Dist.Exponential.Capped.cdf ~rate ~tau x))
+    [ 0.0; 0.1; 0.3; 0.49 ]
+
+let test_capped_saturates_at_tau () =
+  let rate = 4.0 and tau = 0.5 in
+  check_float 1e-12 "cdf at tau" 1.0 (Dist.Exponential.Capped.cdf ~rate ~tau tau);
+  check_float 1e-12 "ccdf at tau" 0.0 (Dist.Exponential.Capped.ccdf ~rate ~tau tau);
+  check_float 1e-12 "ccdf above" 0.0 (Dist.Exponential.Capped.ccdf ~rate ~tau 2.0)
+
+let test_capped_point_mass () =
+  let rate = 10.0 and tau = 0.2 in
+  check_float 1e-12 "lump = e^{-rate tau}" (exp (-2.0))
+    (Dist.Exponential.Capped.point_mass_at_tau ~rate ~tau)
+
+let test_capped_sample_never_exceeds_tau () =
+  let u = prng_source 13L in
+  for _ = 1 to 2000 do
+    let x = Dist.Exponential.Capped.sample ~rate:1.0 ~tau:0.3 u in
+    check_bool "bounded" true (x <= 0.3 +. 1e-12)
+  done
+
+let test_statistical_distance_formula () =
+  (* Δ(Exp(λ), CappedExp(λ,τ)) = e^{-λτ}: paper §V-C. Verify the closed
+     form and cross-check against a numeric integration. *)
+  let rate = 8.0 and tau = 0.4 in
+  check_float 1e-12 "closed form" (exp (-3.2))
+    (Dist.Exponential.distance_to_capped ~rate ~tau);
+  (* Numeric: total variation = mass of Exp beyond tau (all difference
+     lives there). *)
+  check_float 1e-9 "equals tail mass" (Dist.Exponential.ccdf ~rate tau)
+    (Dist.Exponential.distance_to_capped ~rate ~tau)
+
+let test_lambda_for_security () =
+  let lambda = Dist.Exponential.lambda_for_security ~omega:0.01 ~tau:0.001 in
+  check_bool "achieves target" true (exp (-.lambda *. 0.001) <= 0.01 +. 1e-9);
+  Alcotest.check_raises "bad omega"
+    (Invalid_argument "Exponential.lambda_for_security: omega must be in (0,1)") (fun () ->
+      ignore (Dist.Exponential.lambda_for_security ~omega:1.5 ~tau:0.1))
+
+(* ---------------- Poisson ---------------- *)
+
+let test_poisson_pmf_normalizes () =
+  let rate = 6.5 in
+  let total = ref 0.0 in
+  for k = 0 to 60 do
+    total := !total +. Dist.Poisson.pmf ~rate k
+  done;
+  check_float 1e-9 "sums to 1" 1.0 !total
+
+let test_poisson_pmf_known () =
+  check_float 1e-12 "P(0) = e^-l" (exp (-3.0)) (Dist.Poisson.pmf ~rate:3.0 0);
+  check_float 1e-12 "P(1)" (3.0 *. exp (-3.0)) (Dist.Poisson.pmf ~rate:3.0 1);
+  check_float 1e-12 "negative k" 0.0 (Dist.Poisson.pmf ~rate:3.0 (-1))
+
+let test_poisson_pmf_large_rate_stable () =
+  (* Must not overflow/underflow at the λ values the paper uses. *)
+  let p = Dist.Poisson.pmf ~rate:10_000.0 10_000 in
+  check_bool "finite and positive" true (Float.is_finite p && p > 0.0);
+  (* Mode of Poisson(n) is ~1/sqrt(2 pi n). *)
+  check_bool "near normal approx" true (Float.abs (p -. 0.00399) < 0.0005)
+
+let test_poisson_cdf_monotone () =
+  let rate = 4.2 in
+  let prev = ref (-1.0) in
+  for k = 0 to 30 do
+    let c = Dist.Poisson.cdf ~rate k in
+    check_bool "monotone" true (c >= !prev);
+    prev := c
+  done;
+  check_bool "approaches 1" true (Dist.Poisson.cdf ~rate 40 > 0.999999)
+
+let test_poisson_sample_moments () =
+  List.iter
+    (fun rate ->
+      let u = prng_source 21L in
+      let n = 5000 in
+      let xs = Array.init n (fun _ -> float_of_int (Dist.Poisson.sample ~rate u)) in
+      let mean = Stdx.Stats.mean xs and var = Stdx.Stats.variance xs in
+      check_bool
+        (Printf.sprintf "mean ~ rate %.0f" rate)
+        true
+        (Float.abs (mean -. rate) < 5.0 *. sqrt (rate /. float_of_int n));
+      check_bool
+        (Printf.sprintf "variance ~ rate %.0f" rate)
+        true
+        (Float.abs (var -. rate) < 0.2 *. rate))
+    [ 0.5; 5.0; 30.0; 100.0; 1000.0 ]
+
+let test_poisson_process_sums_to_length () =
+  let u = prng_source 33L in
+  for _ = 1 to 100 do
+    let slots = Dist.Poisson.process_on_interval ~rate:50.0 ~length:0.37 u in
+    let total = Array.fold_left ( +. ) 0.0 slots in
+    check_float 1e-9 "sums to length" 0.37 total;
+    check_bool "non-empty" true (Array.length slots >= 1);
+    Array.iter (fun w -> check_bool "positive slots" true (w > 0.0)) slots
+  done
+
+let test_poisson_process_count_distribution () =
+  (* Number of slots - 1 = arrivals strictly inside the interval,
+     Poisson(rate * length) distributed. Check the mean. *)
+  let u = prng_source 44L in
+  let rate = 200.0 and length = 0.1 in
+  let n = 3000 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    acc := !acc + Array.length (Dist.Poisson.process_on_interval ~rate ~length u) - 1
+  done;
+  let mean = float_of_int !acc /. float_of_int n in
+  check_bool "mean arrivals ~ 20" true (Float.abs (mean -. 20.0) < 1.0)
+
+let test_poisson_process_capped_case () =
+  (* With tiny rate, most intervals see zero arrivals: single slot of
+     exactly the interval length — the "capped" case of the proof. *)
+  let u = prng_source 55L in
+  let singles = ref 0 in
+  for _ = 1 to 1000 do
+    let slots = Dist.Poisson.process_on_interval ~rate:0.1 ~length:0.5 u in
+    if Array.length slots = 1 then begin
+      incr singles;
+      check_float 1e-9 "full mass" 0.5 slots.(0)
+    end
+  done;
+  (* P(no arrival) = e^{-0.05} ~ 0.95 *)
+  check_bool "mostly single-slot" true (!singles > 900)
+
+(* ---------------- Zipf ---------------- *)
+
+let test_zipf_pmf () =
+  let z = Dist.Zipf.create ~n:3 ~s:1.0 in
+  let h = 1.0 +. 0.5 +. (1.0 /. 3.0) in
+  check_float 1e-9 "rank 1" (1.0 /. h) (Dist.Zipf.pmf z 1);
+  check_float 1e-9 "rank 3" (1.0 /. 3.0 /. h) (Dist.Zipf.pmf z 3);
+  check_float 1e-12 "out of range" 0.0 (Dist.Zipf.pmf z 4);
+  check_float 1e-12 "rank 0" 0.0 (Dist.Zipf.pmf z 0)
+
+let test_zipf_uniform_when_s0 () =
+  let z = Dist.Zipf.create ~n:4 ~s:0.0 in
+  for k = 1 to 4 do
+    check_float 1e-9 "uniform" 0.25 (Dist.Zipf.pmf z k)
+  done
+
+let test_zipf_weights_sum () =
+  let z = Dist.Zipf.create ~n:100 ~s:1.3 in
+  check_float 1e-9 "normalized" 1.0 (Array.fold_left ( +. ) 0.0 (Dist.Zipf.weights z))
+
+let test_zipf_sample_frequencies () =
+  let z = Dist.Zipf.create ~n:10 ~s:1.0 in
+  let g = Stdx.Prng.create 3L in
+  let n = 50000 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to n do
+    let k = Dist.Zipf.sample z g in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 1 to 10 do
+    let freq = float_of_int counts.(k) /. float_of_int n in
+    check_bool (Printf.sprintf "rank %d" k) true (Float.abs (freq -. Dist.Zipf.pmf z k) < 0.01)
+  done
+
+(* ---------------- Empirical ---------------- *)
+
+let test_empirical_of_counts () =
+  let d = Dist.Empirical.of_counts [ ("a", 3); ("b", 1); ("a", 1) ] in
+  check_float 1e-12 "a merged" 0.8 (Dist.Empirical.prob d "a");
+  check_float 1e-12 "b" 0.2 (Dist.Empirical.prob d "b");
+  check_float 1e-12 "missing" 0.0 (Dist.Empirical.prob d "zzz");
+  check_int "counts" 4 (Dist.Empirical.count d "a");
+  check_int "total" 5 (Dist.Empirical.total_count d);
+  check_int "support size" 2 (Dist.Empirical.support_size d)
+
+let test_empirical_support_order () =
+  let d = Dist.Empirical.of_counts [ ("low", 1); ("hi", 10); ("mid", 5); ("mid2", 5) ] in
+  let s = Dist.Empirical.support d in
+  Alcotest.(check (array string)) "descending, ties lexicographic" [| "hi"; "mid"; "mid2"; "low" |] s;
+  check_float 1e-12 "min_prob" (1.0 /. 21.0) (Dist.Empirical.min_prob d);
+  check_float 1e-12 "max_prob" (10.0 /. 21.0) (Dist.Empirical.max_prob d)
+
+let test_empirical_entropy () =
+  let d = Dist.Empirical.of_counts [ ("a", 1); ("b", 1) ] in
+  check_float 1e-9 "fair coin entropy" 1.0 (Dist.Empirical.entropy_bits d);
+  check_float 1e-9 "min-entropy" 1.0 (Dist.Empirical.min_entropy_bits d);
+  let skew = Dist.Empirical.of_counts [ ("a", 3); ("b", 1) ] in
+  check_bool "skew lowers entropy" true (Dist.Empirical.entropy_bits skew < 1.0)
+
+let test_empirical_of_values_sampler () =
+  let g = Stdx.Prng.create 71L in
+  let d = Dist.Empirical.of_counts [ ("x", 7); ("y", 3) ] in
+  let n = 20000 in
+  let x = ref 0 in
+  for _ = 1 to n do
+    if Dist.Empirical.sampler d g = "x" then incr x
+  done;
+  check_bool "sampler matches probs" true
+    (Float.abs ((float_of_int !x /. float_of_int n) -. 0.7) < 0.02)
+
+let test_empirical_statistical_distance () =
+  let a = Dist.Empirical.of_counts [ ("a", 1); ("b", 1) ] in
+  let b = Dist.Empirical.of_counts [ ("b", 1); ("c", 1) ] in
+  check_float 1e-12 "half-overlap" 0.5 (Dist.Empirical.statistical_distance a b);
+  check_float 1e-12 "self" 0.0 (Dist.Empirical.statistical_distance a a)
+
+let test_empirical_of_probabilities () =
+  let d = Dist.Empirical.of_probabilities [ ("a", 3.0); ("b", 1.0) ] in
+  check_float 1e-12 "normalized" 0.75 (Dist.Empirical.prob d "a");
+  Alcotest.check_raises "rejects non-positive"
+    (Invalid_argument "Empirical.of_probabilities: weights must be positive") (fun () ->
+      ignore (Dist.Empirical.of_probabilities [ ("a", 0.0) ]))
+
+(* ---------------- Stat tests ---------------- *)
+
+let test_ks_detects_mismatch () =
+  let u = prng_source 99L in
+  let n = 2000 in
+  let uniform = Array.init n (fun _ -> u ()) in
+  let d_ok = Dist.Stat_tests.ks_statistic uniform ~cdf:(fun x -> Float.max 0.0 (Float.min 1.0 x)) in
+  check_bool "uniform passes" true (d_ok < Dist.Stat_tests.ks_critical ~n ~alpha:0.01);
+  let d_bad = Dist.Stat_tests.ks_statistic uniform ~cdf:(Dist.Exponential.cdf ~rate:1.0) in
+  check_bool "exponential CDF fails" true (d_bad > Dist.Stat_tests.ks_critical ~n ~alpha:0.001)
+
+let test_ks_two_sample () =
+  let u = prng_source 17L in
+  let a = Array.init 1500 (fun _ -> u ()) in
+  let b = Array.init 1500 (fun _ -> u ()) in
+  check_bool "same dist small stat" true (Dist.Stat_tests.ks_two_sample a b < 0.06);
+  let c = Array.map (fun x -> x *. 0.5) b in
+  check_bool "different dist large stat" true (Dist.Stat_tests.ks_two_sample a c > 0.2)
+
+let test_chi_square () =
+  let x = Dist.Stat_tests.chi_square ~observed:[| 10; 10 |] ~expected:[| 10.0; 10.0 |] in
+  check_float 1e-12 "perfect fit" 0.0 x;
+  let y = Dist.Stat_tests.chi_square ~observed:[| 20; 0 |] ~expected:[| 10.0; 10.0 |] in
+  check_float 1e-12 "bad fit" 20.0 y;
+  check_bool "critical value sane" true
+    (Dist.Stat_tests.chi_square_critical_df ~df:10 > 20.0
+    && Dist.Stat_tests.chi_square_critical_df ~df:10 < 30.0)
+
+(* ---------------- QCheck ---------------- *)
+
+let qcheck_process_sums =
+  QCheck.Test.make ~name:"poisson process slots always sum to interval" ~count:100
+    QCheck.(pair (float_range 1.0 500.0) (float_range 0.001 1.0))
+    (fun (rate, length) ->
+      let u = prng_source 5L in
+      let slots = Dist.Poisson.process_on_interval ~rate ~length u in
+      Float.abs (Array.fold_left ( +. ) 0.0 slots -. length) < 1e-9)
+
+let qcheck_capped_never_exceeds =
+  QCheck.Test.make ~name:"capped exponential sample <= tau" ~count:200
+    QCheck.(pair (float_range 0.1 100.0) (float_range 0.01 1.0))
+    (fun (rate, tau) ->
+      let u = prng_source 6L in
+      Dist.Exponential.Capped.sample ~rate ~tau u <= tau +. 1e-12)
+
+let qcheck_empirical_probs_sum =
+  QCheck.Test.make ~name:"empirical probabilities sum to 1" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (pair printable_string (int_range 1 50)))
+    (fun pairs ->
+      let d = Dist.Empirical.of_counts pairs in
+      let total =
+        Array.fold_left (fun acc v -> acc +. Dist.Empirical.prob d v) 0.0 (Dist.Empirical.support d)
+      in
+      Float.abs (total -. 1.0) < 1e-9)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "dist"
+    [
+      ( "exponential",
+        [
+          Alcotest.test_case "pdf/cdf" `Quick test_exp_pdf_cdf;
+          Alcotest.test_case "rejects bad rate" `Quick test_exp_rejects_bad_rate;
+          Alcotest.test_case "sampler KS" `Quick test_exp_sample_ks;
+          Alcotest.test_case "sampler mean" `Quick test_exp_sample_mean;
+        ] );
+      ( "capped",
+        [
+          Alcotest.test_case "identical below tau" `Quick test_capped_identical_below_tau;
+          Alcotest.test_case "saturates at tau" `Quick test_capped_saturates_at_tau;
+          Alcotest.test_case "point mass" `Quick test_capped_point_mass;
+          Alcotest.test_case "sample bounded" `Quick test_capped_sample_never_exceeds_tau;
+          Alcotest.test_case "statistical distance" `Quick test_statistical_distance_formula;
+          Alcotest.test_case "lambda for security" `Quick test_lambda_for_security;
+        ] );
+      ( "poisson",
+        [
+          Alcotest.test_case "pmf normalizes" `Quick test_poisson_pmf_normalizes;
+          Alcotest.test_case "pmf known" `Quick test_poisson_pmf_known;
+          Alcotest.test_case "pmf large rate" `Quick test_poisson_pmf_large_rate_stable;
+          Alcotest.test_case "cdf monotone" `Quick test_poisson_cdf_monotone;
+          Alcotest.test_case "sample moments" `Quick test_poisson_sample_moments;
+          Alcotest.test_case "process sums" `Quick test_poisson_process_sums_to_length;
+          Alcotest.test_case "process count" `Quick test_poisson_process_count_distribution;
+          Alcotest.test_case "process capped case" `Quick test_poisson_process_capped_case;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf" `Quick test_zipf_pmf;
+          Alcotest.test_case "s=0 uniform" `Quick test_zipf_uniform_when_s0;
+          Alcotest.test_case "weights sum" `Quick test_zipf_weights_sum;
+          Alcotest.test_case "sample frequencies" `Quick test_zipf_sample_frequencies;
+        ] );
+      ( "empirical",
+        [
+          Alcotest.test_case "of_counts" `Quick test_empirical_of_counts;
+          Alcotest.test_case "support order" `Quick test_empirical_support_order;
+          Alcotest.test_case "entropy" `Quick test_empirical_entropy;
+          Alcotest.test_case "sampler" `Quick test_empirical_of_values_sampler;
+          Alcotest.test_case "statistical distance" `Quick test_empirical_statistical_distance;
+          Alcotest.test_case "of_probabilities" `Quick test_empirical_of_probabilities;
+        ] );
+      ( "stat_tests",
+        [
+          Alcotest.test_case "ks one-sample" `Quick test_ks_detects_mismatch;
+          Alcotest.test_case "ks two-sample" `Quick test_ks_two_sample;
+          Alcotest.test_case "chi-square" `Quick test_chi_square;
+        ] );
+      ( "properties",
+        q [ qcheck_process_sums; qcheck_capped_never_exceeds; qcheck_empirical_probs_sum ] );
+    ]

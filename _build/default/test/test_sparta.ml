@@ -1,0 +1,208 @@
+(* Data/query generator tests: schema shape, determinism, the
+   heavy-tailed statistics the security evaluation depends on, and the
+   query generator's result-size buckets. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample_rows n seed =
+  let gen = Sparta.Generator.create ~seed in
+  Array.of_seq (Sparta.Generator.rows gen ~n)
+
+let test_schema_shape () =
+  check_int "23 columns like the paper" 23 (Sqldb.Schema.arity Sparta.Generator.schema);
+  List.iter
+    (fun c ->
+      check_bool (c ^ " exists") true
+        (Sqldb.Schema.column_index_opt Sparta.Generator.schema c <> None))
+    Sparta.Generator.encrypted_columns;
+  check_int "five encrypted columns" 5 (List.length Sparta.Generator.encrypted_columns)
+
+let test_rows_validate () =
+  let rows = sample_rows 500 1L in
+  Array.iter
+    (fun row ->
+      match Sqldb.Schema.validate_row Sparta.Generator.schema row with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    rows
+
+let test_ids_sequential () =
+  let rows = sample_rows 100 2L in
+  Array.iteri
+    (fun i row ->
+      match row.(0) with
+      | Sqldb.Value.Int id -> check_int "id" i (Int64.to_int id)
+      | _ -> Alcotest.fail "id not int")
+    rows
+
+let test_deterministic_by_seed () =
+  let a = sample_rows 50 7L and b = sample_rows 50 7L in
+  check_bool "same seed same rows" true (a = b);
+  let c = sample_rows 50 8L in
+  check_bool "different seed different rows" true (a <> c)
+
+let test_name_distribution_heavy_tailed () =
+  let rows = sample_rows 20000 3L in
+  let freq column =
+    Dist.Empirical.of_values
+      (Array.to_seq (Array.map (fun r -> Sparta.Generator.column_string r ~column) rows))
+  in
+  let lname = freq "lname" in
+  let support = Dist.Empirical.support lname in
+  (* Heavy tail: top value much more common than median value. *)
+  let top = Dist.Empirical.prob lname support.(0) in
+  let mid = Dist.Empirical.prob lname support.(Array.length support / 2) in
+  check_bool "head dominates" true (top > 4.0 *. mid);
+  check_bool "low entropy column" true
+    (Dist.Empirical.min_entropy_bits lname < 8.0)
+
+let test_ssn_high_entropy () =
+  let rows = sample_rows 5000 4L in
+  let ssns = Array.map (fun r -> Sparta.Generator.column_string r ~column:"ssn") rows in
+  let d = Dist.Empirical.of_values (Array.to_seq ssns) in
+  (* SSNs are nearly unique. *)
+  check_bool "near unique" true (Dist.Empirical.support_size d > 4900);
+  Array.iter
+    (fun s ->
+      check_int "format ###-##-####" 11 (String.length s);
+      check_bool "dashes" true (s.[3] = '-' && s.[6] = '-'))
+    ssns
+
+let test_zip_city_consistency () =
+  (* Each zip code must belong to exactly one city (the generator's zip
+     pools are disjoint per city). *)
+  let rows = sample_rows 10000 5L in
+  let zip_to_city = Hashtbl.create 256 in
+  Array.iter
+    (fun r ->
+      let zip = Sparta.Generator.column_string r ~column:"zip" in
+      let city = Sparta.Generator.column_string r ~column:"city" in
+      match Hashtbl.find_opt zip_to_city zip with
+      | None -> Hashtbl.replace zip_to_city zip city
+      | Some c -> check_bool ("zip " ^ zip ^ " single city") true (c = city))
+    rows
+
+let test_state_matches_city () =
+  let rows = sample_rows 2000 6L in
+  let city_state =
+    Array.to_seq Sparta.Names_data.cities |> Seq.map (fun (c, s, _) -> (c, s)) |> Hashtbl.of_seq
+  in
+  Array.iter
+    (fun r ->
+      let city = Sparta.Generator.column_string r ~column:"city" in
+      let state = Sparta.Generator.column_string r ~column:"state" in
+      check_bool "state of city" true (Hashtbl.find city_state city = state))
+    rows
+
+let test_column_string_rejects_non_text () =
+  let rows = sample_rows 1 9L in
+  let raised =
+    try
+      ignore (Sparta.Generator.column_string rows.(0) ~column:"income");
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "income rejected" true raised
+
+let test_notes_prose () =
+  let rows = sample_rows 300 10L in
+  let lengths =
+    Array.to_list rows
+    |> List.filter_map (fun r ->
+           match r.(Sqldb.Schema.column_index Sparta.Generator.schema "notes") with
+           | Sqldb.Value.Text s -> Some (String.length s)
+           | Sqldb.Value.Null -> None
+           | _ -> None)
+  in
+  check_bool "some notes present" true (List.length lengths > 200);
+  check_bool "hundreds of bytes" true
+    (List.fold_left ( + ) 0 lengths / List.length lengths > 200)
+
+(* ---------------- Query generator ---------------- *)
+
+let counts_of rows column =
+  let d =
+    Dist.Empirical.of_values
+      (Array.to_seq (Array.map (fun r -> Sparta.Generator.column_string r ~column) rows))
+  in
+  Array.to_list (Array.map (fun v -> (v, Dist.Empirical.count d v)) (Dist.Empirical.support d))
+
+let test_query_gen_counts_accurate () =
+  let rows = sample_rows 10000 11L in
+  let queries =
+    Sparta.Query_gen.generate ~seed:1L ~columns:[ "fname"; "city" ]
+      ~counts:(counts_of rows) ~n:100 ()
+  in
+  check_int "requested count" 100 (List.length queries);
+  List.iter
+    (fun (q : Sparta.Query_gen.query) ->
+      let actual =
+        Array.fold_left
+          (fun acc r ->
+            if Sparta.Generator.column_string r ~column:q.column = q.value then acc + 1 else acc)
+          0 rows
+      in
+      check_int ("expected matches actual for " ^ q.value) q.expected actual;
+      check_bool "within cap" true (q.expected >= 1 && q.expected <= 10_000))
+    queries
+
+let test_query_gen_buckets_covered () =
+  let rows = sample_rows 20000 12L in
+  let queries =
+    Sparta.Query_gen.generate ~seed:2L ~columns:Sparta.Generator.encrypted_columns
+      ~counts:(counts_of rows) ~n:200 ()
+  in
+  let buckets = Hashtbl.create 6 in
+  List.iter
+    (fun (q : Sparta.Query_gen.query) ->
+      Hashtbl.replace buckets (Sparta.Query_gen.bucket_of q.expected) ())
+    queries;
+  (* ssn gives singletons; names/cities give the middle buckets. *)
+  check_bool "at least 3 distinct size buckets" true (Hashtbl.length buckets >= 3)
+
+let test_bucket_of_boundaries () =
+  check_int "1" 0 (Sparta.Query_gen.bucket_of 1);
+  check_int "2" 1 (Sparta.Query_gen.bucket_of 2);
+  check_int "10" 1 (Sparta.Query_gen.bucket_of 10);
+  check_int "11" 2 (Sparta.Query_gen.bucket_of 11);
+  check_int "1000" 3 (Sparta.Query_gen.bucket_of 1000);
+  check_int "10000" 4 (Sparta.Query_gen.bucket_of 10000);
+  check_int "10001" 5 (Sparta.Query_gen.bucket_of 10001);
+  check_bool "labels" true (Sparta.Query_gen.bucket_label 0 = "1")
+
+let test_query_gen_respects_max_result () =
+  (* sex has ~10k-count values; with max_result 100 there are no
+     candidates and generate must refuse. *)
+  let rows = sample_rows 20000 13L in
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Query_gen.generate: no candidate values") (fun () ->
+      ignore
+        (Sparta.Query_gen.generate ~seed:3L ~columns:[ "sex" ] ~counts:(counts_of rows) ~n:10
+           ~max_result:100 ()))
+
+let () =
+  Alcotest.run "sparta"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "schema shape" `Quick test_schema_shape;
+          Alcotest.test_case "rows validate" `Quick test_rows_validate;
+          Alcotest.test_case "ids sequential" `Quick test_ids_sequential;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_by_seed;
+          Alcotest.test_case "heavy-tailed names" `Quick test_name_distribution_heavy_tailed;
+          Alcotest.test_case "ssn entropy/format" `Quick test_ssn_high_entropy;
+          Alcotest.test_case "zip-city consistency" `Quick test_zip_city_consistency;
+          Alcotest.test_case "state matches city" `Quick test_state_matches_city;
+          Alcotest.test_case "column_string rejects non-text" `Quick
+            test_column_string_rejects_non_text;
+          Alcotest.test_case "notes prose" `Quick test_notes_prose;
+        ] );
+      ( "query_gen",
+        [
+          Alcotest.test_case "counts accurate" `Quick test_query_gen_counts_accurate;
+          Alcotest.test_case "buckets covered" `Quick test_query_gen_buckets_covered;
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_of_boundaries;
+          Alcotest.test_case "max_result" `Quick test_query_gen_respects_max_result;
+        ] );
+    ]

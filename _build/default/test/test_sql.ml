@@ -1,0 +1,393 @@
+(* SQL front-end tests: lexing/parsing of the supported fragment,
+   execution against the engine, and the WRE rewriting proxy. *)
+
+open Sqldb
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* ---------------- Parsing ---------------- *)
+
+let parse_pred s = ok (Sql.parse_predicate s)
+
+let test_parse_predicates () =
+  check_bool "eq" true (parse_pred "name = 'Alice'" = Predicate.Eq ("name", Value.Text "Alice"));
+  check_bool "int eq" true (parse_pred "id = 42" = Predicate.Eq ("id", Value.Int 42L));
+  check_bool "negative int" true (parse_pred "id = -7" = Predicate.Eq ("id", Value.Int (-7L)));
+  check_bool "float" true (parse_pred "score = 1.5" = Predicate.Eq ("score", Value.Real 1.5));
+  check_bool "null" true (parse_pred "notes = NULL" = Predicate.Eq ("notes", Value.Null));
+  check_bool "blob" true (parse_pred "data = x'0aff'" = Predicate.Eq ("data", Value.Blob "\x0a\xff"));
+  check_bool "in" true
+    (parse_pred "city IN ('a', 'b')" = Predicate.In ("city", [ Value.Text "a"; Value.Text "b" ]));
+  check_bool "between" true
+    (parse_pred "id BETWEEN 1 AND 9"
+    = Predicate.Range ("id", Some (Value.Int 1L), Some (Value.Int 9L)));
+  check_bool "le" true (parse_pred "id <= 5" = Predicate.Range ("id", None, Some (Value.Int 5L)));
+  check_bool "ge" true (parse_pred "id >= 5" = Predicate.Range ("id", Some (Value.Int 5L), None));
+  check_bool "neq" true (parse_pred "id <> 5" = Predicate.Not (Predicate.Eq ("id", Value.Int 5L)))
+
+let test_parse_boolean_structure () =
+  check_bool "and binds tighter than or" true
+    (parse_pred "a = 1 OR b = 2 AND c = 3"
+    = Predicate.Or
+        [
+          Predicate.Eq ("a", Value.Int 1L);
+          Predicate.And [ Predicate.Eq ("b", Value.Int 2L); Predicate.Eq ("c", Value.Int 3L) ];
+        ]);
+  check_bool "parens override" true
+    (parse_pred "(a = 1 OR b = 2) AND c = 3"
+    = Predicate.And
+        [
+          Predicate.Or [ Predicate.Eq ("a", Value.Int 1L); Predicate.Eq ("b", Value.Int 2L) ];
+          Predicate.Eq ("c", Value.Int 3L);
+        ]);
+  check_bool "not" true
+    (parse_pred "NOT a = 1" = Predicate.Not (Predicate.Eq ("a", Value.Int 1L)))
+
+let test_parse_string_escapes () =
+  check_bool "escaped quote" true
+    (parse_pred "name = 'O''Brien'" = Predicate.Eq ("name", Value.Text "O'Brien"));
+  check_bool "keywords case-insensitive" true
+    (parse_pred "a = 1 and b = 2" = Predicate.And [ Predicate.Eq ("a", Value.Int 1L); Predicate.Eq ("b", Value.Int 2L) ])
+
+let test_parse_select_shapes () =
+  (match ok (Sql.parse "SELECT * FROM people WHERE name = 'x' LIMIT 5") with
+  | Sql.Select s ->
+      check_bool "star" true (s.projection = `Star);
+      check_str "table" "people" s.table;
+      check_bool "limit" true (s.limit = Some 5)
+  | _ -> Alcotest.fail "not a select");
+  match ok (Sql.parse "select id, name from people") with
+  | Sql.Select s ->
+      check_bool "columns" true (s.projection = `Columns [ "id"; "name" ]);
+      check_bool "no where" true (s.where = Predicate.True)
+  | _ -> Alcotest.fail "not a select"
+
+let test_parse_insert_create () =
+  (match ok (Sql.parse "INSERT INTO t VALUES (1, 'a', NULL)") with
+  | Sql.Insert { table; values } ->
+      check_str "table" "t" table;
+      check_int "arity" 3 (List.length values)
+  | _ -> Alcotest.fail "not an insert");
+  match ok (Sql.parse "CREATE TABLE t (id INT NOT NULL, name TEXT, w REAL)") with
+  | Sql.Create_table { table; columns } ->
+      check_str "table" "t" table;
+      check_int "columns" 3 (List.length columns);
+      check_bool "not null" true ((List.hd columns).nullable = false)
+  | _ -> Alcotest.fail "not a create"
+
+let test_parse_errors () =
+  let is_err s = Result.is_error (Sql.parse s) in
+  check_bool "garbage" true (is_err "DROP TABLE t");
+  check_bool "unterminated string" true (is_err "SELECT * FROM t WHERE a = 'x");
+  check_bool "trailing tokens" true (is_err "SELECT * FROM t WHERE a = 1 garbage extra");
+  check_bool "keyword as ident" true (is_err "SELECT * FROM where");
+  check_bool "strict compare rejected" true (is_err "SELECT * FROM t WHERE a < 3");
+  check_bool "bad limit" true (is_err "SELECT * FROM t LIMIT 'x'")
+
+(* ---------------- Execution ---------------- *)
+
+let make_db () =
+  let db = Database.create () in
+  List.iter
+    (fun stmt -> ignore (ok (Sql.execute db stmt)))
+    ([ "CREATE TABLE people (id INT NOT NULL, name TEXT NOT NULL, age INT NOT NULL)" ]
+    @ List.init 20 (fun i ->
+          Printf.sprintf "INSERT INTO people VALUES (%d, '%s', %d)" i
+            (if i mod 2 = 0 then "even" else "odd")
+            (20 + i)));
+  ignore (Table.create_index (Database.table db "people") ~column:"name");
+  db
+
+let test_execute_select () =
+  let db = make_db () in
+  let r = ok (Sql.execute db "SELECT * FROM people WHERE name = 'even'") in
+  check_int "rows" 10 (List.length r.rows);
+  check_int "all columns" 3 (List.length r.columns);
+  check_bool "used the index" true
+    ((Option.get r.exec).plan = Executor.Index_scan "name");
+  let r2 = ok (Sql.execute db "SELECT name, age FROM people WHERE id BETWEEN 0 AND 4 LIMIT 3") in
+  check_int "limited" 3 (List.length r2.rows);
+  check_bool "projected" true (List.for_all (fun row -> Array.length row = 2) r2.rows)
+
+let test_execute_errors () =
+  let db = make_db () in
+  check_bool "missing table" true (Result.is_error (Sql.execute db "SELECT * FROM nope"));
+  check_bool "missing column" true
+    (Result.is_error (Sql.execute db "SELECT zz FROM people"));
+  check_bool "bad insert arity" true
+    (Result.is_error (Sql.execute db "INSERT INTO people VALUES (1)"));
+  check_bool "duplicate create" true
+    (Result.is_error (Sql.execute db "CREATE TABLE people (id INT)"))
+
+(* ---------------- Proxy ---------------- *)
+
+let plain_schema =
+  Schema.create
+    [
+      { name = "id"; ty = TInt; nullable = false };
+      { name = "name"; ty = TText; nullable = false };
+      { name = "city"; ty = TText; nullable = false };
+      { name = "age"; ty = TInt; nullable = false };
+    ]
+
+let people =
+  List.init 60 (fun i ->
+      [|
+        Value.Int (Int64.of_int i);
+        Value.Text (if i mod 3 = 0 then "ann" else if i mod 3 = 1 then "bob" else "cat");
+        Value.Text (if i mod 2 = 0 then "pdx" else "sea");
+        Value.Int (Int64.of_int (20 + (i mod 40)));
+      |])
+
+let make_proxy kind =
+  let db = Database.create () in
+  let dist_of =
+    Wre.Dist_est.of_rows ~schema:plain_schema ~columns:[ "name"; "city" ] (List.to_seq people)
+  in
+  let master = Crypto.Keys.of_raw ~k0:(String.make 16 'p') ~k1:(String.make 32 'q') in
+  let edb =
+    Wre.Encrypted_db.create ~db ~name:"people" ~plain_schema ~key_column:"id"
+      ~encrypted_columns:[ "name"; "city" ] ~kind ~master ~dist_of ~seed:5L ()
+  in
+  List.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) people;
+  Wre.Proxy.create edb
+
+let test_proxy_select_encrypted_eq () =
+  List.iter
+    (fun kind ->
+      let proxy = make_proxy kind in
+      let r = ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE name = 'ann'") in
+      check_int (Wre.Scheme.to_string kind ^ " rows") 20 (List.length r.rows);
+      List.iter
+        (fun row -> check_bool "right rows" true (row.(1) = Value.Text "ann"))
+        r.rows)
+    [ Wre.Scheme.Det; Wre.Scheme.Poisson 100.0; Wre.Scheme.Bucketized 100.0 ]
+
+let test_proxy_multi_column_and () =
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r =
+    ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE name = 'ann' AND city = 'pdx'")
+  in
+  let expected =
+    List.length
+      (List.filter (fun p -> p.(1) = Value.Text "ann" && p.(2) = Value.Text "pdx") people)
+  in
+  check_int "conjunction over two encrypted columns" expected (List.length r.rows);
+  check_bool "projected one column" true (List.for_all (fun row -> Array.length row = 1) r.rows)
+
+let test_proxy_residual_filter () =
+  (* age is not searchable: the proxy must fetch on the name leg and
+     filter age client-side. *)
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r =
+    ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE name = 'bob' AND age BETWEEN 30 AND 39")
+  in
+  let expected =
+    List.length
+      (List.filter
+         (fun p ->
+           p.(1) = Value.Text "bob"
+           && match p.(3) with Value.Int a -> a >= 30L && a <= 39L | _ -> false)
+         people)
+  in
+  check_int "residual age filter" expected (List.length r.rows);
+  check_bool "server returned a superset" true (r.server_rows >= List.length r.rows)
+
+let test_proxy_key_passthrough () =
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r = ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE id BETWEEN 5 AND 9") in
+  check_int "key range served by index" 5 (List.length r.rows)
+
+let test_proxy_rewrite_shape () =
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  match Sql.parse "SELECT * FROM people WHERE name = 'ann' AND age = 25" with
+  | Ok (Sql.Select s) ->
+      let rw = ok (Wre.Proxy.rewrite_select proxy s) in
+      check_bool "server side is a tag IN-list" true
+        (match rw.server_predicate with Predicate.In ("name_tag", _ :: _) -> true | _ -> false);
+      check_bool "age stays client-side" true
+        (List.mem "age" (Predicate.columns rw.residual));
+      check_bool "server sql mentions tags" true
+        (String.length rw.server_sql > 0
+        &&
+        let re = "name_tag" in
+        let found = ref false in
+        String.iteri
+          (fun i _ ->
+            if i + String.length re <= String.length rw.server_sql
+               && String.sub rw.server_sql i (String.length re) = re
+            then found := true)
+          rw.server_sql;
+        !found)
+  | _ -> Alcotest.fail "parse failed"
+
+let test_proxy_insert_and_search () =
+  let proxy = make_proxy (Wre.Scheme.Fixed 5) in
+  ignore (ok (Wre.Proxy.execute proxy "INSERT INTO people VALUES (100, 'ann', 'pdx', 33)"));
+  let r = ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE name = 'ann' AND id >= 100") in
+  check_int "finds the inserted row" 1 (List.length r.rows)
+
+let test_proxy_unknown_plaintext_insert () =
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  check_bool "outside-distribution insert rejected" true
+    (Result.is_error (Wre.Proxy.execute proxy "INSERT INTO people VALUES (101, 'zoe', 'pdx', 30)"))
+
+let test_proxy_or_across_encrypted_columns () =
+  (* A disjunction the server cannot evaluate over tags: the proxy must
+     fall back to a full fetch + client filter, and still be exact. *)
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r =
+    ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE name = 'ann' OR city = 'sea'")
+  in
+  let expected =
+    List.length
+      (List.filter (fun p -> p.(1) = Value.Text "ann" || p.(2) = Value.Text "sea") people)
+  in
+  check_int "disjunction exact" expected (List.length r.rows);
+  check_int "server shipped the whole table" 60 r.server_rows
+
+let test_proxy_not_on_encrypted_column () =
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r = ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE NOT name = 'ann'") in
+  check_int "negation exact" 40 (List.length r.rows)
+
+let test_proxy_limit_after_fp_filter () =
+  (* LIMIT must count decrypted true positives, not raw server rows. *)
+  let proxy = make_proxy (Wre.Scheme.Bucketized 10.0) in
+  let r = ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE name = 'ann' LIMIT 7") in
+  check_int "limit applied post-filter" 7 (List.length r.rows)
+
+let test_proxy_bucketized_fp_filtered () =
+  let proxy = make_proxy (Wre.Scheme.Bucketized 10.0) in
+  let r = ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE city = 'pdx'") in
+  check_int "exact after residual filter" 30 (List.length r.rows);
+  check_bool "server sent false positives" true (r.server_rows >= 30)
+
+let test_proxy_delete_respects_false_positives () =
+  (* DELETE through the proxy must decrypt + residual-filter before
+     tombstoning, so bucketized false positives survive. *)
+  let proxy = make_proxy (Wre.Scheme.Bucketized 10.0) in
+  let r = ok (Wre.Proxy.execute proxy "DELETE FROM people WHERE name = 'ann'") in
+  check_int "deleted exactly the anns" 20 r.affected;
+  check_bool "server saw a superset" true (r.server_rows >= 20);
+  let remaining = ok (Wre.Proxy.execute proxy "SELECT * FROM people") in
+  check_int "others intact" 40 (List.length remaining.rows);
+  check_bool "no ann left" true
+    (List.for_all (fun row -> row.(1) <> Value.Text "ann") remaining.rows)
+
+let test_proxy_update_reencrypts () =
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r = ok (Wre.Proxy.execute proxy "UPDATE people SET city = 'sea' WHERE name = 'bob'") in
+  check_int "updated the bobs" 20 r.affected;
+  let bobs = ok (Wre.Proxy.execute proxy "SELECT city FROM people WHERE name = 'bob'") in
+  check_int "still findable" 20 (List.length bobs.rows);
+  check_bool "all moved" true (List.for_all (fun row -> row.(0) = Value.Text "sea") bobs.rows);
+  (* And the new city value is searchable through its own tags. *)
+  let sea = ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE city = 'sea' AND name = 'bob'") in
+  check_int "searchable under new value" 20 (List.length sea.rows)
+
+let test_proxy_update_outside_distribution () =
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  check_bool "rejected without fallback" true
+    (Result.is_error (Wre.Proxy.execute proxy "UPDATE people SET name = 'newname' WHERE id = 1"))
+
+let test_proxy_in_list_on_encrypted_column () =
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r = ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE name IN ('ann', 'cat')") in
+  check_int "union of both values" 40 (List.length r.rows)
+
+(* ---------------- Property: proxy vs plaintext reference ---------------- *)
+
+let qcheck_proxy_matches_plaintext =
+  (* Random WHERE clauses executed through the rewriting proxy against
+     the encrypted table must return exactly the rows a plaintext
+     database returns. *)
+  let where_gen =
+    let open QCheck.Gen in
+    let name_atom = map (Printf.sprintf "name = '%s'") (oneofl [ "ann"; "bob"; "cat"; "zoe" ]) in
+    let city_atom = map (Printf.sprintf "city = '%s'") (oneofl [ "pdx"; "sea"; "nyc" ]) in
+    let id_atom =
+      map2
+        (fun a b -> Printf.sprintf "id BETWEEN %d AND %d" (min a b) (max a b))
+        (int_bound 70) (int_bound 70)
+    in
+    let age_atom = map (Printf.sprintf "age >= %d") (int_bound 60) in
+    let atom = oneof [ name_atom; city_atom; id_atom; age_atom ] in
+    let join op a b = Printf.sprintf "(%s) %s (%s)" a op b in
+    oneof
+      [ atom; map2 (join "AND") atom atom; map2 (join "OR") atom atom;
+        map (Printf.sprintf "NOT (%s)") atom ]
+  in
+  let reference =
+    lazy
+      (let db = Database.create () in
+       let t = Database.create_table db ~name:"people" ~schema:plain_schema in
+       List.iter (fun r -> ignore (Table.insert t r)) people;
+       t)
+  in
+  let proxy = lazy (make_proxy (Wre.Scheme.Bucketized 60.0)) in
+  let ids_of rows =
+    List.sort compare
+      (List.map (fun row -> match row.(0) with Value.Int i -> i | _ -> -1L) rows)
+  in
+  QCheck.Test.make ~name:"proxy matches plaintext reference" ~count:60 (QCheck.make where_gen)
+    (fun where ->
+      match Sql.parse_predicate where with
+      | Error _ -> false
+      | Ok p ->
+          let t = Lazy.force reference in
+          let ref_rows =
+            Array.to_list (Executor.run t ~projection:Executor.All_columns p).rows
+          in
+          let sql = "SELECT id FROM people WHERE " ^ where in
+          let proxy_ids =
+            match Wre.Proxy.execute (Lazy.force proxy) sql with
+            | Error _ -> []
+            | Ok r -> ids_of r.rows
+          in
+          proxy_ids = ids_of ref_rows)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "predicates" `Quick test_parse_predicates;
+          Alcotest.test_case "boolean structure" `Quick test_parse_boolean_structure;
+          Alcotest.test_case "string escapes" `Quick test_parse_string_escapes;
+          Alcotest.test_case "select shapes" `Quick test_parse_select_shapes;
+          Alcotest.test_case "insert/create" `Quick test_parse_insert_create;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "execute",
+        [
+          Alcotest.test_case "select" `Quick test_execute_select;
+          Alcotest.test_case "errors" `Quick test_execute_errors;
+        ] );
+      ( "proxy",
+        [
+          Alcotest.test_case "encrypted equality" `Quick test_proxy_select_encrypted_eq;
+          Alcotest.test_case "multi-column AND" `Quick test_proxy_multi_column_and;
+          Alcotest.test_case "residual filter" `Quick test_proxy_residual_filter;
+          Alcotest.test_case "key passthrough" `Quick test_proxy_key_passthrough;
+          Alcotest.test_case "rewrite shape" `Quick test_proxy_rewrite_shape;
+          Alcotest.test_case "insert then search" `Quick test_proxy_insert_and_search;
+          Alcotest.test_case "unknown plaintext insert" `Quick test_proxy_unknown_plaintext_insert;
+          Alcotest.test_case "or across encrypted columns" `Quick
+            test_proxy_or_across_encrypted_columns;
+          Alcotest.test_case "not on encrypted column" `Quick test_proxy_not_on_encrypted_column;
+          Alcotest.test_case "limit after fp filter" `Quick test_proxy_limit_after_fp_filter;
+          Alcotest.test_case "bucketized fp filtered" `Quick test_proxy_bucketized_fp_filtered;
+          Alcotest.test_case "delete respects FPs" `Quick test_proxy_delete_respects_false_positives;
+          Alcotest.test_case "update re-encrypts" `Quick test_proxy_update_reencrypts;
+          Alcotest.test_case "update outside distribution" `Quick
+            test_proxy_update_outside_distribution;
+          Alcotest.test_case "IN-list on encrypted column" `Quick
+            test_proxy_in_list_on_encrypted_column;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_proxy_matches_plaintext ]);
+    ]

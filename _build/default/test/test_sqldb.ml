@@ -1,0 +1,658 @@
+(* Storage-engine tests: schema enforcement, index correctness versus a
+   naive scan, the buffer-pool cold/warm behaviour the latency
+   experiments depend on, and the size accounting behind Table I. *)
+
+open Sqldb
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_schema =
+  Schema.create
+    [
+      { name = "id"; ty = TInt; nullable = false };
+      { name = "name"; ty = TText; nullable = false };
+      { name = "score"; ty = TReal; nullable = true };
+    ]
+
+let mk_row id name score =
+  [| Value.Int (Int64.of_int id); Value.Text name; (match score with Some s -> Value.Real s | None -> Value.Null) |]
+
+(* ---------------- Value ---------------- *)
+
+let test_value_compare_order () =
+  check_bool "null smallest" true (Value.compare Value.Null (Value.Int 0L) < 0);
+  check_bool "int order" true (Value.compare (Value.Int 1L) (Value.Int 2L) < 0);
+  check_bool "int64 negatives" true (Value.compare (Value.Int (-1L)) (Value.Int 1L) < 0);
+  check_bool "text order" true (Value.compare (Value.Text "a") (Value.Text "b") < 0);
+  check_bool "equal" true (Value.equal (Value.Blob "x") (Value.Blob "x"))
+
+let test_value_heap_bytes () =
+  check_int "int" 8 (Value.heap_bytes (Value.Int 5L));
+  check_int "real" 8 (Value.heap_bytes (Value.Real 1.5));
+  check_int "null" 0 (Value.heap_bytes Value.Null);
+  check_int "short text varlena" 6 (Value.heap_bytes (Value.Text "hello"));
+  check_int "long text varlena" 204 (Value.heap_bytes (Value.Text (String.make 200 'x')))
+
+let test_value_hash_consistent () =
+  check_int "hash equal values" (Value.hash (Value.Text "abc")) (Value.hash (Value.Text "abc"));
+  check_bool "pp output" true (String.length (Value.to_string (Value.Blob "\x01")) > 0)
+
+(* ---------------- Schema ---------------- *)
+
+let test_schema_validation () =
+  check_int "arity" 3 (Schema.arity small_schema);
+  check_int "index" 1 (Schema.column_index small_schema "name");
+  Alcotest.(check (option int)) "missing" None (Schema.column_index_opt small_schema "nope");
+  check_bool "valid row" true (Schema.validate_row small_schema (mk_row 1 "a" None) = Ok ());
+  check_bool "arity mismatch" true
+    (Result.is_error (Schema.validate_row small_schema [| Value.Int 1L |]));
+  check_bool "type mismatch" true
+    (Result.is_error
+       (Schema.validate_row small_schema [| Value.Text "x"; Value.Text "a"; Value.Null |]));
+  check_bool "not-null violated" true
+    (Result.is_error (Schema.validate_row small_schema [| Value.Null; Value.Text "a"; Value.Null |]))
+
+let test_schema_rejects_duplicates () =
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Schema.create: duplicate column \"a\"") (fun () ->
+      ignore
+        (Schema.create
+           [ { name = "a"; ty = TInt; nullable = false }; { name = "a"; ty = TInt; nullable = false } ]))
+
+(* ---------------- Table ---------------- *)
+
+let test_table_insert_read () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  let id0 = Table.insert t (mk_row 0 "alice" (Some 1.0)) in
+  let id1 = Table.insert t (mk_row 1 "bob" None) in
+  check_int "row ids sequential" 0 id0;
+  check_int "row ids sequential 2" 1 id1;
+  check_int "count" 2 (Table.row_count t);
+  Alcotest.(check string) "read back" "bob" (match (Table.read_row t 1).(1) with Value.Text s -> s | _ -> "?");
+  Alcotest.check_raises "schema enforced"
+    (Invalid_argument "Table.insert(t): column \"name\" expects TEXT, got INT") (fun () ->
+      ignore (Table.insert t [| Value.Int 2L; Value.Int 3L; Value.Null |]))
+
+let test_table_pages_grow () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 999 do
+    ignore (Table.insert t (mk_row i (String.make 100 'x') (Some 0.0)))
+  done;
+  (* ~160 B/tuple incl. overhead -> ~50 rows/page -> ~20 pages *)
+  check_bool "multiple pages" true (Table.heap_pages t > 5);
+  check_bool "pages monotone with rows" true (Table.row_page t 999 >= Table.row_page t 0);
+  check_bool "heap bytes = pages * size" true
+    (Table.heap_bytes t = Table.heap_pages t * (Pager.config pager).page_size);
+  check_bool "avg row bytes sane" true (Table.avg_row_bytes t > 100.0)
+
+let test_table_scan () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 99 do
+    ignore (Table.insert t (mk_row i "n" None))
+  done;
+  let seen = ref 0 in
+  Table.scan t (fun _id _row -> incr seen);
+  check_int "visits all" 100 !seen;
+  let stats = Pager.stats pager in
+  check_bool "charged rows" true (stats.rows_examined >= 100)
+
+(* ---------------- Btree index ---------------- *)
+
+let naive_lookup t col v =
+  let acc = ref [] in
+  for id = Table.row_count t - 1 downto 0 do
+    if Value.equal (Table.peek_row t id).(col) v then acc := id :: !acc
+  done;
+  Array.of_list !acc
+
+let test_index_matches_naive () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  let g = Stdx.Prng.create 8L in
+  for i = 0 to 499 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "name%d" (Stdx.Prng.int g 20)) None))
+  done;
+  let idx = Table.create_index t ~column:"name" in
+  for k = 0 to 19 do
+    let v = Value.Text (Printf.sprintf "name%d" k) in
+    let from_index = Table_index.lookup idx v in
+    Array.sort compare from_index;
+    Alcotest.(check (array int)) (Printf.sprintf "key %d" k) (naive_lookup t 1 v) from_index
+  done;
+  Alcotest.(check (array int)) "missing key" [||] (Table_index.lookup idx (Value.Text "absent"))
+
+let test_index_lookup_many_dedups () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 49 do
+    ignore (Table.insert t (mk_row i (if i mod 2 = 0 then "even" else "odd") None))
+  done;
+  let idx = Table.create_index t ~column:"name" in
+  let ids = Table_index.lookup_many idx [ Value.Text "even"; Value.Text "odd"; Value.Text "even" ] in
+  check_int "all rows exactly once" 50 (Array.length ids)
+
+let test_index_range () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 99 do
+    ignore (Table.insert t (mk_row i "x" None))
+  done;
+  let idx = Table.create_index t ~column:"id" in
+  let ids = Option.get (Table_index.range idx ~lo:(Value.Int 10L) ~hi:(Value.Int 19L) ()) in
+  check_int "inclusive range" 10 (Array.length ids);
+  let all = Option.get (Table_index.range idx ()) in
+  check_int "unbounded" 100 (Array.length all);
+  let empty = Option.get (Table_index.range idx ~lo:(Value.Int 200L) ()) in
+  check_int "empty range" 0 (Array.length empty)
+
+let test_index_incremental_after_create () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  let idx = Table.create_index t ~column:"name" in
+  ignore (Table.insert t (mk_row 0 "late" None));
+  check_int "sees post-create insert" 1 (Array.length (Table_index.lookup idx (Value.Text "late")))
+
+let test_index_sizes () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 9999 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "u%d" i) None))
+  done;
+  let idx = Table.create_index t ~column:"name" in
+  let btree = match idx with Table_index.B b -> b | Table_index.H _ -> Alcotest.fail "not btree" in
+  check_int "entries" 10000 (Table_index.entry_count idx);
+  check_int "distinct" 10000 (Btree_index.distinct_keys btree);
+  check_bool "has pages" true (Btree_index.leaf_pages btree > 10);
+  check_bool "height >= 1" true (Btree_index.height btree >= 1);
+  check_bool "size covers entries" true
+    (Table_index.size_bytes idx > 10000 * 16);
+  (* Duplicate-heavy index should pack denser than a unique one. *)
+  let t2 = Table.create pager ~name:"t2" ~schema:small_schema in
+  for i = 0 to 9999 do
+    ignore (Table.insert t2 (mk_row i "same" None))
+  done;
+  let btree2 =
+    match Table.create_index t2 ~column:"name" with
+    | Table_index.B b -> b
+    | Table_index.H _ -> Alcotest.fail "not btree"
+  in
+  check_bool "duplicates pack denser" true
+    (Btree_index.leaf_pages btree2 < Btree_index.leaf_pages btree)
+
+(* ---------------- Hash index ---------------- *)
+
+let test_hash_index_matches_naive () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  let g = Stdx.Prng.create 12L in
+  for i = 0 to 499 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "name%d" (Stdx.Prng.int g 20)) None))
+  done;
+  let idx = Table.create_index ~kind:Table_index.Hash t ~column:"name" in
+  check_bool "is hash" true (Table_index.kind idx = Table_index.Hash);
+  for k = 0 to 19 do
+    let v = Value.Text (Printf.sprintf "name%d" k) in
+    let from_index = Table_index.lookup idx v in
+    Array.sort compare from_index;
+    Alcotest.(check (array int)) (Printf.sprintf "key %d" k) (naive_lookup t 1 v) from_index
+  done;
+  Alcotest.(check (array int)) "missing key" [||] (Table_index.lookup idx (Value.Text "nope"))
+
+let test_hash_index_no_range () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 99 do
+    ignore (Table.insert t (mk_row i "x" None))
+  done;
+  let idx = Table.create_index ~kind:Table_index.Hash t ~column:"id" in
+  check_bool "range unsupported" true (Table_index.range idx ~lo:(Value.Int 1L) () = None);
+  (* The executor must fall back to a seq scan, still correct. *)
+  let r =
+    Executor.run t ~projection:Executor.Row_ids
+      (Predicate.Range ("id", Some (Value.Int 10L), Some (Value.Int 19L)))
+  in
+  check_bool "falls back to seq scan" true (r.plan = Seq_scan);
+  check_int "correct result" 10 (Array.length r.row_ids)
+
+let test_hash_index_probe_cost_flat () =
+  (* Hash probes touch O(1) pages regardless of table size; a B-tree's
+     descent grows with height. Compare misses for a singleton lookup
+     on a large unique column. *)
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 49_999 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "u%06d" i) None))
+  done;
+  let hash_idx = Table.create_index ~kind:Table_index.Hash t ~column:"name" in
+  let btree_idx = Table.create_index ~kind:Table_index.Btree t ~column:"id" in
+  Pager.drop_caches pager;
+  Pager.reset_stats pager;
+  ignore (Table_index.lookup hash_idx (Value.Text "u012345"));
+  let hash_misses = (Pager.stats pager).misses in
+  Pager.drop_caches pager;
+  Pager.reset_stats pager;
+  ignore (Table_index.lookup btree_idx (Value.Int 12345L));
+  let btree_misses = (Pager.stats pager).misses in
+  check_bool "hash touches one page" true (hash_misses = 1);
+  check_bool "btree touches a root-to-leaf path" true (btree_misses > hash_misses)
+
+let test_hash_index_sizes () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 9999 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "u%d" i) None))
+  done;
+  let idx = Table.create_index ~kind:Table_index.Hash t ~column:"name" in
+  check_int "entries" 10000 (Table_index.entry_count idx);
+  check_bool "pages power of two" true
+    (let p =
+       match idx with Table_index.H h -> Hash_index.bucket_pages h | Table_index.B _ -> 0
+     in
+     p > 0 && p land (p - 1) = 0);
+  check_bool "size positive" true (Table_index.size_bytes idx > 0)
+
+(* ---------------- Pager cold/warm ---------------- *)
+
+let test_pager_cold_warm () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 4999 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "n%d" (i mod 50)) None))
+  done;
+  ignore (Table.create_index t ~column:"name");
+  let run () =
+    Pager.reset_stats pager;
+    let r = Executor.run t ~projection:Executor.All_columns (Predicate.Eq ("name", Value.Text "n7")) in
+    (r, Pager.stats pager)
+  in
+  Pager.drop_caches pager;
+  let r_cold, s_cold = run () in
+  let r_warm, s_warm = run () in
+  check_int "same results" (Array.length r_cold.row_ids) (Array.length r_warm.row_ids);
+  check_bool "cold has misses" true (s_cold.misses > 0);
+  check_int "warm has no misses" 0 s_warm.misses;
+  check_bool "warm cheaper" true (s_warm.sim_ns < s_cold.sim_ns);
+  Pager.drop_caches pager;
+  let _, s_cold2 = run () in
+  check_bool "drop_caches restores cold cost" true (s_cold2.misses = s_cold.misses)
+
+let test_pager_stats_accumulate () =
+  let pager = Pager.create () in
+  let rel = Pager.make_rel pager ~name:"r" in
+  Pager.touch pager rel 0;
+  Pager.touch pager rel 0;
+  Pager.touch pager rel 1;
+  let s = Pager.stats pager in
+  check_int "misses" 2 s.misses;
+  check_int "hits" 1 s.hits;
+  check_bool "sim time from misses" true (s.sim_ns >= 2.0 *. (Pager.config pager).io_miss_ns);
+  Pager.reset_stats pager;
+  check_int "reset" 0 (Pager.stats pager).misses
+
+(* ---------------- Executor ---------------- *)
+
+let build_db () =
+  let db = Database.create () in
+  let t = Database.create_table db ~name:"people" ~schema:small_schema in
+  ignore (Table.create_index t ~column:"name");
+  ignore (Table.create_index t ~column:"id");
+  for i = 0 to 999 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "p%d" (i mod 10)) (Some (float_of_int i))))
+  done;
+  (db, t)
+
+let test_executor_plans () =
+  let _db, t = build_db () in
+  check_bool "eq on indexed -> index scan" true
+    (Executor.explain t (Predicate.Eq ("name", Value.Text "p1")) = Executor.Index_scan "name");
+  check_bool "in on indexed -> index scan" true
+    (Executor.explain t (Predicate.In ("name", [ Value.Text "p1" ])) = Executor.Index_scan "name");
+  check_bool "non-indexed -> seq scan" true
+    (Executor.explain t (Predicate.Eq ("score", Value.Real 3.0)) = Executor.Seq_scan);
+  check_bool "and picks indexable leg" true
+    (Executor.explain t
+       (Predicate.And [ Predicate.Eq ("score", Value.Real 3.0); Predicate.Eq ("name", Value.Text "p1") ])
+    = Executor.Index_scan "name")
+
+let test_executor_correctness () =
+  let _db, t = build_db () in
+  let r = Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", Value.Text "p3")) in
+  check_int "100 matches" 100 (Array.length r.row_ids);
+  check_int "row_ids only" 0 (Array.length r.rows);
+  let r2 = Executor.run t ~projection:Executor.All_columns (Predicate.Eq ("name", Value.Text "p3")) in
+  check_int "rows fetched" 100 (Array.length r2.rows);
+  Array.iter
+    (fun row -> check_bool "right rows" true (row.(1) = Value.Text "p3"))
+    r2.rows;
+  (* Seq scan agrees with index scan. *)
+  let seq =
+    Executor.run t ~projection:Executor.Row_ids
+      (Predicate.And [ Predicate.Eq ("name", Value.Text "p3"); Predicate.True ])
+  in
+  check_int "seq/index agree" (Array.length r.row_ids) (Array.length seq.row_ids)
+
+let test_executor_residual_filter () =
+  let _db, t = build_db () in
+  let r =
+    Executor.run t ~projection:Executor.Row_ids
+      (Predicate.And
+         [ Predicate.Eq ("name", Value.Text "p3"); Predicate.Range ("id", Some (Value.Int 0L), Some (Value.Int 99L)) ])
+  in
+  check_int "filtered to first hundred ids" 10 (Array.length r.row_ids)
+
+let test_executor_select_star_touches_heap () =
+  let db, t = build_db () in
+  Database.drop_caches db;
+  Pager.reset_stats (Table.pager t);
+  let _ = Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", Value.Text "p4")) in
+  let ids_stats = Pager.stats (Table.pager t) in
+  Database.drop_caches db;
+  Pager.reset_stats (Table.pager t);
+  let _ = Executor.run t ~projection:Executor.All_columns (Predicate.Eq ("name", Value.Text "p4")) in
+  let star_stats = Pager.stats (Table.pager t) in
+  check_bool "SELECT * touches more pages than SELECT ID" true
+    (star_stats.misses > ids_stats.misses)
+
+let test_executor_or_and_not () =
+  let _db, t = build_db () in
+  let r =
+    Executor.run t ~projection:Executor.Row_ids
+      (Predicate.Or [ Predicate.Eq ("name", Value.Text "p1"); Predicate.Eq ("name", Value.Text "p2") ])
+  in
+  check_int "or" 200 (Array.length r.row_ids);
+  let r2 = Executor.run t ~projection:Executor.Row_ids (Predicate.Not (Predicate.Eq ("name", Value.Text "p1"))) in
+  check_int "not" 900 (Array.length r2.row_ids)
+
+(* ---------------- Database ---------------- *)
+
+let test_database_catalog () =
+  let db = Database.create () in
+  let _t = Database.create_table db ~name:"a" ~schema:small_schema in
+  check_bool "lookup" true (Database.table_opt db "a" <> None);
+  check_bool "missing" true (Database.table_opt db "b" = None);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Database.create_table: table \"a\" already exists") (fun () ->
+      ignore (Database.create_table db ~name:"a" ~schema:small_schema));
+  ignore (Database.insert db ~table:"a" (mk_row 0 "x" None));
+  check_int "insert through catalog" 1 (Table.row_count (Database.table db "a"));
+  check_bool "sizes positive" true (Database.total_bytes db >= Database.heap_bytes db)
+
+(* ---------------- Predicate ---------------- *)
+
+let test_predicate_compile_columns () =
+  let p =
+    Predicate.And
+      [ Predicate.Eq ("name", Value.Text "a"); Predicate.Or [ Predicate.Eq ("id", Value.Int 1L); Predicate.Eq ("name", Value.Text "b") ] ]
+  in
+  Alcotest.(check (list string)) "columns deduped" [ "name"; "id" ] (Predicate.columns p);
+  let f = Predicate.compile small_schema p in
+  check_bool "matching row" true (f (mk_row 1 "a" None));
+  check_bool "or branch fails" false (f (mk_row 2 "a" None));
+  check_bool "and leg fails" false (f (mk_row 1 "c" None));
+  let q = Predicate.compile small_schema (Predicate.In ("name", [ Value.Text "a"; Value.Text "b" ])) in
+  check_bool "in" true (q (mk_row 5 "b" None));
+  check_bool "pp non-empty" true (String.length (Format.asprintf "%a" Predicate.pp p) > 10)
+
+(* ---------------- CSV ---------------- *)
+
+let test_csv_parse_basic () =
+  check_bool "simple" true
+    (Csv.parse "a,b,c\n1,2,3\n" = Ok [ [ "a"; "b"; "c" ]; [ "1"; "2"; "3" ] ]);
+  check_bool "no trailing newline" true (Csv.parse "a,b" = Ok [ [ "a"; "b" ] ]);
+  check_bool "empty cells" true (Csv.parse ",\n" = Ok [ [ ""; "" ] ]);
+  check_bool "crlf" true (Csv.parse "a,b\r\nc,d\r\n" = Ok [ [ "a"; "b" ]; [ "c"; "d" ] ])
+
+let test_csv_parse_quoting () =
+  check_bool "embedded comma" true (Csv.parse "\"a,b\",c\n" = Ok [ [ "a,b"; "c" ] ]);
+  check_bool "escaped quote" true (Csv.parse "\"say \"\"hi\"\"\"\n" = Ok [ [ "say \"hi\"" ] ]);
+  check_bool "embedded newline" true (Csv.parse "\"a\nb\",c\n" = Ok [ [ "a\nb"; "c" ] ]);
+  check_bool "unterminated rejected" true (Result.is_error (Csv.parse "\"abc\n"));
+  check_bool "garbage after quote rejected" true (Result.is_error (Csv.parse "\"a\"b,c\n"))
+
+let test_csv_render_roundtrip () =
+  let rows = [ [ "plain"; "with,comma"; "with\"quote" ]; [ "line\nbreak"; ""; "x" ] ] in
+  check_bool "roundtrip" true (Csv.parse (Csv.render rows) = Ok rows)
+
+let test_csv_typed_rows () =
+  let rows =
+    Csv.typed_rows ~schema:small_schema ~header:true
+      [ [ "id"; "name"; "score" ]; [ "1"; "alice"; "2.5" ]; [ "2"; "bob"; "" ] ]
+  in
+  (match rows with
+  | Ok [ r0; r1 ] ->
+      check_bool "int" true (r0.(0) = Value.Int 1L);
+      check_bool "real" true (r0.(2) = Value.Real 2.5);
+      check_bool "empty nullable is NULL" true (r1.(2) = Value.Null)
+  | _ -> Alcotest.fail "typed_rows failed");
+  check_bool "bad int rejected" true
+    (Result.is_error
+       (Csv.typed_rows ~schema:small_schema ~header:false [ [ "xx"; "a"; "" ] ]));
+  check_bool "wrong header rejected" true
+    (Result.is_error
+       (Csv.typed_rows ~schema:small_schema ~header:true [ [ "wrong"; "names"; "here" ] ]));
+  check_bool "arity mismatch rejected" true
+    (Result.is_error (Csv.typed_rows ~schema:small_schema ~header:false [ [ "1" ] ]))
+
+let test_csv_untyped_roundtrip () =
+  let typed = [ [| Value.Int 42L; Value.Text "x,y"; Value.Real 1.5 |] ] in
+  let cells = Csv.untyped_rows typed in
+  match Csv.typed_rows ~schema:small_schema ~header:false cells with
+  | Ok [ row ] -> check_bool "roundtrip through cells" true (row = List.hd typed)
+  | _ -> Alcotest.fail "roundtrip failed"
+
+(* ---------------- DML: delete / update ---------------- *)
+
+let test_table_delete () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 9 do
+    ignore (Table.insert t (mk_row i "x" None))
+  done;
+  ignore (Table.create_index t ~column:"name");
+  check_bool "delete succeeds" true (Table.delete t 3);
+  check_bool "second delete is a no-op" false (Table.delete t 3);
+  check_int "live count" 9 (Table.live_count t);
+  check_int "row count unchanged (tombstone)" 10 (Table.row_count t);
+  check_bool "is_live" false (Table.is_live t 3);
+  (* Both access paths skip the dead row. *)
+  let via_index = Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", Value.Text "x")) in
+  check_int "index scan skips dead" 9 (Array.length via_index.row_ids);
+  let seen = ref 0 in
+  Table.scan t (fun _ _ -> incr seen);
+  check_int "seq scan skips dead" 9 !seen
+
+let test_table_update () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  let id = Table.insert t (mk_row 0 "before" None) in
+  ignore (Table.create_index t ~column:"name");
+  let new_id = Table.update t id (mk_row 0 "after" None) in
+  check_bool "new version gets a fresh id" true (new_id <> id);
+  check_bool "old version dead" false (Table.is_live t id);
+  let r = Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", Value.Text "after")) in
+  check_int "new value findable" 1 (Array.length r.row_ids);
+  let r2 = Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", Value.Text "before")) in
+  check_int "old value gone" 0 (Array.length r2.row_ids);
+  let raised = try ignore (Table.update t id (mk_row 0 "again" None)); false with Invalid_argument _ -> true in
+  check_bool "updating a dead row rejected" true raised
+
+let test_sql_delete_update () =
+  let db = Database.create () in
+  let t = Database.create_table db ~name:"t" ~schema:small_schema in
+  for i = 0 to 19 do
+    ignore (Table.insert t (mk_row i (if i mod 2 = 0 then "even" else "odd") None))
+  done;
+  ignore (Table.create_index t ~column:"name");
+  (match Sql.execute db "DELETE FROM t WHERE name = 'odd'" with
+  | Ok r -> check_int "deleted" 10 r.affected
+  | Error e -> Alcotest.fail e);
+  (match Sql.execute db "SELECT * FROM t" with
+  | Ok r -> check_int "ten left" 10 (List.length r.rows)
+  | Error e -> Alcotest.fail e);
+  (match Sql.execute db "UPDATE t SET name = 'renamed' WHERE id BETWEEN 0 AND 5" with
+  | Ok r -> check_int "updated" 3 r.affected (* ids 0,2,4 are the even survivors *)
+  | Error e -> Alcotest.fail e);
+  (match Sql.execute db "SELECT * FROM t WHERE name = 'renamed'" with
+  | Ok r -> check_int "renamed rows" 3 (List.length r.rows)
+  | Error e -> Alcotest.fail e);
+  check_bool "unknown set column" true
+    (Result.is_error (Sql.execute db "UPDATE t SET nope = 1"));
+  check_bool "type-checked update" true
+    (Result.is_error (Sql.execute db "UPDATE t SET name = 5"))
+
+(* ---------------- QCheck ---------------- *)
+
+(* Random predicates executed through the planner must agree with naive
+   row-by-row evaluation — the strongest correctness net for the
+   planner/index/filter pipeline. *)
+let qcheck_executor_vs_naive =
+  let pred_gen =
+    let open QCheck.Gen in
+    let atom =
+      oneof
+        [
+          map (fun v -> Predicate.Eq ("name", Value.Text (Printf.sprintf "p%d" v))) (int_bound 6);
+          map (fun v -> Predicate.Eq ("id", Value.Int (Int64.of_int v))) (int_bound 120);
+          map2
+            (fun lo hi ->
+              Predicate.Range ("id", Some (Value.Int (Int64.of_int (min lo hi))),
+                Some (Value.Int (Int64.of_int (max lo hi)))))
+            (int_bound 120) (int_bound 120);
+          map
+            (fun vs ->
+              Predicate.In ("name", List.map (fun v -> Value.Text (Printf.sprintf "p%d" v)) vs))
+            (list_size (1 -- 3) (int_bound 6));
+        ]
+    in
+    let rec tree depth =
+      if depth = 0 then atom
+      else
+        frequency
+          [
+            (3, atom);
+            (1, map (fun p -> Predicate.Not p) (tree (depth - 1)));
+            (1, map (fun ps -> Predicate.And ps) (list_size (1 -- 3) (tree (depth - 1))));
+            (1, map (fun ps -> Predicate.Or ps) (list_size (1 -- 3) (tree (depth - 1))));
+          ]
+    in
+    tree 2
+  in
+  (* One shared table: build once, query many. *)
+  let table =
+    lazy
+      (let pager = Pager.create () in
+       let t = Table.create pager ~name:"fuzz" ~schema:small_schema in
+       let g = Stdx.Prng.create 99L in
+       for i = 0 to 119 do
+         ignore (Table.insert t (mk_row i (Printf.sprintf "p%d" (Stdx.Prng.int g 6)) None))
+       done;
+       ignore (Table.create_index t ~column:"name");
+       ignore (Table.create_index t ~column:"id");
+       t)
+  in
+  QCheck.Test.make ~name:"executor agrees with naive evaluation" ~count:200 (QCheck.make pred_gen)
+    (fun p ->
+      let t = Lazy.force table in
+      let eval = Predicate.compile small_schema p in
+      let expected = ref [] in
+      for id = Table.row_count t - 1 downto 0 do
+        if eval (Table.peek_row t id) then expected := id :: !expected
+      done;
+      let got = Array.to_list (Executor.run t ~projection:Executor.Row_ids p).row_ids in
+      List.sort compare got = !expected)
+
+let qcheck_csv_roundtrip =
+  (* Avoid bare \r cells: a lone CR is rendered quoted but \r\n vs \r
+     normalization is lossy by design (same as real CSV tooling). *)
+  let cell = QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; ','; '"'; '\n'; 'z'; ' ' ]) (0 -- 8)) in
+  QCheck.Test.make ~name:"csv render/parse roundtrip" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (1 -- 5) (list_size (1 -- 5) cell)))
+    (fun rows -> Csv.parse (Csv.render rows) = Ok rows)
+
+let qcheck_index_vs_scan =
+  QCheck.Test.make ~name:"index scan = seq scan on random data" ~count:30
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 10))
+    (fun names ->
+      let pager = Pager.create () in
+      let t = Table.create pager ~name:"t" ~schema:small_schema in
+      List.iteri (fun i n -> ignore (Table.insert t (mk_row i (string_of_int n) None))) names;
+      ignore (Table.create_index t ~column:"name");
+      List.for_all
+        (fun k ->
+          let v = Value.Text (string_of_int k) in
+          let via_index = Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", v)) in
+          let expected = List.length (List.filter (fun n -> n = k) names) in
+          Array.length via_index.row_ids = expected)
+        [ 0; 1; 5; 10 ])
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sqldb"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare order" `Quick test_value_compare_order;
+          Alcotest.test_case "heap bytes" `Quick test_value_heap_bytes;
+          Alcotest.test_case "hash/pp" `Quick test_value_hash_consistent;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "validation" `Quick test_schema_validation;
+          Alcotest.test_case "duplicates" `Quick test_schema_rejects_duplicates;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert/read" `Quick test_table_insert_read;
+          Alcotest.test_case "pages grow" `Quick test_table_pages_grow;
+          Alcotest.test_case "scan" `Quick test_table_scan;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "matches naive" `Quick test_index_matches_naive;
+          Alcotest.test_case "lookup_many dedups" `Quick test_index_lookup_many_dedups;
+          Alcotest.test_case "range" `Quick test_index_range;
+          Alcotest.test_case "incremental" `Quick test_index_incremental_after_create;
+          Alcotest.test_case "sizes" `Quick test_index_sizes;
+        ] );
+      ( "hash_index",
+        [
+          Alcotest.test_case "matches naive" `Quick test_hash_index_matches_naive;
+          Alcotest.test_case "no range support" `Quick test_hash_index_no_range;
+          Alcotest.test_case "flat probe cost" `Quick test_hash_index_probe_cost_flat;
+          Alcotest.test_case "sizes" `Quick test_hash_index_sizes;
+        ] );
+      ( "pager",
+        [
+          Alcotest.test_case "cold/warm" `Quick test_pager_cold_warm;
+          Alcotest.test_case "stats" `Quick test_pager_stats_accumulate;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "plans" `Quick test_executor_plans;
+          Alcotest.test_case "correctness" `Quick test_executor_correctness;
+          Alcotest.test_case "residual filter" `Quick test_executor_residual_filter;
+          Alcotest.test_case "select * heap cost" `Quick test_executor_select_star_touches_heap;
+          Alcotest.test_case "or/not" `Quick test_executor_or_and_not;
+        ] );
+      ("database", [ Alcotest.test_case "catalog" `Quick test_database_catalog ]);
+      ("predicate", [ Alcotest.test_case "compile/columns" `Quick test_predicate_compile_columns ]);
+      ( "dml",
+        [
+          Alcotest.test_case "table delete" `Quick test_table_delete;
+          Alcotest.test_case "table update" `Quick test_table_update;
+          Alcotest.test_case "sql delete/update" `Quick test_sql_delete_update;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "parse basic" `Quick test_csv_parse_basic;
+          Alcotest.test_case "parse quoting" `Quick test_csv_parse_quoting;
+          Alcotest.test_case "render roundtrip" `Quick test_csv_render_roundtrip;
+          Alcotest.test_case "typed rows" `Quick test_csv_typed_rows;
+          Alcotest.test_case "untyped roundtrip" `Quick test_csv_untyped_roundtrip;
+        ] );
+      ("properties", q [ qcheck_index_vs_scan; qcheck_executor_vs_naive; qcheck_csv_roundtrip ]);
+    ]

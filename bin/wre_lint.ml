@@ -1,0 +1,67 @@
+(* wre-lint driver: walks the given roots, runs the R1–R5 rules, prints
+   file:line:col diagnostics and exits non-zero when any finding is not
+   covered by the allowlist — the CI contract behind `dune build @lint`. *)
+
+let usage = "wre_lint [--rules R1,R2,...] [--allow FILE] [--list-rules] PATH..."
+
+let parse_rules s =
+  let toks = String.split_on_char ',' s |> List.filter (fun t -> String.trim t <> "") in
+  List.map
+    (fun t ->
+      match Lint.Rule.of_string t with
+      | Some r -> r
+      | None ->
+          Printf.eprintf "wre_lint: unknown rule %S (have: R1 R2 R3 R4 R5)\n" t;
+          exit 2)
+    toks
+
+let () =
+  let rules = ref Lint.Rule.all in
+  let allow_file = ref None in
+  let roots = ref [] in
+  let list_rules () =
+    List.iter
+      (fun r -> Printf.printf "%s  %s\n" (Lint.Rule.to_string r) (Lint.Rule.describe r))
+      Lint.Rule.all;
+    exit 0
+  in
+  let spec =
+    [
+      ( "--rules",
+        Arg.String (fun s -> rules := parse_rules s),
+        "R1,R2,... enable only these rules (default: all)" );
+      ("--allow", Arg.String (fun s -> allow_file := Some s), "FILE allowlist of deliberate exceptions");
+      ("--list-rules", Arg.Unit list_rules, " describe the rules and exit");
+    ]
+  in
+  Arg.parse spec (fun r -> roots := r :: !roots) usage;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    Printf.eprintf "wre_lint: no paths given\n%s\n" usage;
+    exit 2
+  end;
+  let allow =
+    match !allow_file with
+    | None -> Lint.Allowlist.empty
+    | Some f -> (
+        match Lint.Allowlist.load f with
+        | Ok a -> a
+        | Error e ->
+            Printf.eprintf "wre_lint: cannot load allowlist: %s\n" e;
+            exit 2)
+  in
+  let diags, errors = Lint.Engine.lint_paths ~rules:!rules roots in
+  List.iter (fun e -> Printf.eprintf "wre_lint: error: %s\n" e) errors;
+  let kept = List.filter (fun d -> not (Lint.Allowlist.suppresses allow d)) diags in
+  List.iter (fun d -> print_endline (Lint.Diagnostic.to_string d)) kept;
+  List.iter
+    (fun e ->
+      Printf.eprintf "wre_lint: warning: unused allowlist entry '%s' (%s)\n"
+        (Lint.Allowlist.describe_entry e) e.Lint.Allowlist.source)
+    (Lint.Allowlist.unused allow diags);
+  if errors <> [] then exit 2;
+  if kept <> [] then begin
+    Printf.eprintf "wre_lint: %d finding(s) in %d file(s) scanned\n" (List.length kept)
+      (List.length roots);
+    exit 1
+  end

@@ -7,7 +7,6 @@ type t = {
   table : Table.t;
   plain_schema : Schema.t;
   key_column : string;
-  key_pos : int; (* in plain schema *)
   kind : Scheme.kind;
   encrypted_columns : string list;
   encryptors : (string, Column_enc.t) Hashtbl.t;
@@ -124,7 +123,6 @@ let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
     table;
     plain_schema;
     key_column;
-    key_pos;
     kind;
     encrypted_columns;
     encryptors;
@@ -169,7 +167,14 @@ let insert t row =
       | `Ranged (rtag_pos, data_pos) ->
           let ri = Hashtbl.find t.range_indexes plain_cols.(i).name in
           let key = Hashtbl.find t.data_keys plain_cols.(i).name in
-          let raw = match v with Value.Int x -> x | _ -> assert false in
+          let raw =
+            match v with
+            | Value.Int x -> x
+            | v ->
+                invalid_arg
+                  ("Encrypted_db.insert: range-indexed column must be INT, got "
+                  ^ Value.to_string v)
+          in
           out.(rtag_pos) <- Value.Int (Range_index.tag_of_value ri raw);
           out.(data_pos) <- Value.Blob (Crypto.Ctr.encrypt_random key t.g (Value_codec.encode v))
       | `Data p ->
@@ -232,9 +237,14 @@ let search_rows t ~column m =
   let decrypted = Array.to_list (Array.map (decrypt_row t) result.rows) in
   let rows =
     if Scheme.is_bucketized t.kind then
-      (* Client-side false-positive filter (paper §V-C1). *)
+      (* Client-side false-positive filter (paper §V-C1). Compares a
+         decrypted plaintext against the query value, so it runs
+         constant-time like every other match on secret data. *)
       List.filter
-        (fun row -> match row.(col_pos) with Value.Text s -> s = m | _ -> false)
+        (fun row ->
+          match row.(col_pos) with
+          | Value.Text s -> Stdx.Bytes_util.ct_equal s m
+          | _ -> false)
         decrypted
     else decrypted
   in

@@ -14,18 +14,11 @@ let encrypt key g pt =
   let body = Ctr.encrypt_random key.enc g pt in
   body ^ mac_of key body
 
-let constant_time_eq a b =
-  String.length a = String.length b
-  &&
-  let acc = ref 0 in
-  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
-  !acc = 0
-
 let decrypt key ct =
   if String.length ct < ciphertext_overhead then Error "ciphertext too short"
   else begin
     let body = String.sub ct 0 (String.length ct - tag_len) in
     let tag = String.sub ct (String.length ct - tag_len) tag_len in
-    if constant_time_eq tag (mac_of key body) then Ok (Ctr.decrypt key.enc body)
+    if Stdx.Bytes_util.ct_equal tag (mac_of key body) then Ok (Ctr.decrypt key.enc body)
     else Error "authentication failed"
   end

@@ -23,10 +23,4 @@ let mac_hex ~key msg = Stdx.Bytes_util.to_hex (mac ~key msg)
 
 let mac_u64 ~key msg = Stdx.Bytes_util.get_u64_be (mac ~key msg) 0
 
-let verify ~key msg ~tag =
-  let expected = mac ~key msg in
-  String.length tag = String.length expected
-  &&
-  let acc = ref 0 in
-  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code expected.[i])) tag;
-  !acc = 0
+let verify ~key msg ~tag = Stdx.Bytes_util.ct_equal tag (mac ~key msg)

@@ -1,0 +1,61 @@
+type entry = { rule : Rule.t; path : string; line : int option; source : string }
+type t = entry list
+
+let empty = []
+
+let normalize_path p =
+  let p = if String.length p >= 2 && String.sub p 0 2 = "./" then String.sub p 2 (String.length p - 2) else p in
+  p
+
+(* "R5 lib/sqldb/pager.ml:42" or "R3 bench/exp_micro.ml" — '#' starts a
+   comment, blank lines are skipped. *)
+let parse_line ~source ln =
+  let ln = match String.index_opt ln '#' with Some i -> String.sub ln 0 i | None -> ln in
+  let ln = String.trim ln in
+  if ln = "" then Ok None
+  else
+    match String.split_on_char ' ' ln |> List.filter (fun s -> s <> "") with
+    | [ rule_s; target ] | rule_s :: target :: _ -> (
+        match Rule.of_string rule_s with
+        | None -> Error (Printf.sprintf "%s: unknown rule %S" source rule_s)
+        | Some rule -> (
+            match String.rindex_opt target ':' with
+            | Some i when i < String.length target - 1
+                          && String.for_all
+                               (fun c -> c >= '0' && c <= '9')
+                               (String.sub target (i + 1) (String.length target - i - 1)) ->
+                let line = int_of_string (String.sub target (i + 1) (String.length target - i - 1)) in
+                Ok (Some { rule; path = normalize_path (String.sub target 0 i); line = Some line; source })
+            | _ -> Ok (Some { rule; path = normalize_path target; line = None; source })))
+    | _ -> Error (Printf.sprintf "%s: malformed entry %S (want: RULE path[:line])" source ln)
+
+let of_string ?(source = "<allowlist>") contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc i = function
+    | [] -> Ok (List.rev acc)
+    | ln :: rest -> (
+        match parse_line ~source:(Printf.sprintf "%s:%d" source i) ln with
+        | Error e -> Error e
+        | Ok None -> go acc (i + 1) rest
+        | Ok (Some e) -> go (e :: acc) (i + 1) rest)
+  in
+  go [] 1 lines
+
+let load file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | contents -> of_string ~source:file contents
+  | exception Sys_error e -> Error e
+
+let matches e (d : Diagnostic.t) =
+  Rule.equal e.rule d.rule
+  && normalize_path d.file = e.path
+  && match e.line with None -> true | Some l -> l = d.line
+
+let suppresses t d = List.exists (fun e -> matches e d) t
+
+let unused t diags =
+  List.filter (fun e -> not (List.exists (fun d -> matches e d) diags)) t
+
+let describe_entry e =
+  Printf.sprintf "%s %s%s" (Rule.to_string e.rule) e.path
+    (match e.line with None -> "" | Some l -> ":" ^ string_of_int l)

@@ -1,0 +1,21 @@
+(** Deliberate-exception list for lint findings.
+
+    One entry per line, [RULE path[:line]], with [#] comments:
+    {v
+    # pager recovery path deliberately swallows torn-page errors
+    R5 lib/sqldb/pager.ml:42
+    R3 bench/exp_micro.ml
+    v}
+    An entry without a line number suppresses the rule for the whole
+    file. Unused entries are reported by the driver so the list cannot
+    rot silently. *)
+
+type entry = { rule : Rule.t; path : string; line : int option; source : string }
+type t = entry list
+
+val empty : t
+val of_string : ?source:string -> string -> (t, string) result
+val load : string -> (t, string) result
+val suppresses : t -> Diagnostic.t -> bool
+val unused : t -> Diagnostic.t list -> entry list
+val describe_entry : entry -> string

@@ -1,0 +1,20 @@
+type t = { rule : Rule.t; file : string; line : int; col : int; message : string }
+
+let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let of_location ~rule ~(loc : Location.t) message =
+  let p = loc.loc_start in
+  { rule; file = p.pos_fname; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; message }
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col (Rule.to_string d.rule) d.message
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (Rule.to_string a.rule) (Rule.to_string b.rule)

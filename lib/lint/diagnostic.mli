@@ -1,0 +1,12 @@
+(** A single lint finding, anchored to a [file:line:col] position. *)
+
+type t = { rule : Rule.t; file : string; line : int; col : int; message : string }
+
+val v : rule:Rule.t -> file:string -> line:int -> col:int -> string -> t
+val of_location : rule:Rule.t -> loc:Location.t -> string -> t
+
+val to_string : t -> string
+(** [file:line:col: [Rn] message] — the CI-facing format. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, column, rule — for stable output. *)

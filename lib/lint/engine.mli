@@ -1,0 +1,28 @@
+(** The wre-lint analysis core.
+
+    Parses [.ml] sources with compiler-libs and enforces the R1–R5
+    hygiene rules (see {!Rule}) with purely syntactic checks, so the
+    pass runs on any tree that parses — no build required. Scoping is
+    path-based: R1/R2 fire only under [lib/crypto] and [lib/core],
+    R5 under [lib/], R3 everywhere except [lib/stdx/prng.ml] and
+    [lib/stdx/clock.ml], R4 for every [lib/] module. *)
+
+val lint_structure : rules:Rule.t list -> path:string -> Parsetree.structure -> Diagnostic.t list
+(** Run the AST rules on an already-parsed unit. [path] decides which
+    rules are in scope and is stamped on diagnostics. *)
+
+val lint_source : rules:Rule.t list -> path:string -> string -> (Diagnostic.t list, string) result
+(** Parse [source] (attributed to [path]) and lint it. *)
+
+val lint_file : rules:Rule.t list -> string -> (Diagnostic.t list, string) result
+
+val lint_paths : rules:Rule.t list -> string list -> Diagnostic.t list * string list
+(** Walk files and directories (skipping [_build] and dot-dirs),
+    lint every [.ml], and apply the R4 interface-coverage check.
+    Returns sorted diagnostics plus read/parse errors. *)
+
+(**/**)
+
+val secretish_name : string -> bool
+val tagish_name : string -> bool
+val normalize_path : string -> string

@@ -1,0 +1,23 @@
+type t = R1 | R2 | R3 | R4 | R5
+
+let all = [ R1; R2; R3; R4; R5 ]
+
+let to_string = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4" | R5 -> "R5"
+
+let of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+let describe = function
+  | R1 -> "secret hygiene: key material must not reach printers, hex dumps or exception payloads"
+  | R2 -> "constant-time discipline: no variable-time equality on tag/MAC/key operands"
+  | R3 -> "determinism: ambient randomness and wall clocks only in Stdx.Prng / Stdx.Clock"
+  | R4 -> "interface coverage: every .ml under lib/ needs a matching .mli"
+  | R5 -> "no partial escapes: Obj.magic, assert false, catch-all exception handlers"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,15 @@
+(** Identifiers for the wre-lint rule set. Each rule can be enabled or
+    disabled independently from the driver's [--rules] flag. *)
+
+type t =
+  | R1  (** secret hygiene *)
+  | R2  (** constant-time discipline *)
+  | R3  (** determinism *)
+  | R4  (** interface coverage *)
+  | R5  (** no partial escapes *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val describe : t -> string
+val equal : t -> t -> bool

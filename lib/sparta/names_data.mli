@@ -1,0 +1,28 @@
+(** Embedded identifier vocabularies for the SPARTA-style generator.
+
+    Each array lists a column's vocabulary in descending real-world
+    rank order; {!Generator} fits a per-column Zipf exponent over it to
+    re-create the heavy-tailed frequency curves of the US Census files
+    the original SPARTA tooling draws from (DESIGN.md §2 documents the
+    substitution). *)
+
+val first_names : string array
+val last_names : string array
+(* (city, state, weight) — weight is a coarse relative-population rank
+   used by the Zipf fit. *)
+val cities : (string * string * int) array
+val languages : string array
+val occupations : string array
+val street_names : string array
+val street_suffixes : string array
+val states : string array
+val races : string array
+val marital_statuses : string array
+val education_levels : string array
+val citizenships : string array
+
+val prose_words : string array
+(** Word stock for the free-text notes column — a bag-of-words stand-in
+    for SPARTA's Project Gutenberg prose with the same storage shape. *)
+
+val military_statuses : string array

@@ -41,6 +41,18 @@ let length_prefixed parts =
     parts;
   Bytes.unsafe_to_string b
 
+let ct_equal a b =
+  let la = String.length a and lb = String.length b in
+  let n = if la < lb then la else lb in
+  (* Seed the accumulator with the length difference so unequal-length
+     inputs fail without an early return, then fold every byte of the
+     common prefix in — no data-dependent branches. *)
+  let acc = ref (la lxor lb) in
+  for i = 0 to n - 1 do
+    acc := !acc lor (Char.code (String.unsafe_get a i) lxor Char.code (String.unsafe_get b i))
+  done;
+  !acc = 0
+
 let xor_into ~src ~dst ~len =
   if len > String.length src || len > Bytes.length dst then
     invalid_arg "Bytes_util.xor_into: length out of range";

@@ -19,6 +19,13 @@ val length_prefixed : string list -> string
     [(salt, message)] pairs of different splits can never collide
     (paper §IV's salt-encoding requirement). *)
 
+val ct_equal : string -> string -> bool
+(** Constant-time equality: runtime depends only on the inputs'
+    lengths, never on where they differ. The mandatory comparison for
+    tags, MACs and key material (wre-lint rule R2) — a variable-time
+    [=] on a MAC check is a classic padding-oracle-style timing
+    side channel. *)
+
 val xor_into : src:string -> dst:bytes -> len:int -> unit
 (** [xor_into ~src ~dst ~len] XORs the first [len] bytes of [src] into
     [dst] in place. *)

@@ -1,0 +1,236 @@
+(* Fixture tests for the wre-lint analyzer: every rule R1–R5 must fire
+   on a seeded violation and stay silent on compliant code, in and out
+   of its path scope. Fixtures are inline sources parsed through the
+   same compiler-libs front end the driver uses. *)
+
+let all = Lint.Rule.all
+
+let diags_of ?(path = "lib/crypto/fixture.ml") ?(rules = all) src =
+  match Lint.Engine.lint_source ~rules ~path src with
+  | Ok ds -> ds
+  | Error e -> Alcotest.failf "fixture did not parse: %s" e
+
+let rules_fired ?path ?rules src =
+  List.sort_uniq compare
+    (List.map (fun d -> Lint.Rule.to_string d.Lint.Diagnostic.rule) (diags_of ?path ?rules src))
+
+let check_fires ?path ?rules rule src =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires" rule)
+    true
+    (List.mem rule (rules_fired ?path ?rules src))
+
+let check_silent ?path ?rules src =
+  Alcotest.(check (list string)) "no findings" [] (rules_fired ?path ?rules src)
+
+(* ---------------- R1: secret hygiene ---------------- *)
+
+let r1_printf () = check_fires "R1" {| let leak ~key = Printf.printf "key=%s" key |}
+let r1_format () = check_fires "R1" {| let leak mac_key = Format.eprintf "%s" mac_key |}
+let r1_hex () = check_fires "R1" {| let leak ~key = Stdx.Bytes_util.to_hex key |}
+
+let r1_exception_payload () =
+  check_fires "R1" {| let f ~key = failwith ("bad " ^ key) |};
+  check_fires "R1" {| let f ~key = raise (Failure key) |}
+
+let r1_typed_binding () =
+  (* Name is innocuous; the Keys.master annotation marks it secret. *)
+  check_fires "R1" {| let m : Keys.master = gen () let _ = print_string m |}
+
+let r1_silent_on_derived () =
+  (* The secret flows into the PRF, not the printer: the printed value
+     is a non-secret application result. *)
+  check_silent {| let show ~key msg = print_string (tag_of (prf ~key msg)) |};
+  check_silent {| let show x = Printf.printf "%d" x |}
+
+let r1_out_of_scope () =
+  check_silent ~path:"bench/exp_fixture.ml" {| let leak ~key = Printf.printf "%s" key |}
+
+(* ---------------- R2: constant-time discipline ---------------- *)
+
+let r2_poly_eq () = check_fires "R2" {| let check tag other = tag = other |}
+let r2_string_equal () = check_fires "R2" {| let check ~mac x = String.equal mac x |}
+let r2_compare () = check_fires "R2" {| let check ~data_key x = compare data_key x = 0 |}
+
+let r2_core_scope () =
+  check_fires "R2" ~path:"lib/core/fixture.ml" {| let hit row_tag t = row_tag = t |}
+
+let r2_silent_ct_equal () =
+  check_silent {| let check tag other = Stdx.Bytes_util.ct_equal tag other |}
+
+let r2_silent_non_sensitive () =
+  check_silent {| let f n = n = 3 |};
+  (* Same comparison outside lib/crypto + lib/core: not R2's business. *)
+  check_silent ~path:"lib/sqldb/fixture.ml" {| let check tag other = tag = other |}
+
+(* ---------------- R3: determinism ---------------- *)
+
+let r3_random () =
+  check_fires "R3" ~path:"bench/exp_fixture.ml" {| let x = Random.int 10 |};
+  check_fires "R3" ~path:"lib/dist/fixture.ml" {| let () = Random.self_init () |}
+
+let r3_wall_clock () =
+  check_fires "R3" ~path:"bench/exp_fixture.ml" {| let t = Unix.gettimeofday () |};
+  check_fires "R3" ~path:"examples/fixture.ml" {| let t = Sys.time () |}
+
+let r3_exempt_modules () =
+  check_silent ~path:"lib/stdx/prng.ml" {| let reseed () = Random.self_init () |};
+  check_silent ~path:"lib/stdx/clock.ml" {| let now () = Unix.gettimeofday () |}
+
+let r3_silent_prng () =
+  check_silent ~path:"bench/exp_fixture.ml" {| let x g = Stdx.Prng.int g 10 |}
+
+(* ---------------- R4: interface coverage ---------------- *)
+
+let with_temp_tree f =
+  let root = Filename.temp_file "wre_lint" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o700;
+  Sys.mkdir (Filename.concat root "lib") 0o700;
+  let dir = Filename.concat (Filename.concat root "lib") "m" in
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      rm root)
+    (fun () -> f root dir)
+
+let write_file path contents = Out_channel.with_open_text path (fun oc -> output_string oc contents)
+
+let r4_missing_mli () =
+  with_temp_tree (fun root dir ->
+      write_file (Filename.concat dir "orphan.ml") "let x = 1\n";
+      let diags, errors = Lint.Engine.lint_paths ~rules:all [ root ] in
+      Alcotest.(check (list string)) "no errors" [] errors;
+      Alcotest.(check bool) "R4 fires" true
+        (List.exists (fun d -> Lint.Rule.equal d.Lint.Diagnostic.rule Lint.Rule.R4) diags))
+
+let r4_with_mli () =
+  with_temp_tree (fun root dir ->
+      write_file (Filename.concat dir "covered.ml") "let x = 1\n";
+      write_file (Filename.concat dir "covered.mli") "val x : int\n";
+      let diags, errors = Lint.Engine.lint_paths ~rules:all [ root ] in
+      Alcotest.(check (list string)) "no errors" [] errors;
+      Alcotest.(check int) "silent" 0 (List.length diags))
+
+(* ---------------- R5: partial escapes ---------------- *)
+
+let r5_obj_magic () = check_fires "R5" ~path:"lib/sqldb/fixture.ml" {| let f x = Obj.magic x |}
+
+let r5_assert_false () =
+  check_fires "R5" ~path:"lib/sqldb/fixture.ml" {| let f () = assert false |}
+
+let r5_catch_all () =
+  check_fires "R5" ~path:"lib/sqldb/fixture.ml" {| let f g = try g () with _ -> 0 |}
+
+let r5_silent_compliant () =
+  check_silent ~path:"lib/sqldb/fixture.ml"
+    {| let f g x = assert (x > 0); (try g () with Not_found -> 0) |}
+
+let r5_out_of_scope () =
+  (* bench/ and examples/ may prototype loosely; R5 guards lib/ only. *)
+  check_silent ~path:"bench/fixture.ml" {| let f () = assert false |}
+
+(* ---------------- rule toggling ---------------- *)
+
+let rules_toggle () =
+  let src = {| let check tag other = tag = other
+               let f () = assert false |} in
+  Alcotest.(check (list string)) "both fire" [ "R2"; "R5" ] (rules_fired src);
+  Alcotest.(check (list string)) "only R5" [ "R5" ] (rules_fired ~rules:[ Lint.Rule.R5 ] src)
+
+(* ---------------- allowlist ---------------- *)
+
+let allow_parse () =
+  match Lint.Allowlist.of_string "# comment\nR5 lib/sqldb/pager.ml:42\nR3 bench/exp.ml\n" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok entries -> Alcotest.(check int) "two entries" 2 (List.length entries)
+
+let allow_rejects_garbage () =
+  (match Lint.Allowlist.of_string "R9 somewhere.ml" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown rule accepted");
+  match Lint.Allowlist.of_string "justonetoken" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+
+let allow_suppresses () =
+  let d = List.hd (diags_of {| let f () = assert false |} ~path:"lib/x/f.ml" ~rules:all) in
+  let ok s = match Lint.Allowlist.of_string s with Ok a -> a | Error e -> Alcotest.failf "%s" e in
+  Alcotest.(check bool) "file-level" true (Lint.Allowlist.suppresses (ok "R5 lib/x/f.ml") d);
+  Alcotest.(check bool) "line-level" true
+    (Lint.Allowlist.suppresses (ok (Printf.sprintf "R5 lib/x/f.ml:%d" d.Lint.Diagnostic.line)) d);
+  Alcotest.(check bool) "wrong line" false
+    (Lint.Allowlist.suppresses (ok "R5 lib/x/f.ml:9999") d);
+  Alcotest.(check bool) "wrong rule" false (Lint.Allowlist.suppresses (ok "R2 lib/x/f.ml") d);
+  Alcotest.(check int) "unused entry reported" 1
+    (List.length (Lint.Allowlist.unused (ok "R2 lib/other.ml") [ d ]))
+
+(* ---------------- diagnostics format ---------------- *)
+
+let diagnostic_format () =
+  let d = List.hd (diags_of {| let check tag other = tag = other |}) in
+  let s = Lint.Diagnostic.to_string d in
+  Alcotest.(check bool) "has file:line" true
+    (String.length s > 0 && String.sub s 0 (String.length "lib/crypto/fixture.ml:")
+                            = "lib/crypto/fixture.ml:");
+  Alcotest.(check bool) "names the rule" true
+    (List.exists (fun r -> r = "R2") (rules_fired {| let check tag other = tag = other |}))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "r1_secret_hygiene",
+        [
+          Alcotest.test_case "printf leak" `Quick r1_printf;
+          Alcotest.test_case "format leak" `Quick r1_format;
+          Alcotest.test_case "hex dump" `Quick r1_hex;
+          Alcotest.test_case "exception payload" `Quick r1_exception_payload;
+          Alcotest.test_case "typed binding" `Quick r1_typed_binding;
+          Alcotest.test_case "silent on derived" `Quick r1_silent_on_derived;
+          Alcotest.test_case "out of scope" `Quick r1_out_of_scope;
+        ] );
+      ( "r2_constant_time",
+        [
+          Alcotest.test_case "polymorphic =" `Quick r2_poly_eq;
+          Alcotest.test_case "String.equal" `Quick r2_string_equal;
+          Alcotest.test_case "compare" `Quick r2_compare;
+          Alcotest.test_case "lib/core scope" `Quick r2_core_scope;
+          Alcotest.test_case "ct_equal ok" `Quick r2_silent_ct_equal;
+          Alcotest.test_case "non-sensitive ok" `Quick r2_silent_non_sensitive;
+        ] );
+      ( "r3_determinism",
+        [
+          Alcotest.test_case "Random banned" `Quick r3_random;
+          Alcotest.test_case "wall clock banned" `Quick r3_wall_clock;
+          Alcotest.test_case "prng/clock exempt" `Quick r3_exempt_modules;
+          Alcotest.test_case "Stdx.Prng ok" `Quick r3_silent_prng;
+        ] );
+      ( "r4_interfaces",
+        [
+          Alcotest.test_case "missing mli" `Quick r4_missing_mli;
+          Alcotest.test_case "with mli" `Quick r4_with_mli;
+        ] );
+      ( "r5_partial_escapes",
+        [
+          Alcotest.test_case "Obj.magic" `Quick r5_obj_magic;
+          Alcotest.test_case "assert false" `Quick r5_assert_false;
+          Alcotest.test_case "catch-all" `Quick r5_catch_all;
+          Alcotest.test_case "compliant" `Quick r5_silent_compliant;
+          Alcotest.test_case "out of scope" `Quick r5_out_of_scope;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "rule toggling" `Quick rules_toggle;
+          Alcotest.test_case "allowlist parse" `Quick allow_parse;
+          Alcotest.test_case "allowlist rejects" `Quick allow_rejects_garbage;
+          Alcotest.test_case "allowlist suppresses" `Quick allow_suppresses;
+          Alcotest.test_case "diagnostic format" `Quick diagnostic_format;
+        ] );
+    ]

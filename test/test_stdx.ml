@@ -263,6 +263,17 @@ let test_xor_into () =
   Stdx.Bytes_util.xor_into ~src:"\xff\x00" ~dst ~len:2;
   Alcotest.(check string) "xored" "\xf0\x0f" (Bytes.to_string dst)
 
+let test_ct_equal () =
+  let ct = Stdx.Bytes_util.ct_equal in
+  check_bool "equal" true (ct "abcdef" "abcdef");
+  check_bool "empty" true (ct "" "");
+  check_bool "differs mid" false (ct "abcdef" "abcxef");
+  check_bool "differs first byte" false (ct "\x00bcd" "\x01bcd");
+  check_bool "differs last byte" false (ct "abcd\x00" "abcd\x01");
+  check_bool "length mismatch" false (ct "abc" "abcd");
+  check_bool "prefix vs empty" false (ct "" "a");
+  check_bool "high bytes" true (ct "\xff\x80\x7f" "\xff\x80\x7f")
+
 (* ---------------- Table_fmt ---------------- *)
 
 let test_table_fmt () =
@@ -280,6 +291,11 @@ let test_table_fmt () =
 let qcheck_hex_roundtrip =
   QCheck.Test.make ~name:"hex roundtrip on random strings" ~count:200 QCheck.string (fun s ->
       Stdx.Bytes_util.of_hex (Stdx.Bytes_util.to_hex s) = s)
+
+let qcheck_ct_equal_agrees =
+  QCheck.Test.make ~name:"ct_equal agrees with structural equality" ~count:500
+    QCheck.(pair string string)
+    (fun (a, b) -> Stdx.Bytes_util.ct_equal a b = (a = b))
 
 let qcheck_length_prefixed_injective =
   QCheck.Test.make ~name:"length_prefixed is injective" ~count:200
@@ -366,12 +382,14 @@ let () =
           Alcotest.test_case "u64 roundtrip" `Quick test_u64_roundtrip;
           Alcotest.test_case "length_prefixed" `Quick test_length_prefixed_unambiguous;
           Alcotest.test_case "xor_into" `Quick test_xor_into;
+          Alcotest.test_case "ct_equal" `Quick test_ct_equal;
         ] );
       ("table_fmt", [ Alcotest.test_case "render" `Quick test_table_fmt ]);
       ( "properties",
         q
           [
             qcheck_hex_roundtrip;
+            qcheck_ct_equal_agrees;
             qcheck_length_prefixed_injective;
             qcheck_vec_roundtrip;
             qcheck_percentile_bounds;

@@ -1,0 +1,100 @@
+(* Ingest throughput: the batched multicore pipeline (Encrypted_db.
+   insert_batch over a Stdx.Task_pool) against row-at-a-time insert,
+   on a SPARTA-style load. Reports client-side wall-clock rows/sec —
+   the part batching and domains accelerate; simulated write I/O is
+   identical for both paths because the resulting tables are.
+
+   Emits BENCH_ingest.json ({"name","config","metrics"}) so later PRs
+   have a throughput trajectory to compare against. *)
+
+let domain_counts = [ 1; 2; 4 ]
+let chunk_size = 1024
+
+let json_field_list fields =
+  String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+
+let json_obj fields = "{" ^ json_field_list fields ^ "}"
+
+let build_edb ~kind ~dist_of =
+  let db = Sqldb.Database.create () in
+  let master = Crypto.Keys.generate (Stdx.Prng.create 1L) in
+  Wre.Encrypted_db.create ~db ~name:"main" ~plain_schema:Sparta.Generator.schema
+    ~key_column:"id" ~encrypted_columns:Bench_util.enc_columns ~kind ~dist_of ~master ~seed:2L ()
+
+let run ~rows:n () =
+  Bench_util.heading
+    (Printf.sprintf "Ingest: batched pipeline, %d rows, chunk %d, domains %s" n chunk_size
+       (String.concat "/" (List.map string_of_int domain_counts)));
+  let rows = Bench_util.generate_rows n in
+  let dist_of = Bench_util.dist_of_rows rows in
+  let kind = Wre.Scheme.Poisson 1000.0 in
+  (* Row-at-a-time baseline. *)
+  let seq_edb = build_edb ~kind ~dist_of in
+  let (), seq_ns =
+    Stdx.Clock.time_it (fun () ->
+        Array.iter (fun r -> ignore (Wre.Encrypted_db.insert seq_edb r)) rows)
+  in
+  let rate ns = float_of_int n /. (Float.max ns 1.0 /. 1e9) in
+  let t =
+    Stdx.Table_fmt.create [ "path"; "domains"; "wall (s)"; "rows/sec"; "speedup vs insert" ]
+  in
+  let add_row label domains ns =
+    Stdx.Table_fmt.add_row t
+      [
+        label;
+        string_of_int domains;
+        Printf.sprintf "%.2f" (ns /. 1e9);
+        Printf.sprintf "%.0f" (rate ns);
+        Printf.sprintf "%.2fx" (seq_ns /. Float.max ns 1.0);
+      ]
+  in
+  add_row "insert (row-at-a-time)" 1 seq_ns;
+  let batch_ns =
+    List.map
+      (fun domains ->
+        let edb = build_edb ~kind ~dist_of in
+        let ns =
+          Stdx.Task_pool.with_pool ~domains (fun pool ->
+              let (), ns =
+                Stdx.Clock.time_it (fun () ->
+                    ignore (Wre.Encrypted_db.insert_batch ~pool ~chunk_size edb rows : int))
+              in
+              ns)
+        in
+        add_row "insert_batch" domains ns;
+        (domains, ns))
+      domain_counts
+  in
+  Stdx.Table_fmt.print t;
+  let cores = Domain.recommended_domain_count () in
+  let ns_of d = List.assoc d batch_ns in
+  let metrics =
+    ("seq_rows_per_sec", Printf.sprintf "%.1f" (rate seq_ns))
+    :: List.map
+         (fun (d, ns) -> (Printf.sprintf "batch_rows_per_sec_%dd" d, Printf.sprintf "%.1f" (rate ns)))
+         batch_ns
+    @ [ ("speedup_4d_vs_1d", Printf.sprintf "%.3f" (ns_of 1 /. Float.max (ns_of 4) 1.0)) ]
+  in
+  let json =
+    json_obj
+      [
+        ("name", "\"ingest\"");
+        ( "config",
+          json_obj
+            [
+              ("rows", string_of_int n);
+              ("chunk_size", string_of_int chunk_size);
+              ("scheme", "\"poisson-1000\"");
+              ("domain_counts", "[" ^ String.concat ", " (List.map string_of_int domain_counts) ^ "]");
+              ("cores", string_of_int cores);
+            ] );
+        ("metrics", json_obj metrics);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_ingest.json" (fun oc ->
+      Out_channel.output_string oc (json ^ "\n"));
+  Printf.printf
+    "wrote BENCH_ingest.json (machine has %d usable core%s; domain counts beyond that\n\
+     cannot speed up the crypto phase)\n"
+    cores
+    (if cores = 1 then "" else "s")

@@ -62,7 +62,7 @@ let create ~seed ~shuffle_key ~column ~dist ~lambda =
       let total = Array.fold_left ( +. ) 0.0 overlaps in
       let salt_ids = Stdx.Vec.to_array salts in
       Hashtbl.replace per_message m
-        { Salts.salts = salt_ids; weights = Array.map (fun o -> o /. total) overlaps };
+        (Salts.make ~salts:salt_ids ~weights:(Array.map (fun o -> o /. total) overlaps));
       Hashtbl.replace masses m (Array.fold_left (fun acc s -> acc +. widths.(s)) 0.0 salt_ids);
       fr := m_end)
     shuffled;

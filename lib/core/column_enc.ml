@@ -69,7 +69,7 @@ let fallback_salts t m =
         Crypto.Drbg.create
           ~seed:(Crypto.Keys.salt_seed t.master ~column:t.column ~context:("fallback:" ^ m))
       in
-      Some { Salts.salts = [| Crypto.Drbg.int drbg n |]; weights = [| 1.0 |] }
+      Some (Salts.make ~salts:[| Crypto.Drbg.int drbg n |] ~weights:[| 1.0 |])
 
 let compute_salts t m =
   let with_fallback = function
@@ -108,6 +108,12 @@ let cached t m =
       c
 
 let salt_set t m = Option.map (fun c -> c.salts) (cached t m)
+
+(* Populate the salt cache for every given plaintext on the calling
+   domain. After this, [encrypt] for those plaintexts only *reads* the
+   cache — the property the parallel ingestion pipeline relies on to
+   share one encryptor across worker domains without locking. *)
+let prewarm t ms = List.iter (fun m -> ignore (cached t m : cached option)) ms
 
 let encrypt t g m =
   match cached t m with

@@ -45,6 +45,14 @@ val salt_set : t -> string -> Salts.t option
 (** The deterministic salt set for a plaintext ([None] outside support
     for distribution-dependent schemes). *)
 
+val prewarm : t -> string list -> unit
+(** Compute and cache the salt set (and alias sampler) for each given
+    plaintext now, on the calling domain. Once every plaintext of a
+    batch is prewarmed, concurrent {!encrypt} calls for those
+    plaintexts are read-only on the encryptor and safe to run from
+    multiple domains (each with its own PRNG). Unknown plaintexts are
+    cached as unknown — {!encrypt} still raises for them. *)
+
 val encrypt : t -> Stdx.Prng.t -> string -> int64 * string
 (** [(tag, ciphertext)]: tag = F_{k1}(s‖m) (or F_{k1}(s) when
     bucketized), ciphertext = AES-CTR(k0, m) under a fresh nonce. *)

@@ -149,10 +149,12 @@ let plain_text_of v =
   | Value.Text s -> s
   | _ -> invalid_arg "Encrypted_db: searchable column value must be TEXT"
 
-let insert t row =
-  (match Schema.validate_row t.plain_schema row with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Encrypted_db.insert: " ^ e));
+(* Encrypt one plaintext row into encrypted-schema order, drawing weak
+   randomness (salt choice, CTR nonces) from [g]. Reads the encryptor
+   caches but never writes them when every searchable value has been
+   prewarmed — which makes this safe to call from worker domains, one
+   PRNG per domain of work. *)
+let encrypt_row t g row =
   let out = Array.make (Schema.arity t.enc_schema) Value.Null in
   let plain_cols = Schema.columns t.plain_schema in
   Array.iteri
@@ -161,7 +163,7 @@ let insert t row =
       | `Key p -> out.(p) <- v
       | `Searchable (tag_pos, data_pos) ->
           let enc = Hashtbl.find t.encryptors plain_cols.(i).name in
-          let tag, ct = Column_enc.encrypt enc t.g (plain_text_of v) in
+          let tag, ct = Column_enc.encrypt enc g (plain_text_of v) in
           out.(tag_pos) <- Value.Int tag;
           out.(data_pos) <- Value.Blob ct
       | `Ranged (rtag_pos, data_pos) ->
@@ -176,12 +178,72 @@ let insert t row =
                   ^ Value.to_string v)
           in
           out.(rtag_pos) <- Value.Int (Range_index.tag_of_value ri raw);
-          out.(data_pos) <- Value.Blob (Crypto.Ctr.encrypt_random key t.g (Value_codec.encode v))
+          out.(data_pos) <- Value.Blob (Crypto.Ctr.encrypt_random key g (Value_codec.encode v))
       | `Data p ->
           let key = Hashtbl.find t.data_keys plain_cols.(i).name in
-          out.(p) <- Value.Blob (Crypto.Ctr.encrypt_random key t.g (Value_codec.encode v)))
+          out.(p) <- Value.Blob (Crypto.Ctr.encrypt_random key g (Value_codec.encode v)))
     row;
-  Table.insert t.table out
+  out
+
+let insert t row =
+  (match Schema.validate_row t.plain_schema row with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Encrypted_db.insert: " ^ e));
+  Table.insert t.table (encrypt_row t t.g row)
+
+let default_chunk_size = 1024
+
+let insert_batch ?pool ?(chunk_size = default_chunk_size) t rows =
+  if chunk_size <= 0 then invalid_arg "Encrypted_db.insert_batch: chunk_size must be positive";
+  Array.iteri
+    (fun i row ->
+      match Schema.validate_row t.plain_schema row with
+      | Ok () -> ()
+      | Error e -> invalid_arg (Printf.sprintf "Encrypted_db.insert_batch: row %d: %s" i e))
+    rows;
+  (* Pre-warm every searchable column's salt cache with the batch's
+     distinct plaintexts, on this domain: salt-set computation (DRBG
+     streams, alias tables) runs once per distinct value instead of
+     racing per row, and the parallel phase below becomes read-only on
+     the encryptors. *)
+  List.iter
+    (fun c ->
+      let pos = Schema.column_index t.plain_schema c in
+      let enc = Hashtbl.find t.encryptors c in
+      let distinct = Hashtbl.create 256 in
+      Array.iter
+        (fun row ->
+          let m = plain_text_of row.(pos) in
+          if not (Hashtbl.mem distinct m) then Hashtbl.replace distinct m ())
+        rows;
+      Column_enc.prewarm enc (Hashtbl.fold (fun m () acc -> m :: acc) distinct []))
+    t.encrypted_columns;
+  let n = Array.length rows in
+  let encrypted =
+    match pool with
+    | None -> Array.map (fun row -> encrypt_row t t.g row) rows
+    | Some pool when Stdx.Task_pool.domains pool <= 1 || n = 0 ->
+        (* Single-domain path: draw from the database PRNG row by row,
+           in order — byte-identical to sequential {!insert}. *)
+        Array.map (fun row -> encrypt_row t t.g row) rows
+    | Some pool ->
+        (* Multi-domain path: one PRNG per chunk, split off the
+           database PRNG in chunk order. The output depends only on
+           the PRNG state and the chunk size — not on the domain
+           count or scheduling — so a load is reproducible for a
+           fixed (seed, chunk_size). *)
+        let n_chunks = (n + chunk_size - 1) / chunk_size in
+        let gs = Array.init n_chunks (fun _ -> Stdx.Prng.split t.g) in
+        let chunks =
+          Stdx.Task_pool.parallel_init pool n_chunks (fun ci ->
+              let g = gs.(ci) in
+              let lo = ci * chunk_size in
+              let len = min chunk_size (n - lo) in
+              Array.init len (fun j -> encrypt_row t g rows.(lo + j)))
+        in
+        Array.concat (Array.to_list chunks)
+  in
+  Table.insert_batch t.table encrypted
 
 let encrypted_schema t = t.enc_schema
 

@@ -59,6 +59,26 @@ val data_column : string -> string
 val insert : t -> Sqldb.Value.t array -> int
 (** Encrypt a plaintext row (in [plain_schema] order) and insert it. *)
 
+val insert_batch :
+  ?pool:Stdx.Task_pool.t -> ?chunk_size:int -> t -> Sqldb.Value.t array array -> int
+(** Batched, optionally multicore ingestion. All rows are validated up
+    front, the salt caches are pre-warmed with the batch's distinct
+    plaintexts, rows are encrypted (in [chunk_size] chunks, default
+    1024), and the encrypted rows are applied to the table in a single
+    single-writer pass. Returns the first row id; ids are consecutive
+    and in input order.
+
+    Determinism contract: without [pool] (or with a 1-domain pool) the
+    weak randomness is drawn from the database PRNG row by row, so the
+    resulting table is byte-identical — tags, ciphertexts, row order,
+    page layout — to calling {!insert} on each row in sequence. With a
+    multi-domain pool each chunk draws from its own PRNG split off the
+    database PRNG in chunk order, so the result depends only on the
+    PRNG state and [chunk_size], not on the domain count or
+    scheduling; decrypted contents and search results always match the
+    sequential load. Raises {!Column_enc.Unknown_plaintext} like
+    {!insert} (under [`Reject], from whichever chunk hits it first). *)
+
 val encrypted_schema : t -> Sqldb.Schema.t
 (** The schema of the encrypted table (for export). *)
 

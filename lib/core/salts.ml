@@ -1,10 +1,16 @@
-type t = { salts : int array; weights : float array }
+type t = {
+  salts : int array;
+  weights : float array;
+  mutable sampler : Stdx.Sampling.Cdf.t option; (* built on first sample *)
+}
 
-let det = { salts = [| 0 |]; weights = [| 1.0 |] }
+let make ~salts ~weights = { salts; weights; sampler = None }
+
+let det = make ~salts:[| 0 |] ~weights:[| 1.0 |]
 
 let fixed ~n =
   if n <= 0 then invalid_arg "Salts.fixed: need at least one salt";
-  { salts = Array.init n Fun.id; weights = Array.make n (1.0 /. float_of_int n) }
+  make ~salts:(Array.init n Fun.id) ~weights:(Array.make n (1.0 /. float_of_int n))
 
 let proportional ~total_tags ~prob =
   if total_tags <= 0 then invalid_arg "Salts.proportional: total_tags must be positive";
@@ -19,9 +25,21 @@ let poisson ~seed ~lambda ~prob =
     Dist.Poisson.process_on_interval ~rate:lambda ~length:prob (Dist.Source.of_drbg drbg)
   in
   let weights = Array.map (fun w -> w /. prob) slots in
-  { salts = Array.init (Array.length slots) Fun.id; weights }
+  make ~salts:(Array.init (Array.length slots) Fun.id) ~weights
 
-let sample t g = t.salts.(Stdx.Sampling.weighted g t.weights)
+(* The cumulative table is validated and built once per salt set, so
+   repeated draws are O(log n) instead of the old
+   validate-and-sum-then-scan O(n) on every draw. *)
+let sample t g =
+  let cdf =
+    match t.sampler with
+    | Some c -> c
+    | None ->
+        let c = Stdx.Sampling.Cdf.create t.weights in
+        t.sampler <- Some c;
+        c
+  in
+  t.salts.(Stdx.Sampling.Cdf.sample cdf g)
 
 let validate t =
   let n = Array.length t.salts in

@@ -11,10 +11,16 @@
     Proportional, Poisson/Algorithm 1); the global Bucketized allocator
     lives in {!Bucket_layout}. *)
 
-type t = {
+type t = private {
   salts : int array;  (** salt identifiers, distinct *)
   weights : float array;  (** [P_S]: same length, sums to 1 *)
+  mutable sampler : Stdx.Sampling.Cdf.t option;
+      (** memoized cumulative table; built lazily by {!sample} *)
 }
+
+val make : salts:int array -> weights:float array -> t
+(** Assemble a salt set without checking the invariants ({!validate}
+    does that); the sampler cache starts empty. *)
 
 val det : t
 (** The single salt 0 with probability 1. *)
@@ -33,7 +39,9 @@ val poisson : seed:string -> lambda:float -> prob:float -> t
 
 val sample : t -> Stdx.Prng.t -> int
 (** Draw a salt according to the weights (the weak randomness consumed
-    at encryption time). *)
+    at encryption time). O(log n) per draw: the cumulative table is
+    validated and built once, on the first draw, not re-summed every
+    time. Not safe for unsynchronized concurrent first draws. *)
 
 val validate : t -> (unit, string) result
 (** Invariant check used by tests and fuzzing: distinct salts, positive

@@ -43,6 +43,20 @@ let insert t key id =
   t.key_bytes <- t.key_bytes + Value.index_key_bytes key;
   t.dirty <- true
 
+let remove t key id =
+  match Hashtbl.find_opt t.by_key key with
+  | None -> ()
+  | Some g ->
+      let kept = Array.of_seq (Seq.filter (fun x -> x <> id) (Array.to_seq (Stdx.Vec.to_array g.ids))) in
+      let removed = Stdx.Vec.length g.ids - Array.length kept in
+      if removed > 0 then begin
+        t.entries <- t.entries - removed;
+        t.key_bytes <- t.key_bytes - (removed * Value.index_key_bytes key);
+        if Array.length kept = 0 then Hashtbl.remove t.by_key key
+        else Hashtbl.replace t.by_key key { g with ids = Stdx.Vec.of_array kept };
+        t.dirty <- true
+      end
+
 let entry_count t = t.entries
 let distinct_keys t = Hashtbl.length t.by_key
 

@@ -18,6 +18,11 @@ val create : Pager.t -> name:string -> t
 val name : t -> string
 val insert : t -> Value.t -> int -> unit
 
+val remove : t -> Value.t -> int -> unit
+(** Drop every entry mapping [key] to [id] (no-op when absent) and
+    shrink the entry/key-byte accounting accordingly; marks the index
+    dirty for the next lazy rebuild — the vacuum path. *)
+
 val lookup : t -> Value.t -> int array
 (** Row ids for an equality match; touches index pages via the pager. *)
 

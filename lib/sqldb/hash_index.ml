@@ -25,6 +25,18 @@ let insert t key id =
       Hashtbl.replace t.by_key key ids);
   t.entries <- t.entries + 1
 
+let remove t key id =
+  match Hashtbl.find_opt t.by_key key with
+  | None -> ()
+  | Some ids ->
+      let kept = Array.of_seq (Seq.filter (fun x -> x <> id) (Array.to_seq (Stdx.Vec.to_array ids))) in
+      let removed = Stdx.Vec.length ids - Array.length kept in
+      if removed > 0 then begin
+        t.entries <- t.entries - removed;
+        if Array.length kept = 0 then Hashtbl.remove t.by_key key
+        else Hashtbl.replace t.by_key key (Stdx.Vec.of_array kept)
+      end
+
 let entry_count t = t.entries
 let distinct_keys t = Hashtbl.length t.by_key
 

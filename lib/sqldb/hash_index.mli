@@ -18,6 +18,11 @@ val create : Pager.t -> name:string -> t
 val name : t -> string
 val insert : t -> Value.t -> int -> unit
 
+val remove : t -> Value.t -> int -> unit
+(** Drop every entry mapping [key] to [id] (no-op when absent), so
+    entry counts and the derived bucket-page/byte accounting shrink
+    back to the live rows — the vacuum path. *)
+
 val lookup : t -> Value.t -> int array
 (** Row ids for an equality match; touches bucket (+overflow) pages. *)
 

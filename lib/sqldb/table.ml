@@ -43,10 +43,11 @@ let tuple_bytes schema row =
   let null_bitmap = if Array.exists (fun v -> v = Value.Null) row then (Schema.arity schema + 7) / 8 else 0 in
   tuple_header + line_pointer + maxalign (data + null_bitmap)
 
-let insert t row =
-  (match Schema.validate_row t.schema row with
-  | Ok () -> ()
-  | Error e -> invalid_arg (Printf.sprintf "Table.insert(%s): %s" t.name e));
+(* Heap bookkeeping shared by insert and insert_batch: page assignment,
+   row/live/page vec pushes. Index maintenance is the caller's job (the
+   batch path resolves index column positions once for the whole
+   batch). *)
+let append_row t row =
   let bytes = tuple_bytes t.schema row in
   let usable = (Pager.config t.pager).page_size - page_header in
   if t.cur_fill + bytes > usable && t.cur_fill > 0 then begin
@@ -59,10 +60,38 @@ let insert t row =
   Stdx.Vec.push t.rows (Array.copy row);
   Stdx.Vec.push t.row_pages t.cur_page;
   Stdx.Vec.push t.live true;
+  id
+
+(* Index column positions, resolved once per call instead of once per
+   row per index. *)
+let index_positions t =
+  Hashtbl.fold (fun col idx acc -> (Schema.column_index t.schema col, idx) :: acc) t.indexes []
+
+let insert t row =
+  (match Schema.validate_row t.schema row with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Table.insert(%s): %s" t.name e));
+  let id = append_row t row in
   Hashtbl.iter
     (fun col idx -> Table_index.insert idx row.(Schema.column_index t.schema col) id)
     t.indexes;
   id
+
+let insert_batch t rows =
+  Array.iteri
+    (fun i row ->
+      match Schema.validate_row t.schema row with
+      | Ok () -> ()
+      | Error e -> invalid_arg (Printf.sprintf "Table.insert_batch(%s): row %d: %s" t.name i e))
+    rows;
+  let positions = index_positions t in
+  let first = Stdx.Vec.length t.rows in
+  Array.iter
+    (fun row ->
+      let id = append_row t row in
+      List.iter (fun (pos, idx) -> Table_index.insert idx row.(pos) id) positions)
+    rows;
+  first
 
 let row_count t = Stdx.Vec.length t.rows
 let live_count t = row_count t - t.n_dead
@@ -111,6 +140,47 @@ let update t id row =
   ignore (delete t id);
   insert t row
 
+(* Shared sentinel for vacuumed-away tuples: physical identity
+   distinguishes it from any real (possibly empty) row. *)
+let reclaimed : Value.t array = [||]
+
+let vacuum t =
+  if t.n_dead > 0 then begin
+    let positions = index_positions t in
+    let n = Stdx.Vec.length t.rows in
+    (* 1. Drop dead tuples: index entries first (while the key values
+       are still readable), then the heap storage itself. *)
+    for id = 0 to n - 1 do
+      if not (Stdx.Vec.get t.live id) then begin
+        let row = Stdx.Vec.get t.rows id in
+        if row != reclaimed then begin
+          List.iter (fun (pos, idx) -> Table_index.remove idx row.(pos) id) positions;
+          Stdx.Vec.set t.rows id reclaimed
+        end
+      end
+    done;
+    (* 2. Repack the heap: reassign pages over live tuples only. Row
+       ids are stable (dead ids remain, pointing at [reclaimed]); a
+       dead id inherits the current page so scans touch no extra
+       pages on its account. *)
+    t.cur_page <- 0;
+    t.cur_fill <- 0;
+    t.data_bytes <- 0;
+    let usable = (Pager.config t.pager).page_size - page_header in
+    for id = 0 to n - 1 do
+      if Stdx.Vec.get t.live id then begin
+        let bytes = tuple_bytes t.schema (Stdx.Vec.get t.rows id) in
+        if t.cur_fill + bytes > usable && t.cur_fill > 0 then begin
+          t.cur_page <- t.cur_page + 1;
+          t.cur_fill <- 0
+        end;
+        t.cur_fill <- t.cur_fill + bytes;
+        t.data_bytes <- t.data_bytes + bytes
+      end;
+      Stdx.Vec.set t.row_pages id t.cur_page
+    done
+  end
+
 let create_index ?(kind = Table_index.Btree) t ~column =
   match Hashtbl.find_opt t.indexes column with
   | Some idx -> idx
@@ -124,10 +194,10 @@ let create_index ?(kind = Table_index.Btree) t ~column =
 let index_on t ~column = Hashtbl.find_opt t.indexes column
 let indexes t = Hashtbl.fold (fun _ idx acc -> idx :: acc) t.indexes []
 
-let heap_pages t = if row_count t = 0 then 0 else t.cur_page + 1
+let heap_pages t = if t.data_bytes = 0 then 0 else t.cur_page + 1
 let heap_bytes t = heap_pages t * (Pager.config t.pager).page_size
 let index_bytes t = Hashtbl.fold (fun _ idx acc -> acc + Table_index.size_bytes idx) t.indexes 0
 let total_bytes t = heap_bytes t + index_bytes t
 
 let avg_row_bytes t =
-  if row_count t = 0 then 0.0 else float_of_int t.data_bytes /. float_of_int (row_count t)
+  if live_count t = 0 then 0.0 else float_of_int t.data_bytes /. float_of_int (live_count t)

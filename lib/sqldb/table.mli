@@ -19,6 +19,14 @@ val insert : t -> Value.t array -> int
     Returns the new row id. Raises [Invalid_argument] on schema
     violations. *)
 
+val insert_batch : t -> Value.t array array -> int
+(** Append many rows in one pass: all rows are validated up front
+    (all-or-nothing — a bad row raises before anything is inserted),
+    index column positions are resolved once for the whole batch, and
+    rows get consecutive ids starting at the returned id. The
+    resulting table state (heap pages, accounting, index contents) is
+    identical to calling {!insert} on each row in order. *)
+
 val row_count : t -> int
 (** Rows ever inserted (live + dead); row ids range over this. *)
 
@@ -35,7 +43,15 @@ val delete : t -> int -> bool
 val update : t -> int -> Value.t array -> int
 (** MVCC-style update: tombstone the old version, insert the new one
     (fresh row id, re-indexed). Raises if the old row is dead or the
-    new row violates the schema. *)
+    new row violates the schema. Without {!vacuum}, every update
+    grows the heap and every index by one entry. *)
+
+val vacuum : t -> unit
+(** Reclaim dead tuples: drop their index entries (so [entry_count]
+    and [size_bytes] shrink back to the live rows), release their heap
+    storage, and repack live tuples onto a fresh page assignment. Row
+    ids are stable — dead ids stay dead and [peek_row] on them returns
+    an empty row afterwards. No-op when nothing is dead. *)
 
 val read_row : t -> int -> Value.t array
 (** Fetch through the pager (touches the row's heap page and charges
@@ -70,3 +86,5 @@ val total_bytes : t -> int
 (** heap + all indexes. *)
 
 val avg_row_bytes : t -> float
+(** Logical tuple bytes per live row (tombstoned-but-unvacuumed tuples
+    still count toward the byte total, as on disk). *)

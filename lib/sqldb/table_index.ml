@@ -13,6 +13,9 @@ let name = function B i -> Btree_index.name i | H i -> Hash_index.name i
 let insert t key id =
   match t with B i -> Btree_index.insert i key id | H i -> Hash_index.insert i key id
 
+let remove t key id =
+  match t with B i -> Btree_index.remove i key id | H i -> Hash_index.remove i key id
+
 let lookup t key = match t with B i -> Btree_index.lookup i key | H i -> Hash_index.lookup i key
 
 let lookup_many t keys =

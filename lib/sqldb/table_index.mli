@@ -8,6 +8,10 @@ val create : kind -> Pager.t -> name:string -> t
 val kind : t -> kind
 val name : t -> string
 val insert : t -> Value.t -> int -> unit
+
+val remove : t -> Value.t -> int -> unit
+(** Drop the entries mapping a key to a row id (vacuum path). *)
+
 val lookup : t -> Value.t -> int array
 val lookup_many : t -> Value.t list -> int array
 

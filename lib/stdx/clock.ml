@@ -1,4 +1,21 @@
-let now_ns () = Unix.gettimeofday () *. 1e9
+(* The OS source is wall-clock time of day, which can step backwards
+   (NTP adjustment, manual clock set). Executor wall_ns and bench
+   timings difference two readings, so [now_ns] clamps to the highest
+   timestamp ever returned: deltas are never negative and the reported
+   stream is monotonically non-decreasing, process-wide and across
+   domains (the high-water mark is an atomic). *)
+
+let high_water = Atomic.make 0.0
+
+let now_ns () =
+  let t = Unix.gettimeofday () *. 1e9 in
+  let rec clamp () =
+    let prev = Atomic.get high_water in
+    if t <= prev then prev
+    else if Atomic.compare_and_set high_water prev t then t
+    else clamp ()
+  in
+  clamp ()
 
 let time_it f =
   let t0 = now_ns () in

@@ -1,8 +1,14 @@
-(** Wall-clock timing for the executor and benchmarks. *)
+(** Monotonic timing for the executor and benchmarks.
+
+    The only module (with [Stdx.Prng]) allowed to touch ambient time
+    sources under lint rule R3. *)
 
 val now_ns : unit -> float
-(** Monotonic-enough timestamp in nanoseconds ([Sys.time]-free;
-    microsecond resolution from the OS time of day). *)
+(** Monotonically non-decreasing timestamp in nanoseconds: the OS time
+    of day clamped to the process-wide high-water mark, so a clock
+    stepping backwards mid-run can never produce negative intervals.
+    Microsecond resolution from the OS. *)
 
 val time_it : (unit -> 'a) -> 'a * float
-(** Run a thunk, returning its result and elapsed nanoseconds. *)
+(** Run a thunk, returning its result and elapsed nanoseconds
+    (always [>= 0]). *)

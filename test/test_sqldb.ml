@@ -504,6 +504,84 @@ let test_sql_delete_update () =
   check_bool "type-checked update" true
     (Result.is_error (Sql.execute db "UPDATE t SET name = 5"))
 
+let test_table_insert_batch_equivalent () =
+  let build insert_all =
+    let pager = Pager.create () in
+    let t = Table.create pager ~name:"t" ~schema:small_schema in
+    ignore (Table.create_index t ~column:"name");
+    insert_all t;
+    t
+  in
+  let rows = Array.init 300 (fun i -> mk_row i (Printf.sprintf "p%d" (i mod 7)) None) in
+  let seq = build (fun t -> Array.iter (fun r -> ignore (Table.insert t r)) rows) in
+  let batch = build (fun t -> check_int "first id" 0 (Table.insert_batch t rows)) in
+  check_int "row_count" (Table.row_count seq) (Table.row_count batch);
+  check_int "heap_pages" (Table.heap_pages seq) (Table.heap_pages batch);
+  check_int "heap_bytes" (Table.heap_bytes seq) (Table.heap_bytes batch);
+  check_int "index_bytes" (Table.index_bytes seq) (Table.index_bytes batch);
+  for id = 0 to Table.row_count seq - 1 do
+    check_bool (Printf.sprintf "row %d" id) true (Table.peek_row seq id = Table.peek_row batch id);
+    check_int (Printf.sprintf "page of %d" id) (Table.row_page seq id) (Table.row_page batch id)
+  done;
+  (* Indexes were maintained: lookups agree with the sequential build. *)
+  for k = 0 to 6 do
+    let v = Value.Text (Printf.sprintf "p%d" k) in
+    let ids t = Array.to_list (Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", v))).row_ids in
+    check_bool (Printf.sprintf "lookup p%d" k) true (List.sort compare (ids seq) = List.sort compare (ids batch))
+  done
+
+let test_table_insert_batch_all_or_nothing () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  let rows = [| mk_row 0 "ok" None; [| Value.Null; Value.Text "bad"; Value.Null |] |] in
+  let raised = try ignore (Table.insert_batch t rows); false with Invalid_argument _ -> true in
+  check_bool "invalid row rejected" true raised;
+  check_int "nothing applied" 0 (Table.row_count t);
+  check_int "empty batch returns next id" 0 (Table.insert_batch t [||]);
+  check_int "still empty" 0 (Table.row_count t)
+
+let test_table_vacuum_reclaims () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  let idx = Table.create_index t ~column:"name" in
+  for i = 0 to 99 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "p%d" (i mod 5)) None))
+  done;
+  let bytes_before = Table.index_bytes t and entries_before = Table_index.entry_count idx in
+  (* Churn: update every row once, then delete half the survivors —
+     MVCC leaves every old version tombstoned with stale index entries. *)
+  for i = 0 to 99 do
+    ignore (Table.update t i (mk_row i (Printf.sprintf "q%d" (i mod 5)) None))
+  done;
+  for i = 100 to 149 do
+    ignore (Table.delete t i)
+  done;
+  check_int "live rows" 50 (Table.live_count t);
+  check_bool "stale entries bloat the index" true (Table_index.entry_count idx > 100);
+  let heap_bloated = Table.heap_bytes t in
+  Table.vacuum t;
+  (* Index accounting shrinks back to the live rows. *)
+  check_int "entry_count = live rows" 50 (Table_index.entry_count idx);
+  check_bool "index size shrinks" true (Table.index_bytes t <= bytes_before);
+  check_bool "heap shrinks" true (Table.heap_bytes t < heap_bloated);
+  check_int "row ids stable" 200 (Table.row_count t);
+  check_int "live rows unchanged" 50 (Table.live_count t);
+  ignore (entries_before : int);
+  (* No resurrection: scans and index lookups see only live versions. *)
+  let seen = ref 0 in
+  Table.scan t (fun _ _ -> incr seen);
+  check_int "seq scan" 50 !seen;
+  for k = 0 to 4 do
+    let gone = Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", Value.Text (Printf.sprintf "p%d" k))) in
+    check_int (Printf.sprintf "old version p%d gone" k) 0 (Array.length gone.row_ids);
+    let live = Executor.run t ~projection:Executor.Row_ids (Predicate.Eq ("name", Value.Text (Printf.sprintf "q%d" k))) in
+    check_int (Printf.sprintf "live version q%d" k) 10 (Array.length live.row_ids)
+  done;
+  (* Idempotent, and dead ids stay dead. *)
+  Table.vacuum t;
+  check_int "second vacuum no-op" 50 (Table_index.entry_count idx);
+  check_bool "dead id stays dead" false (Table.is_live t 0)
+
 (* ---------------- QCheck ---------------- *)
 
 (* Random predicates executed through the planner must agree with naive
@@ -609,6 +687,9 @@ let () =
           Alcotest.test_case "insert/read" `Quick test_table_insert_read;
           Alcotest.test_case "pages grow" `Quick test_table_pages_grow;
           Alcotest.test_case "scan" `Quick test_table_scan;
+          Alcotest.test_case "insert_batch equivalent" `Quick test_table_insert_batch_equivalent;
+          Alcotest.test_case "insert_batch all-or-nothing" `Quick
+            test_table_insert_batch_all_or_nothing;
         ] );
       ( "btree",
         [
@@ -645,6 +726,7 @@ let () =
           Alcotest.test_case "table delete" `Quick test_table_delete;
           Alcotest.test_case "table update" `Quick test_table_update;
           Alcotest.test_case "sql delete/update" `Quick test_sql_delete_update;
+          Alcotest.test_case "vacuum reclaims" `Quick test_table_vacuum_reclaims;
         ] );
       ( "csv",
         [

@@ -206,6 +206,92 @@ let test_alias_single () =
   check_int "only index" 0 (Stdx.Sampling.Alias.sample alias g);
   check_int "size" 1 (Stdx.Sampling.Alias.size alias)
 
+let test_cdf_matches_weights () =
+  let g = Stdx.Prng.create 41L in
+  let w = [| 0.1; 0.2; 0.3; 0.4 |] in
+  let cdf = Stdx.Sampling.Cdf.create w in
+  check_int "size" 4 (Stdx.Sampling.Cdf.size cdf);
+  let n = 40000 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to n do
+    let i = Stdx.Sampling.Cdf.sample cdf g in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      check_bool (Printf.sprintf "weight %d" i) true (Float.abs (freq -. w.(i)) < 0.02))
+    counts
+
+let test_cdf_respects_zero () =
+  let g = Stdx.Prng.create 43L in
+  let cdf = Stdx.Sampling.Cdf.create [| 0.0; 1.0; 0.0 |] in
+  for _ = 1 to 500 do
+    check_int "only positive-weight index" 1 (Stdx.Sampling.Cdf.sample cdf g)
+  done
+
+let test_cdf_rejects_bad_input () =
+  Alcotest.check_raises "negative" (Invalid_argument "Sampling: negative or NaN weight")
+    (fun () -> ignore (Stdx.Sampling.Cdf.create [| 1.0; -1.0 |]));
+  Alcotest.check_raises "zero sum" (Invalid_argument "Sampling: weights must have positive sum")
+    (fun () -> ignore (Stdx.Sampling.Cdf.create [| 0.0; 0.0 |]))
+
+let test_weighted_norm_agrees () =
+  (* On normalized weights, weighted_norm must draw the same index as
+     weighted given the same PRNG stream. *)
+  let w = [| 0.25; 0.25; 0.5 |] in
+  let g1 = Stdx.Prng.create 47L and g2 = Stdx.Prng.create 47L in
+  for _ = 1 to 1000 do
+    check_int "same index" (Stdx.Sampling.weighted g1 w) (Stdx.Sampling.weighted_norm g2 w)
+  done
+
+(* ---------------- Task_pool ---------------- *)
+
+let test_pool_parallel_init_matches () =
+  let f i = (i * i) + 3 in
+  List.iter
+    (fun domains ->
+      Stdx.Task_pool.with_pool ~domains (fun pool ->
+          check_int "domains" domains (Stdx.Task_pool.domains pool);
+          Alcotest.(check (array int))
+            (Printf.sprintf "%d domains" domains)
+            (Array.init 97 f)
+            (Stdx.Task_pool.parallel_init pool 97 f);
+          Alcotest.(check (array int)) "empty" [||] (Stdx.Task_pool.parallel_init pool 0 f)))
+    [ 1; 2; 4 ]
+
+let test_pool_propagates_exception () =
+  Stdx.Task_pool.with_pool ~domains:2 (fun pool ->
+      check_bool "raises" true
+        (match
+           Stdx.Task_pool.parallel_init pool 8 (fun i ->
+               if i = 5 then failwith "boom" else i)
+         with
+        | (_ : int array) -> false
+        | exception Failure msg -> msg = "boom");
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (array int))
+        "still usable" (Array.init 4 Fun.id)
+        (Stdx.Task_pool.parallel_init pool 4 Fun.id))
+
+let test_pool_rejects_bad_args () =
+  check_bool "domains < 1" true
+    (match Stdx.Task_pool.with_pool ~domains:0 (fun _ -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------------- Clock ---------------- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Stdx.Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Stdx.Clock.now_ns () in
+    check_bool "non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  let (), ns = Stdx.Clock.time_it (fun () -> Sys.opaque_identity (ignore (Array.init 1000 Fun.id))) in
+  check_bool "time_it non-negative" true (ns >= 0.0)
+
 let test_shuffle_is_permutation () =
   let g = Stdx.Prng.create 31L in
   let a = Array.init 50 Fun.id in
@@ -372,6 +458,10 @@ let () =
           Alcotest.test_case "weighted bad input" `Quick test_weighted_rejects_bad_input;
           Alcotest.test_case "alias frequencies" `Quick test_alias_matches_weights;
           Alcotest.test_case "alias single" `Quick test_alias_single;
+          Alcotest.test_case "cdf frequencies" `Quick test_cdf_matches_weights;
+          Alcotest.test_case "cdf zero weight" `Quick test_cdf_respects_zero;
+          Alcotest.test_case "cdf bad input" `Quick test_cdf_rejects_bad_input;
+          Alcotest.test_case "weighted_norm agrees" `Quick test_weighted_norm_agrees;
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
           Alcotest.test_case "shuffle uniformity" `Quick test_shuffle_uniform_position;
         ] );
@@ -385,6 +475,14 @@ let () =
           Alcotest.test_case "ct_equal" `Quick test_ct_equal;
         ] );
       ("table_fmt", [ Alcotest.test_case "render" `Quick test_table_fmt ]);
+      ( "task_pool",
+        [
+          Alcotest.test_case "parallel_init matches Array.init" `Quick
+            test_pool_parallel_init_matches;
+          Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "bad args" `Quick test_pool_rejects_bad_args;
+        ] );
+      ("clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ]);
       ( "properties",
         q
           [

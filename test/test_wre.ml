@@ -104,7 +104,7 @@ let test_salts_poisson_count_scales_with_lambda () =
 
 let test_salts_sample_follows_weights () =
   let g = Stdx.Prng.create 2L in
-  let s = { Wre.Salts.salts = [| 5; 9 |]; weights = [| 0.9; 0.1 |] } in
+  let s = Wre.Salts.make ~salts:[| 5; 9 |] ~weights:[| 0.9; 0.1 |] in
   let nine = ref 0 in
   for _ = 1 to 5000 do
     if Wre.Salts.sample s g = 9 then incr nine
@@ -114,12 +114,13 @@ let test_salts_sample_follows_weights () =
 let test_salts_validate_catches_errors () =
   check_bool "dup salts" true
     (Result.is_error
-       (Wre.Salts.validate { Wre.Salts.salts = [| 1; 1 |]; weights = [| 0.5; 0.5 |] }));
+       (Wre.Salts.validate (Wre.Salts.make ~salts:[| 1; 1 |] ~weights:[| 0.5; 0.5 |])));
   check_bool "bad sum" true
-    (Result.is_error (Wre.Salts.validate { Wre.Salts.salts = [| 1; 2 |]; weights = [| 0.5; 0.6 |] }));
+    (Result.is_error
+       (Wre.Salts.validate (Wre.Salts.make ~salts:[| 1; 2 |] ~weights:[| 0.5; 0.6 |])));
   check_bool "negative weight" true
     (Result.is_error
-       (Wre.Salts.validate { Wre.Salts.salts = [| 1; 2 |]; weights = [| 1.5; -0.5 |] }))
+       (Wre.Salts.validate (Wre.Salts.make ~salts:[| 1; 2 |] ~weights:[| 1.5; -0.5 |])))
 
 let test_salts_poisson_first_interarrival_exponential () =
   (* The theory behind §V-C: the FIRST interarrival of each message's

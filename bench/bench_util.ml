@@ -121,6 +121,30 @@ let by_bucket costs =
 
 let fmt_opt = function None -> "-" | Some v -> Printf.sprintf "%.2f" v
 
+(* Minimal JSON emission for the BENCH_*.json trajectory files; values
+   are pre-rendered strings so callers control formatting. *)
+let json_field_list fields =
+  String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+
+let json_obj fields = "{" ^ json_field_list fields ^ "}"
+
+(* Percentile summary of a registered histogram, straight from the
+   process-wide registry. *)
+let json_histogram name =
+  let s = Obs.Metrics.summarize (Obs.Metrics.histogram name) in
+  json_obj
+    [
+      ("count", string_of_int s.Obs.Metrics.count);
+      ("mean_ns", Printf.sprintf "%.1f" s.Obs.Metrics.mean_ns);
+      ("p50_ns", Printf.sprintf "%.1f" s.Obs.Metrics.p50_ns);
+      ("p95_ns", Printf.sprintf "%.1f" s.Obs.Metrics.p95_ns);
+      ("p99_ns", Printf.sprintf "%.1f" s.Obs.Metrics.p99_ns);
+      ("max_ns", Printf.sprintf "%.1f" s.Obs.Metrics.max_ns);
+    ]
+
+let write_bench_json ~path json =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (json ^ "\n"))
+
 let schemes_for_latency =
   [
     ("plaintext", None);

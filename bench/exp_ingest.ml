@@ -10,10 +10,7 @@
 let domain_counts = [ 1; 2; 4 ]
 let chunk_size = 1024
 
-let json_field_list fields =
-  String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
-
-let json_obj fields = "{" ^ json_field_list fields ^ "}"
+let json_obj = Bench_util.json_obj
 
 let build_edb ~kind ~dist_of =
   let db = Sqldb.Database.create () in
@@ -91,8 +88,7 @@ let run ~rows:n () =
         ("metrics", json_obj metrics);
       ]
   in
-  Out_channel.with_open_text "BENCH_ingest.json" (fun oc ->
-      Out_channel.output_string oc (json ^ "\n"));
+  Bench_util.write_bench_json ~path:"BENCH_ingest.json" json;
   Printf.printf
     "wrote BENCH_ingest.json (machine has %d usable core%s; domain counts beyond that\n\
      cannot speed up the crypto phase)\n"

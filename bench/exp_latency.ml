@@ -70,10 +70,54 @@ let print_figure title pick (all : series list) =
     all;
   Stdx.Table_fmt.print t
 
+(* Per-phase latency percentiles + pipeline counters for the encrypted
+   query path, pulled from the Obs registry the run just filled. The
+   {"name","config","metrics"} shape matches BENCH_ingest.json. *)
+let write_query_json ~rows ~n_queries =
+  let phases =
+    [ "query.rewrite_ns"; "query.exec_ns"; "query.decrypt_ns"; "query.filter_ns"; "executor.wall_ns" ]
+  in
+  let counter name = string_of_int (Obs.Metrics.counter_value (Obs.Metrics.counter name)) in
+  let json =
+    Bench_util.json_obj
+      [
+        ("name", "\"query\"");
+        ( "config",
+          Bench_util.json_obj
+            [
+              ("rows", string_of_int rows);
+              ("queries_per_protocol", string_of_int n_queries);
+              ( "schemes",
+                "["
+                ^ String.concat ", "
+                    (List.map (fun (n, _) -> Printf.sprintf "%S" n) Bench_util.schemes_for_latency)
+                ^ "]" );
+            ] );
+        ( "metrics",
+          Bench_util.json_obj
+            (List.map (fun p -> (p, Bench_util.json_histogram p)) phases
+            @ List.map
+                (fun c -> (c, counter c))
+                [
+                  "executor.queries_total";
+                  "executor.plan_index_total";
+                  "executor.plan_or_index_total";
+                  "executor.plan_seq_total";
+                  "edb.rows_decrypted_total";
+                  "column_enc.salt_cache_hits_total";
+                  "column_enc.salt_cache_misses_total";
+                ]) );
+      ]
+  in
+  Bench_util.write_bench_json ~path:"BENCH_query.json" json;
+  Printf.printf "wrote BENCH_query.json (per-phase percentiles from the metrics registry)\n"
+
 let run ~rows:n_rows ~n_queries () =
   Bench_util.heading
     (Printf.sprintf "Figures 4-7: query latency, %d rows, %d queries per protocol" n_rows
        n_queries);
+  (* Clean registry so BENCH_query.json reflects only this run. *)
+  Obs.Metrics.reset_all ();
   let rows = Bench_util.generate_rows n_rows in
   let dist_of = Bench_util.dist_of_rows rows in
   let queries = Bench_util.make_queries ~dist_of ~n:n_queries in
@@ -96,4 +140,5 @@ let run ~rows:n_rows ~n_queries () =
         (100.0 *. ((w.cold_total_ms /. p.cold_total_ms) -. 1.0))
         p.warm_total_ms w.warm_total_ms
         (100.0 *. ((w.warm_total_ms /. p.warm_total_ms) -. 1.0))
-  | _ -> ())
+  | _ -> ());
+  write_query_json ~rows:n_rows ~n_queries

@@ -5,6 +5,7 @@
      schemes      list the salt-allocation schemes and their knobs
      lambda-for   compute the Poisson rate for a security target
      demo         end-to-end encrypt/search/decrypt on sample data
+     stats        run a query workload and dump the metrics registry
      attack       run the frequency-analysis attack against a scheme *)
 
 open Cmdliner
@@ -124,6 +125,83 @@ let demo_cmd =
   in
   let doc = "End-to-end encrypt, search and decrypt on generated census data." in
   Cmd.v (Cmd.info "demo" ~doc) Term.(const demo $ seed_arg $ scheme_arg $ rows)
+
+(* ---------------- stats ---------------- *)
+
+let trace_arg =
+  let doc = "Enable query tracing and print the span tree to stderr." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+(* Single-quote a value for the SQL parser (doubling embedded quotes). *)
+let sql_quote v =
+  let buf = Buffer.create (String.length v + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      Buffer.add_char buf c;
+      if c = '\'' then Buffer.add_char buf c)
+    v;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let stats seed kind rows queries tracing =
+  Obs.Trace.set_enabled tracing;
+  let gen = Sparta.Generator.create ~seed in
+  let data = Array.of_seq (Sparta.Generator.rows gen ~n:rows) in
+  let dist_of =
+    Wre.Dist_est.of_rows ~schema:Sparta.Generator.schema
+      ~columns:Sparta.Generator.encrypted_columns (Array.to_seq data)
+  in
+  let db = Sqldb.Database.create () in
+  let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
+  let edb =
+    Wre.Encrypted_db.create ~db ~name:"main" ~plain_schema:Sparta.Generator.schema
+      ~key_column:"id" ~encrypted_columns:Sparta.Generator.encrypted_columns ~kind ~master
+      ~dist_of ~seed ()
+  in
+  Array.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) data;
+  (* A representative proxy workload so every layer's instruments move:
+     point lookups, a two-column AND, a server-side OR union, a lazy
+     LIMIT, and one degraded full scan. *)
+  let proxy = Wre.Proxy.create edb in
+  let g = Stdx.Prng.create (Int64.add seed 1L) in
+  let run sql =
+    match Wre.Proxy.execute proxy sql with
+    | Ok _ -> ()
+    | Error e -> Printf.eprintf "query failed (%s): %s\n" sql e
+  in
+  for _ = 1 to queries do
+    let row = data.(Stdx.Prng.int g (Array.length data)) in
+    let lname = sql_quote (Sparta.Generator.column_string row ~column:"lname") in
+    let city = sql_quote (Sparta.Generator.column_string row ~column:"city") in
+    (* state is not a searchable column: this one degrades to a
+       residual-only full scan and moves the full_scan counter. *)
+    let state = sql_quote (Sparta.Generator.column_string row ~column:"state") in
+    run (Printf.sprintf "SELECT * FROM main WHERE lname = %s" lname);
+    run (Printf.sprintf "SELECT id FROM main WHERE lname = %s AND city = %s" lname city);
+    run (Printf.sprintf "SELECT * FROM main WHERE lname = %s OR city = %s" lname city);
+    run (Printf.sprintf "SELECT * FROM main WHERE city = %s LIMIT 3" city);
+    run (Printf.sprintf "SELECT id FROM main WHERE state = %s" state)
+  done;
+  Printf.printf "workload: %d rows under %s, %d query rounds\n\n" rows
+    (Wre.Scheme.to_string kind) queries;
+  print_string (Obs.Metrics.render ());
+  if tracing then begin
+    prerr_string (Obs.Trace.render_tree ());
+    Obs.Trace.set_enabled false
+  end
+
+let stats_cmd =
+  let rows =
+    Arg.(value & opt int 5000 & info [ "rows" ] ~docv:"N" ~doc:"Number of records to generate.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 20
+      & info [ "queries" ] ~docv:"N" ~doc:"Query-workload rounds before dumping the registry.")
+  in
+  let doc = "Run a query workload and dump the metrics registry (optionally a trace)." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ seed_arg $ scheme_arg $ rows $ queries $ trace_arg)
 
 (* ---------------- attack ---------------- *)
 
@@ -323,7 +401,8 @@ let encrypt_csv input output sidecar columns_spec key_column encrypted_spec seed
   in
   match result with Ok () -> `Ok () | Error e -> `Error (false, e)
 
-let query_csv input sidecar sql =
+let query_csv input sidecar sql tracing =
+  Obs.Trace.set_enabled tracing;
   let ( let* ) = Result.bind in
   let result =
     let* kind, master, seed, key_column, encrypted, schema, dist_of =
@@ -345,6 +424,10 @@ let query_csv input sidecar sql =
       r.server_rows;
     Ok ()
   in
+  if tracing then begin
+    prerr_string (Obs.Trace.render_tree ());
+    Obs.Trace.set_enabled false
+  end;
   match result with Ok () -> `Ok () | Error e -> `Error (false, e)
 
 let encrypt_csv_cmd =
@@ -404,7 +487,8 @@ let query_csv_cmd =
       & info [] ~docv:"SQL" ~doc:"Plaintext SELECT, e.g. \"SELECT * FROM t WHERE name = 'Alice'\".")
   in
   let doc = "Query an encrypted CSV with plaintext SQL (rewriting proxy + decryption)." in
-  Cmd.v (Cmd.info "query-csv" ~doc) Term.(ret (const query_csv $ input $ sidecar $ sql))
+  Cmd.v (Cmd.info "query-csv" ~doc)
+    Term.(ret (const query_csv $ input $ sidecar $ sql $ trace_arg))
 
 let () =
   let doc = "weakly randomized encryption (DSN 2019) toolkit" in
@@ -417,6 +501,7 @@ let () =
             schemes_cmd;
             lambda_for_cmd;
             demo_cmd;
+            stats_cmd;
             attack_cmd;
             encrypt_csv_cmd;
             query_csv_cmd;

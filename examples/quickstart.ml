@@ -60,6 +60,7 @@ let () =
   Format.printf "server plan: %s, %d rows returned@."
     (match server_result.plan with
     | Executor.Index_scan c -> "index scan on " ^ c
+    | Executor.Or_index_scan cs -> "index-union scan on " ^ String.concat ", " cs
     | Executor.Seq_scan -> "sequential scan")
     (Array.length server_result.row_ids);
   Format.printf "decrypted results:@.";

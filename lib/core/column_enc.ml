@@ -9,6 +9,12 @@ type fallback = [ `Reject | `Min_frequency ]
    mean 10^8 PRF calls for tags no query ever asks for. *)
 type cached = { salts : Salts.t; alias : Stdx.Sampling.Alias.t }
 
+(* Cache effectiveness across every column encryptor: a miss means a
+   full salt-set computation (DRBG stream + alias table); encryption at
+   10M-row scale must be nearly all hits. *)
+let m_salt_hits = Obs.Metrics.counter "column_enc.salt_cache_hits_total"
+let m_salt_misses = Obs.Metrics.counter "column_enc.salt_cache_misses_total"
+
 type t = {
   column : string;
   kind : Scheme.kind;
@@ -97,8 +103,11 @@ let tag_of_salt t m salt =
 
 let cached t m =
   match Hashtbl.find_opt t.cache m with
-  | Some c -> c
+  | Some c ->
+      Obs.Metrics.incr m_salt_hits;
+      c
   | None ->
+      Obs.Metrics.incr m_salt_misses;
       let c =
         Option.map
           (fun salts -> { salts; alias = Stdx.Sampling.Alias.create salts.Salts.weights })

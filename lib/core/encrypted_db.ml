@@ -3,6 +3,20 @@ open Sqldb
 let tag_column c = c ^ "_tag"
 let data_column c = c ^ "_data"
 
+(* Row-level crypto counters (atomic bumps, nothing allocated per row)
+   plus the per-phase latency histograms of the read path. The same
+   query.* histograms are fed by the proxy's SELECT path, so one
+   registry covers both entry points. *)
+let m_rows_encrypted = Obs.Metrics.counter "edb.rows_encrypted_total"
+let m_rows_decrypted = Obs.Metrics.counter "edb.rows_decrypted_total"
+let h_rewrite = Obs.Metrics.histogram "query.rewrite_ns"
+let h_exec = Obs.Metrics.histogram "query.exec_ns"
+let h_decrypt = Obs.Metrics.histogram "query.decrypt_ns"
+let h_filter = Obs.Metrics.histogram "query.filter_ns"
+
+(* One query phase: latency histogram + trace span under one name. *)
+let phase h name f = Obs.Metrics.time h (fun () -> Obs.Trace.with_span name f)
+
 type t = {
   table : Table.t;
   plain_schema : Schema.t;
@@ -183,13 +197,16 @@ let encrypt_row t g row =
           let key = Hashtbl.find t.data_keys plain_cols.(i).name in
           out.(p) <- Value.Blob (Crypto.Ctr.encrypt_random key g (Value_codec.encode v)))
     row;
+  Obs.Metrics.incr m_rows_encrypted;
   out
 
-let insert t row =
+let encrypt_plain_row t row =
   (match Schema.validate_row t.plain_schema row with
   | Ok () -> ()
   | Error e -> invalid_arg ("Encrypted_db.insert: " ^ e));
-  Table.insert t.table (encrypt_row t t.g row)
+  encrypt_row t t.g row
+
+let insert t row = Table.insert t.table (encrypt_plain_row t row)
 
 let default_chunk_size = 1024
 
@@ -258,7 +275,9 @@ let search_predicate t ~column m =
   Predicate.In (tag_column column, List.map (fun tag -> Value.Int tag) tags)
 
 let search_ids t ~column m =
-  Executor.run t.table ~projection:Executor.Row_ids (search_predicate t ~column m)
+  Obs.Trace.with_span "edb.search_ids" @@ fun () ->
+  let pred = phase h_rewrite "query.rewrite" (fun () -> search_predicate t ~column m) in
+  phase h_exec "query.exec" (fun () -> Executor.run t.table ~projection:Executor.Row_ids pred)
 
 let range_index t column =
   match Hashtbl.find_opt t.range_indexes column with
@@ -291,24 +310,36 @@ let decrypt_row t enc_row =
         end)
     plain_cols
 
+let decrypt_row t enc_row =
+  let row = decrypt_row t enc_row in
+  Obs.Metrics.incr m_rows_decrypted;
+  row
+
 let search_rows t ~column m =
+  Obs.Trace.with_span "edb.search_rows" @@ fun () ->
+  let pred = phase h_rewrite "query.rewrite" (fun () -> search_predicate t ~column m) in
   let result =
-    Executor.run t.table ~projection:Executor.All_columns (search_predicate t ~column m)
+    phase h_exec "query.exec" (fun () ->
+        Executor.run t.table ~projection:Executor.All_columns pred)
   in
   let col_pos = Schema.column_index t.plain_schema column in
-  let decrypted = Array.to_list (Array.map (decrypt_row t) result.rows) in
+  let decrypted =
+    phase h_decrypt "query.decrypt" (fun () ->
+        Array.to_list (Array.map (decrypt_row t) result.rows))
+  in
   let rows =
-    if Scheme.is_bucketized t.kind then
-      (* Client-side false-positive filter (paper §V-C1). Compares a
-         decrypted plaintext against the query value, so it runs
-         constant-time like every other match on secret data. *)
-      List.filter
-        (fun row ->
-          match row.(col_pos) with
-          | Value.Text s -> Stdx.Bytes_util.ct_equal s m
-          | _ -> false)
-        decrypted
-    else decrypted
+    phase h_filter "query.filter" (fun () ->
+        if Scheme.is_bucketized t.kind then
+          (* Client-side false-positive filter (paper §V-C1). Compares a
+             decrypted plaintext against the query value, so it runs
+             constant-time like every other match on secret data. *)
+          List.filter
+            (fun row ->
+              match row.(col_pos) with
+              | Value.Text s -> Stdx.Bytes_util.ct_equal s m
+              | _ -> false)
+            decrypted
+        else decrypted)
   in
   (rows, result)
 
@@ -316,8 +347,11 @@ let search_rows t ~column m =
    in the overlapping buckets; the client decrypts and keeps the rows
    actually inside the range (edge-bucket false positives drop out). *)
 let search_range t ~column ~lo ~hi =
+  Obs.Trace.with_span "edb.search_range" @@ fun () ->
+  let pred = phase h_rewrite "query.rewrite" (fun () -> range_predicate t ~column ~lo ~hi) in
   let result =
-    Executor.run t.table ~projection:Executor.All_columns (range_predicate t ~column ~lo ~hi)
+    phase h_exec "query.exec" (fun () ->
+        Executor.run t.table ~projection:Executor.All_columns pred)
   in
   let col_pos = Schema.column_index t.plain_schema column in
   let in_range v =
@@ -327,9 +361,12 @@ let search_range t ~column ~lo ~hi =
         && (match hi with None -> true | Some h -> Int64.compare x h <= 0)
     | _ -> false
   in
+  let decrypted =
+    phase h_decrypt "query.decrypt" (fun () ->
+        Array.to_list (Array.map (decrypt_row t) result.rows))
+  in
   let rows =
-    List.filter
-      (fun row -> in_range row.(col_pos))
-      (Array.to_list (Array.map (decrypt_row t) result.rows))
+    phase h_filter "query.filter" (fun () ->
+        List.filter (fun row -> in_range row.(col_pos)) decrypted)
   in
   (rows, result)

@@ -59,6 +59,15 @@ val data_column : string -> string
 val insert : t -> Sqldb.Value.t array -> int
 (** Encrypt a plaintext row (in [plain_schema] order) and insert it. *)
 
+val encrypt_plain_row : t -> Sqldb.Value.t array -> Sqldb.Value.t array
+(** Validate and encrypt a plaintext row into encrypted-schema order
+    {e without} inserting it — the same work {!insert} does before
+    touching the table, drawing weak randomness from the same stream.
+    Lets callers stage a batch of replacements and only mutate the
+    table once every row has encrypted cleanly (the proxy's atomic
+    UPDATE). Raises [Invalid_argument] on schema mismatch and
+    {!Column_enc.Unknown_plaintext} under [`Reject]. *)
+
 val insert_batch :
   ?pool:Stdx.Task_pool.t -> ?chunk_size:int -> t -> Sqldb.Value.t array array -> int
 (** Batched, optionally multicore ingestion. All rows are validated up

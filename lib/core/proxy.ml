@@ -18,11 +18,45 @@ type query_result = {
   exec : Executor.result option;
 }
 
+(* Statement mix plus the per-phase latency breakdown of the full
+   round-trip (parse -> rewrite -> server exec -> decrypt -> residual
+   filter). The query.* histograms are shared with [Encrypted_db]'s
+   search entry points — both paths measure the same pipeline. *)
+let m_select = Obs.Metrics.counter "proxy.select_total"
+let m_insert = Obs.Metrics.counter "proxy.insert_total"
+let m_update = Obs.Metrics.counter "proxy.update_total"
+let m_delete = Obs.Metrics.counter "proxy.delete_total"
+let m_full_scan = Obs.Metrics.counter "proxy.full_scan_total"
+let h_parse = Obs.Metrics.histogram "query.parse_ns"
+let h_rewrite = Obs.Metrics.histogram "query.rewrite_ns"
+let h_exec = Obs.Metrics.histogram "query.exec_ns"
+let h_decrypt = Obs.Metrics.histogram "query.decrypt_ns"
+let h_filter = Obs.Metrics.histogram "query.filter_ns"
+
+let phase h name f = Obs.Metrics.time h (fun () -> Obs.Trace.with_span name f)
+
+(* Compact nested True/And noise for readable server SQL. *)
+let rec simplify = function
+  | Predicate.And ps ->
+      let ps = List.filter (fun p -> p <> Predicate.True) (List.map simplify ps) in
+      (match ps with [] -> Predicate.True | [ p ] -> p | ps -> Predicate.And ps)
+  | Predicate.Or ps -> Predicate.Or (List.map simplify ps)
+  | Predicate.Not p -> Predicate.Not (simplify p)
+  | p -> p
+
 (* Split a plaintext predicate into (server part, residual part).
-   Only AND-combinations distribute; any leg the server cannot check
-   becomes residual. A leg is server-checkable when it is:
+   AND distributes leg by leg. OR is server-checkable only when every
+   leg is: the server then evaluates the union of the per-leg rewrites
+   — a superset of the true answer, since each rewrite is itself a
+   superset of its leg — and the residual keeps the *original*
+   disjunction, which filters both bucketized false positives and the
+   union's over-approximation exactly. A single unservable leg poisons
+   the whole OR (the server cannot under-approximate a union), so the
+   disjunction falls back to a full scan. A leaf is server-checkable
+   when it is:
    - Eq/In on an encrypted (searchable) column -> rewritten to tags;
-   - Eq/In/Range on the plaintext key column -> passed through. *)
+   - Eq/In/Range on the plaintext key column -> passed through;
+   - Range/Eq on a range-indexed column -> rewritten to rtag buckets. *)
 let rec split t key_column = function
   | Predicate.True -> Ok (Predicate.True, Predicate.True)
   | Predicate.And ps ->
@@ -34,6 +68,20 @@ let rec split t key_column = function
             | Ok (s, r) -> go (s :: acc_server) (r :: acc_res) rest)
       in
       go [] [] ps
+  | Predicate.Or legs as p ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | leg :: rest -> (
+            match split t key_column leg with
+            | Error e -> Error e
+            | Ok (s, _) -> go (simplify s :: acc) rest)
+      in
+      Result.map
+        (fun servers ->
+          if List.for_all (fun s -> s <> Predicate.True) servers then
+            (Predicate.Or servers, p)
+          else (Predicate.True, p))
+        (go [] legs)
   | Predicate.Eq (col, Value.Text v) when List.mem col (Encrypted_db.encrypted_columns t.edb) ->
       Ok (Encrypted_db.search_predicate t.edb ~column:col v, Predicate.Eq (col, Value.Text v))
   | Predicate.In (col, vs) when List.mem col (Encrypted_db.encrypted_columns t.edb) ->
@@ -76,53 +124,101 @@ let rec split t key_column = function
          is True (no restriction). *)
       Ok (Predicate.True, p)
 
-(* Compact nested True/And noise for readable server SQL. *)
-let rec simplify = function
-  | Predicate.And ps ->
-      let ps = List.filter (fun p -> p <> Predicate.True) (List.map simplify ps) in
-      (match ps with [] -> Predicate.True | [ p ] -> p | ps -> Predicate.And ps)
-  | Predicate.Or ps -> Predicate.Or (List.map simplify ps)
-  | Predicate.Not p -> Predicate.Not (simplify p)
-  | p -> p
+(* The server predicate degenerated to True while real filtering
+   remains: the server ships the whole table and the proxy filters it —
+   the silent-degradation mode that used to swallow rewritable ORs.
+   Surface it so workloads can see they lost index service. *)
+let note_full_scan server residual =
+  if server = Predicate.True && residual <> Predicate.True then begin
+    Obs.Metrics.incr m_full_scan;
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.event "proxy.full_scan"
+        ~attrs:[ ("residual", Format.asprintf "%a" Predicate.pp residual) ]
+  end
 
-let rewrite_select t (s : Sql.select) =
-  match split t (Encrypted_db.key_column t.edb) s.where with
+(* Split + simplify + full-scan accounting, timed as the rewrite phase. *)
+let rewrite t where =
+  phase h_rewrite "proxy.rewrite" @@ fun () ->
+  match split t (Encrypted_db.key_column t.edb) where with
   | Error e -> Error e
   | Ok (server, residual) ->
       let server = simplify server and residual = simplify residual in
+      note_full_scan server residual;
+      Ok (server, residual)
+
+let rewrite_select t (s : Sql.select) =
+  match rewrite t s.where with
+  | Error e -> Error e
+  | Ok (server, residual) ->
       let server_sql =
         Format.asprintf "SELECT * FROM %s WHERE %a" s.table Predicate.pp server
       in
       Ok { server_sql; server_predicate = server; residual }
 
+(* Shared SELECT/DELETE/UPDATE back half: decrypt the server's answer
+   lazily and keep rows passing the residual predicate, stopping after
+   [limit] survivors. Decryption and filtering interleave in one pass
+   — a LIMIT n query never decrypts more than it needs beyond the rows
+   the residual rejects — so the two phases are accounted by summed
+   per-row clock deltas and recorded as pre-measured trace spans. *)
+let decrypt_filter_limit t eval ?limit (exec : Executor.result) =
+  let start_ns = Stdx.Clock.now_ns () in
+  let wanted = match limit with None -> max_int | Some n -> n in
+  let kept = ref [] and n_kept = ref 0 in
+  let decrypt_ns = ref 0.0 and filter_ns = ref 0.0 in
+  let n = Array.length exec.rows in
+  let i = ref 0 in
+  while !i < n && !n_kept < wanted do
+    let t0 = Stdx.Clock.now_ns () in
+    let plain = Encrypted_db.decrypt_row t.edb exec.rows.(!i) in
+    let t1 = Stdx.Clock.now_ns () in
+    let keep = eval plain in
+    decrypt_ns := !decrypt_ns +. (t1 -. t0);
+    filter_ns := !filter_ns +. (Stdx.Clock.now_ns () -. t1);
+    if keep then begin
+      kept := (exec.row_ids.(!i), plain) :: !kept;
+      incr n_kept
+    end;
+    incr i
+  done;
+  Obs.Metrics.observe h_decrypt !decrypt_ns;
+  Obs.Metrics.observe h_filter !filter_ns;
+  if Obs.Trace.is_enabled () then begin
+    Obs.Trace.add ~name:"proxy.decrypt"
+      ~attrs:[ ("rows_decrypted", string_of_int !i) ]
+      ~start_ns ~dur_ns:!decrypt_ns ();
+    Obs.Trace.add ~name:"proxy.residual_filter"
+      ~attrs:[ ("kept", string_of_int !n_kept) ]
+      ~start_ns:(start_ns +. !decrypt_ns) ~dur_ns:!filter_ns ()
+  end;
+  List.rev !kept
+
 (* Shared SELECT/DELETE/UPDATE front half: run the rewritten server
    query, decrypt, apply the residual predicate; returns surviving
    (row_id, plaintext_row) pairs plus the raw executor result. *)
-let fetch_matching t where =
-  match split t (Encrypted_db.key_column t.edb) where with
+let fetch_matching t ?limit where =
+  match rewrite t where with
   | Error e -> Error e
   | Ok (server, residual) -> (
-      let server = simplify server and residual = simplify residual in
       let table = Encrypted_db.table t.edb in
-      match Executor.run table ~projection:Executor.All_columns server with
+      match
+        phase h_exec "proxy.server_exec" (fun () ->
+            Executor.run table ~projection:Executor.All_columns server)
+      with
       | exception Not_found -> Error "predicate references an unknown column"
       | exec -> (
           let plain_schema = Encrypted_db.plain_schema t.edb in
           match Predicate.compile plain_schema residual with
           | exception Not_found -> Error "residual predicate references an unknown column"
-          | eval ->
-              let pairs =
-                Array.to_list exec.row_ids
-                |> List.mapi (fun i id -> (id, Encrypted_db.decrypt_row t.edb exec.rows.(i)))
-                |> List.filter (fun (_, plain) -> eval plain)
-              in
-              Ok (pairs, exec)))
+          | eval -> Ok (decrypt_filter_limit t eval ?limit exec, exec)))
 
 let execute t src =
-  match Sql.parse src with
+  Obs.Trace.with_span "proxy.execute" @@ fun () ->
+  match phase h_parse "proxy.parse" (fun () -> Sql.parse src) with
   | Error e -> Error e
   | Ok (Sql.Create_table _) -> Error "the proxy does not rewrite CREATE TABLE"
   | Ok (Sql.Delete { table = _; where }) -> (
+      Obs.Metrics.incr m_delete;
       match fetch_matching t where with
       | Error e -> Error e
       | Ok (pairs, exec) ->
@@ -140,6 +236,7 @@ let execute t src =
               exec = Some exec;
             })
   | Ok (Sql.Update { table = _; assignments; where }) -> (
+      Obs.Metrics.incr m_update;
       let plain_schema = Encrypted_db.plain_schema t.edb in
       match List.map (fun (c, v) -> (Schema.column_index plain_schema c, v)) assignments with
       | exception Not_found -> Error "SET references an unknown column"
@@ -147,21 +244,30 @@ let execute t src =
           match fetch_matching t where with
           | Error e -> Error e
           | Ok (pairs, exec) -> (
+              (* Two-phase apply: encrypt every replacement first, so a
+                 row outside the profiled distribution (or any schema
+                 error) fails the statement *before* a single tombstone
+                 — a mid-batch failure must not lose the already-deleted
+                 prefix. Only then tombstone + insert, MVCC-style. *)
               match
-                List.iter
+                List.map
                   (fun (id, plain) ->
                     let row = Array.copy plain in
                     List.iter (fun (i, v) -> row.(i) <- v) positions;
-                    ignore (Encrypted_db.delete_row t.edb id);
-                    ignore (Encrypted_db.insert t.edb row))
+                    (id, Encrypted_db.encrypt_plain_row t.edb row))
                   pairs
               with
-              | () ->
+              | staged ->
+                  List.iter
+                    (fun (id, enc) ->
+                      ignore (Encrypted_db.delete_row t.edb id : bool);
+                      ignore (Encrypted_db.insert_encrypted t.edb enc : int))
+                    staged;
                   Ok
                     {
                       columns = [];
                       rows = [];
-                      affected = List.length pairs;
+                      affected = List.length staged;
                       server_rows = Array.length exec.row_ids;
                       exec = Some exec;
                     }
@@ -169,64 +275,35 @@ let execute t src =
               | exception Column_enc.Unknown_plaintext v ->
                   Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v))))
   | Ok (Sql.Insert { table = _; values }) -> (
+      Obs.Metrics.incr m_insert;
       match Encrypted_db.insert t.edb (Array.of_list values) with
       | _id -> Ok { columns = []; rows = []; affected = 1; server_rows = 0; exec = None }
       | exception Invalid_argument e -> Error e
       | exception Column_enc.Unknown_plaintext v ->
           Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v))
   | Ok (Sql.Select s) -> (
-      match rewrite_select t s with
+      Obs.Metrics.incr m_select;
+      match fetch_matching t ?limit:s.limit s.where with
       | Error e -> Error e
-      | Ok { server_predicate; residual; _ } -> (
-          let table = Encrypted_db.table t.edb in
-          match Executor.run table ~projection:Executor.All_columns server_predicate with
-          | exception Not_found -> Error "predicate references an unknown column"
-          | exec ->
-              (* Decrypt, then apply the residual plaintext predicate
-                 (this also removes bucketized false positives, since
-                 the rewritten equality stays in the residual). *)
-              let decrypted =
-                List.map (fun r -> Encrypted_db.decrypt_row t.edb r) (Array.to_list exec.rows)
+      | Ok (pairs, exec) -> (
+          let plain_schema = Encrypted_db.plain_schema t.edb in
+          let limited = List.map snd pairs in
+          let server_rows = Array.length exec.rows in
+          match s.projection with
+          | `Star ->
+              let columns =
+                List.map
+                  (fun (c : Schema.column) -> c.name)
+                  (Array.to_list (Schema.columns plain_schema))
               in
-              (* Resolve residual against the plaintext schema. *)
-              let plain_schema =
-                (* decrypt_row returns rows in plain-schema order; we
-                   need that schema for compilation. *)
-                Encrypted_db.plain_schema t.edb
-              in
-              (match Predicate.compile plain_schema residual with
-              | exception Not_found -> Error "residual predicate references an unknown column"
-              | eval -> (
-                  let kept = List.filter eval decrypted in
-                  let limited =
-                    match s.limit with
-                    | None -> kept
-                    | Some n -> List.filteri (fun i _ -> i < n) kept
+              Ok { columns; rows = limited; affected = 0; server_rows; exec = Some exec }
+          | `Columns cols -> (
+              match List.map (fun c -> (c, Schema.column_index plain_schema c)) cols with
+              | exception Not_found -> Error "projected column does not exist"
+              | idx_pairs ->
+                  let rows =
+                    List.map
+                      (fun row -> Array.of_list (List.map (fun (_, i) -> row.(i)) idx_pairs))
+                      limited
                   in
-                  match s.projection with
-                  | `Star ->
-                      let columns =
-                        List.map
-                          (fun (c : Schema.column) -> c.name)
-                          (Array.to_list (Schema.columns plain_schema))
-                      in
-                      Ok { columns; rows = limited; affected = 0; server_rows = Array.length exec.rows; exec = Some exec }
-                  | `Columns cols -> (
-                      match
-                        List.map (fun c -> (c, Schema.column_index plain_schema c)) cols
-                      with
-                      | exception Not_found -> Error "projected column does not exist"
-                      | pairs ->
-                          let rows =
-                            List.map
-                              (fun row -> Array.of_list (List.map (fun (_, i) -> row.(i)) pairs))
-                              limited
-                          in
-                          Ok
-                            {
-                              columns = cols;
-                              rows;
-                              affected = 0;
-                              server_rows = Array.length exec.rows;
-                              exec = Some exec;
-                            })))))
+                  Ok { columns = cols; rows; affected = 0; server_rows; exec = Some exec })))

@@ -10,12 +10,26 @@
     Rewriting rules for a SELECT:
     - equality / IN on an encrypted column → [col_tag IN (tags…)];
     - predicates on the plaintext key column pass through;
+    - a disjunction whose legs are {e all} server-checkable → the OR of
+      the per-leg rewrites (a tag-list union the executor answers as a
+      deduplicated union of index lookups); the original plaintext OR
+      stays in the residual, which filters bucketized false positives
+      and the union's over-approximation exactly;
     - anything else (predicates on non-searchable columns, negations,
-      disjunctions across columns) cannot be evaluated by the server —
+      ORs with an unservable leg) cannot be evaluated by the server —
       it stays as a client-side filter over the decrypted rows, and the
-      server-side predicate keeps only the AND-legs it can handle.
+      server-side predicate keeps only the AND-legs it can handle. When
+      the server predicate degenerates to [True] while real filtering
+      remains, the proxy bumps the [proxy.full_scan_total] counter and
+      emits a [proxy.full_scan] trace event: the query silently lost
+      index service and ships the whole table.
 
-    INSERT statements are encrypted field-by-field. *)
+    INSERT statements are encrypted field-by-field.
+
+    Every statement runs under a [proxy.execute] trace span with
+    parse / rewrite / server-exec / decrypt / residual-filter children,
+    and feeds the [proxy.*] statement counters and [query.*_ns] phase
+    histograms in {!Obs.Metrics}. *)
 
 type t
 
@@ -42,6 +56,15 @@ val execute : t -> string -> (query_result, string) result
 (** Parse plaintext SQL (SELECT / INSERT / DELETE / UPDATE against the
     plaintext schema), run it through the encrypted database. DELETE
     and UPDATE decrypt and residual-filter before touching rows, so
-    bucketized false positives are never deleted or rewritten; UPDATE
-    re-encrypts the new version (tombstoning the old, like the
-    engine's own MVCC-style update). *)
+    bucketized false positives are never deleted or rewritten.
+
+    UPDATE is atomic with respect to encryption failures: every
+    replacement row is encrypted (and validated) first, and only when
+    the whole batch succeeds are old versions tombstoned and new ones
+    inserted (MVCC-style) — a replacement value outside the profiled
+    distribution fails the statement with the table unchanged.
+
+    SELECT decrypts lazily: decryption, residual filtering and LIMIT
+    fuse into one pass over the server's answer, so [LIMIT n] stops
+    after the n-th surviving row instead of decrypting the full result
+    set (visible as the [edb.rows_decrypted_total] counter). *)

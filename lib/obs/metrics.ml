@@ -1,0 +1,194 @@
+(* Registration goes through one mutex; updates are lock-free atomics.
+   Instruments are expected to be registered at module-initialization
+   time of the instrumented code, so the hot path never touches the
+   registry hashtables. *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; level : int Atomic.t }
+
+(* 4 buckets per decade over [1 ns, 10^13 ns) — bucket i covers
+   [10^(i/4), 10^((i+1)/4)). 10^13 ns ≈ 2.8 h, far beyond any query
+   phase; out-of-range samples clamp to the edge buckets. *)
+let buckets_per_decade = 4
+let n_decades = 13
+let n_buckets = buckets_per_decade * n_decades
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array;
+  total : int Atomic.t;
+  sum : float Atomic.t;
+  max_seen : float Atomic.t;
+}
+
+let registry_mutex = Mutex.create ()
+let counter_table : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauge_table : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histogram_table : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt counter_table name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; cell = Atomic.make 0 } in
+          Hashtbl.replace counter_table name c;
+          c)
+
+let incr c = ignore (Atomic.fetch_and_add c.cell 1 : int)
+let add c n = ignore (Atomic.fetch_and_add c.cell n : int)
+let counter_value c = Atomic.get c.cell
+
+let gauge name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt gauge_table name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; level = Atomic.make 0 } in
+          Hashtbl.replace gauge_table name g;
+          g)
+
+let set_gauge g v = Atomic.set g.level v
+let gauge_value g = Atomic.get g.level
+
+let histogram name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt histogram_table name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_name = name;
+              buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+              total = Atomic.make 0;
+              sum = Atomic.make 0.0;
+              max_seen = Atomic.make 0.0;
+            }
+          in
+          Hashtbl.replace histogram_table name h;
+          h)
+
+(* Boxed-float atomics need a CAS loop; the CAS compares the exact
+   boxed value we read, so concurrent updates retry rather than lose. *)
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+let rec atomic_max_float a x =
+  let old = Atomic.get a in
+  if x > old && not (Atomic.compare_and_set a old x) then atomic_max_float a x
+
+let bucket_of ns =
+  if not (ns >= 1.0) then 0 (* also catches nan and negatives *)
+  else
+    let i = int_of_float (Float.log10 ns *. float_of_int buckets_per_decade) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+let observe h ns =
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of ns) 1 : int);
+  ignore (Atomic.fetch_and_add h.total 1 : int);
+  atomic_add_float h.sum ns;
+  atomic_max_float h.max_seen ns
+
+let time h f =
+  let r, ns = Stdx.Clock.time_it f in
+  observe h ns;
+  r
+
+let bucket_lo i = Float.pow 10.0 (float_of_int i /. float_of_int buckets_per_decade)
+let bucket_hi i = bucket_lo (i + 1)
+
+let percentile h p =
+  let n = Atomic.get h.total in
+  if n = 0 then 0.0
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n))) in
+    let rank = min rank n in
+    let cum = ref 0 and found = ref 0.0 and looking = ref true in
+    for i = 0 to n_buckets - 1 do
+      if !looking then begin
+        let c = Atomic.get h.buckets.(i) in
+        if !cum + c >= rank then begin
+          (* Geometric interpolation inside the bucket. *)
+          let frac = float_of_int (rank - !cum) /. float_of_int c in
+          let lo = bucket_lo i and hi = bucket_hi i in
+          found := lo *. Float.pow (hi /. lo) frac;
+          looking := false
+        end
+        else cum := !cum + c
+      end
+    done;
+    Float.min !found (Atomic.get h.max_seen)
+  end
+
+type histogram_summary = {
+  count : int;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+let summarize h =
+  let n = Atomic.get h.total in
+  if n = 0 then { count = 0; mean_ns = 0.0; p50_ns = 0.0; p95_ns = 0.0; p99_ns = 0.0; max_ns = 0.0 }
+  else
+    {
+      count = n;
+      mean_ns = Atomic.get h.sum /. float_of_int n;
+      p50_ns = percentile h 50.0;
+      p95_ns = percentile h 95.0;
+      p99_ns = percentile h 99.0;
+      max_ns = Atomic.get h.max_seen;
+    }
+
+let sorted_by_name to_pair table =
+  with_registry (fun () -> Hashtbl.fold (fun _ v acc -> to_pair v :: acc) table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () = sorted_by_name (fun c -> (c.c_name, Atomic.get c.cell)) counter_table
+let gauges () = sorted_by_name (fun g -> (g.g_name, Atomic.get g.level)) gauge_table
+let histograms () = sorted_by_name (fun h -> (h.h_name, summarize h)) histogram_table
+
+let reset_all () =
+  with_registry (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counter_table;
+      Hashtbl.iter (fun _ g -> Atomic.set g.level 0) gauge_table;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.total 0;
+          Atomic.set h.sum 0.0;
+          Atomic.set h.max_seen 0.0)
+        histogram_table)
+
+let pp_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let render () =
+  let buf = Buffer.create 2048 in
+  let section title = Buffer.add_string buf (Printf.sprintf "# %s\n" title) in
+  section "counters";
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-42s %d\n" name v))
+    (counters ());
+  section "gauges";
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-42s %d\n" name v))
+    (gauges ());
+  section "histograms";
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-42s count=%-8d p50=%-10s p95=%-10s p99=%-10s max=%s\n" name s.count
+           (pp_ns s.p50_ns) (pp_ns s.p95_ns) (pp_ns s.p99_ns) (pp_ns s.max_ns)))
+    (histograms ());
+  Buffer.contents buf

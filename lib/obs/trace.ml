@@ -1,0 +1,161 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_ns : float;
+  dur_ns : float;
+  attrs : (string * string) list;
+}
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let next_id = Atomic.make 1
+
+(* Per-domain stack of open span ids: nesting gives parentage without
+   any cross-domain coordination. *)
+let stack_key : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let capacity = 8192
+
+(* Ring buffer of completed spans. Completion is rare relative to the
+   work inside a span, so a mutex (not a lock-free ring) is fine. *)
+let sink_mutex = Mutex.create ()
+let ring : span option array = Array.make capacity None
+let write_pos = ref 0
+let stored = ref 0
+
+let record s =
+  Mutex.lock sink_mutex;
+  ring.(!write_pos) <- Some s;
+  write_pos := (!write_pos + 1) mod capacity;
+  if !stored < capacity then Stdlib.incr stored;
+  Mutex.unlock sink_mutex
+
+let clear () =
+  Mutex.lock sink_mutex;
+  Array.fill ring 0 capacity None;
+  write_pos := 0;
+  stored := 0;
+  Mutex.unlock sink_mutex
+
+let spans () =
+  Mutex.lock sink_mutex;
+  let n = !stored in
+  let out =
+    List.filter_map
+      (fun i -> ring.((!write_pos - n + i + capacity) mod capacity))
+      (List.init n Fun.id)
+  in
+  Mutex.unlock sink_mutex;
+  out
+
+let current_parent () =
+  match !(Domain.DLS.get stack_key) with [] -> None | p :: _ -> Some p
+
+let add ?(attrs = []) ~name ~start_ns ~dur_ns () =
+  if is_enabled () then
+    record
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        parent = current_parent ();
+        name;
+        start_ns;
+        dur_ns;
+        attrs;
+      }
+
+let event ?attrs name = add ?attrs ~name ~start_ns:(Stdx.Clock.now_ns ()) ~dur_ns:0.0 ()
+
+let with_span ?(attrs = []) name f =
+  if not (is_enabled ()) then f ()
+  else begin
+    let st = Domain.DLS.get stack_key in
+    let parent = current_parent () in
+    let id = Atomic.fetch_and_add next_id 1 in
+    st := id :: !st;
+    let t0 = Stdx.Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Stdx.Clock.now_ns () -. t0 in
+        (match !st with
+        | top :: rest when top = id -> st := rest
+        | other -> st := List.filter (fun x -> x <> id) other);
+        record { id; parent; name; start_ns = t0; dur_ns = dur; attrs })
+      f
+  end
+
+(* ---------------- renderers ---------------- *)
+
+let pp_dur ns =
+  if ns >= 1e9 then Printf.sprintf "%.3fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.3fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let pp_attrs = function
+  | [] -> ""
+  | attrs ->
+      "  [" ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs) ^ "]"
+
+let render_tree () =
+  let all = spans () in
+  let present = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace present s.id ()) all;
+  let children = Hashtbl.create 64 in
+  let roots =
+    List.filter
+      (fun s ->
+        match s.parent with
+        | Some p when Hashtbl.mem present p ->
+            Hashtbl.replace children p (s :: (Option.value ~default:[] (Hashtbl.find_opt children p)));
+            false
+        | _ -> true)
+      all
+  in
+  let by_start a b = Float.compare a.start_ns b.start_ns in
+  let buf = Buffer.create 1024 in
+  let rec emit depth s =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*s %10s%s\n" (String.make (2 * depth) ' ')
+         (max 1 (36 - (2 * depth)))
+         s.name (pp_dur s.dur_ns) (pp_attrs s.attrs));
+    List.iter (emit (depth + 1))
+      (List.sort by_start (Option.value ~default:[] (Hashtbl.find_opt children s.id)))
+  in
+  List.iter (emit 0) (List.sort by_start roots);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_jsonl () =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun s ->
+      let parent = match s.parent with None -> "null" | Some p -> string_of_int p in
+      let attrs =
+        String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+             s.attrs)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\": %d, \"parent\": %s, \"name\": \"%s\", \"start_ns\": %.0f, \"dur_ns\": %.0f, \
+            \"attrs\": {%s}}\n"
+           s.id parent (json_escape s.name) s.start_ns s.dur_ns attrs))
+    (spans ());
+  Buffer.contents buf

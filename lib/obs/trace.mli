@@ -1,0 +1,52 @@
+(** Lightweight query tracing: nested spans into a ring-buffer sink.
+
+    A span is a named interval measured with {!Stdx.Clock.now_ns};
+    parent/child structure comes from dynamic nesting ({!with_span}
+    inside {!with_span}), tracked per domain. Completed spans land in a
+    fixed-capacity ring buffer (oldest evicted first) and can be
+    rendered as an indented text tree or as JSONL.
+
+    Tracing is off by default: when disabled, {!with_span} runs its
+    thunk with a single atomic load of overhead and records nothing, so
+    instrumented hot paths cost nothing in production. Like
+    {!Metrics}, tracing never consumes PRNG state (wre-lint R3). *)
+
+type span = {
+  id : int;
+  parent : int option;  (** enclosing span id, if still in the buffer *)
+  name : string;
+  start_ns : float;
+  dur_ns : float;  (** 0 for point events *)
+  attrs : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a new span. The span is recorded even when the
+    thunk raises (the exception propagates). *)
+
+val add : ?attrs:(string * string) list -> name:string -> start_ns:float -> dur_ns:float -> unit -> unit
+(** Record a pre-measured span under the current parent — used by fused
+    loops that account two phases' durations in one pass. No-op when
+    disabled. *)
+
+val event : ?attrs:(string * string) list -> string -> unit
+(** Zero-duration point event under the current parent. *)
+
+val clear : unit -> unit
+(** Drop all buffered spans. *)
+
+val spans : unit -> span list
+(** Buffered spans, oldest first. *)
+
+val capacity : int
+(** Ring-buffer size (spans retained). *)
+
+val render_tree : unit -> string
+(** Indented parent/child tree of the buffered spans, durations
+    human-formatted. Orphans (parent evicted) print as roots. *)
+
+val render_jsonl : unit -> string
+(** One JSON object per span per line. *)

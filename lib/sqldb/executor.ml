@@ -1,6 +1,6 @@
 type projection = Row_ids | All_columns
 
-type plan_kind = Index_scan of string | Seq_scan
+type plan_kind = Index_scan of string | Or_index_scan of string list | Seq_scan
 
 type result = {
   row_ids : int array;
@@ -10,9 +10,18 @@ type result = {
   stats : Pager.stats;
 }
 
+let m_queries = Obs.Metrics.counter "executor.queries_total"
+let m_plan_index = Obs.Metrics.counter "executor.plan_index_total"
+let m_plan_or = Obs.Metrics.counter "executor.plan_or_index_total"
+let m_plan_seq = Obs.Metrics.counter "executor.plan_seq_total"
+let m_candidates = Obs.Metrics.counter "executor.candidates_total"
+let m_returned = Obs.Metrics.counter "executor.rows_returned_total"
+let h_wall = Obs.Metrics.histogram "executor.wall_ns"
+
 (* The first Eq/In/Range leg over an indexed column, searched shallowly
-   through conjunctions (a disjunction can only use an index if every
-   branch could, which the WRE workload never needs). *)
+   through conjunctions. The access is a superset of the leg it serves
+   (exact for a pure leg), so callers re-check the full predicate when
+   the plan does not cover it alone. *)
 let rec indexable table p =
   match p with
   | Predicate.Eq (col, v) ->
@@ -27,10 +36,61 @@ let rec indexable table p =
   | Predicate.And ps -> List.find_map (indexable table) ps
   | Predicate.True | Predicate.Or _ | Predicate.Not _ -> None
 
+(* A disjunction is index-servable when every leg is: the candidate set
+   is then the deduplicated union of the per-leg accesses (the WRE
+   proxy's server-side OR of tag IN-lists). Nested ORs flatten. *)
+let or_accesses table legs =
+  let rec go legs acc =
+    match legs with
+    | [] -> Some acc
+    | Predicate.Or sub :: rest -> (
+        match go sub acc with Some acc -> go rest acc | None -> None)
+    | leg :: rest -> (
+        match indexable table leg with
+        | Some pair -> go rest (pair :: acc)
+        | None -> None)
+  in
+  Option.map List.rev (go legs [])
+
+type access =
+  [ `Eq of Table_index.t * Value.t
+  | `In of Table_index.t * Value.t list
+  | `Range of Table_index.t * Value.t option * Value.t option ]
+
+type planned = P_index of string * access | P_or of (string * access) list | P_seq
+
+let plan_of table p =
+  match indexable table p with
+  | Some (col, access) -> P_index (col, access)
+  | None -> (
+      match p with
+      | Predicate.Or legs -> (
+          match or_accesses table legs with
+          | Some ((_ :: _) as pairs) -> P_or pairs
+          | Some [] | None -> P_seq)
+      | _ -> P_seq)
+
 let explain table p =
-  match indexable table p with Some (col, _) -> Index_scan col | None -> Seq_scan
+  match plan_of table p with
+  | P_index (col, _) -> Index_scan col
+  | P_or pairs -> Or_index_scan (List.map fst pairs)
+  | P_seq -> Seq_scan
+
+(* Sorted, deduplicated union of candidate-id arrays. *)
+let union_ids arrays =
+  let all = Array.concat arrays in
+  Array.sort (fun (a : int) b -> compare a b) all;
+  let n = Array.length all in
+  if n = 0 then all
+  else begin
+    let out = Stdx.Vec.create ~capacity:n () in
+    Array.iteri (fun i id -> if i = 0 || id <> all.(i - 1) then Stdx.Vec.push out id) all;
+    Stdx.Vec.to_array out
+  end
 
 let run table ~projection p =
+  Obs.Metrics.incr m_queries;
+  Obs.Trace.with_span "executor.run" @@ fun () ->
   let pager = Table.pager table in
   let before = Pager.stats pager in
   let t0 = Stdx.Clock.now_ns () in
@@ -41,23 +101,31 @@ let run table ~projection p =
     Table.scan table (fun id _row -> Stdx.Vec.push acc id);
     (Seq_scan, Stdx.Vec.to_array acc)
   in
+  (* An access may still fail at run time (range over a hash index);
+     [None] sends the whole query to a sequential scan. *)
+  let fetch_access = function
+    | `Eq (idx, v) -> Some (Table_index.lookup idx v)
+    | `In (idx, vs) -> Some (Table_index.lookup_many idx vs)
+    | `Range (idx, lo, hi) -> Table_index.range idx ?lo ?hi ()
+  in
   let plan, candidate_ids =
-    match indexable table p with
-    | Some (col, access) -> (
-        match access with
-        | `Eq (idx, v) -> (Index_scan col, Table_index.lookup idx v)
-        | `In (idx, vs) -> (Index_scan col, Table_index.lookup_many idx vs)
-        | `Range (idx, lo, hi) -> (
-            (* Hash indexes cannot serve ranges; fall back to scanning. *)
-            match Table_index.range idx ?lo ?hi () with
-            | Some ids -> (Index_scan col, ids)
-            | None -> seq_scan ()))
-    | None -> seq_scan ()
+    match plan_of table p with
+    | P_index (col, access) -> (
+        match fetch_access access with
+        | Some ids -> (Index_scan col, ids)
+        | None -> seq_scan ())
+    | P_or pairs -> (
+        let legs = List.map (fun (_, access) -> fetch_access access) pairs in
+        if List.exists Option.is_none legs then seq_scan ()
+        else
+          (Or_index_scan (List.map fst pairs), union_ids (List.filter_map Fun.id legs)))
+    | P_seq -> seq_scan ()
   in
   (* Residual filter. Index results are checked against the full
      predicate; for a pure index leg this is a no-op re-check on peeked
      rows (an index-only scan does not touch the heap — visibility-map
-     style — matching the paper's SELECT ID behaviour). *)
+     style — matching the paper's SELECT ID behaviour). An OR plan
+     always re-checks: each leg's access may over-approximate its leg. *)
   let needs_filter =
     match (plan, p) with
     | Index_scan col, Predicate.Eq (c, _) when c = col -> false
@@ -96,4 +164,23 @@ let run table ~projection p =
         sim_ns = after.sim_ns -. before.sim_ns;
       }
   in
+  (match plan with
+  | Index_scan _ -> Obs.Metrics.incr m_plan_index
+  | Or_index_scan _ -> Obs.Metrics.incr m_plan_or
+  | Seq_scan -> Obs.Metrics.incr m_plan_seq);
+  Obs.Metrics.add m_candidates (Array.length candidate_ids);
+  Obs.Metrics.add m_returned (Array.length row_ids);
+  Obs.Metrics.observe h_wall wall_ns;
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.event "executor.plan"
+      ~attrs:
+        [
+          ( "plan",
+            match plan with
+            | Index_scan c -> "index(" ^ c ^ ")"
+            | Or_index_scan cs -> "or_index(" ^ String.concat "," cs ^ ")"
+            | Seq_scan -> "seq" );
+          ("candidates", string_of_int (Array.length candidate_ids));
+          ("rows", string_of_int (Array.length row_ids));
+        ];
   { row_ids; rows; plan; wall_ns; stats }

@@ -9,13 +9,25 @@
 
     Planning: an [Eq]/[In] predicate over an indexed column becomes an
     index (multi-)lookup; a conjunction uses the first indexable leg
-    and filters the rest; anything else is a sequential scan. *)
+    and filters the rest; a disjunction whose legs are all indexable
+    becomes a deduplicated union of index lookups (the WRE proxy's
+    server-side OR of tag IN-lists); anything else is a sequential
+    scan.
+
+    Every run feeds the process-wide [Obs.Metrics] registry (plan
+    counts, candidate/returned rows, a wall-time histogram) and, when
+    tracing is on, emits an [executor.run] span with an
+    [executor.plan] event. *)
 
 type projection =
   | Row_ids  (** SELECT ID *)
   | All_columns  (** SELECT * *)
 
-type plan_kind = Index_scan of string | Seq_scan
+type plan_kind =
+  | Index_scan of string
+  | Or_index_scan of string list
+      (** union of per-leg index lookups, one column per OR leg *)
+  | Seq_scan
 
 type result = {
   row_ids : int array;

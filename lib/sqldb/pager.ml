@@ -15,6 +15,17 @@ let default_config =
     cpu_transfer_ns_per_byte = 1.0;
   }
 
+(* Process-wide totals across every pager instance; the per-instance
+   mutable counters below stay the source of per-query deltas. All
+   updates are counter bumps — nothing here allocates per row. *)
+let m_hits = Obs.Metrics.counter "pager.page_hits_total"
+let m_misses = Obs.Metrics.counter "pager.page_misses_total"
+let m_rows = Obs.Metrics.counter "pager.rows_examined_total"
+let m_probes = Obs.Metrics.counter "pager.index_probes_total"
+let m_bytes = Obs.Metrics.counter "pager.bytes_transferred_total"
+let m_sim = Obs.Metrics.counter "pager.sim_ns_total"
+let g_cached = Obs.Metrics.gauge "pager.cached_pages"
+
 type rel = { id : int; name : string }
 
 type t = {
@@ -49,23 +60,38 @@ let rel_name r = r.name
 
 let touch t rel page =
   let key = (rel.id, page) in
-  if Hashtbl.mem t.cache key then t.n_hits <- t.n_hits + 1
+  if Hashtbl.mem t.cache key then begin
+    t.n_hits <- t.n_hits + 1;
+    Obs.Metrics.incr m_hits
+  end
   else begin
     t.n_misses <- t.n_misses + 1;
     t.acc_sim_ns <- t.acc_sim_ns +. t.cfg.io_miss_ns;
-    Hashtbl.replace t.cache key ()
+    Hashtbl.replace t.cache key ();
+    Obs.Metrics.incr m_misses;
+    Obs.Metrics.add m_sim (int_of_float t.cfg.io_miss_ns);
+    Obs.Metrics.set_gauge g_cached (Hashtbl.length t.cache)
   end
 
 let charge_rows t n =
   t.n_rows <- t.n_rows + n;
-  t.acc_sim_ns <- t.acc_sim_ns +. (float_of_int n *. t.cfg.cpu_row_ns)
+  t.acc_sim_ns <- t.acc_sim_ns +. (float_of_int n *. t.cfg.cpu_row_ns);
+  Obs.Metrics.add m_rows n;
+  Obs.Metrics.add m_sim (int_of_float (float_of_int n *. t.cfg.cpu_row_ns))
 
-let charge_probe t = t.acc_sim_ns <- t.acc_sim_ns +. t.cfg.cpu_probe_ns
+let charge_probe t =
+  t.acc_sim_ns <- t.acc_sim_ns +. t.cfg.cpu_probe_ns;
+  Obs.Metrics.incr m_probes;
+  Obs.Metrics.add m_sim (int_of_float t.cfg.cpu_probe_ns)
 
 let charge_transfer t n =
-  t.acc_sim_ns <- t.acc_sim_ns +. (float_of_int n *. t.cfg.cpu_transfer_ns_per_byte)
+  t.acc_sim_ns <- t.acc_sim_ns +. (float_of_int n *. t.cfg.cpu_transfer_ns_per_byte);
+  Obs.Metrics.add m_bytes n;
+  Obs.Metrics.add m_sim (int_of_float (float_of_int n *. t.cfg.cpu_transfer_ns_per_byte))
 
-let drop_caches t = Hashtbl.reset t.cache
+let drop_caches t =
+  Hashtbl.reset t.cache;
+  Obs.Metrics.set_gauge g_cached 0
 
 type stats = { hits : int; misses : int; rows_examined : int; sim_ns : float }
 

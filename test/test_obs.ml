@@ -1,0 +1,168 @@
+(* Tests for the observability substrate (lib/obs): metrics registry
+   semantics, histogram percentile accuracy within the log-bucket error
+   bound, lock-free updates under Task_pool parallelism, and trace span
+   structure/rendering. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- Counters and gauges ---------------- *)
+
+let test_counter_basics () =
+  Obs.Metrics.reset_all ();
+  let c = Obs.Metrics.counter "test.counter_basics" in
+  check_int "starts at zero" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  check_int "incr + add" 42 (Obs.Metrics.counter_value c);
+  (* Registration is idempotent: the same name is the same counter. *)
+  let c' = Obs.Metrics.counter "test.counter_basics" in
+  Obs.Metrics.incr c';
+  check_int "same instrument under the name" 43 (Obs.Metrics.counter_value c);
+  check_bool "listed in the registry" true
+    (List.mem_assoc "test.counter_basics" (Obs.Metrics.counters ()));
+  let g = Obs.Metrics.gauge "test.gauge_basics" in
+  Obs.Metrics.set_gauge g 7;
+  Obs.Metrics.set_gauge g 5;
+  check_int "gauge last-write-wins" 5 (Obs.Metrics.gauge_value g);
+  Obs.Metrics.reset_all ();
+  check_int "reset_all zeroes counters" 0 (Obs.Metrics.counter_value c);
+  check_int "reset_all zeroes gauges" 0 (Obs.Metrics.gauge_value g)
+
+let test_concurrent_counters () =
+  (* Increments from pool workers must never be lost: the registry is
+     the one piece of shared mutable state the parallel ingestion
+     pipeline touches from every domain. *)
+  let c = Obs.Metrics.counter "test.concurrent" in
+  let h = Obs.Metrics.histogram "test.concurrent_hist" in
+  let before = Obs.Metrics.counter_value c in
+  let tasks = 64 and per_task = 1000 in
+  Stdx.Task_pool.with_pool ~domains:4 (fun pool ->
+      Stdx.Task_pool.parallel_iter pool tasks (fun _ ->
+          for i = 1 to per_task do
+            Obs.Metrics.incr c;
+            Obs.Metrics.observe h (float_of_int i)
+          done));
+  check_int "no lost counter increments" (tasks * per_task)
+    (Obs.Metrics.counter_value c - before);
+  check_int "no lost histogram samples" (tasks * per_task)
+    (Obs.Metrics.summarize h).count
+
+(* ---------------- Histograms ---------------- *)
+
+(* The log-scale buckets (4 per decade) bound percentile estimates to a
+   factor of 10^0.25 of the true value. *)
+let bucket_ratio = 10.0 ** 0.25
+
+let within_bucket_error ~expect actual =
+  actual >= expect /. bucket_ratio && actual <= expect *. bucket_ratio
+
+let test_histogram_percentiles () =
+  let h = Obs.Metrics.histogram "test.percentiles" in
+  (* 1..10_000: percentile p sits near p% of the range. *)
+  for i = 1 to 10_000 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  let s = Obs.Metrics.summarize h in
+  check_int "count" 10_000 s.count;
+  check_bool "p50 within log-bucket error" true (within_bucket_error ~expect:5_000.0 s.p50_ns);
+  check_bool "p95 within log-bucket error" true (within_bucket_error ~expect:9_500.0 s.p95_ns);
+  check_bool "p99 within log-bucket error" true (within_bucket_error ~expect:9_900.0 s.p99_ns);
+  check_bool "max is exact, not bucket-rounded" true (s.max_ns = 10_000.0);
+  check_bool "mean is exact" true (abs_float (s.mean_ns -. 5_000.5) < 0.5);
+  check_bool "percentiles monotone" true
+    (s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
+  check_bool "p100 capped by observed max" true (Obs.Metrics.percentile h 100.0 <= s.max_ns)
+
+let test_histogram_edges () =
+  let h = Obs.Metrics.histogram "test.hist_edges" in
+  let s0 = Obs.Metrics.summarize h in
+  check_int "empty count" 0 s0.count;
+  check_bool "empty summary all-zero" true
+    (s0.mean_ns = 0.0 && s0.p50_ns = 0.0 && s0.p99_ns = 0.0 && s0.max_ns = 0.0);
+  (* Negative / sub-ns / huge samples must not crash or escape range. *)
+  Obs.Metrics.observe h (-5.0);
+  Obs.Metrics.observe h 0.0;
+  Obs.Metrics.observe h 1e20;
+  let s = Obs.Metrics.summarize h in
+  check_int "all samples counted" 3 s.count;
+  check_bool "percentile finite" true (Float.is_finite (Obs.Metrics.percentile h 50.0));
+  let x = Obs.Metrics.time h (fun () -> 17) in
+  check_int "time returns the thunk's result" 17 x;
+  check_int "time recorded a sample" 4 (Obs.Metrics.summarize h).count
+
+(* ---------------- Tracing ---------------- *)
+
+let test_trace_spans () =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () ->
+      let r =
+        Obs.Trace.with_span "outer" (fun () ->
+            Obs.Trace.with_span ~attrs:[ ("k", "v") ] "inner" (fun () -> ());
+            Obs.Trace.event "point";
+            Obs.Trace.add ~name:"premeasured" ~start_ns:1.0 ~dur_ns:2.0 ();
+            "done")
+      in
+      check_bool "with_span returns thunk result" true (r = "done");
+      let spans = Obs.Trace.spans () in
+      check_int "four spans recorded" 4 (List.length spans);
+      let find name = List.find (fun s -> s.Obs.Trace.name = name) spans in
+      let outer = find "outer" and inner = find "inner" in
+      check_bool "outer is a root" true (outer.Obs.Trace.parent = None);
+      check_bool "inner nests under outer" true
+        (inner.Obs.Trace.parent = Some outer.Obs.Trace.id);
+      check_bool "event nests under outer" true
+        ((find "point").Obs.Trace.parent = Some outer.Obs.Trace.id);
+      check_bool "event has zero duration" true ((find "point").Obs.Trace.dur_ns = 0.0);
+      check_bool "premeasured span kept its duration" true
+        ((find "premeasured").Obs.Trace.dur_ns = 2.0);
+      check_bool "attrs preserved" true (inner.Obs.Trace.attrs = [ ("k", "v") ]);
+      (* A raising thunk still records its span. *)
+      check_bool "exception propagates" true
+        (try
+           Obs.Trace.with_span "boom" (fun () -> failwith "x")
+         with Failure _ -> true);
+      check_bool "raising span recorded" true
+        (List.exists (fun s -> s.Obs.Trace.name = "boom") (Obs.Trace.spans ()));
+      let tree = Obs.Trace.render_tree () in
+      check_bool "tree names every span" true
+        (contains tree "outer" && contains tree "inner" && contains tree "point");
+      check_bool "tree indents the child" true (contains tree "  inner");
+      let jsonl = Obs.Trace.render_jsonl () in
+      check_bool "jsonl one line per span" true
+        (List.length (String.split_on_char '\n' (String.trim jsonl)) = 5))
+
+let test_trace_disabled_is_noop () =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled false;
+  Obs.Trace.with_span "invisible" (fun () -> Obs.Trace.event "also invisible");
+  Obs.Trace.add ~name:"still invisible" ~start_ns:0.0 ~dur_ns:1.0 ();
+  check_int "nothing recorded when disabled" 0 (List.length (Obs.Trace.spans ()))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge basics" `Quick test_counter_basics;
+          Alcotest.test_case "concurrent updates" `Quick test_concurrent_counters;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "percentile accuracy" `Quick test_histogram_percentiles;
+          Alcotest.test_case "edge samples" `Quick test_histogram_edges;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span structure" `Quick test_trace_spans;
+          Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled_is_noop;
+        ] );
+    ]

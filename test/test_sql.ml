@@ -143,7 +143,7 @@ let people =
         Value.Int (Int64.of_int (20 + (i mod 40)));
       |])
 
-let make_proxy kind =
+let make_proxy_edb kind =
   let db = Database.create () in
   let dist_of =
     Wre.Dist_est.of_rows ~schema:plain_schema ~columns:[ "name"; "city" ] (List.to_seq people)
@@ -154,7 +154,15 @@ let make_proxy kind =
       ~encrypted_columns:[ "name"; "city" ] ~kind ~master ~dist_of ~seed:5L ()
   in
   List.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) people;
-  Wre.Proxy.create edb
+  (Wre.Proxy.create edb, edb)
+
+let make_proxy kind = fst (make_proxy_edb kind)
+
+let counter_delta name f =
+  let c = Obs.Metrics.counter name in
+  let before = Obs.Metrics.counter_value c in
+  let x = f () in
+  (x, Obs.Metrics.counter_value c - before)
 
 let test_proxy_select_encrypted_eq () =
   List.iter
@@ -237,18 +245,58 @@ let test_proxy_unknown_plaintext_insert () =
     (Result.is_error (Wre.Proxy.execute proxy "INSERT INTO people VALUES (101, 'zoe', 'pdx', 30)"))
 
 let test_proxy_or_across_encrypted_columns () =
-  (* A disjunction the server cannot evaluate over tags: the proxy must
-     fall back to a full fetch + client filter, and still be exact. *)
-  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
-  let r =
-    ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE name = 'ann' OR city = 'sea'")
-  in
+  (* Both legs rewrite to tag IN-lists, so the server evaluates the OR
+     itself as a union of index lookups — it must NOT ship the whole
+     table (the pre-fix silent degradation). *)
+  let proxy, edb = make_proxy_edb (Wre.Scheme.Poisson 100.0) in
+  let sql = "SELECT * FROM people WHERE name = 'ann' OR city = 'sea'" in
+  let r, full_scans = counter_delta "proxy.full_scan_total" (fun () -> ok (Wre.Proxy.execute proxy sql)) in
   let expected =
     List.length
       (List.filter (fun p -> p.(1) = Value.Text "ann" || p.(2) = Value.Text "sea") people)
   in
   check_int "disjunction exact" expected (List.length r.rows);
-  check_int "server shipped the whole table" 60 r.server_rows
+  check_int "server shipped only the union" expected r.server_rows;
+  check_int "not flagged as a full scan" 0 full_scans;
+  check_bool "executor ran an index union" true
+    (match r.exec with
+    | Some e -> e.Executor.plan = Executor.Or_index_scan [ "name_tag"; "city_tag" ]
+    | None -> false);
+  (* The rewrite shape itself: OR of tag IN-lists server-side, the
+     original plaintext OR kept as the residual. *)
+  match Sql.parse sql with
+  | Ok (Sql.Select s) ->
+      let rw = ok (Wre.Proxy.rewrite_select proxy s) in
+      check_bool "server OR of tag lists" true
+        (match rw.server_predicate with
+        | Predicate.Or [ Predicate.In ("name_tag", _ :: _); Predicate.In ("city_tag", _ :: _) ] ->
+            true
+        | _ -> false);
+      check_bool "residual keeps the plaintext OR" true
+        (match rw.residual with Predicate.Or [ _; _ ] -> true | _ -> false);
+      check_bool "explain plans the union" true
+        (Executor.explain (Wre.Encrypted_db.table edb) rw.server_predicate
+        = Executor.Or_index_scan [ "name_tag"; "city_tag" ])
+  | _ -> Alcotest.fail "parse failed"
+
+let test_proxy_or_fallback_full_scan () =
+  (* One leg (age) is not server-checkable: the whole OR degrades to a
+     full scan, which must stay exact and be surfaced in metrics. *)
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r, full_scans =
+    counter_delta "proxy.full_scan_total" (fun () ->
+        ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE name = 'ann' OR age >= 50"))
+  in
+  let expected =
+    List.length
+      (List.filter
+         (fun p ->
+           p.(1) = Value.Text "ann" || match p.(3) with Value.Int a -> a >= 50L | _ -> false)
+         people)
+  in
+  check_int "degraded OR exact" expected (List.length r.rows);
+  check_int "server shipped the whole table" 60 r.server_rows;
+  check_int "full scan surfaced" 1 full_scans
 
 let test_proxy_not_on_encrypted_column () =
   let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
@@ -294,6 +342,41 @@ let test_proxy_update_outside_distribution () =
   let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
   check_bool "rejected without fallback" true
     (Result.is_error (Wre.Proxy.execute proxy "UPDATE people SET name = 'newname' WHERE id = 1"))
+
+let test_proxy_update_atomic () =
+  (* A multi-row UPDATE whose replacement value cannot be encrypted
+     must leave the table byte-for-byte unchanged — the pre-fix
+     delete-then-insert loop tombstoned rows before discovering the
+     replacement was outside the distribution, losing data. *)
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  check_bool "batch update rejected" true
+    (Result.is_error (Wre.Proxy.execute proxy "UPDATE people SET name = 'zoe' WHERE name = 'ann'"));
+  let all = ok (Wre.Proxy.execute proxy "SELECT * FROM people") in
+  check_int "no row lost" 60 (List.length all.rows);
+  let anns = ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE name = 'ann'") in
+  check_int "all anns survive, still searchable" 20 (List.length anns.rows)
+
+let test_proxy_limit_decrypts_lazily () =
+  (* LIMIT n must stop decrypting after the n-th surviving row instead
+     of decrypting the server's whole answer (20 anns here). *)
+  let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
+  let r, decrypted =
+    counter_delta "edb.rows_decrypted_total" (fun () ->
+        ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE name = 'ann' LIMIT 5"))
+  in
+  check_int "limited rows" 5 (List.length r.rows);
+  check_bool "server answered with all matches" true (r.server_rows >= 20);
+  check_int "decrypted only what LIMIT needed" 5 decrypted;
+  (* Bucketized false positives still cost decryptions, but never more
+     than the server's answer and never the rest after the n-th hit. *)
+  let proxy = make_proxy (Wre.Scheme.Bucketized 10.0) in
+  let r, decrypted =
+    counter_delta "edb.rows_decrypted_total" (fun () ->
+        ok (Wre.Proxy.execute proxy "SELECT * FROM people WHERE name = 'ann' LIMIT 7"))
+  in
+  check_int "limited rows post-filter" 7 (List.length r.rows);
+  check_bool "decrypted at most the server answer" true (decrypted <= r.server_rows);
+  check_bool "decrypted at least the survivors" true (decrypted >= 7)
 
 let test_proxy_in_list_on_encrypted_column () =
   let proxy = make_proxy (Wre.Scheme.Poisson 100.0) in
@@ -379,6 +462,7 @@ let () =
           Alcotest.test_case "unknown plaintext insert" `Quick test_proxy_unknown_plaintext_insert;
           Alcotest.test_case "or across encrypted columns" `Quick
             test_proxy_or_across_encrypted_columns;
+          Alcotest.test_case "or fallback full scan" `Quick test_proxy_or_fallback_full_scan;
           Alcotest.test_case "not on encrypted column" `Quick test_proxy_not_on_encrypted_column;
           Alcotest.test_case "limit after fp filter" `Quick test_proxy_limit_after_fp_filter;
           Alcotest.test_case "bucketized fp filtered" `Quick test_proxy_bucketized_fp_filtered;
@@ -386,6 +470,8 @@ let () =
           Alcotest.test_case "update re-encrypts" `Quick test_proxy_update_reencrypts;
           Alcotest.test_case "update outside distribution" `Quick
             test_proxy_update_outside_distribution;
+          Alcotest.test_case "update atomic on failure" `Quick test_proxy_update_atomic;
+          Alcotest.test_case "limit decrypts lazily" `Quick test_proxy_limit_decrypts_lazily;
           Alcotest.test_case "IN-list on encrypted column" `Quick
             test_proxy_in_list_on_encrypted_column;
         ] );

@@ -357,6 +357,48 @@ let test_executor_select_star_touches_heap () =
   check_bool "SELECT * touches more pages than SELECT ID" true
     (star_stats.misses > ids_stats.misses)
 
+let test_executor_or_union () =
+  let _db, t = build_db () in
+  (* All legs indexable -> a deduplicated union of index lookups. *)
+  let p =
+    Predicate.Or
+      [
+        Predicate.Eq ("name", Value.Text "p1");
+        Predicate.Range ("id", Some (Value.Int 0L), Some (Value.Int 99L));
+      ]
+  in
+  check_bool "all-indexable OR -> index union" true
+    (Executor.explain t p = Executor.Or_index_scan [ "name"; "id" ]);
+  let r = Executor.run t ~projection:Executor.Row_ids p in
+  (* 100 p1-rows + 100 low ids, overlapping on the 10 low p1-rows. *)
+  check_int "union deduplicated" 190 (Array.length r.row_ids);
+  let sorted = Array.to_list r.row_ids in
+  check_bool "ids sorted and unique" true
+    (List.sort_uniq compare sorted = sorted);
+  let seq =
+    Executor.run t ~projection:Executor.Row_ids (Predicate.And [ p; Predicate.True ])
+  in
+  check_bool "seq scan fell back" true (seq.plan = Executor.Seq_scan);
+  check_bool "union agrees with seq scan" true (sorted = Array.to_list seq.row_ids);
+  (* Nested ORs flatten into one union. *)
+  let nested =
+    Predicate.Or
+      [
+        Predicate.Eq ("name", Value.Text "p1");
+        Predicate.Or
+          [ Predicate.Eq ("name", Value.Text "p2"); Predicate.Eq ("name", Value.Text "p3") ];
+      ]
+  in
+  check_bool "nested OR flattens" true
+    (Executor.explain t nested = Executor.Or_index_scan [ "name"; "name"; "name" ]);
+  check_int "nested union" 300
+    (Array.length (Executor.run t ~projection:Executor.Row_ids nested).row_ids);
+  (* One unservable leg poisons the whole disjunction. *)
+  check_bool "non-indexable leg -> seq scan" true
+    (Executor.explain t
+       (Predicate.Or [ Predicate.Eq ("name", Value.Text "p1"); Predicate.Eq ("score", Value.Real 3.0) ])
+    = Executor.Seq_scan)
+
 let test_executor_or_and_not () =
   let _db, t = build_db () in
   let r =
@@ -717,6 +759,7 @@ let () =
           Alcotest.test_case "correctness" `Quick test_executor_correctness;
           Alcotest.test_case "residual filter" `Quick test_executor_residual_filter;
           Alcotest.test_case "select * heap cost" `Quick test_executor_select_star_touches_heap;
+          Alcotest.test_case "or union" `Quick test_executor_or_union;
           Alcotest.test_case "or/not" `Quick test_executor_or_and_not;
         ] );
       ("database", [ Alcotest.test_case "catalog" `Quick test_database_catalog ]);

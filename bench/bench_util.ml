@@ -142,8 +142,9 @@ let json_histogram name =
       ("max_ns", Printf.sprintf "%.1f" s.Obs.Metrics.max_ns);
     ]
 
-let write_bench_json ~path json =
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (json ^ "\n"))
+(* Atomic publish: a crash (or Ctrl-C) mid-run never leaves a torn
+   BENCH_*.json for the figure scripts to trip over. *)
+let write_bench_json ~path json = Store.Io.atomic_write_text ~path (json ^ "\n")
 
 let schemes_for_latency =
   [

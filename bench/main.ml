@@ -7,12 +7,12 @@
 
    Experiments: table1 creation fig2 fig4..fig7 (figs) fig8 fig9 (fp)
                 aliasing attacks indcuda lambda_sweep updates
-                index_ablation correlation micro ingest all *)
+                index_ablation correlation micro ingest recovery all *)
 
 let usage () =
   print_endline
     "usage: main.exe [--rows N] [--queries N] [--trials N] \
-     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|all]...";
+     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|all]...";
   exit 1
 
 let () =
@@ -54,6 +54,7 @@ let () =
     | "correlation" -> Exp_correlation.run ~rows:attack_rows ()
     | "micro" -> Exp_micro.run ()
     | "ingest" -> Exp_ingest.run ~rows:!rows ()
+    | "recovery" -> Exp_recovery.run ~rows:!rows ()
     | "all" ->
         Exp_table1.run ~rows:!rows ();
         Exp_fig2.run ();
@@ -67,7 +68,8 @@ let () =
         Exp_index_ablation.run ~rows:!rows ~n_queries:!queries ();
         Exp_correlation.run ~rows:attack_rows ();
         Exp_micro.run ();
-        Exp_ingest.run ~rows:!rows ()
+        Exp_ingest.run ~rows:!rows ();
+        Exp_recovery.run ~rows:!rows ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()

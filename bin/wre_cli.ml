@@ -6,7 +6,9 @@
      lambda-for   compute the Poisson rate for a security target
      demo         end-to-end encrypt/search/decrypt on sample data
      stats        run a query workload and dump the metrics registry
-     attack       run the frequency-analysis attack against a scheme *)
+     attack       run the frequency-analysis attack against a scheme
+     init         create a durable store directory from a CSV
+     open         recover a durable store; optionally run SQL on it *)
 
 open Cmdliner
 
@@ -86,22 +88,56 @@ let lambda_for_cmd =
 
 (* ---------------- demo ---------------- *)
 
-let demo seed kind rows =
-  let gen = Sparta.Generator.create ~seed in
-  let data = Array.of_seq (Sparta.Generator.rows gen ~n:rows) in
+(* Build the demo/stats encrypted table: in memory by default, or
+   backed by a durable store directory when [--dir] is given (reopening
+   an existing store skips the load entirely — the point of PR 4). *)
+let sparta_edb ~dir ~seed ~kind data =
   let dist_of =
     Wre.Dist_est.of_rows ~schema:Sparta.Generator.schema
       ~columns:Sparta.Generator.encrypted_columns (Array.to_seq data)
   in
-  let db = Sqldb.Database.create () in
-  let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
-  let edb =
-    Wre.Encrypted_db.create ~db ~name:"main" ~plain_schema:Sparta.Generator.schema
-      ~key_column:"id" ~encrypted_columns:Sparta.Generator.encrypted_columns ~kind ~master
-      ~dist_of ~seed ()
-  in
-  Array.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) data;
-  Printf.printf "loaded %d census-like records under %s\n" rows (Wre.Scheme.to_string kind);
+  match dir with
+  | None ->
+      let db = Sqldb.Database.create () in
+      let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
+      let edb =
+        Wre.Encrypted_db.create ~db ~name:"main" ~plain_schema:Sparta.Generator.schema
+          ~key_column:"id" ~encrypted_columns:Sparta.Generator.encrypted_columns ~kind ~master
+          ~dist_of ~seed ()
+      in
+      ignore (Wre.Encrypted_db.insert_batch edb data);
+      Printf.printf "loaded %d census-like records under %s\n" (Array.length data)
+        (Wre.Scheme.to_string kind);
+      (None, edb)
+  | Some dir -> (
+      let store = Store.Engine.open_dir ~dir () in
+      match Store.Engine.encrypted store "main" with
+      | Some edb ->
+          let r = Store.Engine.recovery store in
+          Printf.printf
+            "reopened %s: %d live rows (snapshot %s, %d WAL records replayed in %.2f ms)\n" dir
+            (Sqldb.Table.live_count (Wre.Encrypted_db.table edb))
+            (if r.snapshot_loaded then "loaded" else "absent")
+            r.replayed (r.duration_ns /. 1e6);
+          (Some store, edb)
+      | None ->
+          let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
+          let edb =
+            Store.Engine.create_encrypted store ~name:"main"
+              ~plain_schema:Sparta.Generator.schema ~key_column:"id"
+              ~encrypted_columns:Sparta.Generator.encrypted_columns ~kind ~master ~dist_of ~seed
+              ()
+          in
+          ignore (Wre.Encrypted_db.insert_batch edb data);
+          Store.Engine.checkpoint store;
+          Printf.printf "loaded %d census-like records under %s into %s (checkpointed)\n"
+            (Array.length data) (Wre.Scheme.to_string kind) dir;
+          (Some store, edb))
+
+let demo seed kind rows dir =
+  let gen = Sparta.Generator.create ~seed in
+  let data = Array.of_seq (Sparta.Generator.rows gen ~n:rows) in
+  let store, edb = sparta_edb ~dir ~seed ~kind data in
   let target = Sparta.Generator.column_string data.(0) ~column:"lname" in
   Printf.printf "searching lname = %s:\n  %s\n" target
     (Format.asprintf "%a" Sqldb.Predicate.pp
@@ -117,14 +153,21 @@ let demo seed kind rows =
           (Sparta.Generator.column_string row ~column:"lname")
           (Sparta.Generator.column_string row ~column:"city")
           (Sparta.Generator.column_string row ~column:"state"))
-    results
+    results;
+  Option.iter Store.Engine.close store
+
+let opt_dir_arg =
+  let doc =
+    "Persist to a durable store directory (created on first run, recovered on later runs)."
+  in
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
 
 let demo_cmd =
   let rows =
     Arg.(value & opt int 5000 & info [ "rows" ] ~docv:"N" ~doc:"Number of records to generate.")
   in
   let doc = "End-to-end encrypt, search and decrypt on generated census data." in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(const demo $ seed_arg $ scheme_arg $ rows)
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const demo $ seed_arg $ scheme_arg $ rows $ opt_dir_arg)
 
 (* ---------------- stats ---------------- *)
 
@@ -144,22 +187,11 @@ let sql_quote v =
   Buffer.add_char buf '\'';
   Buffer.contents buf
 
-let stats seed kind rows queries tracing =
+let stats seed kind rows queries tracing dir =
   Obs.Trace.set_enabled tracing;
   let gen = Sparta.Generator.create ~seed in
   let data = Array.of_seq (Sparta.Generator.rows gen ~n:rows) in
-  let dist_of =
-    Wre.Dist_est.of_rows ~schema:Sparta.Generator.schema
-      ~columns:Sparta.Generator.encrypted_columns (Array.to_seq data)
-  in
-  let db = Sqldb.Database.create () in
-  let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
-  let edb =
-    Wre.Encrypted_db.create ~db ~name:"main" ~plain_schema:Sparta.Generator.schema
-      ~key_column:"id" ~encrypted_columns:Sparta.Generator.encrypted_columns ~kind ~master
-      ~dist_of ~seed ()
-  in
-  Array.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) data;
+  let store, edb = sparta_edb ~dir ~seed ~kind data in
   (* A representative proxy workload so every layer's instruments move:
      point lookups, a two-column AND, a server-side OR union, a lazy
      LIMIT, and one degraded full scan. *)
@@ -185,6 +217,7 @@ let stats seed kind rows queries tracing =
   done;
   Printf.printf "workload: %d rows under %s, %d query rounds\n\n" rows
     (Wre.Scheme.to_string kind) queries;
+  Option.iter Store.Engine.close store;
   print_string (Obs.Metrics.render ());
   if tracing then begin
     prerr_string (Obs.Trace.render_tree ());
@@ -201,7 +234,8 @@ let stats_cmd =
       & info [ "queries" ] ~docv:"N" ~doc:"Query-workload rounds before dumping the registry.")
   in
   let doc = "Run a query workload and dump the metrics registry (optionally a trace)." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ seed_arg $ scheme_arg $ rows $ queries $ trace_arg)
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const stats $ seed_arg $ scheme_arg $ rows $ queries $ trace_arg $ opt_dir_arg)
 
 (* ---------------- attack ---------------- *)
 
@@ -297,7 +331,7 @@ let write_sidecar ~path ~kind ~master ~schema ~key_column ~encrypted ~seed ~dist
         (fun (v, c) -> Buffer.add_string buf (Sqldb.Csv.render [ [ v; string_of_int c ] ]))
         (Dist.Empirical.to_counts dist))
     dists;
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+  Store.Io.atomic_write_text ~path (Buffer.contents buf)
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
 
@@ -390,9 +424,8 @@ let encrypt_csv input output sidecar columns_spec key_column encrypted_spec seed
     let enc_rows =
       List.init (Sqldb.Table.row_count table) (fun i -> Sqldb.Table.peek_row table i)
     in
-    Out_channel.with_open_text output (fun oc ->
-        Out_channel.output_string oc
-          (Sqldb.Csv.render (Sqldb.Csv.header_of enc_schema :: Sqldb.Csv.untyped_rows enc_rows)));
+    Store.Io.atomic_write_text ~path:output
+      (Sqldb.Csv.render (Sqldb.Csv.header_of enc_schema :: Sqldb.Csv.untyped_rows enc_rows));
     write_sidecar ~path:sidecar ~kind ~master ~schema ~key_column ~encrypted ~seed
       ~dists:(List.map (fun c -> (c, dist_of c)) encrypted);
     Printf.printf "encrypted %d rows -> %s (key material in %s)\n" (List.length rows) output
@@ -490,6 +523,150 @@ let query_csv_cmd =
   Cmd.v (Cmd.info "query-csv" ~doc)
     Term.(ret (const query_csv $ input $ sidecar $ sql $ trace_arg))
 
+(* ---------------- init / open (durable store) ---------------- *)
+
+let store_exists dir =
+  Sys.file_exists (Filename.concat dir "snapshot.bin")
+  || Sys.file_exists (Filename.concat dir "wal.bin")
+
+let init_store dir input columns_spec key_column encrypted_spec seed kind =
+  let ( let* ) = Result.bind in
+  let result =
+    if store_exists dir then
+      Error (Printf.sprintf "%s already holds a store; use 'wre open --dir %s'" dir dir)
+    else
+      let* cols = parse_columns columns_spec in
+      let schema = Sqldb.Schema.create cols in
+      let encrypted = String.split_on_char ',' encrypted_spec in
+      let* cells = Sqldb.Csv.parse (read_file input) in
+      let* rows = Sqldb.Csv.typed_rows ~schema ~header:true cells in
+      let dist_of = Wre.Dist_est.of_rows ~schema ~columns:encrypted (List.to_seq rows) in
+      let master = Crypto.Keys.generate (Stdx.Prng.create seed) in
+      let store = Store.Engine.open_dir ~dir () in
+      let edb =
+        Store.Engine.create_encrypted store ~fallback:`Min_frequency ~name:"t"
+          ~plain_schema:schema ~key_column ~encrypted_columns:encrypted ~kind ~master ~dist_of
+          ~seed ()
+      in
+      ignore (Wre.Encrypted_db.insert_batch edb (Array.of_list rows));
+      Store.Engine.checkpoint store;
+      Store.Engine.close store;
+      Printf.printf "initialized %s: table \"t\", %d rows under %s (checkpointed)\n" dir
+        (List.length rows) (Wre.Scheme.to_string kind);
+      Ok ()
+  in
+  match result with Ok () -> `Ok () | Error e -> `Error (false, e)
+
+(* Recover a store and print what recovery did; the optional flags make
+   this the one binary the CI crash-recovery smoke needs: [--sql] runs a
+   statement through the rewriting proxy, [--kill9] flushes the WAL and
+   then dies without closing, so the next open exercises WAL replay. *)
+let open_store dir sql do_checkpoint do_vacuum kill9 =
+  let ( let* ) = Result.bind in
+  let result =
+    if not (store_exists dir) then
+      Error (Printf.sprintf "%s does not hold a store; use 'wre init --dir %s'" dir dir)
+    else begin
+      let store = Store.Engine.open_dir ~dir () in
+      let r = Store.Engine.recovery store in
+      Printf.printf "opened %s: snapshot %s, %d WAL records replayed in %.2f ms\n" dir
+        (if r.Store.Engine.snapshot_loaded then "loaded" else "absent")
+        r.Store.Engine.replayed
+        (r.Store.Engine.duration_ns /. 1e6);
+      List.iter
+        (fun t ->
+          Printf.printf "  table %s: %d live rows, %d heap slots\n" (Sqldb.Table.name t)
+            (Sqldb.Table.live_count t) (Sqldb.Table.row_count t))
+        (Sqldb.Database.tables (Store.Engine.db store));
+      let* () =
+        match sql with
+        | None -> Ok ()
+        | Some q -> (
+            match Store.Engine.encrypted_names store with
+            | [] -> Error "store has no encrypted tables to query"
+            | name :: _ ->
+                let edb = Option.get (Store.Engine.encrypted store name) in
+                let proxy = Wre.Proxy.create edb in
+                let* res = Wre.Proxy.execute proxy q in
+                print_string (Sqldb.Csv.render (res.columns :: Sqldb.Csv.untyped_rows res.rows));
+                Printf.eprintf "(%d rows, %d affected)\n" (List.length res.rows) res.affected;
+                Ok ())
+      in
+      if do_vacuum then
+        List.iter Sqldb.Table.vacuum (Sqldb.Database.tables (Store.Engine.db store));
+      if do_checkpoint then Store.Engine.checkpoint store;
+      if kill9 then begin
+        (* Durability point: everything acked is on disk, but no
+           checkpoint and no clean shutdown — recovery must replay. *)
+        Store.Engine.flush store;
+        Unix.kill (Unix.getpid ()) Sys.sigkill
+      end;
+      Store.Engine.close store;
+      Ok ()
+    end
+  in
+  match result with Ok () -> `Ok () | Error e -> `Error (false, e)
+
+let req_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Durable store directory.")
+
+let init_cmd =
+  let input =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "input" ] ~docv:"FILE" ~doc:"Plaintext CSV with header row.")
+  in
+  let columns =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "columns" ] ~docv:"SPEC" ~doc:"Schema, e.g. id:int,name:text,notes:text?.")
+  in
+  let key_column =
+    Arg.(
+      value & opt string "id"
+      & info [ "key-column" ] ~docv:"COL" ~doc:"Plaintext integer key column.")
+  in
+  let encrypted =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "encrypt" ] ~docv:"COLS" ~doc:"Comma-separated searchable text columns.")
+  in
+  let doc = "Create a durable encrypted store directory from a plaintext CSV." in
+  Cmd.v (Cmd.info "init" ~doc)
+    Term.(
+      ret
+        (const init_store $ req_dir_arg $ input $ columns $ key_column $ encrypted $ seed_arg
+       $ scheme_arg))
+
+let open_cmd =
+  let sql =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"SQL" ~doc:"Statement to run through the rewriting proxy.")
+  in
+  let checkpoint =
+    Arg.(value & flag & info [ "checkpoint" ] ~doc:"Write a snapshot and truncate the WAL.")
+  in
+  let vacuum =
+    Arg.(value & flag & info [ "vacuum" ] ~doc:"Reclaim dead rows in every table first.")
+  in
+  let kill9 =
+    Arg.(
+      value & flag
+      & info [ "kill9" ]
+          ~doc:"Flush the WAL, then SIGKILL this process (crash-recovery testing).")
+  in
+  let doc = "Recover a durable store, report what recovery did, optionally run SQL." in
+  Cmd.v (Cmd.info "open" ~doc)
+    Term.(ret (const open_store $ req_dir_arg $ sql $ checkpoint $ vacuum $ kill9))
+
 let () =
   let doc = "weakly randomized encryption (DSN 2019) toolkit" in
   let info = Cmd.info "wre" ~version:"1.0.0" ~doc in
@@ -505,4 +682,6 @@ let () =
             attack_cmd;
             encrypt_csv_cmd;
             query_csv_cmd;
+            init_cmd;
+            open_cmd;
           ]))

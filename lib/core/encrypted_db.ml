@@ -33,38 +33,37 @@ type t = {
     [ `Key of int | `Data of int | `Searchable of int * int | `Ranged of int * int ] array;
 }
 
-let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
-    ?(range_columns = []) ?range_training ~db ~name ~plain_schema ~key_column ~encrypted_columns
-    ~kind ~master ~dist_of ~seed () =
+(* Column validation + encrypted-schema layout, shared by {!create}
+   (fresh table) and {!attach} (table restored from a checkpoint).
+   [ctx] only flavors error messages. *)
+let enc_layout ~ctx ~plain_schema ~key_column ~encrypted_columns ~range_names =
   let key_pos =
     match Schema.column_index_opt plain_schema key_column with
     | Some i -> i
-    | None -> invalid_arg (Printf.sprintf "Encrypted_db.create: unknown key column %S" key_column)
+    | None -> invalid_arg (Printf.sprintf "%s: unknown key column %S" ctx key_column)
   in
   (match (Schema.columns plain_schema).(key_pos).ty with
   | Value.TInt -> ()
-  | _ -> invalid_arg "Encrypted_db.create: key column must be INT");
+  | _ -> invalid_arg (ctx ^ ": key column must be INT"));
   let is_searchable c = List.mem c encrypted_columns in
   List.iter
     (fun c ->
       match Schema.column_index_opt plain_schema c with
-      | None -> invalid_arg (Printf.sprintf "Encrypted_db.create: unknown column %S" c)
+      | None -> invalid_arg (Printf.sprintf "%s: unknown column %S" ctx c)
       | Some i ->
           if (Schema.columns plain_schema).(i).ty <> Value.TText then
-            invalid_arg (Printf.sprintf "Encrypted_db.create: column %S must be TEXT" c))
+            invalid_arg (Printf.sprintf "%s: column %S must be TEXT" ctx c))
     encrypted_columns;
-  let range_of = List.to_seq range_columns |> Hashtbl.of_seq in
   List.iter
-    (fun (c, buckets) ->
-      if buckets < 1 then invalid_arg "Encrypted_db.create: range buckets must be positive";
+    (fun c ->
       match Schema.column_index_opt plain_schema c with
-      | None -> invalid_arg (Printf.sprintf "Encrypted_db.create: unknown range column %S" c)
+      | None -> invalid_arg (Printf.sprintf "%s: unknown range column %S" ctx c)
       | Some i ->
           if (Schema.columns plain_schema).(i).ty <> Value.TInt then
-            invalid_arg (Printf.sprintf "Encrypted_db.create: range column %S must be INT" c);
+            invalid_arg (Printf.sprintf "%s: range column %S must be INT" ctx c);
           if is_searchable c || c = key_column then
-            invalid_arg (Printf.sprintf "Encrypted_db.create: column %S cannot be both" c))
-    range_columns;
+            invalid_arg (Printf.sprintf "%s: column %S cannot be both" ctx c))
+    range_names;
   (* Encrypted schema: key passthrough; every other plain column gets a
      _data blob; searchable columns additionally get a _tag int;
      range-indexed INT columns get a _rtag int (bucket tag). *)
@@ -88,7 +87,7 @@ let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
         in
         mapping.(i) <- `Searchable (tag_pos, data_pos)
       end
-      else if Hashtbl.mem range_of col.name then begin
+      else if List.mem col.name range_names then begin
         let rtag_pos =
           add { Schema.name = col.name ^ "_rtag"; ty = Value.TInt; nullable = false }
         in
@@ -101,7 +100,37 @@ let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
         mapping.(i) <-
           `Data (add { Schema.name = data_column col.name; ty = Value.TBlob; nullable = false }))
     plain_cols;
-  let enc_schema = Schema.create (List.rev !enc_cols) in
+  (Schema.create (List.rev !enc_cols), mapping)
+
+let build_encryptors ~fallback ?tag_algo ~master ~kind ~dist_of encrypted_columns =
+  let encryptors = Hashtbl.create (List.length encrypted_columns) in
+  List.iter
+    (fun c ->
+      Hashtbl.replace encryptors c
+        (Column_enc.create ~fallback ?tag_algo ~master ~column:c ~kind ~dist:(dist_of c) ()))
+    encrypted_columns;
+  encryptors
+
+let build_data_keys ~plain_schema ~key_column ~encrypted_columns ~master =
+  let data_keys = Hashtbl.create 16 in
+  Array.iter
+    (fun (col : Schema.column) ->
+      if col.name <> key_column && not (List.mem col.name encrypted_columns) then
+        Hashtbl.replace data_keys col.name (Crypto.Keys.data_key master ~column:col.name))
+    (Schema.columns plain_schema);
+  data_keys
+
+let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
+    ?(range_columns = []) ?range_training ~db ~name ~plain_schema ~key_column ~encrypted_columns
+    ~kind ~master ~dist_of ~seed () =
+  List.iter
+    (fun (_, buckets) ->
+      if buckets < 1 then invalid_arg "Encrypted_db.create: range buckets must be positive")
+    range_columns;
+  let enc_schema, mapping =
+    enc_layout ~ctx:"Encrypted_db.create" ~plain_schema ~key_column ~encrypted_columns
+      ~range_names:(List.map fst range_columns)
+  in
   let table = Database.create_table db ~name ~schema:enc_schema in
   ignore (Table.create_index table ~column:key_column);
   List.iter
@@ -110,18 +139,6 @@ let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
   List.iter
     (fun (c, _) -> ignore (Table.create_index table ~column:(c ^ "_rtag")))
     range_columns;
-  let encryptors = Hashtbl.create (List.length encrypted_columns) in
-  List.iter
-    (fun c ->
-      Hashtbl.replace encryptors c
-        (Column_enc.create ~fallback ?tag_algo ~master ~column:c ~kind ~dist:(dist_of c) ()))
-    encrypted_columns;
-  let data_keys = Hashtbl.create 16 in
-  Array.iter
-    (fun (col : Schema.column) ->
-      if col.name <> key_column && not (is_searchable col.name) then
-        Hashtbl.replace data_keys col.name (Crypto.Keys.data_key master ~column:col.name))
-    plain_cols;
   let range_indexes = Hashtbl.create (List.length range_columns) in
   List.iter
     (fun (c, buckets) ->
@@ -139,13 +156,44 @@ let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
     key_column;
     kind;
     encrypted_columns;
-    encryptors;
-    data_keys;
+    encryptors = build_encryptors ~fallback ?tag_algo ~master ~kind ~dist_of encrypted_columns;
+    data_keys = build_data_keys ~plain_schema ~key_column ~encrypted_columns ~master;
     g = Stdx.Prng.create seed;
     range_indexes;
     enc_schema;
     plain_to_enc = mapping;
   }
+
+let attach ?(fallback = `Reject) ?tag_algo ?(range_boundaries = []) ~table ~plain_schema
+    ~key_column ~encrypted_columns ~kind ~master ~dist_of ~prng () =
+  let enc_schema, mapping =
+    enc_layout ~ctx:"Encrypted_db.attach" ~plain_schema ~key_column ~encrypted_columns
+      ~range_names:(List.map fst range_boundaries)
+  in
+  if Schema.columns (Table.schema table) <> Schema.columns enc_schema then
+    invalid_arg
+      (Printf.sprintf "Encrypted_db.attach: table %S does not match the derived encrypted schema"
+         (Table.name table));
+  let range_indexes = Hashtbl.create (List.length range_boundaries) in
+  List.iter
+    (fun (c, boundaries) ->
+      Hashtbl.replace range_indexes c (Range_index.restore ~master ~column:c ~boundaries))
+    range_boundaries;
+  {
+    table;
+    plain_schema;
+    key_column;
+    kind;
+    encrypted_columns;
+    encryptors = build_encryptors ~fallback ?tag_algo ~master ~kind ~dist_of encrypted_columns;
+    data_keys = build_data_keys ~plain_schema ~key_column ~encrypted_columns ~master;
+    g = prng;
+    range_indexes;
+    enc_schema;
+    plain_to_enc = mapping;
+  }
+
+let prng t = t.g
 
 let table t = t.table
 let kind t = t.kind

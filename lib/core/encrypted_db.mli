@@ -47,6 +47,34 @@ val create :
     then supply each such column's plaintext values for the equi-depth
     histogram (profiled at initialization like [dist_of]). *)
 
+val attach :
+  ?fallback:Column_enc.fallback ->
+  ?tag_algo:Crypto.Prf.algo ->
+  ?range_boundaries:(string * int64 array) list ->
+  table:Sqldb.Table.t ->
+  plain_schema:Sqldb.Schema.t ->
+  key_column:string ->
+  encrypted_columns:string list ->
+  kind:Scheme.kind ->
+  master:Crypto.Keys.master ->
+  dist_of:(string -> Dist.Empirical.t) ->
+  prng:Stdx.Prng.t ->
+  unit ->
+  t
+(** Re-bind an {e existing} encrypted table — restored from a durable
+    checkpoint — to fresh client-side state: encryptors and data keys
+    are re-derived from [master], range indexes are rebuilt from their
+    checkpointed [range_boundaries] (no plaintext training needed), and
+    the weak-randomness stream continues from [prng] (a restored
+    {!Stdx.Prng} state), so subsequent inserts produce tags and
+    ciphertexts byte-identical to a process that never stopped. The
+    table's schema must match the one [create] would derive; raises
+    [Invalid_argument] otherwise. *)
+
+val prng : t -> Stdx.Prng.t
+(** The database's weak-randomness generator — what a checkpoint
+    exports so {!attach} can resume the exact stream. *)
+
 val table : t -> Sqldb.Table.t
 val kind : t -> Scheme.kind
 val encrypted_columns : t -> string list

@@ -25,6 +25,9 @@ let create ~master ~column ~buckets ~training =
     prf = Crypto.Keys.prf_key master ~column:(column ^ "/range");
   }
 
+let restore ~master ~column ~boundaries =
+  { boundaries = Array.copy boundaries; prf = Crypto.Keys.prf_key master ~column:(column ^ "/range") }
+
 let bucket_count t = Array.length t.boundaries + 1
 let boundaries t = Array.copy t.boundaries
 

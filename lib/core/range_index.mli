@@ -26,6 +26,11 @@ val create :
     plaintext column at initialization). [buckets ≥ 1]; fewer distinct
     training values than buckets degrades gracefully. *)
 
+val restore : master:Crypto.Keys.master -> column:string -> boundaries:int64 array -> t
+(** Rebuild from checkpointed {!boundaries} (already deduplicated) and
+    the same master key — bypasses histogram training, so a reopened
+    store tags values identically without the plaintext profile. *)
+
 val bucket_count : t -> int
 (** Actual buckets after boundary deduplication. *)
 

@@ -176,6 +176,28 @@ let nondeterministic_ident parts =
   | [ "Unix"; "time" ] -> Some "Unix.time"
   | _ -> None
 
+(* ---------------- raw file writes (R6) ---------------- *)
+
+(* Write-capable file primitives. Durability (fsync placement, atomic
+   renames, torn-write handling) is Store.Io's whole job; a stray
+   open_out elsewhere silently reintroduces non-crash-safe output.
+   Reads (In_channel, open_in) are unrestricted. *)
+let raw_write_ident parts =
+  let out_channel_writers =
+    [ "open_text"; "open_bin"; "open_gen"; "with_open_text"; "with_open_bin"; "with_open_gen" ]
+  in
+  let unix_writers =
+    [ "openfile"; "write"; "single_write"; "write_substring"; "ftruncate"; "rename"; "fsync" ]
+  in
+  match parts with
+  | [ (("open_out" | "open_out_bin" | "open_out_gen") as f) ]
+  | [ "Stdlib"; (("open_out" | "open_out_bin" | "open_out_gen") as f) ] ->
+      Some f
+  | [ "Out_channel"; f ] | [ "Stdlib"; "Out_channel"; f ] when List.mem f out_channel_writers ->
+      Some ("Out_channel." ^ f)
+  | [ "Unix"; f ] when List.mem f unix_writers -> Some ("Unix." ^ f)
+  | _ -> None
+
 (* ---------------- the per-file pass ---------------- *)
 
 type ctx = {
@@ -285,6 +307,7 @@ let lint_structure ~rules ~path (structure : structure) =
   let r2 = enabled ctx Rule.R2 && secret_scope in
   let r3 = enabled ctx Rule.R3 && not (r3_exempt ctx.path) in
   let r5 = enabled ctx Rule.R5 && lib_scope in
+  let r6 = enabled ctx Rule.R6 && not (dir_scope [ "lib"; "store" ] ctx.path) in
   if r1 then collect_secrets ctx structure;
   let expr_iter self (e : expression) =
     (match e.pexp_desc with
@@ -300,6 +323,15 @@ let lint_structure ~rules ~path (structure : structure) =
                  (Printf.sprintf
                     "%s breaks seed-reproducibility; use Stdx.Prng (randomness) or Stdx.Clock \
                      (time) instead"
+                    what)
+           | None -> ());
+        (if r6 then
+           match raw_write_ident parts with
+           | Some what ->
+               report ctx Rule.R6 e.pexp_loc
+                 (Printf.sprintf
+                    "raw file write %s outside lib/store; route output through Store.Io \
+                     (crash-safe, fault-injectable)"
                     what)
            | None -> ());
         if r5 then

@@ -1,11 +1,12 @@
 (** The wre-lint analysis core.
 
-    Parses [.ml] sources with compiler-libs and enforces the R1–R5
+    Parses [.ml] sources with compiler-libs and enforces the R1–R6
     hygiene rules (see {!Rule}) with purely syntactic checks, so the
     pass runs on any tree that parses — no build required. Scoping is
     path-based: R1/R2 fire only under [lib/crypto] and [lib/core],
     R5 under [lib/], R3 everywhere except [lib/stdx/prng.ml] and
-    [lib/stdx/clock.ml], R4 for every [lib/] module. *)
+    [lib/stdx/clock.ml], R4 for every [lib/] module, R6 everywhere
+    except [lib/store] (the one module allowed raw file writes). *)
 
 val lint_structure : rules:Rule.t list -> path:string -> Parsetree.structure -> Diagnostic.t list
 (** Run the AST rules on an already-parsed unit. [path] decides which

@@ -1,8 +1,14 @@
-type t = R1 | R2 | R3 | R4 | R5
+type t = R1 | R2 | R3 | R4 | R5 | R6
 
-let all = [ R1; R2; R3; R4; R5 ]
+let all = [ R1; R2; R3; R4; R5; R6 ]
 
-let to_string = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4" | R5 -> "R5"
+let to_string = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
 
 let of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -11,6 +17,7 @@ let of_string s =
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
   | _ -> None
 
 let describe = function
@@ -19,5 +26,6 @@ let describe = function
   | R3 -> "determinism: ambient randomness and wall clocks only in Stdx.Prng / Stdx.Clock"
   | R4 -> "interface coverage: every .ml under lib/ needs a matching .mli"
   | R5 -> "no partial escapes: Obj.magic, assert false, catch-all exception handlers"
+  | R6 -> "file-I/O discipline: raw file writes only inside lib/store (use Store.Io elsewhere)"
 
 let equal (a : t) (b : t) = a = b

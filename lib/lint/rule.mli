@@ -7,6 +7,7 @@ type t =
   | R3  (** determinism *)
   | R4  (** interface coverage *)
   | R5  (** no partial escapes *)
+  | R6  (** file-I/O discipline *)
 
 val all : t list
 val to_string : t -> string

@@ -1,14 +1,38 @@
-type t = { pager : Pager.t; catalog : (string, Table.t) Hashtbl.t }
+type t = {
+  pager : Pager.t;
+  catalog : (string, Table.t) Hashtbl.t;
+  mutable journal : Journal.hook option;
+}
 
-let create ?config () = { pager = Pager.create ?config (); catalog = Hashtbl.create 8 }
+let create ?config () =
+  { pager = Pager.create ?config (); catalog = Hashtbl.create 8; journal = None }
 
 let pager t = t.pager
+
+let set_journal t hook =
+  t.journal <- hook;
+  Hashtbl.iter (fun _ tbl -> Table.set_journal tbl hook) t.catalog
 
 let create_table t ~name ~schema =
   if Hashtbl.mem t.catalog name then
     invalid_arg (Printf.sprintf "Database.create_table: table %S already exists" name);
   let table = Table.create t.pager ~name ~schema in
   Hashtbl.replace t.catalog name table;
+  (match t.journal with
+  | None -> ()
+  | Some hook ->
+      Table.set_journal table (Some hook);
+      hook (Journal.Created_table { name; schema }));
+  table
+
+let restore_table t snap =
+  let name = snap.Table.s_name in
+  if Hashtbl.mem t.catalog name then
+    invalid_arg (Printf.sprintf "Database.restore_table: table %S already exists" name);
+  let table = Table.of_snapshot t.pager snap in
+  Hashtbl.replace t.catalog name table;
+  (* Future mutations are journaled; the restore itself is not. *)
+  Table.set_journal table t.journal;
   table
 
 let table t name =

@@ -32,3 +32,15 @@ val total_bytes : t -> int
 
 val heap_bytes : t -> int
 (** All heaps only: the "DB Size" column of Table I. *)
+
+(* Durability hooks. *)
+
+val set_journal : t -> Journal.hook option -> unit
+(** Install (or clear) the mutation hook on the database and every
+    current table; tables created later inherit it. Table creation
+    itself is reported as {!Journal.Created_table}. *)
+
+val restore_table : t -> Table.snapshot -> Table.t
+(** Register a table rebuilt from a checkpoint snapshot. Emits no
+    journal events for the restore; the table then journals normally.
+    Raises [Invalid_argument] if the name is taken. *)

@@ -11,7 +11,11 @@ type t = {
   mutable cur_fill : int; (* bytes used on the current heap page *)
   mutable data_bytes : int; (* logical tuple bytes, for avg_row_bytes *)
   indexes : (string, Table_index.t) Hashtbl.t;
+  mutable journal : Journal.hook option;
 }
+
+let set_journal t hook = t.journal <- hook
+let emit t m = match t.journal with None -> () | Some hook -> hook m
 
 let page_header = 24
 let tuple_header = 24
@@ -32,6 +36,7 @@ let create pager ~name ~schema =
     cur_fill = 0;
     data_bytes = 0;
     indexes = Hashtbl.create 4;
+    journal = None;
   }
 
 let name t = t.name
@@ -75,6 +80,8 @@ let insert t row =
   Hashtbl.iter
     (fun col idx -> Table_index.insert idx row.(Schema.column_index t.schema col) id)
     t.indexes;
+  (* The stored copy, not the caller's array: the hook may retain it. *)
+  emit t (Journal.Inserted { table = t.name; row = Stdx.Vec.get t.rows id });
   id
 
 let insert_batch t rows =
@@ -91,6 +98,13 @@ let insert_batch t rows =
       let id = append_row t row in
       List.iter (fun (pos, idx) -> Table_index.insert idx row.(pos) id) positions)
     rows;
+  if Array.length rows > 0 then
+    emit t
+      (Journal.Inserted_batch
+         {
+           table = t.name;
+           rows = Array.init (Array.length rows) (fun i -> Stdx.Vec.get t.rows (first + i));
+         });
   first
 
 let row_count t = Stdx.Vec.length t.rows
@@ -101,6 +115,7 @@ let delete t id =
   if Stdx.Vec.get t.live id then begin
     Stdx.Vec.set t.live id false;
     t.n_dead <- t.n_dead + 1;
+    emit t (Journal.Deleted { table = t.name; id });
     true
   end
   else false
@@ -178,7 +193,8 @@ let vacuum t =
         t.data_bytes <- t.data_bytes + bytes
       end;
       Stdx.Vec.set t.row_pages id t.cur_page
-    done
+    done;
+    emit t (Journal.Vacuumed { table = t.name })
   end
 
 let create_index ?(kind = Table_index.Btree) t ~column =
@@ -189,6 +205,7 @@ let create_index ?(kind = Table_index.Btree) t ~column =
       let idx = Table_index.create kind t.pager ~name:(t.name ^ "." ^ column ^ ".idx") in
       Stdx.Vec.iteri (fun id row -> Table_index.insert idx row.(col_pos) id) t.rows;
       Hashtbl.replace t.indexes column idx;
+      emit t (Journal.Created_index { table = t.name; column; kind });
       idx
 
 let index_on t ~column = Hashtbl.find_opt t.indexes column
@@ -201,3 +218,68 @@ let total_bytes t = heap_bytes t + index_bytes t
 
 let avg_row_bytes t =
   if live_count t = 0 then 0.0 else float_of_int t.data_bytes /. float_of_int (live_count t)
+
+(* Physical snapshot: the exact heap state, including tombstones and
+   vacuum holes, so a restored table is byte-identical — same row ids,
+   same page assignment — even after vacuums that a logical replay
+   could not reproduce. *)
+
+type snapshot = {
+  s_name : string;
+  s_schema : Schema.t;
+  s_rows : Value.t array option array;  (* [None] = vacuum-reclaimed slot *)
+  s_live : bool array;
+  s_row_pages : int array;
+  s_cur_page : int;
+  s_cur_fill : int;
+  s_data_bytes : int;
+  s_indexes : (string * Table_index.kind) list;
+}
+
+let snapshot t =
+  let n = Stdx.Vec.length t.rows in
+  {
+    s_name = t.name;
+    s_schema = t.schema;
+    s_rows =
+      Array.init n (fun id ->
+          let row = Stdx.Vec.get t.rows id in
+          if row == reclaimed then None else Some (Array.copy row));
+    s_live = Array.init n (Stdx.Vec.get t.live);
+    s_row_pages = Array.init n (Stdx.Vec.get t.row_pages);
+    s_cur_page = t.cur_page;
+    s_cur_fill = t.cur_fill;
+    s_data_bytes = t.data_bytes;
+    s_indexes =
+      Hashtbl.fold (fun col idx acc -> (col, Table_index.kind idx) :: acc) t.indexes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  }
+
+let of_snapshot pager s =
+  let t = create pager ~name:s.s_name ~schema:s.s_schema in
+  let n = Array.length s.s_rows in
+  let n_dead = ref 0 in
+  for id = 0 to n - 1 do
+    Stdx.Vec.push t.rows
+      (match s.s_rows.(id) with Some row -> Array.copy row | None -> reclaimed);
+    Stdx.Vec.push t.row_pages s.s_row_pages.(id);
+    Stdx.Vec.push t.live s.s_live.(id);
+    if not s.s_live.(id) then incr n_dead
+  done;
+  t.n_dead <- !n_dead;
+  t.cur_page <- s.s_cur_page;
+  t.cur_fill <- s.s_cur_fill;
+  t.data_bytes <- s.s_data_bytes;
+  (* Rebuild indexes directly: dead-but-unvacuumed tuples keep their
+     entries (as live tables do), reclaimed slots have none. Bypasses
+     [create_index] so no journal events fire during restore. *)
+  List.iter
+    (fun (column, kind) ->
+      let col_pos = Schema.column_index t.schema column in
+      let idx = Table_index.create kind t.pager ~name:(t.name ^ "." ^ column ^ ".idx") in
+      Array.iteri
+        (fun id r -> match r with Some row -> Table_index.insert idx row.(col_pos) id | None -> ())
+        s.s_rows;
+      Hashtbl.replace t.indexes column idx)
+    s.s_indexes;
+  t

@@ -88,3 +88,33 @@ val total_bytes : t -> int
 val avg_row_bytes : t -> float
 (** Logical tuple bytes per live row (tombstoned-but-unvacuumed tuples
     still count toward the byte total, as on disk). *)
+
+(* Durability hooks. *)
+
+val set_journal : t -> Journal.hook option -> unit
+(** Install (or clear) the mutation hook. Each successful mutation is
+    reported after it has fully applied in memory; see {!Journal}. *)
+
+type snapshot = {
+  s_name : string;
+  s_schema : Schema.t;
+  s_rows : Value.t array option array;  (** [None] = vacuum-reclaimed slot *)
+  s_live : bool array;
+  s_row_pages : int array;
+  s_cur_page : int;
+  s_cur_fill : int;
+  s_data_bytes : int;
+  s_indexes : (string * Table_index.kind) list;  (** sorted by column *)
+}
+(** Physical table state as checkpointed by the storage engine: the
+    heap vectors verbatim (row ids, tombstones, page assignment) plus
+    the index definitions — index {e contents} are rebuilt on restore. *)
+
+val snapshot : t -> snapshot
+(** Deep copy of the current physical state. *)
+
+val of_snapshot : Pager.t -> snapshot -> t
+(** Reconstruct a table from a snapshot, byte-identical to the one
+    {!snapshot} saw: same row ids, heap pages, accounting, and index
+    entries (including entries of dead-but-unvacuumed tuples). Emits no
+    journal events. *)

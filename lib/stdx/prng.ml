@@ -44,6 +44,43 @@ let int64 t =
 
 let split t = create (int64 t)
 
+(* Little-endian s0..s3: the full 256-bit state, so a restored
+   generator continues the exact output stream. *)
+let export t =
+  let b = Bytes.create 32 in
+  let put i v =
+    for j = 0 to 7 do
+      Bytes.set b ((i * 8) + j) (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * j)) 0xFFL)))
+    done
+  in
+  put 0 t.s0;
+  put 1 t.s1;
+  put 2 t.s2;
+  put 3 t.s3;
+  Bytes.to_string b
+
+let restore t s =
+  if String.length s <> 32 then invalid_arg "Prng.restore: state must be 32 bytes";
+  let get i =
+    let v = ref 0L in
+    for j = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[(i * 8) + j]))
+    done;
+    !v
+  in
+  let s0 = get 0 and s1 = get 1 and s2 = get 2 and s3 = get 3 in
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    invalid_arg "Prng.restore: all-zero state is not a valid xoshiro state";
+  t.s0 <- s0;
+  t.s1 <- s1;
+  t.s2 <- s2;
+  t.s3 <- s3
+
+let import s =
+  let t = { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L } in
+  restore t s;
+  t
+
 let bits32 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
 
 let int t bound =

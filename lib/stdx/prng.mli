@@ -24,6 +24,19 @@ val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent of [g]'s continuation. *)
 
+val export : t -> string
+(** The full 256-bit internal state as 32 little-endian bytes — what a
+    durable store checkpoints so a reopened database resumes the exact
+    weak-randomness stream (same salt choices, same CTR nonces). *)
+
+val restore : t -> string -> unit
+(** Overwrite the state in place with a previously {!export}ed one.
+    Raises [Invalid_argument] on a malformed (wrong-length or all-zero)
+    state. *)
+
+val import : string -> t
+(** Fresh generator from an {!export}ed state. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,0 +1,210 @@
+open Sqldb
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type cursor = { s : string; mutable p : int }
+
+let cursor s = { s; p = 0 }
+let pos c = c.p
+let at_end c = c.p >= String.length c.s
+
+let need c n = if c.p + n > String.length c.s then corrupt "truncated at byte %d (need %d)" c.p n
+
+let skip c n =
+  need c n;
+  c.p <- c.p + n
+
+(* Writers *)
+
+let put_u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+let put_u32 b n =
+  if n < 0 then corrupt "put_u32: negative";
+  put_u8 b n;
+  put_u8 b (n lsr 8);
+  put_u8 b (n lsr 16);
+  put_u8 b (n lsr 24)
+
+let put_u64 b v =
+  for i = 0 to 7 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+let put_float b v = put_u64 b (Int64.bits_of_float v)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_value b v =
+  match v with
+  | Value.Null -> put_u8 b 0
+  | Value.Int x ->
+      put_u8 b 1;
+      put_u64 b x
+  | Value.Real x ->
+      put_u8 b 2;
+      put_float b x
+  | Value.Text s ->
+      put_u8 b 3;
+      put_str b s
+  | Value.Blob s ->
+      put_u8 b 4;
+      put_str b s
+
+let put_row b row =
+  put_u32 b (Array.length row);
+  Array.iter (put_value b) row
+
+let ty_code = function Value.TInt -> 0 | Value.TReal -> 1 | Value.TText -> 2 | Value.TBlob -> 3
+
+let put_schema b schema =
+  let cols = Schema.columns schema in
+  put_u32 b (Array.length cols);
+  Array.iter
+    (fun (c : Schema.column) ->
+      put_str b c.name;
+      put_u8 b (ty_code c.ty);
+      put_bool b c.nullable)
+    cols
+
+let index_kind_code = function Table_index.Btree -> 0 | Table_index.Hash -> 1
+
+let put_table_snapshot b (s : Table.snapshot) =
+  put_str b s.Table.s_name;
+  put_schema b s.s_schema;
+  let n = Array.length s.s_rows in
+  put_u32 b n;
+  for id = 0 to n - 1 do
+    (* bit0 = row present (not vacuum-reclaimed), bit1 = live *)
+    let flags =
+      (match s.s_rows.(id) with Some _ -> 1 | None -> 0)
+      lor (if s.s_live.(id) then 2 else 0)
+    in
+    put_u8 b flags;
+    (match s.s_rows.(id) with Some row -> put_row b row | None -> ());
+    put_u32 b s.s_row_pages.(id)
+  done;
+  put_u32 b s.s_cur_page;
+  put_u32 b s.s_cur_fill;
+  put_u64 b (Int64.of_int s.s_data_bytes);
+  put_u32 b (List.length s.s_indexes);
+  List.iter
+    (fun (col, kind) ->
+      put_str b col;
+      put_u8 b (index_kind_code kind))
+    s.s_indexes
+
+(* Readers *)
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.p] in
+  c.p <- c.p + 1;
+  v
+
+let get_u32 c =
+  let a = get_u8 c in
+  let b = get_u8 c in
+  let d = get_u8 c in
+  let e = get_u8 c in
+  a lor (b lsl 8) lor (d lsl 16) lor (e lsl 24)
+
+let get_u64 c =
+  need c 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.s.[c.p + i]))
+  done;
+  c.p <- c.p + 8;
+  !v
+
+let get_bool c =
+  match get_u8 c with 0 -> false | 1 -> true | n -> corrupt "bad bool %d" n
+
+let get_float c = Int64.float_of_bits (get_u64 c)
+
+let get_str c =
+  let n = get_u32 c in
+  need c n;
+  let s = String.sub c.s c.p n in
+  c.p <- c.p + n;
+  s
+
+let get_value c =
+  match get_u8 c with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (get_u64 c)
+  | 2 -> Value.Real (get_float c)
+  | 3 -> Value.Text (get_str c)
+  | 4 -> Value.Blob (get_str c)
+  | n -> corrupt "bad value tag %d" n
+
+let get_row c =
+  let n = get_u32 c in
+  if n > String.length c.s - pos c then corrupt "row arity %d exceeds input" n;
+  Array.init n (fun _ -> get_value c)
+
+let ty_of_code = function
+  | 0 -> Value.TInt
+  | 1 -> Value.TReal
+  | 2 -> Value.TText
+  | 3 -> Value.TBlob
+  | n -> corrupt "bad type code %d" n
+
+let get_schema c =
+  let n = get_u32 c in
+  if n > String.length c.s - pos c then corrupt "schema arity %d exceeds input" n;
+  let cols =
+    List.init n (fun _ ->
+        let name = get_str c in
+        let ty = ty_of_code (get_u8 c) in
+        let nullable = get_bool c in
+        { Schema.name; ty; nullable })
+  in
+  Schema.create cols
+
+let index_kind_of_code = function
+  | 0 -> Table_index.Btree
+  | 1 -> Table_index.Hash
+  | n -> corrupt "bad index kind %d" n
+
+let get_table_snapshot c =
+  let s_name = get_str c in
+  let s_schema = get_schema c in
+  let n = get_u32 c in
+  if n > String.length c.s - pos c then corrupt "row count %d exceeds input" n;
+  let s_rows = Array.make n None in
+  let s_live = Array.make n false in
+  let s_row_pages = Array.make n 0 in
+  for id = 0 to n - 1 do
+    let flags = get_u8 c in
+    if flags land 1 = 1 then s_rows.(id) <- Some (get_row c);
+    s_live.(id) <- flags land 2 = 2;
+    s_row_pages.(id) <- get_u32 c
+  done;
+  let s_cur_page = get_u32 c in
+  let s_cur_fill = get_u32 c in
+  let s_data_bytes = Int64.to_int (get_u64 c) in
+  let n_idx = get_u32 c in
+  if n_idx > String.length c.s - pos c then corrupt "index count %d exceeds input" n_idx;
+  let s_indexes =
+    List.init n_idx (fun _ ->
+        let col = get_str c in
+        let kind = index_kind_of_code (get_u8 c) in
+        (col, kind))
+  in
+  {
+    Table.s_name;
+    s_schema;
+    s_rows;
+    s_live;
+    s_row_pages;
+    s_cur_page;
+    s_cur_fill;
+    s_data_bytes;
+    s_indexes;
+  }

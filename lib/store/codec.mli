@@ -1,0 +1,38 @@
+(** Binary (de)serialization for WAL payloads and snapshots.
+
+    Little-endian, length-prefixed, no alignment. Writers append to a
+    [Buffer.t]; readers advance a {!cursor} and raise {!Corrupt} on any
+    malformed input — truncation, bad tags, out-of-range lengths — so
+    callers can treat "doesn't decode" and "failed checksum" the same
+    way. *)
+
+exception Corrupt of string
+
+type cursor
+
+val cursor : string -> cursor
+val pos : cursor -> int
+val at_end : cursor -> bool
+val skip : cursor -> int -> unit
+
+val put_u8 : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int -> unit
+val put_u64 : Buffer.t -> int64 -> unit
+val put_bool : Buffer.t -> bool -> unit
+val put_float : Buffer.t -> float -> unit
+val put_str : Buffer.t -> string -> unit
+val put_value : Buffer.t -> Sqldb.Value.t -> unit
+val put_row : Buffer.t -> Sqldb.Value.t array -> unit
+val put_schema : Buffer.t -> Sqldb.Schema.t -> unit
+val put_table_snapshot : Buffer.t -> Sqldb.Table.snapshot -> unit
+
+val get_u8 : cursor -> int
+val get_u32 : cursor -> int
+val get_u64 : cursor -> int64
+val get_bool : cursor -> bool
+val get_float : cursor -> float
+val get_str : cursor -> string
+val get_value : cursor -> Sqldb.Value.t
+val get_row : cursor -> Sqldb.Value.t array
+val get_schema : cursor -> Sqldb.Schema.t
+val get_table_snapshot : cursor -> Sqldb.Table.snapshot

@@ -1,0 +1,236 @@
+open Sqldb
+
+let m_replayed = Obs.Metrics.counter "store.wal_replayed_total"
+let m_checkpoints = Obs.Metrics.counter "store.checkpoints_total"
+let m_recoveries = Obs.Metrics.counter "store.recoveries_total"
+let h_recovery = Obs.Metrics.histogram "store.recovery_ns"
+
+type recovery = { snapshot_loaded : bool; replayed : int; duration_ns : float }
+
+type t = {
+  dir : string;
+  db : Database.t;
+  wal : Wal.t;
+  checkpoint_every : int option;
+  mutable recovery : recovery;
+  mutable edbs : (string * Wre.Encrypted_db.t) list;  (* by table name *)
+  mutable wre_configs : (string * Record.wre_config) list;
+  mutable ops_since_checkpoint : int;
+  mutable in_hook : bool;
+}
+
+let db t = t.db
+let dir t = t.dir
+let recovery t = t.recovery
+let encrypted t name = List.assoc_opt name t.edbs
+let encrypted_names t = List.map fst t.edbs
+
+let dist_table counts_alist =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (c, counts) -> Hashtbl.replace tbl c (Dist.Empirical.of_counts counts)) counts_alist;
+  fun c ->
+    match Hashtbl.find_opt tbl c with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Store: no checkpointed distribution for column %S" c)
+
+(* Rebuild an Encrypted_db.t from its logged client-side state; the
+   physical table must already exist (snapshot restore or replayed
+   Create_table/Create_index records). *)
+let attach_wre ~db (cfg : Record.wre_config) =
+  let master = Crypto.Keys.of_raw ~k0:cfg.k0 ~k1:cfg.k1 in
+  Wre.Encrypted_db.attach ~fallback:cfg.fallback ~tag_algo:cfg.tag_algo
+    ~range_boundaries:cfg.ranges
+    ~table:(Database.table db cfg.table_name)
+    ~plain_schema:cfg.plain_schema ~key_column:cfg.key_column
+    ~encrypted_columns:cfg.encrypted_columns ~kind:cfg.kind ~master
+    ~dist_of:(dist_table cfg.dists)
+    ~prng:(Stdx.Prng.import cfg.prng) ()
+
+let restore_prng edbs table = function
+  | None -> ()
+  | Some state -> (
+      match List.assoc_opt table edbs with
+      | Some edb -> Stdx.Prng.restore (Wre.Encrypted_db.prng edb) state
+      | None -> ())
+
+(* Replay one logged op against the in-memory state. No journal hook is
+   installed yet, so nothing is re-logged. *)
+let apply_op st op =
+  let db, edbs = st in
+  match (op : Record.op) with
+  | Create_table { name; schema } -> ignore (Database.create_table db ~name ~schema)
+  | Create_index { table; column; kind } ->
+      ignore (Table.create_index ~kind (Database.table db table) ~column)
+  | Insert { table; row; prng } ->
+      ignore (Table.insert (Database.table db table) row);
+      restore_prng !edbs table prng
+  | Insert_batch { table; rows; prng } ->
+      ignore (Table.insert_batch (Database.table db table) rows);
+      restore_prng !edbs table prng
+  | Delete { table; id } -> ignore (Table.delete (Database.table db table) id)
+  | Vacuum { table } -> Table.vacuum (Database.table db table)
+  | Attach_wre cfg ->
+      edbs := (cfg.table_name, attach_wre ~db cfg) :: !edbs
+
+let checkpoint t =
+  Wal.sync t.wal;
+  let wre =
+    List.map
+      (fun (name, cfg) ->
+        match List.assoc_opt name t.edbs with
+        | Some edb ->
+            { cfg with Record.prng = Stdx.Prng.export (Wre.Encrypted_db.prng edb) }
+        | None -> cfg)
+      t.wre_configs
+  in
+  Snapshot.write ~dir:t.dir
+    {
+      Snapshot.last_lsn = Int64.pred (Wal.next_lsn t.wal);
+      pager = Pager.config (Database.pager t.db);
+      tables = List.map Table.snapshot (Database.tables t.db);
+      wre;
+    };
+  Wal.reset t.wal;
+  t.ops_since_checkpoint <- 0;
+  Obs.Metrics.incr m_checkpoints
+
+(* The journal hook: map the in-memory mutation to a WAL record and
+   append it. For mutations of an encrypted table, also capture the
+   post-op PRNG state so replay resumes the exact stream. *)
+let log_mutation t (m : Journal.mutation) =
+  if not t.in_hook then begin
+    t.in_hook <- true;
+    Fun.protect ~finally:(fun () -> t.in_hook <- false) @@ fun () ->
+    let prng_of table =
+      Option.map
+        (fun edb -> Stdx.Prng.export (Wre.Encrypted_db.prng edb))
+        (List.assoc_opt table t.edbs)
+    in
+    let op =
+      match m with
+      | Journal.Created_table { name; schema } -> Record.Create_table { name; schema }
+      | Journal.Created_index { table; column; kind } ->
+          Record.Create_index { table; column; kind }
+      | Journal.Inserted { table; row } -> Record.Insert { table; row; prng = prng_of table }
+      | Journal.Inserted_batch { table; rows } ->
+          Record.Insert_batch { table; rows; prng = prng_of table }
+      | Journal.Deleted { table; id } -> Record.Delete { table; id }
+      | Journal.Vacuumed { table } -> Record.Vacuum { table }
+    in
+    ignore (Wal.append t.wal (Record.encode op));
+    t.ops_since_checkpoint <- t.ops_since_checkpoint + 1;
+    match t.checkpoint_every with
+    | Some n when t.ops_since_checkpoint >= n -> checkpoint t
+    | _ -> ()
+  end
+
+let open_dir ?pager_config ?(group_commit = 1) ?checkpoint_every ~dir () =
+  let result, duration_ns =
+    Stdx.Clock.time_it @@ fun () ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let snap = Snapshot.load ~dir in
+    let db, last_lsn =
+      match snap with
+      | None -> (Database.create ?config:pager_config (), 0L)
+      | Some s ->
+          let db = Database.create ~config:s.Snapshot.pager () in
+          List.iter (fun ts -> ignore (Database.restore_table db ts)) s.tables;
+          (db, s.last_lsn)
+    in
+    let edbs = ref [] in
+    let configs = ref [] in
+    (match snap with
+    | None -> ()
+    | Some s ->
+        List.iter
+          (fun (cfg : Record.wre_config) ->
+            edbs := (cfg.table_name, attach_wre ~db cfg) :: !edbs;
+            configs := (cfg.table_name, cfg) :: !configs)
+          s.wre);
+    let replayed = ref 0 in
+    let wal_path = Snapshot.wal_path ~dir in
+    let max_lsn, valid_len =
+      Wal.replay ~path:wal_path (fun lsn payload ->
+          if Int64.compare lsn last_lsn > 0 then begin
+            let op = Record.decode payload in
+            apply_op (db, edbs) op;
+            (match op with
+            | Record.Attach_wre cfg -> configs := (cfg.table_name, cfg) :: !configs
+            | _ -> ());
+            incr replayed;
+            Obs.Metrics.incr m_replayed
+          end)
+    in
+    let wal =
+      Wal.create ~path:wal_path ~group_commit
+        ~next_lsn:(Int64.succ (if Int64.compare max_lsn last_lsn > 0 then max_lsn else last_lsn))
+    in
+    (* Trim the torn tail a crash may have left; a log made fully
+       redundant by the snapshot resets to empty. *)
+    if !replayed = 0 && Wal.size wal > 0 then Wal.reset wal
+    else if Wal.size wal > valid_len then Wal.truncate_to wal valid_len;
+    let t =
+      {
+        dir;
+        db;
+        wal;
+        checkpoint_every;
+        recovery =
+          { snapshot_loaded = Option.is_some snap; replayed = !replayed; duration_ns = 0.0 };
+        edbs = !edbs;
+        wre_configs = !configs;
+        ops_since_checkpoint = !replayed;
+        in_hook = false;
+      }
+    in
+    Database.set_journal db (Some (log_mutation t));
+    t
+  in
+  Obs.Metrics.incr m_recoveries;
+  Obs.Metrics.observe h_recovery duration_ns;
+  result.recovery <- { result.recovery with duration_ns };
+  result
+
+let create_encrypted ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
+    ?range_columns ?range_training t ~name ~plain_schema ~key_column ~encrypted_columns ~kind
+    ~master ~dist_of ~seed () =
+  let edb =
+    Wre.Encrypted_db.create ~fallback ?tag_algo ~tag_index ?range_columns ?range_training
+      ~db:t.db ~name ~plain_schema ~key_column ~encrypted_columns ~kind ~master ~dist_of ~seed ()
+  in
+  let k0, k1 = Crypto.Keys.export master in
+  let cfg =
+    {
+      Record.table_name = name;
+      kind;
+      fallback;
+      tag_algo = Option.value ~default:Crypto.Prf.Hmac_sha256 tag_algo;
+      tag_index;
+      k0;
+      k1;
+      plain_schema;
+      key_column;
+      encrypted_columns;
+      dists =
+        List.map
+          (fun c ->
+            (c, Dist.Empirical.to_counts (Wre.Column_enc.dist (Wre.Encrypted_db.column_encryptor edb c))))
+          encrypted_columns;
+      ranges =
+        List.map
+          (fun c -> (c, Wre.Range_index.boundaries (Wre.Encrypted_db.range_index edb c)))
+          (Wre.Encrypted_db.range_columns edb);
+      prng = Stdx.Prng.export (Wre.Encrypted_db.prng edb);
+    }
+  in
+  ignore (Wal.append t.wal (Record.encode (Record.Attach_wre cfg)));
+  t.edbs <- (name, edb) :: t.edbs;
+  t.wre_configs <- (name, cfg) :: t.wre_configs;
+  edb
+
+let flush t = Wal.sync t.wal
+
+let close t =
+  Database.set_journal t.db None;
+  Wal.sync t.wal;
+  Wal.close t.wal

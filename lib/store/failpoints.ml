@@ -1,0 +1,77 @@
+exception Crash of string
+
+type mode =
+  | Off
+  | Cut of { mutable budget : int; lose : bool }
+  | At_event of { point : string; mutable left : int; lose : bool }
+  | Counting
+
+let mode = ref Off
+let bytes_seen = ref 0
+let events_seen : (string, int) Hashtbl.t = Hashtbl.create 8
+let lose_flag = ref false
+
+let disarm () = mode := Off
+
+let arm_cut_bytes ?(lose_unsynced = false) n =
+  if n < 0 then invalid_arg "Failpoints.arm_cut_bytes: negative budget";
+  mode := Cut { budget = n; lose = lose_unsynced }
+
+let arm_at_event ?(lose_unsynced = false) point ~n =
+  if n < 1 then invalid_arg "Failpoints.arm_at_event: n is 1-based";
+  mode := At_event { point; left = n; lose = lose_unsynced }
+
+let arm_counting () =
+  bytes_seen := 0;
+  Hashtbl.reset events_seen;
+  mode := Counting
+
+let counted_bytes () = !bytes_seen
+
+let counted_events () =
+  Hashtbl.fold (fun p n acc -> (p, n) :: acc) events_seen []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let armed () = !mode <> Off
+
+(* Firing is one-shot: record the lose-unsynced request and disarm so
+   the recovery that follows the crash runs unimpeded. *)
+let trigger lose =
+  lose_flag := lose;
+  mode := Off
+
+let on_write n =
+  match !mode with
+  | Off | At_event _ -> `All
+  | Counting ->
+      bytes_seen := !bytes_seen + n;
+      `All
+  | Cut c ->
+      if c.budget >= n then begin
+        c.budget <- c.budget - n;
+        `All
+      end
+      else begin
+        let k = c.budget in
+        trigger c.lose;
+        `Partial k
+      end
+
+let on_event point =
+  match !mode with
+  | Off | Cut _ -> false
+  | Counting ->
+      Hashtbl.replace events_seen point (1 + Option.value ~default:0 (Hashtbl.find_opt events_seen point));
+      false
+  | At_event e ->
+      if e.point <> point then false
+      else begin
+        e.left <- e.left - 1;
+        if e.left > 0 then false
+        else begin
+          trigger e.lose;
+          true
+        end
+      end
+
+let crash_lose_unsynced () = !lose_flag

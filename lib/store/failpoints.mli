@@ -1,0 +1,59 @@
+(** In-process crash injection for the write path.
+
+    The storage engine routes every byte it writes and every fsync,
+    rename and directory sync through {!Io}, and {!Io} consults this
+    module before each. A test arms one failpoint, drives the engine
+    until {!Crash} fires, then reopens the directory and checks the
+    recovery invariant. Modes:
+
+    - {!arm_cut_bytes}[ n]: the write path dies after [n] more bytes
+      reach the kernel — the [n]th byte boundary of the next writes is
+      where the "torn write" ends. Sweeping [n] over the byte count of
+      a workload (measured with {!arm_counting}) visits every possible
+      torn-frame prefix.
+    - {!arm_at_event}[ point ~n]: the process dies {e instead of}
+      performing the [n]th occurrence of the named sync/rename point
+      (e.g. ["wal.fsync"], ["snapshot.rename"]) — the skipped-fsync and
+      crash-between-rename-and-truncate cases.
+
+    [lose_unsynced] additionally models the page cache evaporating: at
+    crash time every open file is truncated back to its last-fsynced
+    length, so data that was written but never synced is gone.
+
+    Failpoints are one-shot: firing disarms, so recovery code running
+    after the simulated crash does real I/O. *)
+
+exception Crash of string
+(** The simulated power cut. Raised out of the {!Io} operation that hit
+    the armed failpoint, after open files have been truncated/closed. *)
+
+val arm_cut_bytes : ?lose_unsynced:bool -> int -> unit
+(** Crash after [n] more written bytes ([n = 0] dies on the very next
+    write, before any of its bytes land). *)
+
+val arm_at_event : ?lose_unsynced:bool -> string -> n:int -> unit
+(** Crash instead of the [n]th (1-based) occurrence of event [point]. *)
+
+val arm_counting : unit -> unit
+(** Observe-only mode: count bytes written and event occurrences so a
+    test can enumerate the crash matrix for a workload. *)
+
+val counted_bytes : unit -> int
+val counted_events : unit -> (string * int) list
+(** Occurrence counts per event point, sorted by name. *)
+
+val disarm : unit -> unit
+val armed : unit -> bool
+
+(** {2 Io-side interface} *)
+
+val on_write : int -> [ `All | `Partial of int ]
+(** Called with the byte count about to be written. [`Partial k] means:
+    write only the first [k] bytes, then {!Io.crash}. *)
+
+val on_event : string -> bool
+(** [true] = skip the operation and {!Io.crash} instead. *)
+
+val crash_lose_unsynced : unit -> bool
+(** Whether the failpoint that just fired asked for unsynced data to be
+    dropped. Valid between the trigger and {!Io.crash}. *)

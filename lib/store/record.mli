@@ -1,0 +1,50 @@
+(** Logical WAL record payloads.
+
+    One {!op} per {!Sqldb.Journal.mutation}, plus {!Attach_wre}
+    describing the client-side state of an encrypted table so recovery
+    can rebuild its {!Wre.Encrypted_db.t} without replaying the
+    plaintext profile. Rows in [Insert]/[Insert_batch] are {e physical}
+    (already encrypted for WRE tables): replay applies them without any
+    key material, and the optional [prng] field carries the exported
+    weak-randomness state {e after} the operation, so a recovered
+    database continues the exact salt/nonce stream.
+
+    Everything in a {!wre_config} — including the exported master-key
+    halves — lives in the store directory, which is the {e trusted}
+    client-side proxy state (DESIGN.md §5e); the adversary of the
+    paper's model sees only the encrypted table contents. *)
+
+type wre_config = {
+  table_name : string;
+  kind : Wre.Scheme.kind;
+  fallback : Wre.Column_enc.fallback;
+  tag_algo : Crypto.Prf.algo;
+  tag_index : Sqldb.Table_index.kind;
+  k0 : string;
+  k1 : string;
+  plain_schema : Sqldb.Schema.t;
+  key_column : string;
+  encrypted_columns : string list;
+  dists : (string * (string * int) list) list;
+      (** per searchable column: the profiled distribution as counts *)
+  ranges : (string * int64 array) list;
+      (** per range column: checkpointed bucket boundaries *)
+  prng : string;  (** exported {!Stdx.Prng} state at capture time *)
+}
+
+type op =
+  | Create_table of { name : string; schema : Sqldb.Schema.t }
+  | Create_index of { table : string; column : string; kind : Sqldb.Table_index.kind }
+  | Insert of { table : string; row : Sqldb.Value.t array; prng : string option }
+  | Insert_batch of { table : string; rows : Sqldb.Value.t array array; prng : string option }
+  | Delete of { table : string; id : int }
+  | Vacuum of { table : string }
+  | Attach_wre of wre_config
+
+val encode : op -> string
+val decode : string -> op
+(** Raises {!Codec.Corrupt} on malformed input. *)
+
+val put_wre_config : Buffer.t -> wre_config -> unit
+val get_wre_config : Codec.cursor -> wre_config
+(** Shared with the snapshot writer, which embeds the same structure. *)

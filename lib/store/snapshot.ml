@@ -1,0 +1,74 @@
+type t = {
+  last_lsn : int64;
+  pager : Sqldb.Pager.config;
+  tables : Sqldb.Table.snapshot list;
+  wre : Record.wre_config list;
+}
+
+exception Corrupt_snapshot of string
+
+let magic = "WRESNAP1"
+
+let path ~dir = Filename.concat dir "snapshot.bin"
+let wal_path ~dir = Filename.concat dir "wal.bin"
+
+let encode_body t =
+  let b = Buffer.create 4096 in
+  Codec.put_u64 b t.last_lsn;
+  let (p : Sqldb.Pager.config) = t.pager in
+  Codec.put_u32 b p.page_size;
+  Codec.put_float b p.io_miss_ns;
+  Codec.put_float b p.cpu_row_ns;
+  Codec.put_float b p.cpu_probe_ns;
+  Codec.put_float b p.cpu_transfer_ns_per_byte;
+  Codec.put_u32 b (List.length t.tables);
+  List.iter (Codec.put_table_snapshot b) t.tables;
+  Codec.put_u32 b (List.length t.wre);
+  List.iter (Record.put_wre_config b) t.wre;
+  Buffer.contents b
+
+let decode_body body =
+  let c = Codec.cursor body in
+  let last_lsn = Codec.get_u64 c in
+  let page_size = Codec.get_u32 c in
+  let io_miss_ns = Codec.get_float c in
+  let cpu_row_ns = Codec.get_float c in
+  let cpu_probe_ns = Codec.get_float c in
+  let cpu_transfer_ns_per_byte = Codec.get_float c in
+  let pager =
+    { Sqldb.Pager.page_size; io_miss_ns; cpu_row_ns; cpu_probe_ns; cpu_transfer_ns_per_byte }
+  in
+  let n_tables = Codec.get_u32 c in
+  let tables = List.init n_tables (fun _ -> Codec.get_table_snapshot c) in
+  let n_wre = Codec.get_u32 c in
+  let wre = List.init n_wre (fun _ -> Record.get_wre_config c) in
+  if not (Codec.at_end c) then raise (Codec.Corrupt "trailing bytes after snapshot");
+  { last_lsn; pager; tables; wre }
+
+let write ~dir t =
+  let body = encode_body t in
+  let b = Buffer.create (String.length body + 16) in
+  Buffer.add_string b magic;
+  Codec.put_u32 b (Int32.to_int (Crc32.digest body) land 0xFFFFFFFF);
+  Buffer.add_string b body;
+  let dst = path ~dir in
+  let tmp = dst ^ ".tmp" in
+  let f = Io.open_trunc tmp in
+  Io.write ~point:"snapshot.write" f (Buffer.contents b);
+  Io.fsync ~point:"snapshot.fsync" f;
+  Io.close f;
+  Io.rename ~point:"snapshot.rename" tmp dst;
+  Io.fsync_dir ~point:"dir.fsync" dir
+
+let load ~dir =
+  match Io.read_file (path ~dir) with
+  | None -> None
+  | Some data -> (
+      if String.length data < 12 || String.sub data 0 8 <> magic then
+        raise (Corrupt_snapshot "bad magic");
+      let c = Codec.cursor data in
+      Codec.skip c 8;
+      let crc = Int32.of_int (Codec.get_u32 c) in
+      let body = String.sub data 12 (String.length data - 12) in
+      if Crc32.digest body <> crc then raise (Corrupt_snapshot "checksum mismatch");
+      try Some (decode_body body) with Codec.Corrupt e -> raise (Corrupt_snapshot e))

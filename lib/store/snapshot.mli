@@ -1,0 +1,38 @@
+(** Checkpoint snapshots.
+
+    A snapshot is the complete durable state at one LSN: the pager
+    configuration, the {e physical} snapshot of every table (row ids,
+    tombstones, page layout, index definitions), and the client-side
+    WRE state of every encrypted table (keys, profiled distributions,
+    range boundaries, PRNG stream position).
+
+    Publication is atomic: the body is written to [snapshot.bin.tmp],
+    fsynced, renamed over [snapshot.bin], and the directory is synced.
+    A crash at any point leaves either the old snapshot or the new one
+    — a leftover [.tmp] is ignored by {!load}. The file carries a magic
+    and a CRC over the whole body; a {e published} snapshot that fails
+    either check is a hard error ({!Corrupt_snapshot}), unlike a torn
+    WAL tail, because the rename protocol never legitimately produces
+    one. *)
+
+type t = {
+  last_lsn : int64;  (** every WAL record with LSN ≤ this is reflected *)
+  pager : Sqldb.Pager.config;
+  tables : Sqldb.Table.snapshot list;
+  wre : Record.wre_config list;
+}
+
+exception Corrupt_snapshot of string
+
+val path : dir:string -> string
+(** [dir/snapshot.bin]. *)
+
+val wal_path : dir:string -> string
+(** [dir/wal.bin]. *)
+
+val write : dir:string -> t -> unit
+(** Atomic publish as described above. *)
+
+val load : dir:string -> t option
+(** [None] when no snapshot has ever been published; raises
+    {!Corrupt_snapshot} when one exists but does not verify. *)

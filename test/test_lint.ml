@@ -1,4 +1,4 @@
-(* Fixture tests for the wre-lint analyzer: every rule R1–R5 must fire
+(* Fixture tests for the wre-lint analyzer: every rule R1–R6 must fire
    on a seeded violation and stay silent on compliant code, in and out
    of its path scope. Fixtures are inline sources parsed through the
    same compiler-libs front end the driver uses. *)
@@ -137,6 +137,31 @@ let r5_out_of_scope () =
   (* bench/ and examples/ may prototype loosely; R5 guards lib/ only. *)
   check_silent ~path:"bench/fixture.ml" {| let f () = assert false |}
 
+(* ---------------- R6: file-I/O discipline ---------------- *)
+
+let r6_open_out () =
+  check_fires "R6" ~path:"lib/sqldb/fixture.ml" {| let f path = open_out path |};
+  check_fires "R6" ~path:"bench/exp_fixture.ml" {| let f path = open_out_bin path |}
+
+let r6_out_channel () =
+  check_fires "R6" ~path:"bin/fixture.ml"
+    {| let f path s = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc s) |}
+
+let r6_unix_write () =
+  check_fires "R6" ~path:"lib/core/fixture.ml" {| let f fd s = Unix.write_substring fd s 0 1 |};
+  check_fires "R6" ~path:"bench/exp_fixture.ml" {| let f a b = Unix.rename a b |}
+
+let r6_store_exempt () =
+  (* lib/store is the one place raw writes are legal: everything else
+     must route through Store.Io so failpoints can reach it. *)
+  check_silent ~path:"lib/store/io.ml" {| let f path = open_out path |};
+  check_silent ~path:"lib/store/wal.ml" {| let f fd s = Unix.write_substring fd s 0 1 |}
+
+let r6_reads_ok () =
+  check_silent ~path:"lib/sqldb/fixture.ml"
+    {| let f path = In_channel.with_open_text path In_channel.input_all |};
+  check_silent ~path:"bin/fixture.ml" {| let f path s = Store.Io.atomic_write_text ~path s |}
+
 (* ---------------- rule toggling ---------------- *)
 
 let rules_toggle () =
@@ -224,6 +249,14 @@ let () =
           Alcotest.test_case "catch-all" `Quick r5_catch_all;
           Alcotest.test_case "compliant" `Quick r5_silent_compliant;
           Alcotest.test_case "out of scope" `Quick r5_out_of_scope;
+        ] );
+      ( "r6_file_io",
+        [
+          Alcotest.test_case "open_out" `Quick r6_open_out;
+          Alcotest.test_case "Out_channel" `Quick r6_out_channel;
+          Alcotest.test_case "Unix write/rename" `Quick r6_unix_write;
+          Alcotest.test_case "lib/store exempt" `Quick r6_store_exempt;
+          Alcotest.test_case "reads + Store.Io ok" `Quick r6_reads_ok;
         ] );
       ( "driver",
         [

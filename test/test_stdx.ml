@@ -65,6 +65,28 @@ let test_prng_float_mean () =
   let mean = !acc /. float_of_int n in
   check_bool "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
 
+let test_prng_export_restore () =
+  let g = Stdx.Prng.create 17L in
+  for _ = 1 to 100 do
+    ignore (Stdx.Prng.int64 g)
+  done;
+  let state = Stdx.Prng.export g in
+  Alcotest.(check int) "export is 32 bytes" 32 (String.length state);
+  (* The continuation from an exported state must equal the original
+     stream — this is what lets a reopened store resume salt choices. *)
+  let h = Stdx.Prng.import state in
+  let expected = Array.init 50 (fun _ -> Stdx.Prng.int64 g) in
+  Array.iter (fun v -> Alcotest.(check int64) "import continues stream" v (Stdx.Prng.int64 h)) expected;
+  (* restore overwrites in place: rewind g back to the checkpoint. *)
+  Stdx.Prng.restore g state;
+  Array.iter (fun v -> Alcotest.(check int64) "restore rewinds stream" v (Stdx.Prng.int64 g)) expected;
+  Alcotest.check_raises "wrong length rejected"
+    (Invalid_argument "Prng.restore: state must be 32 bytes") (fun () ->
+      Stdx.Prng.restore g "short");
+  Alcotest.check_raises "all-zero rejected"
+    (Invalid_argument "Prng.restore: all-zero state is not a valid xoshiro state") (fun () ->
+      Stdx.Prng.restore g (String.make 32 '\000'))
+
 let test_prng_bytes () =
   let g = Stdx.Prng.create 13L in
   let b = Stdx.Prng.bytes g 33 in
@@ -432,6 +454,7 @@ let () =
           Alcotest.test_case "int covers residues" `Quick test_prng_int_covers_all_residues;
           Alcotest.test_case "float range" `Quick test_prng_float_range;
           Alcotest.test_case "float mean" `Quick test_prng_float_mean;
+          Alcotest.test_case "export/restore" `Quick test_prng_export_restore;
           Alcotest.test_case "bytes" `Quick test_prng_bytes;
           Alcotest.test_case "splitmix vector" `Quick test_splitmix_known;
         ] );

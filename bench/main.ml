@@ -7,12 +7,13 @@
 
    Experiments: table1 creation fig2 fig4..fig7 (figs) fig8 fig9 (fp)
                 aliasing attacks indcuda lambda_sweep updates
-                index_ablation correlation micro ingest recovery all *)
+                index_ablation correlation micro ingest recovery
+                concurrency all *)
 
 let usage () =
   print_endline
     "usage: main.exe [--rows N] [--queries N] [--trials N] \
-     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|all]...";
+     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|concurrency|all]...";
   exit 1
 
 let () =
@@ -55,6 +56,7 @@ let () =
     | "micro" -> Exp_micro.run ()
     | "ingest" -> Exp_ingest.run ~rows:!rows ()
     | "recovery" -> Exp_recovery.run ~rows:!rows ()
+    | "concurrency" -> Exp_concurrency.run ~rows:!rows ~n_queries:!queries ()
     | "all" ->
         Exp_table1.run ~rows:!rows ();
         Exp_fig2.run ();
@@ -69,7 +71,8 @@ let () =
         Exp_correlation.run ~rows:attack_rows ();
         Exp_micro.run ();
         Exp_ingest.run ~rows:!rows ();
-        Exp_recovery.run ~rows:!rows ()
+        Exp_recovery.run ~rows:!rows ();
+        Exp_concurrency.run ~rows:!rows ~n_queries:!queries ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()

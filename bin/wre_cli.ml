@@ -434,10 +434,13 @@ let encrypt_csv input output sidecar columns_spec key_column encrypted_spec seed
   in
   match result with Ok () -> `Ok () | Error e -> `Error (false, e)
 
-let query_csv input sidecar sql tracing =
+let query_csv input sidecar sql domains tracing =
   Obs.Trace.set_enabled tracing;
   let ( let* ) = Result.bind in
   let result =
+    let* () =
+      if domains >= 1 then Ok () else Error "--domains must be at least 1"
+    in
     let* kind, master, seed, key_column, encrypted, schema, dist_of =
       parse_sidecar (read_file sidecar)
     in
@@ -451,7 +454,12 @@ let query_csv input sidecar sql tracing =
     let* enc_rows = Sqldb.Csv.typed_rows ~schema:enc_schema ~header:true cells in
     List.iter (fun r -> ignore (Wre.Encrypted_db.insert_encrypted edb r)) enc_rows;
     let proxy = Wre.Proxy.create edb in
-    let* r = Wre.Proxy.execute proxy sql in
+    let* r =
+      if domains = 1 then Wre.Proxy.execute proxy sql
+      else
+        Stdx.Task_pool.with_pool ~domains (fun pool ->
+            Wre.Proxy.execute_snapshot ~pool proxy sql)
+    in
     print_string (Sqldb.Csv.render (r.columns :: Sqldb.Csv.untyped_rows r.rows));
     Printf.eprintf "(%d rows; server handled %d encrypted rows)\n" (List.length r.rows)
       r.server_rows;
@@ -519,9 +527,18 @@ let query_csv_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"SQL" ~doc:"Plaintext SELECT, e.g. \"SELECT * FROM t WHERE name = 'Alice'\".")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Serve the SELECT from a frozen snapshot view with $(docv) reader domains \
+             (index probes and decryption fan out; results are identical to the \
+             sequential path).")
+  in
   let doc = "Query an encrypted CSV with plaintext SQL (rewriting proxy + decryption)." in
   Cmd.v (Cmd.info "query-csv" ~doc)
-    Term.(ret (const query_csv $ input $ sidecar $ sql $ trace_arg))
+    Term.(ret (const query_csv $ input $ sidecar $ sql $ domains $ trace_arg))
 
 (* ---------------- init / open (durable store) ---------------- *)
 

@@ -26,7 +26,16 @@ type t = {
   layout : Bucket_layout.t option;
   cache : (string, cached option) Hashtbl.t;
   search_cache : (string, int64 list) Hashtbl.t;
+  (* Guards both caches: snapshot readers on several domains rewrite
+     queries (and may fault in salt sets) concurrently. Salt/tag
+     computation is deterministic, so holding the lock across a miss
+     only serializes cold-cache work. *)
+  lock : Mutex.t;
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let create ?(fallback = `Reject) ?tag_algo ~master ~column ~kind ~dist () =
   let layout =
@@ -50,6 +59,7 @@ let create ?(fallback = `Reject) ?tag_algo ~master ~column ~kind ~dist () =
     layout;
     cache = Hashtbl.create 256;
     search_cache = Hashtbl.create 64;
+    lock = Mutex.create ();
   }
 
 let column t = t.column
@@ -101,7 +111,7 @@ let tag_of_salt t m salt =
   if Scheme.is_bucketized t.kind then Crypto.Prf.tag_salt_only t.prf ~salt
   else Crypto.Prf.tag t.prf ~salt ~message:m
 
-let cached t m =
+let cached_unlocked t m =
   match Hashtbl.find_opt t.cache m with
   | Some c ->
       Obs.Metrics.incr m_salt_hits;
@@ -116,13 +126,16 @@ let cached t m =
       Hashtbl.replace t.cache m c;
       c
 
+let cached t m = with_lock t (fun () -> cached_unlocked t m)
+
 let salt_set t m = Option.map (fun c -> c.salts) (cached t m)
 
 (* Populate the salt cache for every given plaintext on the calling
    domain. After this, [encrypt] for those plaintexts only *reads* the
    cache — the property the parallel ingestion pipeline relies on to
    share one encryptor across worker domains without locking. *)
-let prewarm t ms = List.iter (fun m -> ignore (cached t m : cached option)) ms
+let prewarm t ms =
+  with_lock t (fun () -> List.iter (fun m -> ignore (cached_unlocked t m : cached option)) ms)
 
 let encrypt t g m =
   match cached t m with
@@ -132,11 +145,12 @@ let encrypt t g m =
       (tag_of_salt t m c.salts.Salts.salts.(i), Crypto.Ctr.encrypt_random t.data_key g m)
 
 let search_tags t m =
+  with_lock t @@ fun () ->
   match Hashtbl.find_opt t.search_cache m with
   | Some tags -> tags
   | None ->
       let tags =
-        match cached t m with
+        match cached_unlocked t m with
         | None -> []
         | Some c ->
             (* The same tag can appear twice only if the PRF collides on

@@ -327,6 +327,14 @@ let search_ids t ~column m =
   let pred = phase h_rewrite "query.rewrite" (fun () -> search_predicate t ~column m) in
   phase h_exec "query.exec" (fun () -> Executor.run t.table ~projection:Executor.Row_ids pred)
 
+let freeze t = Table.freeze t.table
+
+let search_ids_view ?pool t ~view ~column m =
+  Obs.Trace.with_span "edb.search_ids" @@ fun () ->
+  let pred = phase h_rewrite "query.rewrite" (fun () -> search_predicate t ~column m) in
+  phase h_exec "query.exec" (fun () ->
+      Executor.run_view ?pool view ~projection:Executor.Row_ids pred)
+
 let range_index t column =
   match Hashtbl.find_opt t.range_indexes column with
   | Some ri -> ri
@@ -363,17 +371,17 @@ let decrypt_row t enc_row =
   Obs.Metrics.incr m_rows_decrypted;
   row
 
-let search_rows t ~column m =
-  Obs.Trace.with_span "edb.search_rows" @@ fun () ->
-  let pred = phase h_rewrite "query.rewrite" (fun () -> search_predicate t ~column m) in
-  let result =
-    phase h_exec "query.exec" (fun () ->
-        Executor.run t.table ~projection:Executor.All_columns pred)
-  in
+(* Back half of a row search, shared by the live-table and snapshot
+   paths: decrypt every returned row (optionally fanned over a pool —
+   decryption is a pure read of the encryptor tables plus AES-CTR, and
+   [Task_pool.map_array] keeps results index-ordered, so the output is
+   identical to the sequential map), then the bucketized client-side
+   false-positive filter. *)
+let decrypt_and_filter ?pool t ~column m (result : Executor.result) =
   let col_pos = Schema.column_index t.plain_schema column in
   let decrypted =
     phase h_decrypt "query.decrypt" (fun () ->
-        Array.to_list (Array.map (decrypt_row t) result.rows))
+        Array.to_list (Stdx.Task_pool.map_array ?pool result.rows (decrypt_row t)))
   in
   let rows =
     phase h_filter "query.filter" (fun () ->
@@ -390,6 +398,24 @@ let search_rows t ~column m =
         else decrypted)
   in
   (rows, result)
+
+let search_rows t ~column m =
+  Obs.Trace.with_span "edb.search_rows" @@ fun () ->
+  let pred = phase h_rewrite "query.rewrite" (fun () -> search_predicate t ~column m) in
+  let result =
+    phase h_exec "query.exec" (fun () ->
+        Executor.run t.table ~projection:Executor.All_columns pred)
+  in
+  decrypt_and_filter t ~column m result
+
+let search_rows_view ?pool t ~view ~column m =
+  Obs.Trace.with_span "edb.search_rows" @@ fun () ->
+  let pred = phase h_rewrite "query.rewrite" (fun () -> search_predicate t ~column m) in
+  let result =
+    phase h_exec "query.exec" (fun () ->
+        Executor.run_view ?pool view ~projection:Executor.All_columns pred)
+  in
+  decrypt_and_filter ?pool t ~column m result
 
 (* Range search over a bucketized INT column: server returns every row
    in the overlapping buckets; the client decrypts and keeps the rows

@@ -139,7 +139,36 @@ val search_rows : t -> column:string -> string -> Sqldb.Value.t array list * Sql
     plaintext rows and the raw server-side result. *)
 
 val decrypt_row : t -> Sqldb.Value.t array -> Sqldb.Value.t array
-(** Decrypt one encrypted-table row back to [plain_schema] order. *)
+(** Decrypt one encrypted-table row back to [plain_schema] order.
+    A pure read of the column keys plus AES-CTR — safe from any
+    domain. *)
+
+(* Snapshot reads: freeze an epoch once, serve any number of reader
+   domains from it while writers proceed. *)
+
+val freeze : t -> Sqldb.Read_view.t
+(** {!Sqldb.Table.freeze} of the underlying encrypted table. *)
+
+val search_ids_view :
+  ?pool:Stdx.Task_pool.t ->
+  t ->
+  view:Sqldb.Read_view.t ->
+  column:string ->
+  string ->
+  Sqldb.Executor.result
+(** {!search_ids} against a frozen view; [pool] fans the per-tag index
+    probes. Identical answer to {!search_ids} at the same epoch. *)
+
+val search_rows_view :
+  ?pool:Stdx.Task_pool.t ->
+  t ->
+  view:Sqldb.Read_view.t ->
+  column:string ->
+  string ->
+  Sqldb.Value.t array list * Sqldb.Executor.result
+(** {!search_rows} against a frozen view; [pool] fans both the index
+    probes and the decrypt pass (index-ordered, so the rows come back
+    in the exact order the sequential path produces). *)
 
 val search_predicate : t -> column:string -> string -> Sqldb.Predicate.t
 (** The WHERE clause a search compiles to (exposed for tests/EXPLAIN). *)

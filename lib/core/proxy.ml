@@ -161,31 +161,75 @@ let rewrite_select t (s : Sql.select) =
    — a LIMIT n query never decrypts more than it needs beyond the rows
    the residual rejects — so the two phases are accounted by summed
    per-row clock deltas and recorded as pre-measured trace spans. *)
-let decrypt_filter_limit t eval ?limit (exec : Executor.result) =
+let decrypt_filter_limit ?pool t eval ?limit (exec : Executor.result) =
   let start_ns = Stdx.Clock.now_ns () in
   let wanted = match limit with None -> max_int | Some n -> n in
   let kept = ref [] and n_kept = ref 0 in
   let decrypt_ns = ref 0.0 and filter_ns = ref 0.0 in
   let n = Array.length exec.rows in
-  let i = ref 0 in
-  while !i < n && !n_kept < wanted do
-    let t0 = Stdx.Clock.now_ns () in
-    let plain = Encrypted_db.decrypt_row t.edb exec.rows.(!i) in
-    let t1 = Stdx.Clock.now_ns () in
-    let keep = eval plain in
-    decrypt_ns := !decrypt_ns +. (t1 -. t0);
-    filter_ns := !filter_ns +. (Stdx.Clock.now_ns () -. t1);
-    if keep then begin
-      kept := (exec.row_ids.(!i), plain) :: !kept;
-      incr n_kept
-    end;
-    incr i
-  done;
+  let n_decrypted = ref 0 in
+  let parallel =
+    match pool with
+    | Some p when Stdx.Task_pool.domains p > 1 -> Some p
+    | Some _ | None -> None
+  in
+  (match parallel with
+  | None ->
+      (* Sequential path — also the 1-domain pool path, byte-identical
+         by construction: the loop below is exactly what ran before the
+         parallel stage existed. *)
+      let i = ref 0 in
+      while !i < n && !n_kept < wanted do
+        let t0 = Stdx.Clock.now_ns () in
+        let plain = Encrypted_db.decrypt_row t.edb exec.rows.(!i) in
+        let t1 = Stdx.Clock.now_ns () in
+        let keep = eval plain in
+        decrypt_ns := !decrypt_ns +. (t1 -. t0);
+        filter_ns := !filter_ns +. (Stdx.Clock.now_ns () -. t1);
+        if keep then begin
+          kept := (exec.row_ids.(!i), plain) :: !kept;
+          incr n_kept
+        end;
+        incr i
+      done;
+      n_decrypted := !i
+  | Some pool ->
+      (* Parallel path: decrypt fixed-size chunks across the pool, then
+         filter each chunk in index order until the limit is reached.
+         Survivors are identical to the sequential path (same rows,
+         same order, same stopping point); laziness holds at chunk
+         granularity — a LIMIT query over-decrypts at most one chunk
+         beyond what the sequential pass would have touched. *)
+      let chunk = 256 in
+      let i = ref 0 in
+      while !i < n && !n_kept < wanted do
+        let lo = !i in
+        let len = min chunk (n - lo) in
+        let t0 = Stdx.Clock.now_ns () in
+        let plains =
+          Stdx.Task_pool.parallel_init pool len (fun j ->
+              Encrypted_db.decrypt_row t.edb exec.rows.(lo + j))
+        in
+        let t1 = Stdx.Clock.now_ns () in
+        decrypt_ns := !decrypt_ns +. (t1 -. t0);
+        n_decrypted := !n_decrypted + len;
+        let j = ref 0 in
+        while !j < len && !n_kept < wanted do
+          let plain = plains.(!j) in
+          if eval plain then begin
+            kept := (exec.row_ids.(lo + !j), plain) :: !kept;
+            incr n_kept
+          end;
+          incr j
+        done;
+        filter_ns := !filter_ns +. (Stdx.Clock.now_ns () -. t1);
+        i := lo + len
+      done);
   Obs.Metrics.observe h_decrypt !decrypt_ns;
   Obs.Metrics.observe h_filter !filter_ns;
   if Obs.Trace.is_enabled () then begin
     Obs.Trace.add ~name:"proxy.decrypt"
-      ~attrs:[ ("rows_decrypted", string_of_int !i) ]
+      ~attrs:[ ("rows_decrypted", string_of_int !n_decrypted) ]
       ~start_ns ~dur_ns:!decrypt_ns ();
     Obs.Trace.add ~name:"proxy.residual_filter"
       ~attrs:[ ("kept", string_of_int !n_kept) ]
@@ -196,28 +240,48 @@ let decrypt_filter_limit t eval ?limit (exec : Executor.result) =
 (* Shared SELECT/DELETE/UPDATE front half: run the rewritten server
    query, decrypt, apply the residual predicate; returns surviving
    (row_id, plaintext_row) pairs plus the raw executor result. *)
-let fetch_matching t ?limit where =
+let fetch_matching ?pool ?view t ?limit where =
   match rewrite t where with
   | Error e -> Error e
   | Ok (server, residual) -> (
-      let table = Encrypted_db.table t.edb in
       match
         phase h_exec "proxy.server_exec" (fun () ->
-            Executor.run table ~projection:Executor.All_columns server)
+            match view with
+            | Some v -> Executor.run_view ?pool v ~projection:Executor.All_columns server
+            | None ->
+                Executor.run (Encrypted_db.table t.edb) ~projection:Executor.All_columns server)
       with
       | exception Not_found -> Error "predicate references an unknown column"
       | exec -> (
           let plain_schema = Encrypted_db.plain_schema t.edb in
           match Predicate.compile plain_schema residual with
           | exception Not_found -> Error "residual predicate references an unknown column"
-          | eval -> Ok (decrypt_filter_limit t eval ?limit exec, exec)))
+          | eval -> Ok (decrypt_filter_limit ?pool t eval ?limit exec, exec)))
 
-let execute t src =
-  Obs.Trace.with_span "proxy.execute" @@ fun () ->
-  match phase h_parse "proxy.parse" (fun () -> Sql.parse src) with
-  | Error e -> Error e
-  | Ok (Sql.Create_table _) -> Error "the proxy does not rewrite CREATE TABLE"
-  | Ok (Sql.Delete { table = _; where }) -> (
+(* Project surviving plaintext rows per the SELECT's projection list. *)
+let select_result t (s : Sql.select) pairs (exec : Executor.result) =
+  let plain_schema = Encrypted_db.plain_schema t.edb in
+  let limited = List.map snd pairs in
+  let server_rows = Array.length exec.rows in
+  match s.projection with
+  | `Star ->
+      let columns =
+        List.map (fun (c : Schema.column) -> c.name) (Array.to_list (Schema.columns plain_schema))
+      in
+      Ok { columns; rows = limited; affected = 0; server_rows; exec = Some exec }
+  | `Columns cols -> (
+      match List.map (fun c -> (c, Schema.column_index plain_schema c)) cols with
+      | exception Not_found -> Error "projected column does not exist"
+      | idx_pairs ->
+          let rows =
+            List.map (fun row -> Array.of_list (List.map (fun (_, i) -> row.(i)) idx_pairs)) limited
+          in
+          Ok { columns = cols; rows; affected = 0; server_rows; exec = Some exec })
+
+let execute_stmt t stmt =
+  match stmt with
+  | Sql.Create_table _ -> Error "the proxy does not rewrite CREATE TABLE"
+  | Sql.Delete { table = _; where } -> (
       Obs.Metrics.incr m_delete;
       match fetch_matching t where with
       | Error e -> Error e
@@ -235,7 +299,7 @@ let execute t src =
               server_rows = Array.length exec.row_ids;
               exec = Some exec;
             })
-  | Ok (Sql.Update { table = _; assignments; where }) -> (
+  | Sql.Update { table = _; assignments; where } -> (
       Obs.Metrics.incr m_update;
       let plain_schema = Encrypted_db.plain_schema t.edb in
       match List.map (fun (c, v) -> (Schema.column_index plain_schema c, v)) assignments with
@@ -274,36 +338,38 @@ let execute t src =
               | exception Invalid_argument e -> Error e
               | exception Column_enc.Unknown_plaintext v ->
                   Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v))))
-  | Ok (Sql.Insert { table = _; values }) -> (
+  | Sql.Insert { table = _; values } -> (
       Obs.Metrics.incr m_insert;
       match Encrypted_db.insert t.edb (Array.of_list values) with
       | _id -> Ok { columns = []; rows = []; affected = 1; server_rows = 0; exec = None }
       | exception Invalid_argument e -> Error e
       | exception Column_enc.Unknown_plaintext v ->
           Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v))
-  | Ok (Sql.Select s) -> (
+  | Sql.Select s -> (
       Obs.Metrics.incr m_select;
       match fetch_matching t ?limit:s.limit s.where with
       | Error e -> Error e
-      | Ok (pairs, exec) -> (
-          let plain_schema = Encrypted_db.plain_schema t.edb in
-          let limited = List.map snd pairs in
-          let server_rows = Array.length exec.rows in
-          match s.projection with
-          | `Star ->
-              let columns =
-                List.map
-                  (fun (c : Schema.column) -> c.name)
-                  (Array.to_list (Schema.columns plain_schema))
-              in
-              Ok { columns; rows = limited; affected = 0; server_rows; exec = Some exec }
-          | `Columns cols -> (
-              match List.map (fun c -> (c, Schema.column_index plain_schema c)) cols with
-              | exception Not_found -> Error "projected column does not exist"
-              | idx_pairs ->
-                  let rows =
-                    List.map
-                      (fun row -> Array.of_list (List.map (fun (_, i) -> row.(i)) idx_pairs))
-                      limited
-                  in
-                  Ok { columns = cols; rows; affected = 0; server_rows; exec = Some exec })))
+      | Ok (pairs, exec) -> select_result t s pairs exec)
+
+let execute t src =
+  Obs.Trace.with_span "proxy.execute" @@ fun () ->
+  match phase h_parse "proxy.parse" (fun () -> Sql.parse src) with
+  | Error e -> Error e
+  | Ok stmt -> execute_stmt t stmt
+
+(* Snapshot-read entry point: SELECTs run against a frozen epoch (the
+   given [view], or one frozen now) with the index probes and the
+   decrypt/residual-filter/LIMIT pass optionally fanned over [pool];
+   any other statement takes the normal write path — mutations are not
+   served from snapshots. *)
+let execute_snapshot ?pool ?view t src =
+  Obs.Trace.with_span "proxy.execute" @@ fun () ->
+  match phase h_parse "proxy.parse" (fun () -> Sql.parse src) with
+  | Error e -> Error e
+  | Ok (Sql.Select s) -> (
+      Obs.Metrics.incr m_select;
+      let view = match view with Some v -> v | None -> Encrypted_db.freeze t.edb in
+      match fetch_matching ?pool ~view t ?limit:s.limit s.where with
+      | Error e -> Error e
+      | Ok (pairs, exec) -> select_result t s pairs exec)
+  | Ok stmt -> execute_stmt t stmt

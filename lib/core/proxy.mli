@@ -68,3 +68,19 @@ val execute : t -> string -> (query_result, string) result
     fuse into one pass over the server's answer, so [LIMIT n] stops
     after the n-th surviving row instead of decrypting the full result
     set (visible as the [edb.rows_decrypted_total] counter). *)
+
+val execute_snapshot :
+  ?pool:Stdx.Task_pool.t ->
+  ?view:Sqldb.Read_view.t ->
+  t ->
+  string ->
+  (query_result, string) result
+(** {!execute}, with SELECTs served from a frozen epoch snapshot: the
+    given [view] (freeze once, query many) or one frozen at call time.
+    [pool] fans the per-tag index probes and the decrypt/residual-
+    filter/LIMIT pass across domains; the decrypted result is identical
+    to {!execute} at the same epoch — chunked decryption preserves row
+    order and the LIMIT stopping point, and with no pool (or a 1-domain
+    pool) the execution is byte-identical to the sequential path.
+    Non-SELECT statements take the normal write path: mutations are
+    never served from snapshots. *)

@@ -168,6 +168,30 @@ let touch_entry_range t ~first_entry ~n_entries =
     (* A miss still descends the tree and reads one leaf. *)
     touch_path t ~leaf:(min (max 0 (first_entry / entries_per_leaf t)) (leaf_pages t - 1))
 
+(* Detached read-only copy for snapshot readers: force a rebuild while
+   the caller still holds the table's writer lock, then deep-copy the
+   group structures so later inserts into the live index cannot be
+   observed. The pager rel is shared — a frozen lookup touches the same
+   physical pages (and buffer-pool entries) as the live index. *)
+let freeze t =
+  rebuild t;
+  let sorted =
+    Array.map (fun g -> { key = g.key; ids = Stdx.Vec.of_array (Stdx.Vec.to_array g.ids) }) t.sorted
+  in
+  let by_key = Hashtbl.create (max 16 (Array.length sorted)) in
+  Array.iter (fun g -> Hashtbl.replace by_key g.key g) sorted;
+  {
+    pager = t.pager;
+    rel = t.rel;
+    name = t.name;
+    by_key;
+    entries = t.entries;
+    key_bytes = t.key_bytes;
+    sorted;
+    cum = Array.copy t.cum;
+    dirty = false;
+  }
+
 let lookup t key =
   rebuild t;
   Pager.charge_probe t.pager;

@@ -23,6 +23,11 @@ val remove : t -> Value.t -> int -> unit
     shrink the entry/key-byte accounting accordingly; marks the index
     dirty for the next lazy rebuild — the vacuum path. *)
 
+val freeze : t -> t
+(** Detached read-only copy for snapshot readers: rebuilt, deep-copied
+    group structure sharing the live index's pager rel. Lookups on the
+    copy are pure reads plus pager charges — safe from any domain. *)
+
 val lookup : t -> Value.t -> int array
 (** Row ids for an equality match; touches index pages via the pager. *)
 

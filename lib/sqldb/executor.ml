@@ -21,32 +21,32 @@ let h_wall = Obs.Metrics.histogram "executor.wall_ns"
 (* The first Eq/In/Range leg over an indexed column, searched shallowly
    through conjunctions. The access is a superset of the leg it serves
    (exact for a pure leg), so callers re-check the full predicate when
-   the plan does not cover it alone. *)
-let rec indexable table p =
+   the plan does not cover it alone. The planner is parameterized over
+   [index_of] so the same logic plans against a live table or a frozen
+   read view. *)
+let rec indexable index_of p =
   match p with
-  | Predicate.Eq (col, v) ->
-      Option.map (fun idx -> (col, `Eq (idx, v))) (Table.index_on table ~column:col)
-  | Predicate.In (col, vs) ->
-      Option.map (fun idx -> (col, `In (idx, vs))) (Table.index_on table ~column:col)
+  | Predicate.Eq (col, v) -> Option.map (fun idx -> (col, `Eq (idx, v))) (index_of col)
+  | Predicate.In (col, vs) -> Option.map (fun idx -> (col, `In (idx, vs))) (index_of col)
   | Predicate.Range (col, lo, hi) -> (
       (* Only B-trees serve range scans. *)
-      match Table.index_on table ~column:col with
+      match index_of col with
       | Some idx when Table_index.kind idx = Table_index.Btree -> Some (col, `Range (idx, lo, hi))
       | Some _ | None -> None)
-  | Predicate.And ps -> List.find_map (indexable table) ps
+  | Predicate.And ps -> List.find_map (indexable index_of) ps
   | Predicate.True | Predicate.Or _ | Predicate.Not _ -> None
 
 (* A disjunction is index-servable when every leg is: the candidate set
    is then the deduplicated union of the per-leg accesses (the WRE
    proxy's server-side OR of tag IN-lists). Nested ORs flatten. *)
-let or_accesses table legs =
+let or_accesses index_of legs =
   let rec go legs acc =
     match legs with
     | [] -> Some acc
     | Predicate.Or sub :: rest -> (
         match go sub acc with Some acc -> go rest acc | None -> None)
     | leg :: rest -> (
-        match indexable table leg with
+        match indexable index_of leg with
         | Some pair -> go rest (pair :: acc)
         | None -> None)
   in
@@ -59,19 +59,21 @@ type access =
 
 type planned = P_index of string * access | P_or of (string * access) list | P_seq
 
-let plan_of table p =
-  match indexable table p with
+let plan_of index_of p =
+  match indexable index_of p with
   | Some (col, access) -> P_index (col, access)
   | None -> (
       match p with
       | Predicate.Or legs -> (
-          match or_accesses table legs with
+          match or_accesses index_of legs with
           | Some ((_ :: _) as pairs) -> P_or pairs
           | Some [] | None -> P_seq)
       | _ -> P_seq)
 
+let table_index_of table col = Table.index_on table ~column:col
+
 let explain table p =
-  match plan_of table p with
+  match plan_of (table_index_of table) p with
   | P_index (col, _) -> Index_scan col
   | P_or pairs -> Or_index_scan (List.map fst pairs)
   | P_seq -> Seq_scan
@@ -109,7 +111,7 @@ let run table ~projection p =
     | `Range (idx, lo, hi) -> Table_index.range idx ?lo ?hi ()
   in
   let plan, candidate_ids =
-    match plan_of table p with
+    match plan_of (table_index_of table) p with
     | P_index (col, access) -> (
         match fetch_access access with
         | Some ids -> (Index_scan col, ids)
@@ -180,6 +182,125 @@ let run table ~projection p =
             | Index_scan c -> "index(" ^ c ^ ")"
             | Or_index_scan cs -> "or_index(" ^ String.concat "," cs ^ ")"
             | Seq_scan -> "seq" );
+          ("candidates", string_of_int (Array.length candidate_ids));
+          ("rows", string_of_int (Array.length row_ids));
+        ];
+  { row_ids; rows; plan; wall_ns; stats }
+
+(* Snapshot-read path: same planner, same result contract as [run],
+   executed against a frozen [Read_view.t] with the per-tag index
+   probes of multi-key plans (the IN-list of a rewritten WRE query, the
+   legs of a server-side OR) optionally fanned across a task pool.
+
+   Determinism: probe results are combined index-ordered, and the union
+   is a sort + dedup, so [row_ids]/[rows] are identical regardless of
+   how probes are scheduled; with no pool (or a 1-domain pool) the
+   probes run in the same order a sequential [run] would issue them,
+   making the two byte-identical. Pager counts are also scheduling-
+   independent: the set of page touches is fixed by the plan, and the
+   pager's atomic accounting turns each distinct page into exactly one
+   miss no matter which domain gets there first.
+
+   Per-query [stats] stay exact under concurrency: every probe task
+   measures its own domain-local pager delta, and the caller adds the
+   deltas of probes that ran on *other* domains to its own window —
+   unrelated queries running concurrently never pollute the numbers. *)
+let run_view ?pool view ~projection p =
+  Obs.Metrics.incr m_queries;
+  Obs.Trace.with_span "executor.run_view" @@ fun () ->
+  let pager = Read_view.pager view in
+  let self_dom = (Domain.self () :> int) in
+  let before = Pager.local_stats () in
+  let t0 = Stdx.Clock.now_ns () in
+  let schema = Read_view.schema view in
+  let eval = Predicate.compile schema p in
+  let worker_stats = ref Pager.zero_stats in
+  let seq_scan () =
+    let acc = Stdx.Vec.create () in
+    Read_view.scan view (fun id _row -> Stdx.Vec.push acc id);
+    (Seq_scan, Stdx.Vec.to_array acc)
+  in
+  let probes_of : access -> (unit -> int array option) list = function
+    | `Eq (idx, v) -> [ (fun () -> Some (Table_index.lookup idx v)) ]
+    | `In (idx, vs) -> List.map (fun v () -> Some (Table_index.lookup idx v)) vs
+    | `Range (idx, lo, hi) -> [ (fun () -> Table_index.range idx ?lo ?hi ()) ]
+  in
+  (* [union]: a single-access index plan returns its ids verbatim (the
+     order [run] would produce); multi-probe plans (IN, OR) union with
+     sort + dedup, exactly what [lookup_many]/[union_ids] compute. *)
+  let run_probes kind probes ~union =
+    let outcomes =
+      Stdx.Task_pool.map_array ?pool (Array.of_list probes) (fun probe ->
+          let b = Pager.local_stats () in
+          let ids = probe () in
+          let a = Pager.local_stats () in
+          (ids, (Domain.self () :> int), Pager.diff_stats b a))
+    in
+    Array.iter
+      (fun (_, dom, d) ->
+        if dom <> self_dom then worker_stats := Pager.sum_stats !worker_stats d)
+      outcomes;
+    if Array.exists (fun (ids, _, _) -> ids = None) outcomes then seq_scan ()
+    else
+      let id_arrays = Array.to_list (Array.map (fun (ids, _, _) -> Option.get ids) outcomes) in
+      match id_arrays with
+      | [ ids ] when not union -> (kind, ids)
+      | _ -> (kind, union_ids id_arrays)
+  in
+  let plan, candidate_ids =
+    match plan_of (fun col -> Read_view.index_on view ~column:col) p with
+    | P_index (col, access) ->
+        run_probes (Index_scan col) (probes_of access) ~union:(match access with `In _ -> true | _ -> false)
+    | P_or pairs ->
+        run_probes
+          (Or_index_scan (List.map fst pairs))
+          (List.concat_map (fun (_, access) -> probes_of access) pairs)
+          ~union:true
+    | P_seq -> seq_scan ()
+  in
+  let needs_filter =
+    match (plan, p) with
+    | Index_scan col, Predicate.Eq (c, _) when c = col -> false
+    | Index_scan col, Predicate.In (c, _) when c = col -> false
+    | Index_scan col, Predicate.Range (c, _, _) when c = col -> false
+    | _ -> true
+  in
+  let candidate_ids =
+    if Read_view.live_count view = Read_view.row_count view then candidate_ids
+    else Array.of_list (List.filter (Read_view.is_live view) (Array.to_list candidate_ids))
+  in
+  let row_ids =
+    if needs_filter then
+      Array.of_list
+        (List.filter (fun id -> eval (Read_view.peek_row view id)) (Array.to_list candidate_ids))
+    else candidate_ids
+  in
+  let rows =
+    match projection with
+    | Row_ids ->
+        Pager.charge_transfer pager (8 * Array.length row_ids);
+        [||]
+    | All_columns -> Array.map (fun id -> Read_view.read_row view id) row_ids
+  in
+  let wall_ns = Stdx.Clock.now_ns () -. t0 in
+  let stats = Pager.sum_stats (Pager.diff_stats before (Pager.local_stats ())) !worker_stats in
+  (match plan with
+  | Index_scan _ -> Obs.Metrics.incr m_plan_index
+  | Or_index_scan _ -> Obs.Metrics.incr m_plan_or
+  | Seq_scan -> Obs.Metrics.incr m_plan_seq);
+  Obs.Metrics.add m_candidates (Array.length candidate_ids);
+  Obs.Metrics.add m_returned (Array.length row_ids);
+  Obs.Metrics.observe h_wall wall_ns;
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.event "executor.plan"
+      ~attrs:
+        [
+          ( "plan",
+            match plan with
+            | Index_scan c -> "index(" ^ c ^ ")"
+            | Or_index_scan cs -> "or_index(" ^ String.concat "," cs ^ ")"
+            | Seq_scan -> "seq" );
+          ("epoch", string_of_int (Read_view.epoch view));
           ("candidates", string_of_int (Array.length candidate_ids));
           ("rows", string_of_int (Array.length row_ids));
         ];

@@ -41,3 +41,15 @@ val explain : Table.t -> Predicate.t -> plan_kind
 (** The plan that {!run} would choose, without executing. *)
 
 val run : Table.t -> projection:projection -> Predicate.t -> result
+
+val run_view : ?pool:Stdx.Task_pool.t -> Read_view.t -> projection:projection -> Predicate.t -> result
+(** {!run} against a frozen epoch snapshot ({!Table.freeze}), safe to
+    call from any domain. When [pool] is given, the per-tag index
+    probes of multi-key plans (rewritten WRE IN-lists, server-side OR
+    legs) fan out across its domains; results are combined in index
+    order and unions sort + dedup, so [row_ids]/[rows] are identical
+    regardless of scheduling, and with no pool (or one domain) the
+    execution is byte-identical to the sequential path. [stats] is this
+    query's own pager delta, exact even under concurrent queries:
+    probe tasks measure domain-local deltas that are summed into the
+    caller's window. *)

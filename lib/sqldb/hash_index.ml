@@ -52,6 +52,12 @@ let bucket_pages t =
 
 let size_bytes t = bucket_pages t * (Pager.config t.pager).page_size
 
+(* Detached read-only copy for snapshot readers (see Btree_index). *)
+let freeze t =
+  let by_key = Hashtbl.create (max 16 (Hashtbl.length t.by_key)) in
+  Hashtbl.iter (fun k ids -> Hashtbl.replace by_key k (Stdx.Vec.of_array (Stdx.Vec.to_array ids))) t.by_key;
+  { pager = t.pager; rel = t.rel; name = t.name; by_key; entries = t.entries }
+
 let lookup t key =
   Pager.charge_probe t.pager;
   let n_buckets = bucket_pages t in

@@ -23,6 +23,9 @@ val remove : t -> Value.t -> int -> unit
     entry counts and the derived bucket-page/byte accounting shrink
     back to the live rows — the vacuum path. *)
 
+val freeze : t -> t
+(** Detached read-only copy for snapshot readers (see {!Btree_index.freeze}). *)
+
 val lookup : t -> Value.t -> int array
 (** Row ids for an equality match; touches bucket (+overflow) pages. *)
 

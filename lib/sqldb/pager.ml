@@ -16,7 +16,7 @@ let default_config =
   }
 
 (* Process-wide totals across every pager instance; the per-instance
-   mutable counters below stay the source of per-query deltas. All
+   atomic counters below stay the source of whole-pager stats. All
    updates are counter bumps — nothing here allocates per row. *)
 let m_hits = Obs.Metrics.counter "pager.page_hits_total"
 let m_misses = Obs.Metrics.counter "pager.page_misses_total"
@@ -28,80 +28,150 @@ let g_cached = Obs.Metrics.gauge "pager.cached_pages"
 
 type rel = { id : int; name : string }
 
+(* Instance totals are atomics so that concurrent snapshot readers on
+   worker domains keep hit/miss accounting exact; the buffer-pool set
+   itself (a hashtable) and rel allocation are guarded by [lock].
+   The simulated clock is a float accumulated by CAS on its bit
+   pattern — each charge lands exactly once, in some order. *)
 type t = {
   cfg : config;
+  lock : Mutex.t;
   cache : (int * int, unit) Hashtbl.t;
   mutable next_rel : int;
-  mutable n_hits : int;
-  mutable n_misses : int;
-  mutable n_rows : int;
-  mutable acc_sim_ns : float;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_rows : int Atomic.t;
+  acc_sim_bits : int64 Atomic.t;
 }
+
+(* Per-domain cumulative charges, across all pager instances. A query
+   measures its own cost as a before/after delta of the charges made
+   *on its domain*: with the parallel executor, each fanned-out task
+   measures its own domain-local delta and the caller sums them, so
+   per-query stats stay exact even when unrelated queries run
+   concurrently on other domains. *)
+type stats = { hits : int; misses : int; rows_examined : int; sim_ns : float }
+
+type local = {
+  mutable l_hits : int;
+  mutable l_misses : int;
+  mutable l_rows : int;
+  mutable l_sim : float;
+}
+
+let local_key =
+  Domain.DLS.new_key (fun () -> { l_hits = 0; l_misses = 0; l_rows = 0; l_sim = 0.0 })
+
+let local_stats () =
+  let l = Domain.DLS.get local_key in
+  { hits = l.l_hits; misses = l.l_misses; rows_examined = l.l_rows; sim_ns = l.l_sim }
+
+let add_sim t ns =
+  let l = Domain.DLS.get local_key in
+  l.l_sim <- l.l_sim +. ns;
+  let rec cas () =
+    let old = Atomic.get t.acc_sim_bits in
+    let next = Int64.bits_of_float (Int64.float_of_bits old +. ns) in
+    if not (Atomic.compare_and_set t.acc_sim_bits old next) then cas ()
+  in
+  cas ();
+  Obs.Metrics.add m_sim (int_of_float ns)
 
 let create ?(config = default_config) () =
   {
     cfg = config;
+    lock = Mutex.create ();
     cache = Hashtbl.create 4096;
     next_rel = 0;
-    n_hits = 0;
-    n_misses = 0;
-    n_rows = 0;
-    acc_sim_ns = 0.0;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_rows = Atomic.make 0;
+    acc_sim_bits = Atomic.make (Int64.bits_of_float 0.0);
   }
 
 let config t = t.cfg
 
 let make_rel t ~name =
+  Mutex.lock t.lock;
   let id = t.next_rel in
   t.next_rel <- id + 1;
+  Mutex.unlock t.lock;
   { id; name }
 
 let rel_name r = r.name
 
 let touch t rel page =
   let key = (rel.id, page) in
-  if Hashtbl.mem t.cache key then begin
-    t.n_hits <- t.n_hits + 1;
+  Mutex.lock t.lock;
+  let hit = Hashtbl.mem t.cache key in
+  if not hit then Hashtbl.replace t.cache key ();
+  let cached = Hashtbl.length t.cache in
+  Mutex.unlock t.lock;
+  let l = Domain.DLS.get local_key in
+  if hit then begin
+    l.l_hits <- l.l_hits + 1;
+    Atomic.incr t.n_hits;
     Obs.Metrics.incr m_hits
   end
   else begin
-    t.n_misses <- t.n_misses + 1;
-    t.acc_sim_ns <- t.acc_sim_ns +. t.cfg.io_miss_ns;
-    Hashtbl.replace t.cache key ();
+    l.l_misses <- l.l_misses + 1;
+    Atomic.incr t.n_misses;
+    add_sim t t.cfg.io_miss_ns;
     Obs.Metrics.incr m_misses;
-    Obs.Metrics.add m_sim (int_of_float t.cfg.io_miss_ns);
-    Obs.Metrics.set_gauge g_cached (Hashtbl.length t.cache)
+    Obs.Metrics.set_gauge g_cached cached
   end
 
 let charge_rows t n =
-  t.n_rows <- t.n_rows + n;
-  t.acc_sim_ns <- t.acc_sim_ns +. (float_of_int n *. t.cfg.cpu_row_ns);
-  Obs.Metrics.add m_rows n;
-  Obs.Metrics.add m_sim (int_of_float (float_of_int n *. t.cfg.cpu_row_ns))
+  let l = Domain.DLS.get local_key in
+  l.l_rows <- l.l_rows + n;
+  ignore (Atomic.fetch_and_add t.n_rows n);
+  add_sim t (float_of_int n *. t.cfg.cpu_row_ns);
+  Obs.Metrics.add m_rows n
 
 let charge_probe t =
-  t.acc_sim_ns <- t.acc_sim_ns +. t.cfg.cpu_probe_ns;
-  Obs.Metrics.incr m_probes;
-  Obs.Metrics.add m_sim (int_of_float t.cfg.cpu_probe_ns)
+  add_sim t t.cfg.cpu_probe_ns;
+  Obs.Metrics.incr m_probes
 
 let charge_transfer t n =
-  t.acc_sim_ns <- t.acc_sim_ns +. (float_of_int n *. t.cfg.cpu_transfer_ns_per_byte);
-  Obs.Metrics.add m_bytes n;
-  Obs.Metrics.add m_sim (int_of_float (float_of_int n *. t.cfg.cpu_transfer_ns_per_byte))
+  add_sim t (float_of_int n *. t.cfg.cpu_transfer_ns_per_byte);
+  Obs.Metrics.add m_bytes n
 
 let drop_caches t =
+  Mutex.lock t.lock;
   Hashtbl.reset t.cache;
+  Mutex.unlock t.lock;
   Obs.Metrics.set_gauge g_cached 0
 
-type stats = { hits : int; misses : int; rows_examined : int; sim_ns : float }
-
 let stats t =
-  { hits = t.n_hits; misses = t.n_misses; rows_examined = t.n_rows; sim_ns = t.acc_sim_ns }
+  {
+    hits = Atomic.get t.n_hits;
+    misses = Atomic.get t.n_misses;
+    rows_examined = Atomic.get t.n_rows;
+    sim_ns = Int64.float_of_bits (Atomic.get t.acc_sim_bits);
+  }
 
 let reset_stats t =
-  t.n_hits <- 0;
-  t.n_misses <- 0;
-  t.n_rows <- 0;
-  t.acc_sim_ns <- 0.0
+  Atomic.set t.n_hits 0;
+  Atomic.set t.n_misses 0;
+  Atomic.set t.n_rows 0;
+  Atomic.set t.acc_sim_bits (Int64.bits_of_float 0.0)
 
 let sim_ms s = s.sim_ns /. 1e6
+
+let diff_stats a b =
+  {
+    hits = b.hits - a.hits;
+    misses = b.misses - a.misses;
+    rows_examined = b.rows_examined - a.rows_examined;
+    sim_ns = b.sim_ns -. a.sim_ns;
+  }
+
+let sum_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    rows_examined = a.rows_examined + b.rows_examined;
+    sim_ns = a.sim_ns +. b.sim_ns;
+  }
+
+let zero_stats = { hits = 0; misses = 0; rows_examined = 0; sim_ns = 0.0 }

@@ -59,7 +59,24 @@ val drop_caches : t -> unit
 type stats = { hits : int; misses : int; rows_examined : int; sim_ns : float }
 
 val stats : t -> stats
+(** Whole-instance totals. Counters are atomic, so the totals stay
+    exact under concurrent readers: hits + misses always equals the
+    number of [touch] calls made so far. *)
+
 val reset_stats : t -> unit
 (** Zero the counters without touching the cache contents. *)
+
+val local_stats : unit -> stats
+(** Cumulative charges made by the *calling domain*, across all pager
+    instances. Per-query costing takes a before/after delta of this —
+    with the parallel executor each fanned-out task measures its own
+    domain-local delta and the caller sums them, so concurrent queries
+    on other domains never pollute a query's reported cost. *)
+
+val diff_stats : stats -> stats -> stats
+(** [diff_stats before after] is the component-wise delta. *)
+
+val sum_stats : stats -> stats -> stats
+val zero_stats : stats
 
 val sim_ms : stats -> float

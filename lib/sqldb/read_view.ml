@@ -1,0 +1,75 @@
+(* An immutable point-in-time view of one table: the copy-on-write
+   snapshot a reader domain works against while writers keep mutating
+   the live table. Row arrays are shared with the table by pointer —
+   safe because the table never mutates a stored row in place (insert
+   copies, update is delete+insert, vacuum swaps in a fresh sentinel) —
+   while the visibility bitmap, page map and index structures are
+   copied, so no later insert/delete/vacuum/checkpoint is observable
+   through the view. Built by [Table.freeze] under the table's writer
+   lock; every accessor here is a pure read plus pager charges, safe to
+   call from any domain. *)
+
+type t = {
+  epoch : int;
+  name : string;
+  schema : Schema.t;
+  pager : Pager.t;
+  heap_rel : Pager.rel;
+  rows : Value.t array array;
+  live : bool array;
+  row_pages : int array;
+  n_dead : int;
+  cur_page : int;
+  cur_fill : int;
+  data_bytes : int;
+  reclaimed : Value.t array; (* physical sentinel for vacuumed slots *)
+  row_bytes : Value.t array -> int; (* tuple size, for transfer charges *)
+  indexes : (string * Table_index.t) list; (* frozen copies, sorted by column *)
+}
+
+let make ~epoch ~name ~schema ~pager ~heap_rel ~rows ~live ~row_pages ~n_dead ~cur_page
+    ~cur_fill ~data_bytes ~reclaimed ~row_bytes ~indexes =
+  { epoch; name; schema; pager; heap_rel; rows; live; row_pages; n_dead; cur_page; cur_fill;
+    data_bytes; reclaimed; row_bytes; indexes }
+
+let epoch t = t.epoch
+let name t = t.name
+let schema t = t.schema
+let pager t = t.pager
+
+let row_count t = Array.length t.rows
+let live_count t = row_count t - t.n_dead
+let is_live t id = t.live.(id)
+let is_reclaimed t id = t.rows.(id) == t.reclaimed
+
+let peek_row t id = t.rows.(id)
+let row_page t id = t.row_pages.(id)
+
+let read_row t id =
+  let row = t.rows.(id) in
+  Pager.touch t.pager t.heap_rel t.row_pages.(id);
+  Pager.charge_rows t.pager 1;
+  Pager.charge_transfer t.pager (t.row_bytes row);
+  row
+
+let scan t f =
+  let n = Array.length t.rows in
+  let last_page = ref (-1) in
+  for id = 0 to n - 1 do
+    let page = t.row_pages.(id) in
+    if page <> !last_page then begin
+      Pager.touch t.pager t.heap_rel page;
+      last_page := page
+    end;
+    if t.live.(id) then f id t.rows.(id)
+  done;
+  Pager.charge_rows t.pager n
+
+let index_on t ~column =
+  List.assoc_opt column t.indexes
+
+let indexes t = t.indexes
+
+let cur_page t = t.cur_page
+let cur_fill t = t.cur_fill
+let data_bytes t = t.data_bytes

@@ -1,0 +1,71 @@
+(** Immutable point-in-time view of one table (an epoch snapshot).
+
+    [Table.freeze] publishes one of these under the table's writer
+    lock; afterwards every accessor is a pure read plus pager charges,
+    so any number of reader domains can query the view while writers
+    keep mutating the live table — readers never block writers and
+    vice versa. Row arrays are shared by pointer (the table never
+    mutates a stored row in place); visibility, page map and index
+    structures are copied, so later mutations — including vacuum and
+    checkpoint — are invisible through the view. *)
+
+type t
+
+val make :
+  epoch:int ->
+  name:string ->
+  schema:Schema.t ->
+  pager:Pager.t ->
+  heap_rel:Pager.rel ->
+  rows:Value.t array array ->
+  live:bool array ->
+  row_pages:int array ->
+  n_dead:int ->
+  cur_page:int ->
+  cur_fill:int ->
+  data_bytes:int ->
+  reclaimed:Value.t array ->
+  row_bytes:(Value.t array -> int) ->
+  indexes:(string * Table_index.t) list ->
+  t
+(** Constructor for [Table.freeze] — not meant for direct use. *)
+
+val epoch : t -> int
+(** The table's mutation epoch this view was frozen at. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val pager : t -> Pager.t
+
+val row_count : t -> int
+(** Heap slots, including tombstones and reclaimed holes. *)
+
+val live_count : t -> int
+val is_live : t -> int -> bool
+
+val is_reclaimed : t -> int -> bool
+(** True for a slot vacuumed away before the freeze (physical-identity
+    check against the table's shared sentinel). *)
+
+val peek_row : t -> int -> Value.t array
+(** The row without any pager charge (predicate evaluation). *)
+
+val read_row : t -> int -> Value.t array
+(** The row with heap page touch, row and transfer charges. *)
+
+val scan : t -> (int -> Value.t array -> unit) -> unit
+(** Full scan in id order: touches each heap page once, surfaces live
+    rows only, charges every slot examined. *)
+
+val index_on : t -> column:string -> Table_index.t option
+(** Frozen index copy for [column], if one existed at freeze time. *)
+
+val indexes : t -> (string * Table_index.t) list
+
+val row_page : t -> int -> int
+
+val cur_page : t -> int
+val cur_fill : t -> int
+val data_bytes : t -> int
+(** Heap-cursor state at freeze time, so a physical checkpoint taken
+    from the view ([Table.snapshot_of_view]) restores byte-identically. *)

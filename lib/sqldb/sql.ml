@@ -18,6 +18,7 @@ type statement =
 
 type token =
   | Ident of string
+  | Quoted_ident of string  (** ["…"]-quoted: never a keyword, any spelling *)
   | Int_lit of int64
   | Float_lit of float
   | String_lit of string
@@ -75,7 +76,11 @@ let tokenize src =
     end
     else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1]) then begin
       let j = ref (!i + 1) in
-      while !j < n && (is_digit src.[!j] || src.[!j] = '.' || src.[!j] = 'e' || src.[!j] = '-' && src.[!j - 1] = 'e') do
+      while
+        !j < n
+        && (is_digit src.[!j] || src.[!j] = '.' || src.[!j] = 'e'
+           || ((src.[!j] = '-' || src.[!j] = '+') && src.[!j - 1] = 'e'))
+      do
         incr j
       done;
       let text = String.sub src !i (!j - !i) in
@@ -113,6 +118,30 @@ let tokenize src =
       done;
       i := !j;
       push pos (String_lit (Buffer.contents buf))
+    end
+    else if c = '"' then begin
+      (* quoted identifier with "" escape: never a keyword, any spelling *)
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while not !closed do
+        if !j >= n then error pos "unterminated quoted identifier";
+        if src.[!j] = '"' then
+          if !j + 1 < n && src.[!j + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            j := !j + 2
+          end
+          else begin
+            closed := true;
+            incr j
+          end
+        else begin
+          Buffer.add_char buf src.[!j];
+          incr j
+        end
+      done;
+      i := !j;
+      push pos (Quoted_ident (Buffer.contents buf))
     end
     else begin
       incr i;
@@ -173,17 +202,24 @@ let accept_keyword p kw =
       true
   | _ -> false
 
+let is_reserved w =
+  match String.uppercase_ascii w with
+  | "SELECT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "IN" | "BETWEEN" | "LIMIT"
+  | "INSERT" | "INTO" | "VALUES" | "CREATE" | "TABLE" | "NULL" | "DELETE" | "UPDATE" | "SET" ->
+      true
+  | _ -> false
+
 let expect_ident p =
   match peek p with
-  | Ident w -> (
-      match String.uppercase_ascii w with
-      | "SELECT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "IN" | "BETWEEN" | "LIMIT"
-      | "INSERT" | "INTO" | "VALUES" | "CREATE" | "TABLE" | "NULL" | "DELETE" | "UPDATE" | "SET"
-        ->
-          error (pos p) "keyword %S where an identifier was expected" w
-      | _ ->
-          advance p;
-          w)
+  | Ident w ->
+      if is_reserved w then error (pos p) "keyword %S where an identifier was expected" w
+      else begin
+        advance p;
+        w
+      end
+  | Quoted_ident w ->
+      advance p;
+      w
   | _ -> error (pos p) "expected an identifier"
 
 let expect p tok what =
@@ -408,6 +444,221 @@ let run_parser f src =
 
 let parse src = run_parser parse_statement src
 let parse_predicate src = run_parser parse_or src
+
+(* ---------------- Printer ---------------- *)
+
+(* An identifier may appear bare only if it lexes as one token and can
+   never be mistaken for a keyword; TRUE is quoted too because a bare
+   TRUE opens a predicate atom. Everything else gets "…" quoting with
+   the "" escape. *)
+let plain_ident s =
+  s <> ""
+  && is_ident_start s.[0]
+  && String.for_all is_ident_char s
+  && (not (is_reserved s))
+  && String.uppercase_ascii s <> "TRUE"
+
+let print_ident buf s =
+  if plain_ident s then Buffer.add_string buf s
+  else begin
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  end
+
+(* Shortest decimal spelling that parses back to the same float, forced
+   into float-literal shape (a '.' or an exponent) so the lexer does not
+   read an integral value as an Int_lit. Non-finite reals have no
+   literal syntax. *)
+let float_repr f =
+  if not (Float.is_finite f) then invalid_arg "Sql.print: non-finite REAL literal";
+  let s15 = Printf.sprintf "%.15g" f in
+  let s =
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+  in
+  if String.contains s '.' || String.contains s 'e' then s else s ^ "."
+
+let print_value_buf buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_string buf "NULL"
+  | Value.Int i -> Buffer.add_string buf (Int64.to_string i)
+  | Value.Real f -> Buffer.add_string buf (float_repr f)
+  | Value.Text s ->
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\''
+  | Value.Blob b ->
+      Buffer.add_string buf "X'";
+      Buffer.add_string buf (Stdx.Bytes_util.to_hex b);
+      Buffer.add_char buf '\''
+
+(* The parser folds [a OP b OP c] flat and even folds a parenthesized
+   tail ([a OR (b OR c)] re-parses as [Or [a;b;c]]), so right-nested
+   same-connective trees are unrepresentable: the printer flattens them
+   up front. For predicates already in that canonical shape (which is
+   all the parser ever produces), [parse_predicate (print_predicate p)]
+   gives back [p] exactly. *)
+let rec flatten_or = function
+  | Predicate.Or qs -> List.concat_map flatten_or qs
+  | q -> [ q ]
+
+let rec flatten_and = function
+  | Predicate.And qs -> List.concat_map flatten_and qs
+  | q -> [ q ]
+
+(* Precedence levels: 0 = OR may appear bare, 1 = AND, 2 = NOT, higher
+   needs parentheses. *)
+let rec print_pred buf ~level (pr : Predicate.t) =
+  let paren needed body =
+    if needed then begin
+      Buffer.add_char buf '(';
+      body ();
+      Buffer.add_char buf ')'
+    end
+    else body ()
+  in
+  let list sep ~level qs =
+    List.iteri
+      (fun i q ->
+        if i > 0 then Buffer.add_string buf sep;
+        print_pred buf ~level q)
+      qs
+  in
+  match pr with
+  | Predicate.True -> Buffer.add_string buf "TRUE"
+  | Predicate.Eq (c, v) ->
+      print_ident buf c;
+      Buffer.add_string buf " = ";
+      print_value_buf buf v
+  | Predicate.In (c, vs) ->
+      if vs = [] then invalid_arg "Sql.print: empty IN list";
+      print_ident buf c;
+      Buffer.add_string buf " IN (";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          print_value_buf buf v)
+        vs;
+      Buffer.add_char buf ')'
+  | Predicate.Range (c, Some lo, Some hi) ->
+      print_ident buf c;
+      Buffer.add_string buf " BETWEEN ";
+      print_value_buf buf lo;
+      Buffer.add_string buf " AND ";
+      print_value_buf buf hi
+  | Predicate.Range (c, Some lo, None) ->
+      print_ident buf c;
+      Buffer.add_string buf " >= ";
+      print_value_buf buf lo
+  | Predicate.Range (c, None, Some hi) ->
+      print_ident buf c;
+      Buffer.add_string buf " <= ";
+      print_value_buf buf hi
+  | Predicate.Range (_, None, None) -> invalid_arg "Sql.print: unbounded range"
+  | Predicate.Not (Predicate.Eq (c, v)) ->
+      (* the <> sugar: re-parses to Not (Eq _) *)
+      print_ident buf c;
+      Buffer.add_string buf " <> ";
+      print_value_buf buf v
+  | Predicate.Not q ->
+      paren (level > 2) @@ fun () ->
+      Buffer.add_string buf "NOT ";
+      print_pred buf ~level:3 q
+  | Predicate.And qs -> (
+      match flatten_and (Predicate.And qs) with
+      | [] -> Buffer.add_string buf "TRUE"
+      | [ q ] -> print_pred buf ~level q
+      | qs -> paren (level > 1) @@ fun () -> list " AND " ~level:2 qs)
+  | Predicate.Or qs -> (
+      match flatten_or (Predicate.Or qs) with
+      | [] -> Buffer.add_string buf "NOT TRUE"
+      | [ q ] -> print_pred buf ~level q
+      | qs -> paren (level > 0) @@ fun () -> list " OR " ~level:1 qs)
+
+let with_buf f =
+  let buf = Buffer.create 128 in
+  f buf;
+  Buffer.contents buf
+
+let print_value v = with_buf (fun buf -> print_value_buf buf v)
+let print_predicate p = with_buf (fun buf -> print_pred buf ~level:0 p)
+
+let print_statement (st : statement) =
+  with_buf @@ fun buf ->
+  let where w =
+    match w with
+    | Predicate.True -> ()
+    | _ ->
+        Buffer.add_string buf " WHERE ";
+        print_pred buf ~level:0 w
+  in
+  match st with
+  | Select s ->
+      Buffer.add_string buf "SELECT ";
+      (match s.projection with
+      | `Star -> Buffer.add_char buf '*'
+      | `Columns cols ->
+          List.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_string buf ", ";
+              print_ident buf c)
+            cols);
+      Buffer.add_string buf " FROM ";
+      print_ident buf s.table;
+      where s.where;
+      (match s.limit with
+      | None -> ()
+      | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n))
+  | Insert { table; values } ->
+      Buffer.add_string buf "INSERT INTO ";
+      print_ident buf table;
+      Buffer.add_string buf " VALUES (";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          print_value_buf buf v)
+        values;
+      Buffer.add_char buf ')'
+  | Create_table { table; columns } ->
+      Buffer.add_string buf "CREATE TABLE ";
+      print_ident buf table;
+      Buffer.add_string buf " (";
+      List.iteri
+        (fun i (c : Schema.column) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          print_ident buf c.name;
+          Buffer.add_string buf
+            (match c.ty with
+            | Value.TInt -> " INT"
+            | Value.TReal -> " REAL"
+            | Value.TText -> " TEXT"
+            | Value.TBlob -> " BLOB");
+          if not c.nullable then Buffer.add_string buf " NOT NULL")
+        columns;
+      Buffer.add_char buf ')'
+  | Delete { table; where = w } ->
+      Buffer.add_string buf "DELETE FROM ";
+      print_ident buf table;
+      where w
+  | Update { table; assignments; where = w } ->
+      Buffer.add_string buf "UPDATE ";
+      print_ident buf table;
+      Buffer.add_string buf " SET ";
+      List.iteri
+        (fun i (c, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          print_ident buf c;
+          Buffer.add_string buf " = ";
+          print_value_buf buf v)
+        assignments;
+      where w
 
 (* ---------------- Execution ---------------- *)
 

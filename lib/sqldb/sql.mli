@@ -7,8 +7,11 @@
     and recursive-descent parser — no external parser generators in the
     sealed environment.
 
-    Identifiers are case-sensitive; keywords are not. String literals
-    use single quotes with [''] escaping; blob literals are [X'hex']. *)
+    Identifiers are case-sensitive; keywords are not. Identifiers may
+    be double-quoted (["…"] with [""] escaping) to spell names that
+    collide with keywords or use characters outside
+    [[A-Za-z_][A-Za-z0-9_]*]. String literals use single quotes with
+    [''] escaping; blob literals are [X'hex']. *)
 
 type select = {
   projection : [ `Star | `Columns of string list ];
@@ -30,6 +33,26 @@ val parse : string -> (statement, string) result
 
 val parse_predicate : string -> (Predicate.t, string) result
 (** Parse a bare WHERE-clause expression (used by tests and the proxy). *)
+
+val print_statement : statement -> string
+(** Render a statement back to parseable SQL. Identifiers are quoted
+    exactly when needed, TEXT literals use [''] escaping, REAL literals
+    use the shortest decimal spelling that parses back to the same
+    float. For every statement the parser can produce,
+    [parse (print_statement st) = Ok st]. ASTs the grammar cannot
+    express are canonicalized: right-nested same-connective And/Or
+    chains are flattened (the parser folds them flat anyway) and empty
+    And/Or print as [TRUE] / [NOT TRUE]. Raises [Invalid_argument] for
+    the remaining inexpressible literals (non-finite REAL, empty IN
+    list, unbounded Range). *)
+
+val print_predicate : Predicate.t -> string
+(** {!print_statement} for a bare WHERE-clause expression:
+    [parse_predicate (print_predicate p)] returns [p] for every
+    parser-producible predicate. *)
+
+val print_value : Value.t -> string
+(** One SQL literal (as found inside the statements above). *)
 
 type query_result = {
   columns : string list;  (** names of the projected columns *)

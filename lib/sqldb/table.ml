@@ -12,10 +12,40 @@ type t = {
   mutable data_bytes : int; (* logical tuple bytes, for avg_row_bytes *)
   indexes : (string, Table_index.t) Hashtbl.t;
   mutable journal : Journal.hook option;
+  (* Epoch-based copy-on-write reads: every mutation runs under
+     [writer], bumps [epoch] and invalidates the cached frozen view;
+     [freeze] rebuilds it at most once per epoch. Readers work against
+     the returned [Read_view.t] without taking any lock. *)
+  writer : Mutex.t;
+  mutable writer_holder : int;
+      (* Domain id currently inside [mutate], -1 when free. Lets
+         [freeze]/[epoch] detect a reentrant call from the journal hook
+         (the storage engine's auto-checkpoint) instead of deadlocking
+         on the non-reentrant mutex. *)
+  mutable epoch : int;
+  mutable frozen : Read_view.t option;
 }
 
 let set_journal t hook = t.journal <- hook
 let emit t m = match t.journal with None -> () | Some hook -> hook m
+
+(* Run a mutation under the writer lock: publish a new epoch and drop
+   the cached view so the next [freeze] sees the new state. Journal
+   hooks fire inside the critical section — the storage engine's WAL
+   append stays ordered with the mutation it records. *)
+let self_id () = (Domain.self () :> int)
+
+let mutate t f =
+  Mutex.lock t.writer;
+  t.writer_holder <- self_id ();
+  Fun.protect
+    ~finally:(fun () ->
+      t.writer_holder <- -1;
+      Mutex.unlock t.writer)
+    (fun () ->
+      t.epoch <- t.epoch + 1;
+      t.frozen <- None;
+      f ())
 
 let page_header = 24
 let tuple_header = 24
@@ -37,6 +67,10 @@ let create pager ~name ~schema =
     data_bytes = 0;
     indexes = Hashtbl.create 4;
     journal = None;
+    writer = Mutex.create ();
+    writer_holder = -1;
+    epoch = 0;
+    frozen = None;
   }
 
 let name t = t.name
@@ -72,10 +106,7 @@ let append_row t row =
 let index_positions t =
   Hashtbl.fold (fun col idx acc -> (Schema.column_index t.schema col, idx) :: acc) t.indexes []
 
-let insert t row =
-  (match Schema.validate_row t.schema row with
-  | Ok () -> ()
-  | Error e -> invalid_arg (Printf.sprintf "Table.insert(%s): %s" t.name e));
+let insert_unlocked t row =
   let id = append_row t row in
   Hashtbl.iter
     (fun col idx -> Table_index.insert idx row.(Schema.column_index t.schema col) id)
@@ -84,6 +115,12 @@ let insert t row =
   emit t (Journal.Inserted { table = t.name; row = Stdx.Vec.get t.rows id });
   id
 
+let insert t row =
+  (match Schema.validate_row t.schema row with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Table.insert(%s): %s" t.name e));
+  mutate t (fun () -> insert_unlocked t row)
+
 let insert_batch t rows =
   Array.iteri
     (fun i row ->
@@ -91,6 +128,7 @@ let insert_batch t rows =
       | Ok () -> ()
       | Error e -> invalid_arg (Printf.sprintf "Table.insert_batch(%s): row %d: %s" t.name i e))
     rows;
+  mutate t @@ fun () ->
   let positions = index_positions t in
   let first = Stdx.Vec.length t.rows in
   Array.iter
@@ -111,7 +149,7 @@ let row_count t = Stdx.Vec.length t.rows
 let live_count t = row_count t - t.n_dead
 let is_live t id = Stdx.Vec.get t.live id
 
-let delete t id =
+let delete_unlocked t id =
   if Stdx.Vec.get t.live id then begin
     Stdx.Vec.set t.live id false;
     t.n_dead <- t.n_dead + 1;
@@ -119,6 +157,8 @@ let delete t id =
     true
   end
   else false
+
+let delete t id = mutate t (fun () -> delete_unlocked t id)
 
 let peek_row t id = Stdx.Vec.get t.rows id
 
@@ -152,14 +192,16 @@ let update t id row =
   (match Schema.validate_row t.schema row with
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Table.update(%s): %s" t.name e));
-  ignore (delete t id);
-  insert t row
+  mutate t @@ fun () ->
+  ignore (delete_unlocked t id);
+  insert_unlocked t row
 
 (* Shared sentinel for vacuumed-away tuples: physical identity
    distinguishes it from any real (possibly empty) row. *)
 let reclaimed : Value.t array = [||]
 
 let vacuum t =
+  mutate t @@ fun () ->
   if t.n_dead > 0 then begin
     let positions = index_positions t in
     let n = Stdx.Vec.length t.rows in
@@ -198,6 +240,7 @@ let vacuum t =
   end
 
 let create_index ?(kind = Table_index.Btree) t ~column =
+  mutate t @@ fun () ->
   match Hashtbl.find_opt t.indexes column with
   | Some idx -> idx
   | None ->
@@ -219,6 +262,54 @@ let total_bytes t = heap_bytes t + index_bytes t
 let avg_row_bytes t =
   if live_count t = 0 then 0.0 else float_of_int t.data_bytes /. float_of_int (live_count t)
 
+let epoch t =
+  if t.writer_holder = self_id () then t.epoch
+  else begin
+    Mutex.lock t.writer;
+    let e = t.epoch in
+    Mutex.unlock t.writer;
+    e
+  end
+
+let build_view t =
+  let n = Stdx.Vec.length t.rows in
+  Read_view.make ~epoch:t.epoch ~name:t.name ~schema:t.schema ~pager:t.pager ~heap_rel:t.heap_rel
+    ~rows:(Array.init n (Stdx.Vec.get t.rows))
+    ~live:(Array.init n (Stdx.Vec.get t.live))
+    ~row_pages:(Array.init n (Stdx.Vec.get t.row_pages))
+    ~n_dead:t.n_dead ~cur_page:t.cur_page ~cur_fill:t.cur_fill ~data_bytes:t.data_bytes
+    ~reclaimed
+    ~row_bytes:(fun row -> tuple_bytes t.schema row)
+    ~indexes:
+      (Hashtbl.fold (fun col idx acc -> (col, Table_index.freeze idx) :: acc) t.indexes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* Publish the current epoch as an immutable read view. Cached: the
+   O(n) copy (plus index freezes) happens at most once per epoch, and
+   only when a reader actually asks. Row arrays are shared by pointer —
+   the table never mutates a stored row in place — so "copy-on-write"
+   costs one pointer array, two scalar arrays and the index copies. *)
+let freeze t =
+  if t.writer_holder = self_id () then
+    (* Reentrant call from inside this domain's own mutation — the
+       journal hook triggering the storage engine's auto-checkpoint.
+       Each hook fires right after its mutation is applied, so the
+       state is exactly the WAL prefix through the record being
+       logged. Skip the cache: a compound mutation (update = delete +
+       insert) may not be finished, so this view must not be served to
+       later same-epoch readers. *)
+    build_view t
+  else begin
+    Mutex.lock t.writer;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) @@ fun () ->
+    match t.frozen with
+    | Some v -> v
+    | None ->
+        let v = build_view t in
+        t.frozen <- Some v;
+        v
+  end
+
 (* Physical snapshot: the exact heap state, including tombstones and
    vacuum holes, so a restored table is byte-identical — same row ids,
    same page assignment — even after vacuums that a logical replay
@@ -236,24 +327,27 @@ type snapshot = {
   s_indexes : (string * Table_index.kind) list;
 }
 
-let snapshot t =
-  let n = Stdx.Vec.length t.rows in
+(* Serialize a frozen view. Runs entirely off the writer lock, so a
+   checkpoint can serialize a multi-second snapshot while writers (and
+   other readers) proceed against newer epochs. *)
+let snapshot_of_view v =
+  let n = Read_view.row_count v in
   {
-    s_name = t.name;
-    s_schema = t.schema;
+    s_name = Read_view.name v;
+    s_schema = Read_view.schema v;
     s_rows =
       Array.init n (fun id ->
-          let row = Stdx.Vec.get t.rows id in
-          if row == reclaimed then None else Some (Array.copy row));
-    s_live = Array.init n (Stdx.Vec.get t.live);
-    s_row_pages = Array.init n (Stdx.Vec.get t.row_pages);
-    s_cur_page = t.cur_page;
-    s_cur_fill = t.cur_fill;
-    s_data_bytes = t.data_bytes;
-    s_indexes =
-      Hashtbl.fold (fun col idx acc -> (col, Table_index.kind idx) :: acc) t.indexes []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+          if Read_view.is_reclaimed v id then None
+          else Some (Array.copy (Read_view.peek_row v id)));
+    s_live = Array.init n (Read_view.is_live v);
+    s_row_pages = Array.init n (Read_view.row_page v);
+    s_cur_page = Read_view.cur_page v;
+    s_cur_fill = Read_view.cur_fill v;
+    s_data_bytes = Read_view.data_bytes v;
+    s_indexes = List.map (fun (col, idx) -> (col, Table_index.kind idx)) (Read_view.indexes v);
   }
+
+let snapshot t = snapshot_of_view (freeze t)
 
 let of_snapshot pager s =
   let t = create pager ~name:s.s_name ~schema:s.s_schema in

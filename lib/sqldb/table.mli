@@ -77,6 +77,21 @@ val create_index : ?kind:Table_index.kind -> t -> column:string -> Table_index.t
 val index_on : t -> column:string -> Table_index.t option
 val indexes : t -> Table_index.t list
 
+(* Epoch-based snapshot reads. *)
+
+val epoch : t -> int
+(** Mutation epoch: 0 at creation, bumped by every successful (or
+    attempted) mutation — insert, batch, delete, update, vacuum,
+    index creation. *)
+
+val freeze : t -> Read_view.t
+(** Publish the current epoch as an immutable {!Read_view.t}. The view
+    is cached per epoch, so repeated freezes between mutations are
+    O(1); after a mutation the next freeze pays one O(n) copy plus an
+    index freeze per index. Readers use the view from any domain
+    without locking; writers keep mutating the live table — neither
+    blocks the other. *)
+
 (* Storage accounting (Table I). *)
 
 val heap_pages : t -> int
@@ -111,7 +126,12 @@ type snapshot = {
     the index definitions — index {e contents} are rebuilt on restore. *)
 
 val snapshot : t -> snapshot
-(** Deep copy of the current physical state. *)
+(** Deep copy of the current physical state (via {!freeze}). *)
+
+val snapshot_of_view : Read_view.t -> snapshot
+(** Serialize a frozen view — the checkpoint path: the writer lock is
+    held only for the {!freeze} itself, never for serialization, so a
+    checkpoint no longer pauses readers or writers. *)
 
 val of_snapshot : Pager.t -> snapshot -> t
 (** Reconstruct a table from a snapshot, byte-identical to the one

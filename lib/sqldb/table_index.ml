@@ -24,5 +24,7 @@ let lookup_many t keys =
 let range t ?lo ?hi () =
   match t with B i -> Some (Btree_index.range i ?lo ?hi ()) | H _ -> None
 
+let freeze = function B i -> B (Btree_index.freeze i) | H i -> H (Hash_index.freeze i)
+
 let entry_count = function B i -> Btree_index.entry_count i | H i -> Hash_index.entry_count i
 let size_bytes = function B i -> Btree_index.size_bytes i | H i -> Hash_index.size_bytes i

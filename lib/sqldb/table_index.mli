@@ -19,5 +19,9 @@ val range : t -> ?lo:Value.t -> ?hi:Value.t -> unit -> int array option
 (** [None] for hash indexes — they cannot serve range scans, and the
     planner falls back to a sequential scan. *)
 
+val freeze : t -> t
+(** Detached read-only copy for snapshot readers; shares the live
+    index's pager rel so page touches land in the same buffer pool. *)
+
 val entry_count : t -> int
 val size_bytes : t -> int

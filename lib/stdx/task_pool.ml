@@ -132,3 +132,9 @@ let parallel_init t n f =
   end
 
 let parallel_iter t n f = ignore (parallel_init t n (fun i -> f i))
+
+let map_array ?pool a f =
+  match pool with
+  | None -> Array.map f a
+  | Some t when t.domains = 1 -> Array.map f a
+  | Some t -> parallel_init t (Array.length a) (fun i -> f a.(i))

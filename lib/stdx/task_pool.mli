@@ -35,6 +35,13 @@ val parallel_init : t -> int -> (int -> 'a) -> 'a array
 val parallel_iter : t -> int -> (int -> unit) -> unit
 (** [parallel_init] for effects only. *)
 
+val map_array : ?pool:t -> 'a array -> ('a -> 'b) -> 'b array
+(** Scoped-parallelism helper for optionally-parallel stages:
+    [map_array ?pool a f] is exactly [Array.map f a] when [pool] is
+    absent or has one domain (the sequential byte-identity anchor), and
+    [parallel_init] over the indexes of [a] otherwise — same
+    element-wise calls, index-ordered results. *)
+
 val shutdown : t -> unit
 (** Join all workers. Idempotent. Submitting work after shutdown
     raises [Invalid_argument]. *)

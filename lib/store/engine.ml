@@ -74,6 +74,11 @@ let apply_op st op =
 
 let checkpoint t =
   Wal.sync t.wal;
+  (* Freeze every table's current epoch up front — a brief writer-lock
+     per table — then serialize the frozen views with no lock held:
+     readers keep their views and writers publish new epochs while the
+     snapshot file is being written. *)
+  let views = List.map Table.freeze (Database.tables t.db) in
   let wre =
     List.map
       (fun (name, cfg) ->
@@ -87,7 +92,7 @@ let checkpoint t =
     {
       Snapshot.last_lsn = Int64.pred (Wal.next_lsn t.wal);
       pager = Pager.config (Database.pager t.db);
-      tables = List.map Table.snapshot (Database.tables t.db);
+      tables = List.map Table.snapshot_of_view views;
       wre;
     };
   Wal.reset t.wal;

@@ -79,7 +79,11 @@ val flush : t -> unit
 
 val checkpoint : t -> unit
 (** Flush, atomically publish a snapshot of everything, then truncate
-    the WAL. Bounds both log growth and recovery time. *)
+    the WAL. Bounds both log growth and recovery time. The snapshot is
+    serialized from frozen epoch views ({!Sqldb.Table.freeze}): each
+    table's writer lock is held only long enough to freeze, so
+    concurrent readers — and readers still holding {e older} epochs —
+    are never paused while the snapshot file is written. *)
 
 val close : t -> unit
 (** Flush and release file descriptors. The engine (and its database)

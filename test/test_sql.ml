@@ -383,6 +383,159 @@ let test_proxy_in_list_on_encrypted_column () =
   let r = ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE name IN ('ann', 'cat')") in
   check_int "union of both values" 40 (List.length r.rows)
 
+(* ---------------- Printer: quoted identifiers, round-trip ---------------- *)
+
+let test_quoted_identifiers () =
+  check_bool "keyword as quoted column" true
+    (parse_pred "\"select\" = 1" = Predicate.Eq ("select", Value.Int 1L));
+  check_bool "quote escape" true (parse_pred "\"a\"\"b\" = 1" = Predicate.Eq ("a\"b", Value.Int 1L));
+  check_bool "spaces and case preserved" true
+    (parse_pred "\"Weird Name\" = 'x'" = Predicate.Eq ("Weird Name", Value.Text "x"));
+  (match ok (Sql.parse "SELECT \"from\", name FROM \"order table\"") with
+  | Sql.Select s ->
+      check_bool "quoted projection" true (s.projection = `Columns [ "from"; "name" ]);
+      check_str "quoted table" "order table" s.table
+  | _ -> Alcotest.fail "not a select");
+  check_bool "unterminated rejected" true (Result.is_error (Sql.parse_predicate "\"a = 1"));
+  check_str "printer quotes keywords" "\"select\" = 1"
+    (Sql.print_predicate (Predicate.Eq ("select", Value.Int 1L)));
+  check_str "printer quotes TRUE (it opens an atom)" "\"true\" = 1"
+    (Sql.print_predicate (Predicate.Eq ("true", Value.Int 1L)));
+  check_str "plain idents stay bare, '' escape used" "name = 'O''Brien'"
+    (Sql.print_predicate (Predicate.Eq ("name", Value.Text "O'Brien")))
+
+let test_number_lexing_exponent () =
+  check_bool "e+ exponent" true
+    (parse_pred "score = 1e+3" = Predicate.Eq ("score", Value.Real 1000.0));
+  check_bool "e- exponent" true
+    (parse_pred "score = 25e-2" = Predicate.Eq ("score", Value.Real 0.25));
+  (* large magnitudes print with e+NN and must survive the round trip *)
+  check_bool "printed float reparses" true
+    (parse_pred (Sql.print_predicate (Predicate.Eq ("score", Value.Real 1e300)))
+    = Predicate.Eq ("score", Value.Real 1e300));
+  check_bool "integral float keeps REAL type" true
+    (parse_pred (Sql.print_predicate (Predicate.Eq ("score", Value.Real 42.0)))
+    = Predicate.Eq ("score", Value.Real 42.0))
+
+(* Generators for the print → re-parse property. Identifiers include
+   keywords, embedded quotes, spaces and leading digits (everything the
+   printer must "…"-quote); TEXT values include the '' escape. *)
+let gen_ident =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ "id"; "name"; "city"; "age"; "col_9"; "_tmp"; "x" ];
+        oneofl [ "select"; "WHERE"; "true"; "NULL"; "in"; "between" ];
+        oneofl [ "weird name"; "quo\"te"; "9lives"; "semi;colon"; "paren)"; "a'b" ];
+      ])
+
+let gen_text =
+  QCheck.Gen.(
+    oneof
+      [ string_size ~gen:printable (int_range 0 12); oneofl [ "O'Brien"; "''"; "'"; "a\nb" ] ])
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Value.Int (Int64.of_int i)) int);
+        (1, oneofl [ Value.Int Int64.min_int; Value.Int Int64.max_int; Value.Null ]);
+        (2, map (fun f -> Value.Real (if Float.is_finite f then f else 0.5)) float);
+        (1, oneofl [ Value.Real 1e300; Value.Real (-0.0); Value.Real 2.5e-7 ]);
+        (3, map (fun s -> Value.Text s) gen_text);
+        (1, map (fun s -> Value.Blob s) (string_size ~gen:char (int_range 0 8)));
+      ])
+
+(* Canonical shapes only: the parser folds nested same-connective
+   chains flat (even parenthesized tails), so And legs are never And
+   and Or legs never Or — exactly the ASTs the parser itself emits. *)
+let gen_predicate =
+  let open QCheck.Gen in
+  let gen_atom =
+    frequency
+      [
+        (1, return Predicate.True);
+        (4, map2 (fun c v -> Predicate.Eq (c, v)) gen_ident gen_value);
+        (2, map2 (fun c vs -> Predicate.In (c, vs)) gen_ident (list_size (int_range 1 4) gen_value));
+        ( 2,
+          map3
+            (fun c v shape ->
+              match shape with
+              | 0 -> Predicate.Range (c, Some v, None)
+              | 1 -> Predicate.Range (c, None, Some v)
+              | _ -> Predicate.Range (c, Some v, Some v))
+            gen_ident gen_value (int_range 0 2) );
+      ]
+  in
+  let rec gen depth parent =
+    if depth = 0 then gen_atom
+    else
+      let gen_and () =
+        map (fun legs -> Predicate.And legs) (list_size (int_range 2 3) (gen (depth - 1) `And))
+      in
+      let gen_or () =
+        map (fun legs -> Predicate.Or legs) (list_size (int_range 2 3) (gen (depth - 1) `Or))
+      in
+      let gen_not () = map (fun q -> Predicate.Not q) (gen (depth - 1) `Top) in
+      match parent with
+      | `And -> frequency [ (3, gen_atom); (1, gen_or ()); (1, gen_not ()) ]
+      | `Or -> frequency [ (3, gen_atom); (1, gen_and ()); (1, gen_not ()) ]
+      | `Top -> frequency [ (3, gen_atom); (1, gen_and ()); (1, gen_or ()); (1, gen_not ()) ]
+  in
+  gen 3 `Top
+
+let gen_statement =
+  let open QCheck.Gen in
+  let gen_select =
+    map2
+      (fun (projection, table) (where, limit) -> Sql.Select { projection; table; where; limit })
+      (pair
+         (oneof
+            [ return `Star; map (fun cs -> `Columns cs) (list_size (int_range 1 3) gen_ident) ])
+         gen_ident)
+      (pair gen_predicate (opt (int_range 0 50)))
+  in
+  let gen_insert =
+    map2
+      (fun table values -> Sql.Insert { table; values })
+      gen_ident
+      (list_size (int_range 1 4) gen_value)
+  in
+  let gen_create =
+    let gen_column =
+      map3
+        (fun name ty nullable -> { Schema.name; ty; nullable })
+        gen_ident
+        (oneofl [ Value.TInt; Value.TReal; Value.TText; Value.TBlob ])
+        bool
+    in
+    map2
+      (fun table columns -> Sql.Create_table { table; columns })
+      gen_ident
+      (list_size (int_range 1 3) gen_column)
+  in
+  let gen_delete =
+    map2 (fun table where -> Sql.Delete { table; where }) gen_ident gen_predicate
+  in
+  let gen_update =
+    map3
+      (fun table assignments where -> Sql.Update { table; assignments; where })
+      gen_ident
+      (list_size (int_range 1 3) (pair gen_ident gen_value))
+      gen_predicate
+  in
+  frequency [ (3, gen_select); (2, gen_insert); (1, gen_create); (1, gen_delete); (2, gen_update) ]
+
+let qcheck_predicate_roundtrip =
+  QCheck.Test.make ~name:"predicate print → re-parse round-trip" ~count:500
+    (QCheck.make ~print:Sql.print_predicate gen_predicate) (fun p ->
+      Sql.parse_predicate (Sql.print_predicate p) = Ok p)
+
+let qcheck_statement_roundtrip =
+  QCheck.Test.make ~name:"statement print → re-parse round-trip" ~count:300
+    (QCheck.make ~print:Sql.print_statement gen_statement) (fun st ->
+      Sql.parse (Sql.print_statement st) = Ok st)
+
 (* ---------------- Property: proxy vs plaintext reference ---------------- *)
 
 let qcheck_proxy_matches_plaintext =
@@ -445,6 +598,8 @@ let () =
           Alcotest.test_case "select shapes" `Quick test_parse_select_shapes;
           Alcotest.test_case "insert/create" `Quick test_parse_insert_create;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "quoted identifiers" `Quick test_quoted_identifiers;
+          Alcotest.test_case "exponent literals" `Quick test_number_lexing_exponent;
         ] );
       ( "execute",
         [
@@ -475,5 +630,11 @@ let () =
           Alcotest.test_case "IN-list on encrypted column" `Quick
             test_proxy_in_list_on_encrypted_column;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_proxy_matches_plaintext ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_proxy_matches_plaintext;
+            qcheck_predicate_roundtrip;
+            qcheck_statement_roundtrip;
+          ] );
     ]

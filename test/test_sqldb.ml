@@ -293,6 +293,125 @@ let test_pager_stats_accumulate () =
   Pager.reset_stats pager;
   check_int "reset" 0 (Pager.stats pager).misses
 
+(* ---------------- Snapshot views & parallel pager accounting ---------------- *)
+
+let test_pager_counters_exact_multi_domain () =
+  (* Four domains query disjoint slices of a frozen view concurrently.
+     Each query's [stats] is a domain-local delta; the pager's atomic
+     whole-instance totals must equal the sum of those deltas exactly —
+     a lost-update race in the counters would break the equality. *)
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 4999 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "n%d" (i mod 64)) None))
+  done;
+  ignore (Table.create_index t ~column:"name");
+  let view = Table.freeze t in
+  let pred k = Predicate.Eq ("name", Value.Text (Printf.sprintf "n%d" k)) in
+  let seq = Array.init 64 (fun k -> Executor.run t ~projection:Executor.All_columns (pred k)) in
+  Pager.drop_caches pager;
+  Pager.reset_stats pager;
+  let n_dom = 4 in
+  let worker d () =
+    let acc = ref [] in
+    let k = ref d in
+    while !k < 64 do
+      acc := (!k, Executor.run_view view ~projection:Executor.All_columns (pred !k)) :: !acc;
+      k := !k + n_dom
+    done;
+    !acc
+  in
+  let doms = Array.init (n_dom - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  let own = worker 0 () in
+  let all = own @ List.concat_map Domain.join (Array.to_list doms) in
+  let results = Array.make 64 None in
+  List.iter (fun (k, r) -> results.(k) <- Some r) all;
+  let per_query = Array.map Option.get results in
+  let total =
+    Array.fold_left
+      (fun acc (r : Executor.result) -> Pager.sum_stats acc r.stats)
+      Pager.zero_stats per_query
+  in
+  let global = Pager.stats pager in
+  check_int "hits exact" global.hits total.hits;
+  check_int "misses exact" global.misses total.misses;
+  check_int "rows examined exact" global.rows_examined total.rows_examined;
+  check_bool "sim time sums" true
+    (Float.abs (global.sim_ns -. total.sim_ns) <= 1e-6 *. Float.max 1.0 global.sim_ns);
+  check_bool "work actually happened" true (global.misses > 0 && global.rows_examined > 0);
+  Array.iteri
+    (fun k (r : Executor.result) ->
+      Alcotest.(check (array int)) (Printf.sprintf "ids %d" k) seq.(k).row_ids r.row_ids;
+      check_bool (Printf.sprintf "rows %d" k) true (r.rows = seq.(k).rows))
+    per_query
+
+let test_run_view_matches_run () =
+  (* Same epoch, warm cache: [run_view] with no pool is byte-identical
+     to [run] (ids, rows, plan, pager delta), and a 4-domain pool fans
+     out the OR probes yet returns identical ids/rows/plan. *)
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 1999 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "n%d" (i mod 40)) None))
+  done;
+  ignore (Table.create_index t ~column:"name");
+  ignore (Table.create_index t ~column:"id");
+  let view = Table.freeze t in
+  check_int "epoch unchanged by freeze" (Table.epoch t) (Read_view.epoch view);
+  let pred =
+    Predicate.Or
+      [
+        Predicate.In ("name", [ Value.Text "n3"; Value.Text "n17"; Value.Text "n39" ]);
+        Predicate.Eq ("id", Value.Int 7L);
+      ]
+  in
+  let warm projection p =
+    ignore (Executor.run t ~projection p);
+    ignore (Executor.run_view view ~projection p)
+  in
+  List.iter
+    (fun projection ->
+      warm projection pred;
+      let r_seq = Executor.run t ~projection pred in
+      let r_view = Executor.run_view view ~projection pred in
+      Alcotest.(check (array int)) "ids equal" r_seq.row_ids r_view.row_ids;
+      check_bool "rows equal" true (r_view.rows = r_seq.rows);
+      check_bool "plan equal" true (r_view.plan = r_seq.plan);
+      check_int "hits equal" r_seq.stats.hits r_view.stats.hits;
+      check_int "misses equal" r_seq.stats.misses r_view.stats.misses;
+      check_int "rows examined equal" r_seq.stats.rows_examined r_view.stats.rows_examined;
+      Stdx.Task_pool.with_pool ~domains:4 (fun pool ->
+          let r_par = Executor.run_view ~pool view ~projection pred in
+          Alcotest.(check (array int)) "parallel ids equal" r_seq.row_ids r_par.row_ids;
+          check_bool "parallel rows equal" true (r_par.rows = r_seq.rows);
+          check_bool "parallel plan equal" true (r_par.plan = r_seq.plan);
+          check_int "parallel rows examined equal" r_seq.stats.rows_examined
+            r_par.stats.rows_examined))
+    [ Executor.Row_ids; Executor.All_columns ]
+
+let test_view_isolated_from_mutations () =
+  let pager = Pager.create () in
+  let t = Table.create pager ~name:"t" ~schema:small_schema in
+  for i = 0 to 99 do
+    ignore (Table.insert t (mk_row i (Printf.sprintf "n%d" (i mod 10)) None))
+  done;
+  ignore (Table.create_index t ~column:"name");
+  let view = Table.freeze t in
+  let pred = Predicate.Eq ("name", Value.Text "n4") in
+  let before = (Executor.run_view view ~projection:Executor.All_columns pred).rows in
+  for i = 0 to 99 do
+    check_bool "deleted" true (Table.delete t i)
+  done;
+  Table.vacuum t;
+  ignore (Table.insert t (mk_row 1000 "n4" (Some 1.0)));
+  let after = (Executor.run_view view ~projection:Executor.All_columns pred).rows in
+  check_bool "view unchanged by delete/vacuum/insert" true (before = after);
+  check_int "view still sees 10 rows" 10 (Array.length after);
+  let fresh = Table.freeze t in
+  check_bool "fresh view at later epoch" true (Read_view.epoch fresh > Read_view.epoch view);
+  check_int "fresh view sees new state" 1
+    (Array.length (Executor.run_view fresh ~projection:Executor.Row_ids pred).row_ids)
+
 (* ---------------- Executor ---------------- *)
 
 let build_db () =
@@ -756,6 +875,14 @@ let () =
         [
           Alcotest.test_case "cold/warm" `Quick test_pager_cold_warm;
           Alcotest.test_case "stats" `Quick test_pager_stats_accumulate;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "pager counters exact under domains" `Quick
+            test_pager_counters_exact_multi_domain;
+          Alcotest.test_case "run_view matches run" `Quick test_run_view_matches_run;
+          Alcotest.test_case "view isolated from mutations" `Quick
+            test_view_isolated_from_mutations;
         ] );
       ( "executor",
         [

@@ -568,6 +568,50 @@ let test_crash_during_checkpoint () =
           verify_recovery ~label:("checkpoint @ " ^ point) ~completed:n_ops dir reference))
     [ "snapshot.write"; "snapshot.fsync"; "snapshot.rename"; "dir.fsync" ]
 
+let test_checkpoint_crash_reader_holds_old_epoch () =
+  (* A reader freezes an epoch mid-workload, the writer keeps inserting,
+     then a checkpoint crashes at each point of its write/fsync/rename
+     sequence. The frozen view shares nothing with the snapshot writer,
+     so it must keep answering byte-identically through the crash — and
+     recovery from disk must still reproduce the full workload. *)
+  let reference = reference_state n_ops in
+  List.iter
+    (fun point ->
+      with_temp_dir (fun dir ->
+          setup_base dir;
+          let store = Store.Engine.open_dir ~dir () in
+          let edb = Option.get (Store.Engine.encrypted store "t") in
+          let half = n_ops / 2 in
+          for i = 0 to half - 1 do
+            ignore (Wre.Encrypted_db.insert edb (op_row i))
+          done;
+          let view = Wre.Encrypted_db.freeze edb in
+          let alice_at_freeze =
+            (Wre.Encrypted_db.search_ids_view edb ~view ~column:"name" "alice")
+              .Sqldb.Executor.row_ids
+          in
+          for i = half to n_ops - 1 do
+            ignore (Wre.Encrypted_db.insert edb (op_row i))
+          done;
+          Store.Failpoints.arm_at_event ~lose_unsynced:true point ~n:1;
+          let crashed =
+            match Store.Engine.checkpoint store with
+            | exception Store.Failpoints.Crash _ -> true
+            | () -> false
+          in
+          Store.Failpoints.disarm ();
+          check_bool (point ^ ": checkpoint crashed") true crashed;
+          let alice_after =
+            (Wre.Encrypted_db.search_ids_view edb ~view ~column:"name" "alice")
+              .Sqldb.Executor.row_ids
+          in
+          check_bool (point ^ ": view answers unchanged") true (alice_after = alice_at_freeze);
+          check_int (point ^ ": view stays at its epoch") half (Sqldb.Read_view.live_count view);
+          check_bool (point ^ ": writer rows invisible through view") true
+            (Sqldb.Read_view.live_count view < Sqldb.Table.row_count (Wre.Encrypted_db.table edb));
+          verify_recovery ~label:("checkpoint+reader @ " ^ point) ~completed:n_ops dir reference))
+    [ "snapshot.write"; "snapshot.fsync"; "snapshot.rename" ]
+
 let test_group_commit_window_of_loss () =
   with_temp_dir (fun dir ->
       setup_base dir;
@@ -639,6 +683,8 @@ let () =
           Alcotest.test_case "byte-cut matrix" `Slow test_crash_matrix_byte_cuts;
           Alcotest.test_case "sync-point matrix" `Slow test_crash_matrix_sync_points;
           Alcotest.test_case "crash during checkpoint" `Quick test_crash_during_checkpoint;
+          Alcotest.test_case "checkpoint crash with live reader" `Quick
+            test_checkpoint_crash_reader_holds_old_epoch;
           Alcotest.test_case "group-commit loss window" `Quick test_group_commit_window_of_loss;
         ] );
       ("properties", q [ qcheck_codec_value_roundtrip ]);

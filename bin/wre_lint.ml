@@ -1,8 +1,15 @@
-(* wre-lint driver: walks the given roots, runs the R1–R5 rules, prints
-   file:line:col diagnostics and exits non-zero when any finding is not
-   covered by the allowlist — the CI contract behind `dune build @lint`. *)
+(* wre-lint driver: walks the given roots, runs the project-level
+   R1–R9 pipeline (Lint.Project), prints diagnostics — as text, --json,
+   or --sarif — and exits non-zero when any finding is not covered by
+   the allowlist. Machine-readable output goes to stdout; errors,
+   allowlist warnings and the --stats table go to stderr, so CI can
+   redirect stdout straight into an artifact. Exit codes: 0 clean,
+   1 findings, 2 errors (parse failures, bad flags, and under --ci,
+   stale allowlist entries). *)
 
-let usage = "wre_lint [--rules R1,R2,...] [--allow FILE] [--list-rules] PATH..."
+let usage =
+  "wre_lint [--rules R1,R2,...] [--allow FILE] [--json|--sarif] [--stats] [--ci] \
+   [--list-rules] PATH..."
 
 let parse_rules s =
   let toks = String.split_on_char ',' s |> List.filter (fun t -> String.trim t <> "") in
@@ -11,17 +18,111 @@ let parse_rules s =
       match Lint.Rule.of_string t with
       | Some r -> r
       | None ->
-          Printf.eprintf "wre_lint: unknown rule %S (have: R1 R2 R3 R4 R5)\n" t;
+          Printf.eprintf "wre_lint: unknown rule %S (have: R1..R9)\n" t;
           exit 2)
     toks
+
+(* ---------------- machine-readable output ---------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let severity_of d = Lint.Rule.(severity_string (severity d.Lint.Diagnostic.rule))
+
+let print_json (result : Lint.Project.result) kept =
+  let finding (d : Lint.Diagnostic.t) =
+    Printf.sprintf
+      {|    {"rule": "%s", "severity": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
+      (Lint.Rule.to_string d.rule) (severity_of d) (json_escape d.file) d.line d.col
+      (json_escape d.message)
+  in
+  let stat (s : Lint.Project.rule_stat) =
+    Printf.sprintf {|    {"rule": "%s", "hits": %d, "wall_ms": %.3f}|}
+      (Lint.Rule.to_string s.sr_rule) s.hits (s.wall_ns /. 1e6)
+  in
+  Printf.printf
+    "{\n  \"tool\": \"wre-lint\",\n  \"units\": %d,\n  \"summary_ms\": %.3f,\n  \"findings\": [\n%s\n  ],\n  \"stats\": [\n%s\n  ]\n}\n"
+    result.n_units
+    (result.summary_ns /. 1e6)
+    (String.concat ",\n" (List.map finding kept))
+    (String.concat ",\n" (List.map stat result.stats))
+
+let print_sarif kept =
+  let rule_meta r =
+    Printf.sprintf
+      {|          {"id": "%s", "shortDescription": {"text": "%s"}, "defaultConfiguration": {"level": "%s"}}|}
+      (Lint.Rule.to_string r)
+      (json_escape (Lint.Rule.describe r))
+      Lint.Rule.(severity_string (severity r))
+  in
+  let sarif_result (d : Lint.Diagnostic.t) =
+    Printf.sprintf
+      {|        {"ruleId": "%s", "level": "%s", "message": {"text": "%s"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "%s"}, "region": {"startLine": %d, "startColumn": %d}}}]}|}
+      (Lint.Rule.to_string d.rule) (severity_of d) (json_escape d.message)
+      (json_escape d.file) d.line (d.col + 1)
+  in
+  Printf.printf
+    "{\n\
+    \  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"wre-lint\",\n\
+    \          \"rules\": [\n\
+     %s\n\
+    \          ]\n\
+    \        }\n\
+    \      },\n\
+    \      \"results\": [\n\
+     %s\n\
+    \      ]\n\
+    \    }\n\
+    \  ]\n\
+     }\n"
+    (String.concat ",\n" (List.map rule_meta Lint.Rule.all))
+    (String.concat ",\n" (List.map sarif_result kept))
+
+let print_stats (result : Lint.Project.result) =
+  Printf.eprintf "wre_lint: %d unit(s), summaries %.2f ms\n" result.n_units
+    (result.summary_ns /. 1e6);
+  Printf.eprintf "  rule  hits  wall_ms\n";
+  List.iter
+    (fun (s : Lint.Project.rule_stat) ->
+      Printf.eprintf "  %-4s  %4d  %7.2f\n" (Lint.Rule.to_string s.sr_rule) s.hits
+        (s.wall_ns /. 1e6))
+    result.stats
+
+(* ---------------- driver ---------------- *)
+
+type format = Text | Json | Sarif
 
 let () =
   let rules = ref Lint.Rule.all in
   let allow_file = ref None in
   let roots = ref [] in
+  let format = ref Text in
+  let stats = ref false in
+  let ci = ref false in
   let list_rules () =
     List.iter
-      (fun r -> Printf.printf "%s  %s\n" (Lint.Rule.to_string r) (Lint.Rule.describe r))
+      (fun r ->
+        Printf.printf "%s  [%s] %s\n" (Lint.Rule.to_string r)
+          Lint.Rule.(severity_string (severity r))
+          (Lint.Rule.describe r))
       Lint.Rule.all;
     exit 0
   in
@@ -31,6 +132,10 @@ let () =
         Arg.String (fun s -> rules := parse_rules s),
         "R1,R2,... enable only these rules (default: all)" );
       ("--allow", Arg.String (fun s -> allow_file := Some s), "FILE allowlist of deliberate exceptions");
+      ("--json", Arg.Unit (fun () -> format := Json), " machine-readable findings + stats on stdout");
+      ("--sarif", Arg.Unit (fun () -> format := Sarif), " SARIF 2.1.0 report on stdout");
+      ("--stats", Arg.Set stats, " per-rule hit/timing table on stderr");
+      ("--ci", Arg.Set ci, " strict mode: stale allowlist entries are a hard error");
       ("--list-rules", Arg.Unit list_rules, " describe the rules and exit");
     ]
   in
@@ -50,18 +155,24 @@ let () =
             Printf.eprintf "wre_lint: cannot load allowlist: %s\n" e;
             exit 2)
   in
-  let diags, errors = Lint.Engine.lint_paths ~rules:!rules roots in
-  List.iter (fun e -> Printf.eprintf "wre_lint: error: %s\n" e) errors;
-  let kept = List.filter (fun d -> not (Lint.Allowlist.suppresses allow d)) diags in
-  List.iter (fun d -> print_endline (Lint.Diagnostic.to_string d)) kept;
+  let result = Lint.Project.lint_paths ~rules:!rules roots in
+  List.iter (fun e -> Printf.eprintf "wre_lint: error: %s\n" e) result.errors;
+  let kept = List.filter (fun d -> not (Lint.Allowlist.suppresses allow d)) result.diagnostics in
+  (match !format with
+  | Text -> List.iter (fun d -> print_endline (Lint.Diagnostic.to_string d)) kept
+  | Json -> print_json result kept
+  | Sarif -> print_sarif kept);
+  if !stats then print_stats result;
+  let stale = Lint.Allowlist.unused allow result.diagnostics in
   List.iter
     (fun e ->
-      Printf.eprintf "wre_lint: warning: unused allowlist entry '%s' (%s)\n"
+      Printf.eprintf "wre_lint: %s: unused allowlist entry '%s' (%s)\n"
+        (if !ci then "error" else "warning")
         (Lint.Allowlist.describe_entry e) e.Lint.Allowlist.source)
-    (Lint.Allowlist.unused allow diags);
-  if errors <> [] then exit 2;
+    stale;
+  if result.errors <> [] || (!ci && stale <> []) then exit 2;
   if kept <> [] then begin
-    Printf.eprintf "wre_lint: %d finding(s) in %d file(s) scanned\n" (List.length kept)
-      (List.length roots);
+    Printf.eprintf "wre_lint: %d finding(s) across %d unit(s)\n" (List.length kept)
+      result.n_units;
     exit 1
   end

@@ -1,3 +1,4 @@
+(* lint: guarded-by construction (tables filled in create, read-only afterwards) *)
 type t = {
   lambda : float;
   widths : float array;

@@ -1,3 +1,4 @@
+(* lint: guarded-by lock *)
 exception Unknown_plaintext of string
 
 type fallback = [ `Reject | `Min_frequency ]

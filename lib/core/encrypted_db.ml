@@ -1,3 +1,4 @@
+(* lint: guarded-by Table.writer (encryptor/key tables immutable on the snapshot-read path) *)
 open Sqldb
 
 let tag_column c = c ^ "_tag"

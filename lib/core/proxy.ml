@@ -124,6 +124,13 @@ let rec split t key_column = function
          is True (no restriction). *)
       Ok (Predicate.True, p)
 
+(* Trace labels must not carry plaintext predicates (lint R7): scrub
+   to a shape+digest fingerprint — enough to correlate repeated
+   predicates across spans, nothing for a snapshot reader to read. *)
+let scrub_label s =
+  Printf.sprintf "len=%d digest=%s" (String.length s)
+    (String.sub (Crypto.Sha256.digest_hex s) 0 12)
+
 (* The server predicate degenerated to True while real filtering
    remains: the server ships the whole table and the proxy filters it —
    the silent-degradation mode that used to swallow rewritable ORs.
@@ -133,7 +140,7 @@ let note_full_scan server residual =
     Obs.Metrics.incr m_full_scan;
     if Obs.Trace.is_enabled () then
       Obs.Trace.event "proxy.full_scan"
-        ~attrs:[ ("residual", Format.asprintf "%a" Predicate.pp residual) ]
+        ~attrs:[ ("residual", scrub_label (Format.asprintf "%a" Predicate.pp residual)) ]
   end
 
 (* Split + simplify + full-scan accounting, timed as the rewrite phase. *)

@@ -1,10 +1,10 @@
 type t = {
   salts : int array;
   weights : float array;
-  mutable sampler : Stdx.Sampling.Cdf.t option; (* built on first sample *)
+  sampler : Stdx.Sampling.Cdf.t option Atomic.t; (* built on first sample *)
 }
 
-let make ~salts ~weights = { salts; weights; sampler = None }
+let make ~salts ~weights = { salts; weights; sampler = Atomic.make None }
 
 let det = make ~salts:[| 0 |] ~weights:[| 1.0 |]
 
@@ -29,14 +29,17 @@ let poisson ~seed ~lambda ~prob =
 
 (* The cumulative table is validated and built once per salt set, so
    repeated draws are O(log n) instead of the old
-   validate-and-sum-then-scan O(n) on every draw. *)
+   validate-and-sum-then-scan O(n) on every draw. Concurrent first
+   draws may each build the (deterministic, identical) table; the CAS
+   publishes one winner and losers use their own copy — no torn reads,
+   no lock on the hot path. *)
 let sample t g =
   let cdf =
-    match t.sampler with
+    match Atomic.get t.sampler with
     | Some c -> c
     | None ->
         let c = Stdx.Sampling.Cdf.create t.weights in
-        t.sampler <- Some c;
+        ignore (Atomic.compare_and_set t.sampler None (Some c) : bool);
         c
   in
   t.salts.(Stdx.Sampling.Cdf.sample cdf g)

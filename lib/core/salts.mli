@@ -14,7 +14,7 @@
 type t = private {
   salts : int array;  (** salt identifiers, distinct *)
   weights : float array;  (** [P_S]: same length, sums to 1 *)
-  mutable sampler : Stdx.Sampling.Cdf.t option;
+  sampler : Stdx.Sampling.Cdf.t option Atomic.t;
       (** memoized cumulative table; built lazily by {!sample} *)
 }
 
@@ -41,7 +41,8 @@ val sample : t -> Stdx.Prng.t -> int
 (** Draw a salt according to the weights (the weak randomness consumed
     at encryption time). O(log n) per draw: the cumulative table is
     validated and built once, on the first draw, not re-summed every
-    time. Not safe for unsynchronized concurrent first draws. *)
+    time. Safe under concurrent first draws: the table is published
+    with a CAS and the build is deterministic. *)
 
 val validate : t -> (unit, string) result
 (** Invariant check used by tests and fuzzing: distinct salts, positive

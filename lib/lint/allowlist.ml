@@ -46,9 +46,22 @@ let load file =
   | contents -> of_string ~source:file contents
   | exception Sys_error e -> Error e
 
+(* Entry paths are repo-relative; diagnostics may carry absolute paths
+   (fixture files under a tempdir) or ./-relative ones. Match when the
+   diagnostic's path IS the entry path or ends with /<entry path>, so
+   [lib/core/proxy.ml] covers [./lib/core/proxy.ml] and
+   [/tmp/x/lib/core/proxy.ml] alike. *)
+let path_matches ~entry_path file =
+  let file = normalize_path file in
+  file = entry_path
+  ||
+  let suf = "/" ^ entry_path in
+  let lf = String.length file and ls = String.length suf in
+  lf >= ls && String.sub file (lf - ls) ls = suf
+
 let matches e (d : Diagnostic.t) =
   Rule.equal e.rule d.rule
-  && normalize_path d.file = e.path
+  && path_matches ~entry_path:e.path d.file
   && match e.line with None -> true | Some l -> l = d.line
 
 let suppresses t d = List.exists (fun e -> matches e d) t

@@ -7,8 +7,10 @@
     R3 bench/exp_micro.ml
     v}
     An entry without a line number suppresses the rule for the whole
-    file. Unused entries are reported by the driver so the list cannot
-    rot silently. *)
+    file. Entry paths are repo-relative and match by path suffix, so
+    absolute and [./]-relative diagnostic paths behave identically.
+    Unused entries are reported by the driver (a hard error under
+    [--ci]) so the list cannot rot silently. *)
 
 type entry = { rule : Rule.t; path : string; line : int option; source : string }
 type t = entry list

@@ -400,9 +400,11 @@ let missing_interface ~rules path =
         "module has no .mli; every lib/ module must declare its interface" ]
   else []
 
+let walk_all paths = List.rev (List.fold_left walk [] paths)
+
 let lint_paths ~rules paths =
   let missing, present = List.partition (fun p -> not (Sys.file_exists p)) paths in
-  let files = List.rev (List.fold_left walk [] present) in
+  let files = walk_all present in
   let diags, errors =
     List.fold_left
       (fun (diags, errors) f ->

@@ -22,6 +22,18 @@ val lint_paths : rules:Rule.t list -> string list -> Diagnostic.t list * string 
     lint every [.ml], and apply the R4 interface-coverage check.
     Returns sorted diagnostics plus read/parse errors. *)
 
+val parse_implementation :
+  path:string -> string -> (Parsetree.structure, string) result
+(** Parse one unit with compiler-libs, attributing positions to [path].
+    Exposed so {!Project} parses each unit exactly once. *)
+
+val walk_all : string list -> string list
+(** Expand files and directories into the [.ml] files beneath them,
+    skipping [_build] and dot-directories, in sorted order. *)
+
+val missing_interface : rules:Rule.t list -> string -> Diagnostic.t list
+(** The R4 interface-coverage check for one [.ml] path. *)
+
 (**/**)
 
 val secretish_name : string -> bool

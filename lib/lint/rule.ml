@@ -1,6 +1,6 @@
-type t = R1 | R2 | R3 | R4 | R5 | R6
+type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let all = [ R1; R2; R3; R4; R5; R6 ]
+let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
 
 let to_string = function
   | R1 -> "R1"
@@ -9,6 +9,9 @@ let to_string = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
 
 let of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -18,6 +21,9 @@ let of_string s =
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
 
 let describe = function
@@ -27,5 +33,25 @@ let describe = function
   | R4 -> "interface coverage: every .ml under lib/ needs a matching .mli"
   | R5 -> "no partial escapes: Obj.magic, assert false, catch-all exception handlers"
   | R6 -> "file-I/O discipline: raw file writes only inside lib/store (use Store.Io elsewhere)"
+  | R7 ->
+      "secret-taint flow: secret provenance (keys, plaintext, PRNG state) must not flow through \
+       bindings, tuples or cross-module calls into printers, trace/metrics labels, exception \
+       payloads or serialization outside lib/store"
+  | R8 ->
+      "domain-safety: mutable fields, refs and hashtables in modules reachable from Task_pool \
+       fan-out must be Atomic, Domain.DLS or lint:guarded-by-annotated"
+  | R9 ->
+      "durability discipline: lib/store writes follow write -> fsync -> rename -> dirsync; no \
+       rename over unsynced data, no close of an unsynced fd"
+
+(* Severity is reporting metadata (SARIF level, JSON field); the CI
+   gate fails on any unsuppressed finding regardless of severity. *)
+type severity = Error | Warning
+
+let severity r : severity =
+  match r with R1 | R2 | R3 | R6 | R7 | R8 | R9 -> Error | R4 | R5 -> Warning
+
+let severity_string (s : severity) =
+  match s with Error -> "error" | Warning -> "warning"
 
 let equal (a : t) (b : t) = a = b

@@ -8,9 +8,19 @@ type t =
   | R4  (** interface coverage *)
   | R5  (** no partial escapes *)
   | R6  (** file-I/O discipline *)
+  | R7  (** cross-module secret-taint flow *)
+  | R8  (** domain-safety of shared mutable state *)
+  | R9  (** durability discipline in lib/store *)
 
 val all : t list
 val to_string : t -> string
 val of_string : string -> t option
 val describe : t -> string
+
+type severity = Error | Warning
+(** Reporting metadata only (SARIF [level], JSON [severity]): the CI
+    gate fails on any unsuppressed finding regardless of severity. *)
+
+val severity : t -> severity
+val severity_string : severity -> string
 val equal : t -> t -> bool

@@ -1,0 +1,137 @@
+(* Phase 1 of the project-level analyzer: one summary per compilation
+   unit, recording what phase 2 needs to resolve cross-module facts —
+   which exported values carry secret provenance (for R7's taint
+   lookup), which modules this unit references (for R8's Task_pool
+   reachability closure), and whether the module carries a
+   [(* lint: guarded-by <m> *)] annotation (R8's sanctioned escape for
+   mutex-protected state). Comments are dropped by the parser, so the
+   guard annotation is recovered from the raw source text. *)
+
+module SS = Set.Make (String)
+
+type t = {
+  module_name : string;  (** capitalized unit name, e.g. ["Pager"] *)
+  path : string;
+  secret_values : SS.t;  (** exported top-level values with key provenance *)
+  refs : SS.t;  (** module names referenced anywhere in the unit *)
+  uses_task_pool : bool;
+  guard : string option;  (** mutex named by a guarded-by annotation *)
+}
+
+let module_name_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* [(* lint: guarded-by lock *)] — first such annotation wins; the
+   name is free-form (a mutex binding, or prose like "writer lock"). *)
+let guard_of_source source =
+  let marker = "lint: guarded-by" in
+  let mlen = String.length marker in
+  let slen = String.length source in
+  let rec find i =
+    if i + mlen > slen then None
+    else if String.sub source i mlen = marker then begin
+      (* take the annotation text up to the closing comment *)
+      let start = i + mlen in
+      let stop =
+        let rec scan j =
+          if j + 1 >= slen then slen
+          else if source.[j] = '*' && source.[j + 1] = ')' then j
+          else scan (j + 1)
+        in
+        scan start
+      in
+      let name = String.trim (String.sub source start (stop - start)) in
+      Some (if name = "" then "<unnamed>" else name)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* Every capitalized longident component the unit mentions, from
+   expressions, type constructors and [open]s: the module-level
+   reference edges the R8 reachability closure walks. *)
+let refs_of_structure structure =
+  let acc = ref SS.empty in
+  let add_longident txt =
+    List.iter
+      (fun part ->
+        if String.length part > 0 && part.[0] >= 'A' && part.[0] <= 'Z' then
+          acc := SS.add part !acc)
+      (Longident.flatten txt)
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } | Parsetree.Pexp_construct ({ txt; _ }, _)
+          | Parsetree.Pexp_new { txt; _ } ->
+              add_longident txt
+          | Parsetree.Pexp_field (_, { txt; _ }) -> add_longident txt
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+      typ =
+        (fun self t ->
+          (match t.ptyp_desc with
+          | Parsetree.Ptyp_constr ({ txt; _ }, _) | Parsetree.Ptyp_class ({ txt; _ }, _) ->
+              add_longident txt
+          | _ -> ());
+          Ast_iterator.default_iterator.typ self t);
+      open_declaration =
+        (fun self od ->
+          (match od.popen_expr.pmod_desc with
+          | Parsetree.Pmod_ident { txt; _ } -> add_longident txt
+          | _ -> ());
+          Ast_iterator.default_iterator.open_declaration self od);
+      module_expr =
+        (fun self me ->
+          (match me.pmod_desc with
+          | Parsetree.Pmod_ident { txt; _ } -> add_longident txt
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr self me);
+    }
+  in
+  it.structure it structure;
+  !acc
+
+let build ~path ~source ~(lookup : Taint.lookup) structure =
+  let refs = refs_of_structure structure in
+  {
+    module_name = module_name_of_path path;
+    path;
+    secret_values = Taint.structure_secrets ~lookup structure;
+    refs;
+    uses_task_pool = SS.mem "Task_pool" refs;
+    guard = guard_of_source source;
+  }
+
+(* ---------------- summary table ---------------- *)
+
+(* Several units may share a module name across libraries (Obs.Metrics
+   vs Attacks.Metrics): lookups OR over all of them — conservative in
+   exactly the direction a linter wants. *)
+type table = (string, t) Hashtbl.t
+
+let table_of_list summaries =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.add tbl s.module_name s) summaries;
+  tbl
+
+let lookup_of_table tbl : Taint.lookup =
+ fun m f ->
+  List.exists (fun s -> SS.mem f s.secret_values) (Hashtbl.find_all tbl m)
+
+(* Modules transitively referenced from any Task_pool-using unit: the
+   closure approximates "code a pool worker domain can execute". *)
+let fanout_reachable summaries =
+  let by_name = table_of_list summaries in
+  let reachable = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem reachable name) then begin
+      Hashtbl.replace reachable name ();
+      List.iter (fun s -> SS.iter visit s.refs) (Hashtbl.find_all by_name name)
+    end
+  in
+  List.iter (fun s -> if s.uses_task_pool then visit s.module_name) summaries;
+  fun module_name -> Hashtbl.mem reachable module_name

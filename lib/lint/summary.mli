@@ -1,0 +1,34 @@
+(** Phase 1 of the project-level analyzer: per-compilation-unit
+    summaries and the cross-module lookup table built from them. *)
+
+type t = {
+  module_name : string;  (** capitalized unit name, e.g. ["Pager"] *)
+  path : string;
+  secret_values : Set.Make(String).t;
+      (** exported top-level values with key provenance *)
+  refs : Set.Make(String).t;  (** module names referenced by the unit *)
+  uses_task_pool : bool;
+  guard : string option;
+      (** mutex named by a [(* lint: guarded-by <m> *)] annotation *)
+}
+
+val module_name_of_path : string -> string
+
+val guard_of_source : string -> string option
+(** Recover the guarded-by annotation from raw source text (the parser
+    drops comments). *)
+
+val build :
+  path:string -> source:string -> lookup:Taint.lookup -> Parsetree.structure -> t
+
+type table = (string, t) Hashtbl.t
+
+val table_of_list : t list -> table
+(** Units may share a module name across libraries; all are kept and
+    lookups OR over them. *)
+
+val lookup_of_table : table -> Taint.lookup
+
+val fanout_reachable : t list -> string -> bool
+(** Membership in the transitive closure of module references from
+    every [Task_pool]-using unit: "code a worker domain can execute". *)

@@ -1,0 +1,404 @@
+(* R7 secret-taint flow: a flow-insensitive, name-and-annotation-seeded
+   taint analysis over one compilation unit, resolved against the
+   cross-module summary table built by {!Summary}/{!Project}.
+
+   Two taint classes, because the proxy is *client-side*: key material
+   ([Key]) must reach no sink at all, while pre-encryption plaintext
+   and query predicates ([Plain]) may legitimately travel through
+   exception payloads back to the client but must never land in
+   printers, trace/metrics labels, or serialized bytes — the sinks a
+   snapshot adversary reads. Sanitizers — AEAD, MAC, digests, the
+   scrub helpers — launder taint: their results are public by design.
+
+   The analysis is deliberately syntactic, like the rest of wre-lint:
+   taint enters at secret-typed or secret-named bindings and at calls
+   to known secret-returning functions (builtin table + cross-module
+   summaries), and propagates through let-bindings, tuples,
+   constructors, string concatenation/formatting, and function names
+   whose body was found tainted. Arbitrary application does NOT
+   propagate — [tag_of (prf ~key m)] is public. *)
+
+open Parsetree
+
+module SS = Set.Make (String)
+
+type cls = Key | Plain
+
+let cls_string = function Key -> "key material" | Plain -> "plaintext"
+
+(* ---------------- name / type heuristics ---------------- *)
+
+let has_suffix ~suf s =
+  let ls = String.length s and l = String.length suf in
+  ls >= l && String.sub s (ls - l) l = suf
+
+let has_prefix ~pre s =
+  let ls = String.length s and l = String.length pre in
+  ls >= l && String.sub s 0 l = pre
+
+(* Key-material names: mirrors Engine's R1 convention. *)
+let keyish_name n =
+  match n with
+  | "key" | "master" | "ikm" | "prk" | "k0" | "k1" -> true
+  | _ -> has_suffix ~suf:"_key" n
+
+(* Pre-encryption plaintext and query-predicate names: the leakage the
+   paper's Thm V.1 never licenses through an observability channel. *)
+let plainish_name n =
+  match n with
+  | "plain" | "plaintext" | "residual" | "predicate" | "where" -> true
+  | _ -> has_suffix ~suf:"_plain" n || has_prefix ~pre:"plain_" n
+
+let name_class n = if keyish_name n then Some Key else if plainish_name n then Some Plain else None
+
+let secret_type_path = function
+  | [ "Keys"; "master" ] | [ "Keys"; "t" ] | [ "Prf"; "key" ] | [ "Aead"; "key" ]
+  | [ "Ctr"; "key" ] | [ "Aes128"; "key" ] | [ "Hmac"; "key" ] ->
+      true
+  | _ -> false
+
+let last2 l =
+  match List.rev l with b :: a :: _ -> [ a; b ] | [ only ] -> [ only ] | [] -> []
+
+let is_secret_type (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) -> secret_type_path (last2 (Longident.flatten txt))
+  | _ -> false
+
+(* ---------------- call tables ---------------- *)
+
+(* Functions whose *result* carries key material, keyed on the last two
+   longident components so [Crypto.Keys.generate] and [Keys.generate]
+   both match. *)
+let secret_source_call parts =
+  match last2 parts with
+  | [ "Keys"; _ ] -> true (* generate/of_raw/export/data_key/prf_key/salt_seed/shuffle_key *)
+  | [ "Prf"; "of_raw" ] | [ "Aead"; "of_raw" ] | [ "Ctr"; "of_raw" ] | [ "Aes128"; "of_raw" ]
+  | [ "Hkdf"; ("extract" | "expand" | "derive") ]
+  | [ "Prng"; "export" ] ->
+      true
+  | _ -> false
+
+(* Sanctioned sanitizers: their output is public by design (AEAD
+   ciphertext, MACs, digests, PRF tags) or scrubbed (scrub prefix). *)
+let sanitizer_call parts =
+  match last2 parts with
+  | [ "Aead"; "encrypt" ]
+  | [ "Hmac"; ("mac" | "mac_hex" | "mac_u64" | "verify") ]
+  | [ "Sha256"; ("digest" | "digest_hex" | "finalize") ]
+  | [ "Siphash"; _ ]
+  | [ "Prf"; ("tag" | "tag_salt_only" | "tag_string") ] ->
+      true
+  | _ -> (
+      match List.rev parts with
+      | f :: _ -> has_prefix ~pre:"scrub" f
+      | [] -> false)
+
+(* String-shaped transforms through which taint survives: hex/concat/
+   substring/format of a secret is still the secret. *)
+let propagator_call parts =
+  match parts with
+  | [ "^" ] | [ "Stdlib"; "^" ] | [ "fst" ] | [ "snd" ] -> true
+  | [ "Printf"; "sprintf" ] | [ "Format"; "asprintf" ] -> true
+  | _ -> (
+      match last2 parts with
+      | [ "Bytes_util"; ("to_hex" | "of_hex") ] -> true
+      | [ "String"; ("concat" | "cat" | "sub" | "trim" | "uppercase_ascii" | "lowercase_ascii") ]
+        ->
+          true
+      | [ "Bytes"; ("to_string" | "of_string" | "sub_string" | "sub" | "copy") ] -> true
+      | [ "Option"; ("get" | "value") ] -> true
+      | [ ("to_hex" | "of_hex") ] -> true
+      | _ -> false)
+
+(* ---------------- sinks ---------------- *)
+
+type sink =
+  | Print of string  (** actual output, not sprintf *)
+  | Obs_label of string  (** trace span/event names and attrs, metric names *)
+  | Exn_payload of string  (** raise/failwith — flagged for [Key] taint only *)
+  | Serialize of string  (** Store.Io writes / Codec.put_* outside lib/store *)
+
+let print_fns = [ "printf"; "eprintf"; "fprintf"; "ifprintf"; "kfprintf" ]
+
+let sink_of_call ~in_store parts =
+  match parts with
+  | [ ("Printf" | "Format") as m; f ] when List.mem f print_fns -> Some (Print (m ^ "." ^ f))
+  | [ "Format"; (("pp_print_string" | "print_string") as f) ] -> Some (Print ("Format." ^ f))
+  | [ f ]
+    when List.mem f
+           [ "print_string"; "print_endline"; "print_bytes"; "print_char";
+             "prerr_string"; "prerr_endline"; "prerr_bytes"; "output_string" ] ->
+      Some (Print f)
+  | [ f ] when List.mem f [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ] ->
+      Some (Exn_payload f)
+  | _ -> (
+      match last2 parts with
+      | [ "Trace"; (("event" | "with_span" | "add") as f) ] -> Some (Obs_label ("Trace." ^ f))
+      | [ "Metrics"; (("counter" | "gauge" | "histogram") as f) ] ->
+          Some (Obs_label ("Metrics." ^ f))
+      | [ "Io"; (("write" | "atomic_write_text") as f) ] when not in_store ->
+          Some (Serialize ("Io." ^ f))
+      | [ "Codec"; f ] when (not in_store) && has_prefix ~pre:"put_" f ->
+          Some (Serialize ("Codec." ^ f))
+      | _ -> None)
+
+(* ---------------- expression taint ---------------- *)
+
+let flatten_ident (e : expression) =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (Longident.flatten txt) | _ -> None
+
+let rec unwrap (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) -> unwrap e'
+  | _ -> e
+
+let referenced_name e =
+  match (unwrap e).pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match List.rev (Longident.flatten txt) with n :: _ -> Some n | [] -> None)
+  | Pexp_field (_, { txt; _ }) -> (
+      match List.rev (Longident.flatten txt) with n :: _ -> Some n | [] -> None)
+  | _ -> None
+
+let pattern_var_names p =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self pat ->
+          (match pat.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self pat);
+    }
+  in
+  it.pat it p;
+  !acc
+
+type env = { key_names : SS.t; plain_names : SS.t }
+
+let empty_env = { key_names = SS.empty; plain_names = SS.empty }
+
+let env_add env n = function
+  | Key -> { env with key_names = SS.add n env.key_names }
+  | Plain -> { env with plain_names = SS.add n env.plain_names }
+
+let env_class env n =
+  if SS.mem n env.key_names then Some Key
+  else if SS.mem n env.plain_names then Some Plain
+  else name_class n
+
+(* [lookup m f] answers "does module [m] export a secret-provenance
+   value [f]?" against the project summary table; single-file runs pass
+   a constant-false lookup and still see same-file flows. *)
+type lookup = string -> string -> bool
+
+let module_of_call parts = match last2 parts with [ m; f ] -> Some (m, f) | _ -> None
+
+(* Witness: taint class plus the binding name that carries it, for the
+   diagnostic message. Returns [None] for untainted expressions. *)
+let rec tainted ~env ~(lookup : lookup) (e : expression) : (cls * string) option =
+  let e = unwrap e in
+  match e.pexp_desc with
+  | Pexp_ident _ | Pexp_field _ -> (
+      match referenced_name e with
+      | Some n -> Option.map (fun c -> (c, n)) (env_class env n)
+      | None -> None)
+  | Pexp_tuple es -> first_tainted ~env ~lookup es
+  | Pexp_construct (_, Some arg) | Pexp_variant (_, Some arg) -> tainted ~env ~lookup arg
+  | Pexp_sequence (_, e') | Pexp_let (_, _, e') | Pexp_letmodule (_, _, e') -> tainted ~env ~lookup e'
+  | Pexp_ifthenelse (_, t, f) ->
+      first_tainted ~env ~lookup (t :: Option.to_list f)
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      first_tainted ~env ~lookup (List.map (fun c -> c.pc_rhs) cases)
+  | Pexp_apply (fn, args) -> (
+      match flatten_ident fn with
+      | Some parts when sanitizer_call parts -> None
+      | Some parts when secret_source_call parts -> Some (Key, String.concat "." parts)
+      | Some parts when propagator_call parts ->
+          first_tainted ~env ~lookup (List.map snd args)
+      | Some parts -> (
+          (* A call to a function whose summary (cross-module) or local
+             taint env (same module) marks its result secret. *)
+          match module_of_call parts with
+          | Some (m, f) when String.length m > 0 && m.[0] >= 'A' && m.[0] <= 'Z' ->
+              if lookup m f then Some (Key, m ^ "." ^ f) else None
+          | _ -> (
+              match parts with
+              | [ f ] -> Option.map (fun c -> (c, f ^ " (tainted function)")) (env_class env f)
+              | _ -> None))
+      | None -> None)
+  | _ -> None
+
+and first_tainted ~env ~lookup es = List.find_map (tainted ~env ~lookup) es
+
+(* ---------------- per-unit taint environment ---------------- *)
+
+(* Collect names bound with a secret type annotation. *)
+let annotated_secrets structure =
+  let acc = ref SS.empty in
+  let add_pattern p = List.iter (fun n -> acc := SS.add n !acc) (pattern_var_names p) in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_constraint (inner, ty) when is_secret_type ty -> add_pattern inner
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+      value_binding =
+        (fun self vb ->
+          (match vb.pvb_constraint with
+          | Some (Pvc_constraint { typ; _ }) when is_secret_type typ -> add_pattern vb.pvb_pat
+          | Some (Pvc_coercion { coercion; _ }) when is_secret_type coercion ->
+              add_pattern vb.pvb_pat
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it structure;
+  !acc
+
+(* A binding's taint is the taint of the value it produces: for
+   function bindings that is the body's result, so descend through the
+   parameter chain. Only used on binding right-hand sides — a closure
+   passed as a sink *argument* is not itself leaked. *)
+let rec fun_body e =
+  match (unwrap e).pexp_desc with Pexp_fun (_, _, _, b) -> fun_body b | _ -> e
+
+(* Flow-insensitive fixpoint over every value binding in the unit: a
+   bound name becomes tainted when its right-hand side is, so taint
+   survives [let k2 = k in ... k2 ...] chains and function results.
+   Bounded: each round only grows the env, names are finite. *)
+let unit_env ~lookup structure =
+  let env =
+    ref
+      (SS.fold (fun n e -> env_add e n Key)
+         (annotated_secrets structure)
+         empty_env)
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 10 do
+    changed := false;
+    incr rounds;
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        value_binding =
+          (fun self vb ->
+          (match tainted ~env:!env ~lookup (fun_body vb.pvb_expr) with
+          | Some (c, _) ->
+              List.iter
+                (fun n ->
+                  if env_class !env n <> Some Key then begin
+                    let before = !env in
+                    env := env_add !env n c;
+                    if !env <> before then changed := true
+                  end)
+                (pattern_var_names vb.pvb_pat)
+          | None -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+      }
+    in
+    it.structure it structure
+  done;
+  !env
+
+(* Exported value names of the unit that carry [Key] taint: the
+   cross-module summary (phase 1). Top-level bindings only. *)
+let structure_secrets ~lookup structure =
+  let env = unit_env ~lookup structure in
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.fold_left
+            (fun acc vb ->
+              List.fold_left
+                (fun acc n -> if SS.mem n env.key_names then SS.add n acc else acc)
+                acc (pattern_var_names vb.pvb_pat))
+            acc vbs
+      | _ -> acc)
+    SS.empty structure
+
+(* ---------------- the R7 check ---------------- *)
+
+(* Exception payloads descend through constructors, tuples and [^] so
+   [raise (Failure ("bad " ^ key))] is caught. *)
+let rec exn_payload_witness ~env ~lookup (e : expression) =
+  let e = unwrap e in
+  match e.pexp_desc with
+  | Pexp_ident _ | Pexp_field _ -> (
+      match referenced_name e with
+      | Some n -> ( match env_class env n with Some Key -> Some (Key, n) | _ -> None)
+      | None -> None)
+  | Pexp_construct (_, Some arg) -> exn_payload_witness ~env ~lookup arg
+  | Pexp_tuple args -> List.find_map (exn_payload_witness ~env ~lookup) args
+  | Pexp_apply (fn, args) -> (
+      match flatten_ident fn with
+      | Some [ "^" ] | Some [ "Stdlib"; "^" ] ->
+          List.find_map (fun (_, a) -> exn_payload_witness ~env ~lookup a) args
+      | _ -> None)
+  | _ -> None
+
+let dir_scope dirs path =
+  let parts = String.split_on_char '/' path in
+  let rec starts l sub =
+    match (l, sub) with
+    | _, [] -> true
+    | [], _ -> false
+    | x :: l', y :: sub' -> x = y && starts l' sub'
+  in
+  let rec scan = function [] -> false | _ :: tl as l -> starts l dirs || scan tl in
+  scan parts
+
+let check ~path ~(lookup : lookup) structure =
+  let in_store = dir_scope [ "lib"; "store" ] path in
+  let env = unit_env ~lookup structure in
+  let diags = ref [] in
+  let report loc msg = diags := Diagnostic.of_location ~rule:Rule.R7 ~loc msg :: !diags in
+  let check_apply fn args loc =
+    match flatten_ident fn with
+    | None -> ()
+    | Some parts -> (
+        match sink_of_call ~in_store parts with
+        | None -> ()
+        | Some (Exn_payload what) -> (
+            match List.find_map (fun (_, a) -> exn_payload_witness ~env ~lookup a) args with
+            | Some (_, n) ->
+                report loc
+                  (Printf.sprintf "key material %S must not flow into a %s payload" n what)
+            | None -> ())
+        | Some sink -> (
+            match first_tainted ~env ~lookup (List.map snd args) with
+            | Some (c, n) ->
+                let what, hint =
+                  match sink with
+                  | Print w -> (w, "secrets must never be printed")
+                  | Obs_label w ->
+                      (w, "scrub labels to length+digest (see DESIGN.md sink table)")
+                  | Serialize w ->
+                      (w, "serialization outside lib/store; encrypt or MAC first")
+                  | Exn_payload w -> (w, "")
+                in
+                report loc
+                  (Printf.sprintf "%s %S flows into %s (%s)" (cls_string c) n what hint)
+            | None -> ()))
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply (fn, args) -> check_apply fn args e.pexp_loc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it structure;
+  List.sort Diagnostic.compare !diags

@@ -1,0 +1,45 @@
+(** R7 secret-taint flow: flow-insensitive taint analysis over one
+    compilation unit, resolved against a cross-module lookup.
+
+    Two taint classes: [Key] (key material, PRNG state — must reach no
+    sink at all) and [Plain] (pre-encryption plaintext and query
+    predicates — may travel through exception payloads back to the
+    client, but never into printers, trace/metrics labels, or
+    serialized bytes). Sanitizers (AEAD, MAC, digests, [scrub_*])
+    launder taint; arbitrary function application does not propagate
+    it. *)
+
+type cls = Key | Plain
+
+val cls_string : cls -> string
+
+type lookup = string -> string -> bool
+(** [lookup m f]: does module [m] export a secret-provenance value
+    [f]? Single-file runs pass [fun _ _ -> false]. *)
+
+val check :
+  path:string -> lookup:lookup -> Parsetree.structure -> Diagnostic.t list
+(** Run R7 on one unit. [path] scopes the serialization sinks (raw
+    writes are legitimate inside [lib/store]). *)
+
+val structure_secrets :
+  lookup:lookup -> Parsetree.structure -> Set.Make(String).t
+(** Top-level value names of the unit that carry [Key] taint — the
+    unit's contribution to the phase-1 summary table. *)
+
+val dir_scope : string list -> string -> bool
+(** [dir_scope ["lib"; "store"] path]: does [path] contain these
+    consecutive directory components? *)
+
+(**/**)
+
+(* Shared syntactic helpers, reused by {!Project}'s R8/R9 checkers. *)
+
+val unwrap : Parsetree.expression -> Parsetree.expression
+val flatten_ident : Parsetree.expression -> string list option
+val last2 : string list -> string list
+val pattern_var_names : Parsetree.pattern -> string list
+val keyish_name : string -> bool
+val plainish_name : string -> bool
+val sanitizer_call : string list -> bool
+val secret_source_call : string list -> bool

@@ -1,3 +1,4 @@
+(* lint: guarded-by registry_mutex *)
 (* Registration goes through one mutex; updates are lock-free atomics.
    Instruments are expected to be registered at module-initialization
    time of the instrumented code, so the hot path never touches the

@@ -1,3 +1,4 @@
+(* lint: guarded-by sink_mutex *)
 type span = {
   id : int;
   parent : int option;

@@ -1,3 +1,4 @@
+(* lint: guarded-by Table.writer (indexes mutate only on the write path) *)
 type group = { key : Value.t; ids : int Stdx.Vec.t }
 
 type t = {

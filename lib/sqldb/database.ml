@@ -1,3 +1,4 @@
+(* lint: guarded-by Table.writer (single-writer discipline; catalog mutates only on DDL) *)
 type t = {
   pager : Pager.t;
   catalog : (string, Table.t) Hashtbl.t;

@@ -1,3 +1,4 @@
+(* lint: guarded-by Table.writer (indexes mutate only on the write path) *)
 type t = {
   pager : Pager.t;
   rel : Pager.rel;

@@ -1,3 +1,4 @@
+(* lint: guarded-by lock (per-domain read counters live in Domain.DLS) *)
 type config = {
   page_size : int;
   io_miss_ns : float;

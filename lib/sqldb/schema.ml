@@ -1,3 +1,4 @@
+(* lint: guarded-by construction (by_name filled in create, read-only afterwards) *)
 type column = { name : string; ty : Value.ty; nullable : bool }
 
 type t = { cols : column array; by_name : (string, int) Hashtbl.t }

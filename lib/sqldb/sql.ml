@@ -1,3 +1,4 @@
+(* lint: guarded-by call-local parser state (never shared across domains) *)
 (* Lexer + recursive-descent parser for the SQL fragment. *)
 
 type select = {

@@ -1,3 +1,4 @@
+(* lint: guarded-by writer *)
 type t = {
   name : string;
   schema : Schema.t;

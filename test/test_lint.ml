@@ -178,7 +178,7 @@ let allow_parse () =
   | Ok entries -> Alcotest.(check int) "two entries" 2 (List.length entries)
 
 let allow_rejects_garbage () =
-  (match Lint.Allowlist.of_string "R9 somewhere.ml" with
+  (match Lint.Allowlist.of_string "R42 somewhere.ml" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown rule accepted");
   match Lint.Allowlist.of_string "justonetoken" with
@@ -196,6 +196,257 @@ let allow_suppresses () =
   Alcotest.(check bool) "wrong rule" false (Lint.Allowlist.suppresses (ok "R2 lib/x/f.ml") d);
   Alcotest.(check int) "unused entry reported" 1
     (List.length (Lint.Allowlist.unused (ok "R2 lib/other.ml") [ d ]))
+
+(* ---------------- project pipeline helpers (R7–R9) ---------------- *)
+
+let project_result ?(rules = all) units =
+  Lint.Project.lint_units ~rules
+    (List.map (fun (p, s) -> { Lint.Project.u_path = p; u_source = s }) units)
+
+let project_diags ?rules units =
+  let result = project_result ?rules units in
+  Alcotest.(check (list string)) "no parse errors" [] result.Lint.Project.errors;
+  result.Lint.Project.diagnostics
+
+let project_rules ?rules units =
+  List.sort_uniq compare
+    (List.map (fun d -> Lint.Rule.to_string d.Lint.Diagnostic.rule) (project_diags ?rules units))
+
+let check_project_fires ?rules rule units =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires" rule)
+    true
+    (List.mem rule (project_rules ?rules units))
+
+let check_project_silent ?rules units =
+  Alcotest.(check (list string)) "no findings" [] (project_rules ?rules units)
+
+let r7 = [ Lint.Rule.R7 ]
+let r8 = [ Lint.Rule.R8 ]
+let r9 = [ Lint.Rule.R9 ]
+
+(* ---------------- R7: secret-taint flow ---------------- *)
+
+let r7_print_sink () =
+  check_project_fires ~rules:r7 "R7"
+    [ ("lib/core/fixture.ml", {| let leak ~key = Printf.printf "k=%s" key |}) ]
+
+let r7_let_binding_flow () =
+  (* Taint survives the k2 rebinding: the single-name heuristic of R1
+     would miss this. *)
+  check_project_fires ~rules:r7 "R7"
+    [ ("lib/core/fixture.ml", {| let f ~key = let k2 = key in Printf.printf "%s" k2 |}) ]
+
+let r7_trace_label () =
+  check_project_fires ~rules:r7 "R7"
+    [ ("lib/core/fixture.ml",
+       {| let span ~plain_row = Obs.Trace.event "enc" ~attrs:[ ("row", plain_row) ] |}) ]
+
+let r7_serialize_outside_store () =
+  check_project_fires ~rules:r7 "R7"
+    [ ("lib/core/fixture.ml", {| let dump ~key path = Store.Io.atomic_write_text ~path key |}) ];
+  (* The same write inside lib/store is the WAL doing its job. *)
+  check_project_silent ~rules:r7
+    [ ("lib/store/fixture.ml", {| let dump ~key path = Store.Io.atomic_write_text ~path key |}) ]
+
+let r7_exn_payload_classes () =
+  (* Key material in an exception payload leaks; plaintext in an
+     exception payload is the client-facing error contract. *)
+  check_project_fires ~rules:r7 "R7"
+    [ ("lib/core/fixture.ml", {| let f ~key = failwith ("bad " ^ key) |}) ];
+  check_project_silent ~rules:r7
+    [ ("lib/core/fixture.ml", {| let f ~plaintext = failwith ("unknown " ^ plaintext) |}) ]
+
+let r7_sanitizer_clean () =
+  check_project_silent ~rules:r7
+    [ ("lib/core/fixture.ml",
+       {| let show ~key m = Printf.printf "%s" (Crypto.Hmac.mac_hex ~key m) |}) ];
+  check_project_silent ~rules:r7
+    [ ("lib/core/fixture.ml",
+       {| let span ~plain_row = Obs.Trace.event "enc" ~attrs:[ ("row", scrub_label plain_row) ] |}) ]
+
+let r7_application_is_public () =
+  (* Arbitrary application does not propagate: the PRF result is public. *)
+  check_project_silent ~rules:r7
+    [ ("lib/core/fixture.ml", {| let show ~key m = Printf.printf "%s" (tag_of (prf ~key m)) |}) ]
+
+let r7_off_is_silent () =
+  check_project_silent
+    ~rules:[ Lint.Rule.R1; Lint.Rule.R2; Lint.Rule.R3; Lint.Rule.R5 ]
+    [ ("lib/sqldb/fixture.ml", {| let f ~key = let k2 = key in Printf.printf "%s" k2 |}) ]
+
+let source_a =
+  {| let master_of_seed () = Keys.generate (Stdx.Prng.create 1) |}
+
+let source_b = {| let show () = Printf.printf "master=%s" (A.master_of_seed ()) |}
+
+let r7_cross_module () =
+  (* The secret is born in module A and printed in module B: invisible
+     to any single-file pass, caught with the summary table. *)
+  check_project_silent ~rules:r7 [ ("lib/core/b.ml", source_b) ];
+  check_project_fires ~rules:r7 "R7"
+    [ ("lib/core/a.ml", source_a); ("lib/core/b.ml", source_b) ];
+  let d = List.hd (project_diags ~rules:r7 [ ("lib/core/a.ml", source_a); ("lib/core/b.ml", source_b) ]) in
+  Alcotest.(check string) "flagged in the consumer" "lib/core/b.ml" d.Lint.Diagnostic.file
+
+(* ---------------- R8: domain-safety ---------------- *)
+
+let r8_mutable_field () =
+  check_project_fires ~rules:r8 "R8"
+    [ ("lib/sqldb/fixture.ml", {| type t = { mutable hits : int } |}) ]
+
+let r8_toplevel_state () =
+  check_project_fires ~rules:r8 "R8"
+    [ ("lib/obs/fixture.ml", {| let cache = Hashtbl.create 16 |}) ];
+  check_project_fires ~rules:r8 "R8"
+    [ ("lib/core/fixture.ml", {| let counter = ref 0 |}) ]
+
+let r8_atomic_clean () =
+  check_project_silent ~rules:r8
+    [ ("lib/sqldb/fixture.ml",
+       {| type t = { hits : int Atomic.t }
+          let counter = Atomic.make 0
+          let local = Domain.DLS.new_key (fun () -> 0) |}) ]
+
+let r8_guard_annotation () =
+  check_project_silent ~rules:r8
+    [ ("lib/sqldb/fixture.ml",
+       {| (* lint: guarded-by lock *)
+          type t = { mutable hits : int; lock : Mutex.t } |}) ]
+
+let r8_out_of_scope () =
+  (* lib/stdx is not on the fan-out surface. *)
+  check_project_silent ~rules:r8
+    [ ("lib/stdx/fixture.ml", {| type t = { mutable hits : int } |}) ]
+
+let r8_reachability () =
+  (* With a Task_pool user in the project, only modules it (transitively)
+     references are in scope. *)
+  let pool_user = ("lib/core/exec.ml", {| let run () = Task_pool.map (fun () -> A.step ()) |}) in
+  let reached = ("lib/sqldb/a.ml", {| type t = { mutable x : int } let step () = () |}) in
+  let unreached = ("lib/sqldb/standalone.ml", {| type t = { mutable y : int } |}) in
+  let diags = project_diags ~rules:r8 [ pool_user; reached; unreached ] in
+  let files = List.map (fun d -> d.Lint.Diagnostic.file) diags in
+  Alcotest.(check bool) "referenced module flagged" true (List.mem "lib/sqldb/a.ml" files);
+  Alcotest.(check bool) "unreferenced module not flagged" false
+    (List.mem "lib/sqldb/standalone.ml" files)
+
+let r8_off_is_silent () =
+  check_project_silent ~rules:[ Lint.Rule.R5 ]
+    [ ("lib/sqldb/fixture.ml", {| type t = { mutable hits : int } |}) ]
+
+(* ---------------- R9: durability discipline ---------------- *)
+
+let r9_rename_before_sync () =
+  check_project_fires ~rules:r9 "R9"
+    [ ("lib/store/fixture.ml",
+       {| let publish path tmp data =
+            let f = open_trunc tmp in
+            write f data;
+            Unix.rename tmp path |}) ]
+
+let r9_unsynced_close () =
+  check_project_fires ~rules:r9 "R9"
+    [ ("lib/store/fixture.ml",
+       {| let save path data =
+            let f = open_trunc path in
+            write f data;
+            Unix.close f |}) ]
+
+let r9_clean_sequence () =
+  check_project_silent ~rules:r9
+    [ ("lib/store/fixture.ml",
+       {| let publish path tmp data =
+            let f = open_trunc tmp in
+            write f data;
+            fsync f;
+            Unix.close f;
+            Unix.rename tmp path;
+            fsync_dir (Filename.dirname path) |}) ]
+
+let r9_group_commit_ok () =
+  (* A write with no following close/rename (the WAL's group-commit
+     append) is legal: fsync happens on the batch boundary. *)
+  check_project_silent ~rules:r9
+    [ ("lib/store/fixture.ml", {| let append t payload = write t.file payload |}) ]
+
+let r9_out_of_scope () =
+  check_project_silent ~rules:r9
+    [ ("lib/sqldb/fixture.ml",
+       {| let publish path tmp data =
+            let f = open_trunc tmp in
+            write f data;
+            Unix.rename tmp path |}) ]
+
+let r9_off_is_silent () =
+  check_project_silent ~rules:[ Lint.Rule.R3 ]
+    [ ("lib/store/fixture.ml",
+       {| let save path data =
+            let f = open_trunc path in
+            write f data;
+            Unix.close f |}) ]
+
+(* ---------------- allowlist vs the new rules ---------------- *)
+
+let allow_new_rules () =
+  let ok s = match Lint.Allowlist.of_string s with Ok a -> a | Error e -> Alcotest.failf "%s" e in
+  let suppressed entry units rules =
+    match project_diags ~rules units with
+    | [] -> Alcotest.fail "expected a finding to suppress"
+    | d :: _ -> Lint.Allowlist.suppresses (ok entry) d
+  in
+  Alcotest.(check bool) "R7 entry" true
+    (suppressed "R7 lib/core/fixture.ml"
+       [ ("lib/core/fixture.ml", {| let leak ~key = Printf.printf "%s" key |}) ]
+       r7);
+  Alcotest.(check bool) "R8 entry" true
+    (suppressed "R8 lib/sqldb/fixture.ml"
+       [ ("lib/sqldb/fixture.ml", {| type t = { mutable hits : int } |}) ]
+       r8);
+  Alcotest.(check bool) "R9 entry" true
+    (suppressed "R9 lib/store/fixture.ml"
+       [ ("lib/store/fixture.ml",
+          {| let save p d = let f = open_trunc p in write f d; Unix.close f |}) ]
+       r9)
+
+let allow_path_suffix () =
+  (* Absolute and ./-relative diagnostic paths match the same
+     repo-relative entry. *)
+  let ok s = match Lint.Allowlist.of_string s with Ok a -> a | Error e -> Alcotest.failf "%s" e in
+  let entry = ok "R7 lib/core/fixture.ml" in
+  let diag_at path =
+    List.hd (project_diags ~rules:r7 [ (path, {| let leak ~key = Printf.printf "%s" key |}) ])
+  in
+  Alcotest.(check bool) "absolute path" true
+    (Lint.Allowlist.suppresses entry (diag_at "/tmp/work/lib/core/fixture.ml"));
+  Alcotest.(check bool) "./-relative path" true
+    (Lint.Allowlist.suppresses entry (diag_at "./lib/core/fixture.ml"));
+  Alcotest.(check bool) "different file does not match" false
+    (Lint.Allowlist.suppresses entry (diag_at "/tmp/work/lib/core/other_fixture.ml"))
+
+(* ---------------- severity + stats ---------------- *)
+
+let severity_levels () =
+  Alcotest.(check string) "R7 is an error" "error"
+    Lint.Rule.(severity_string (severity R7));
+  Alcotest.(check string) "R4 is a warning" "warning"
+    Lint.Rule.(severity_string (severity R4))
+
+let stats_reported () =
+  let result =
+    project_result ~rules:r7
+      [ ("lib/core/fixture.ml", {| let leak ~key = Printf.printf "%s" key |}) ]
+  in
+  Alcotest.(check int) "one unit" 1 result.Lint.Project.n_units;
+  match
+    List.find_opt
+      (fun s -> Lint.Rule.equal s.Lint.Project.sr_rule Lint.Rule.R7)
+      result.Lint.Project.stats
+  with
+  | None -> Alcotest.fail "no R7 stat row"
+  | Some s ->
+      Alcotest.(check int) "R7 hit counted" 1 s.Lint.Project.hits;
+      Alcotest.(check bool) "wall time measured" true (s.Lint.Project.wall_ns >= 0.0)
 
 (* ---------------- diagnostics format ---------------- *)
 
@@ -258,12 +509,47 @@ let () =
           Alcotest.test_case "lib/store exempt" `Quick r6_store_exempt;
           Alcotest.test_case "reads + Store.Io ok" `Quick r6_reads_ok;
         ] );
+      ( "r7_secret_taint",
+        [
+          Alcotest.test_case "print sink" `Quick r7_print_sink;
+          Alcotest.test_case "let-binding flow" `Quick r7_let_binding_flow;
+          Alcotest.test_case "trace label" `Quick r7_trace_label;
+          Alcotest.test_case "serialize outside store" `Quick r7_serialize_outside_store;
+          Alcotest.test_case "exn payload classes" `Quick r7_exn_payload_classes;
+          Alcotest.test_case "sanitizers clean" `Quick r7_sanitizer_clean;
+          Alcotest.test_case "application is public" `Quick r7_application_is_public;
+          Alcotest.test_case "off is silent" `Quick r7_off_is_silent;
+          Alcotest.test_case "cross-module flow" `Quick r7_cross_module;
+        ] );
+      ( "r8_domain_safety",
+        [
+          Alcotest.test_case "mutable field" `Quick r8_mutable_field;
+          Alcotest.test_case "toplevel ref/Hashtbl" `Quick r8_toplevel_state;
+          Alcotest.test_case "Atomic/DLS clean" `Quick r8_atomic_clean;
+          Alcotest.test_case "guarded-by annotation" `Quick r8_guard_annotation;
+          Alcotest.test_case "out of scope" `Quick r8_out_of_scope;
+          Alcotest.test_case "fan-out reachability" `Quick r8_reachability;
+          Alcotest.test_case "off is silent" `Quick r8_off_is_silent;
+        ] );
+      ( "r9_durability",
+        [
+          Alcotest.test_case "rename before sync" `Quick r9_rename_before_sync;
+          Alcotest.test_case "unsynced close" `Quick r9_unsynced_close;
+          Alcotest.test_case "clean sequence" `Quick r9_clean_sequence;
+          Alcotest.test_case "group commit ok" `Quick r9_group_commit_ok;
+          Alcotest.test_case "out of scope" `Quick r9_out_of_scope;
+          Alcotest.test_case "off is silent" `Quick r9_off_is_silent;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "rule toggling" `Quick rules_toggle;
           Alcotest.test_case "allowlist parse" `Quick allow_parse;
           Alcotest.test_case "allowlist rejects" `Quick allow_rejects_garbage;
           Alcotest.test_case "allowlist suppresses" `Quick allow_suppresses;
+          Alcotest.test_case "allowlist new rules" `Quick allow_new_rules;
+          Alcotest.test_case "allowlist path suffix" `Quick allow_path_suffix;
+          Alcotest.test_case "severity levels" `Quick severity_levels;
+          Alcotest.test_case "per-rule stats" `Quick stats_reported;
           Alcotest.test_case "diagnostic format" `Quick diagnostic_format;
         ] );
     ]

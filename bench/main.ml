@@ -8,12 +8,12 @@
    Experiments: table1 creation fig2 fig4..fig7 (figs) fig8 fig9 (fp)
                 aliasing attacks indcuda lambda_sweep updates
                 index_ablation correlation micro ingest recovery
-                concurrency all *)
+                concurrency server all *)
 
 let usage () =
   print_endline
     "usage: main.exe [--rows N] [--queries N] [--trials N] \
-     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|concurrency|all]...";
+     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|concurrency|server|all]...";
   exit 1
 
 let () =
@@ -57,6 +57,7 @@ let () =
     | "ingest" -> Exp_ingest.run ~rows:!rows ()
     | "recovery" -> Exp_recovery.run ~rows:!rows ()
     | "concurrency" -> Exp_concurrency.run ~rows:!rows ~n_queries:!queries ()
+    | "server" -> Exp_server.run ~rows:!rows ~n_queries:!queries ()
     | "all" ->
         Exp_table1.run ~rows:!rows ();
         Exp_fig2.run ();
@@ -72,7 +73,8 @@ let () =
         Exp_micro.run ();
         Exp_ingest.run ~rows:!rows ();
         Exp_recovery.run ~rows:!rows ();
-        Exp_concurrency.run ~rows:!rows ~n_queries:!queries ()
+        Exp_concurrency.run ~rows:!rows ~n_queries:!queries ();
+        Exp_server.run ~rows:!rows ~n_queries:!queries ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()

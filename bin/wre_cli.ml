@@ -684,6 +684,71 @@ let open_cmd =
   Cmd.v (Cmd.info "open" ~doc)
     Term.(ret (const open_store $ req_dir_arg $ sql $ checkpoint $ vacuum $ kill9))
 
+(* ---------------- connect (wre_server client) ---------------- *)
+
+let connect_run socket sql show_stats =
+  let ( let* ) = Result.bind in
+  let result =
+    let* c = Server.Client.connect ~socket_path:socket () in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () ->
+        Printf.eprintf "session %Ld: tables %s\n" (Server.Client.session_id c)
+          (String.concat ", " (Server.Client.tables c));
+        let run_one q =
+          let* r = Server.Client.query c q in
+          print_string
+            (Sqldb.Csv.render
+               (r.Server.Wire.columns :: Sqldb.Csv.untyped_rows r.Server.Wire.rows));
+          Printf.eprintf "(%d rows, %d affected; server handled %d encrypted rows)\n"
+            (List.length r.Server.Wire.rows)
+            r.Server.Wire.affected r.Server.Wire.server_rows;
+          Ok ()
+        in
+        let* () =
+          match sql with
+          | Some q -> run_one q
+          | None when show_stats -> Ok ()
+          | None ->
+              (* One statement per stdin line (scripted use). *)
+              let rec loop () =
+                match In_channel.input_line stdin with
+                | None -> Ok ()
+                | Some line when String.trim line = "" -> loop ()
+                | Some line ->
+                    let* () = run_one line in
+                    loop ()
+              in
+              loop ()
+        in
+        if show_stats then
+          let* text = Server.Client.stats c in
+          print_string text;
+          Ok ()
+        else Ok ())
+  in
+  match result with Ok () -> `Ok () | Error e -> `Error (false, e)
+
+let connect_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt string "/tmp/wre_server.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of a running wre_server.")
+  in
+  let sql =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"SQL"
+          ~doc:"Statement to run remotely; without it, statements are read from stdin.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Dump the server's metrics registry at the end.")
+  in
+  let doc = "Run SQL against a running wre_server over its Unix-domain socket." in
+  Cmd.v (Cmd.info "connect" ~doc) Term.(ret (const connect_run $ socket $ sql $ stats))
+
 let () =
   let doc = "weakly randomized encryption (DSN 2019) toolkit" in
   let info = Cmd.info "wre" ~version:"1.0.0" ~doc in
@@ -701,4 +766,5 @@ let () =
             query_csv_cmd;
             init_cmd;
             open_cmd;
+            connect_cmd;
           ]))

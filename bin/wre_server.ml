@@ -1,0 +1,85 @@
+(* wre_server — serve a durable encrypted store to multiple clients
+   over a Unix-domain socket, batching concurrent reads into shared
+   snapshot epochs (see lib/server and DESIGN.md §5h).
+
+   Runs until SIGTERM/SIGINT, then shuts down cleanly: sessions are
+   kicked, queued queries drained, the engine closed. kill -9 is the
+   crash case — recovery on the next open replays the WAL. *)
+
+open Cmdliner
+
+let store_exists dir =
+  Sys.file_exists (Filename.concat dir "snapshot.bin")
+  || Sys.file_exists (Filename.concat dir "wal.bin")
+
+let serve dir socket domains window_us batch_max =
+  if not (store_exists dir) then
+    `Error (false, Printf.sprintf "%s does not hold a store; use 'wre init --dir %s'" dir dir)
+  else begin
+    let store = Store.Engine.open_dir ~dir () in
+    let cfg =
+      {
+        Server.Daemon.socket_path = socket;
+        domains;
+        window_ns = float_of_int window_us *. 1e3;
+        batch_max;
+        backlog = 512;
+      }
+    in
+    match Server.Daemon.start cfg store with
+    | Error e ->
+        Store.Engine.close store;
+        `Error (false, e)
+    | Ok d ->
+        let stop_requested = Atomic.make false in
+        let on_signal _ = Atomic.set stop_requested true in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        let r = Store.Engine.recovery store in
+        Printf.printf "wre_server: recovered %s (%d WAL records), serving on %s\n" dir
+          r.Store.Engine.replayed socket;
+        Printf.printf "wre_server: ready (domains=%d window=%dus batch_max=%d)\n%!" domains
+          window_us batch_max;
+        (* Signal handlers only set the flag; the main thread polls so
+           the actual teardown never runs in handler context. *)
+        while not (Atomic.get stop_requested) do
+          Thread.delay 0.05
+        done;
+        Printf.printf "wre_server: shutting down\n%!";
+        Server.Daemon.stop d;
+        Store.Engine.close store;
+        `Ok ()
+  end
+
+let () =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Durable store directory (from 'wre init').")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string "/tmp/wre_server.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Task-pool domains fanning each read batch.")
+  in
+  let window_us =
+    Arg.(
+      value & opt int 1000
+      & info [ "window-us" ] ~docv:"USEC"
+          ~doc:"Admission window: how long a read batch stays open for latecomers.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 256
+      & info [ "batch-max" ] ~docv:"N" ~doc:"Maximum reads coalesced into one snapshot epoch.")
+  in
+  let doc = "serve an encrypted store to concurrent clients with batched admission" in
+  let info = Cmd.info "wre_server" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.v info Term.(ret (const serve $ dir $ socket $ domains $ window_us $ batch_max))))

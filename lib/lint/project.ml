@@ -30,11 +30,13 @@ let dir_scope = Taint.dir_scope
 
 (* The fan-out surface: modules the parallel read path executes on
    worker domains (PR 5's executor/proxy/encrypted_db pipeline lives in
-   these three libraries). Module-level mutable state here must be
-   Atomic, Domain.DLS, or behind an annotated mutex. *)
+   these three libraries, and PR 7's batched-admission server fans
+   session state over the same pool). Module-level mutable state here
+   must be Atomic, Domain.DLS, or behind an annotated mutex. *)
 let r8_dir_scope path =
   dir_scope [ "lib"; "sqldb" ] path || dir_scope [ "lib"; "core" ] path
   || dir_scope [ "lib"; "obs" ] path
+  || dir_scope [ "lib"; "server" ] path
 
 let type_path_is (t : core_type) want =
   match t.ptyp_desc with

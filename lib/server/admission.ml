@@ -1,0 +1,154 @@
+(* lint: guarded-by lock — every mutable field below is read and
+   written only while [lock] is held; replies are handed over under the
+   same lock before [done_cv] is signalled. *)
+
+type kind = Read | Mutate
+
+type ('a, 'r) job = {
+  j_kind : kind;
+  payload : 'a;
+  mutable reply : 'r option;
+  done_cv : Condition.t;
+  enq_ns : float;
+}
+
+type ('a, 'r) t = {
+  lock : Mutex.t;
+  arrived : Condition.t;  (* queue became non-empty, or stopping *)
+  queue : ('a, 'r) job Queue.t;
+  mutable stopping : bool;
+  mutable batcher : Thread.t option;
+  window_ns : float;
+  batch_max : int;
+  run_batch : 'a array -> 'r array;
+  run_write : 'a -> 'r;
+  on_exn : string -> 'r;
+}
+
+let m_batches = Obs.Metrics.counter "server.batches_total"
+let m_batch_size = Obs.Metrics.histogram "server.batch_size"
+let m_wait = Obs.Metrics.histogram "server.admission_wait_ns"
+
+let complete t job r =
+  Mutex.lock t.lock;
+  job.reply <- Some r;
+  Condition.signal job.done_cv;
+  Mutex.unlock t.lock
+
+(* Replies for a whole batch, under one lock acquisition. *)
+let complete_all t jobs rs =
+  Mutex.lock t.lock;
+  Array.iteri
+    (fun i job ->
+      job.reply <- Some rs.(i);
+      Condition.signal job.done_cv)
+    jobs;
+  Mutex.unlock t.lock
+
+let observe_waits jobs =
+  let now = Stdx.Clock.now_ns () in
+  Array.iter (fun j -> Obs.Metrics.observe m_wait (now -. j.enq_ns)) jobs
+
+let run_reads t jobs =
+  observe_waits jobs;
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.observe m_batch_size (float_of_int (Array.length jobs));
+  match t.run_batch (Array.map (fun j -> j.payload) jobs) with
+  | rs when Array.length rs = Array.length jobs -> complete_all t jobs rs
+  | _ ->
+      let r = t.on_exn "run_batch returned wrong arity" in
+      complete_all t jobs (Array.map (fun _ -> r) jobs)
+  | exception e ->
+      let r = t.on_exn (Printexc.to_string e) in
+      complete_all t jobs (Array.map (fun _ -> r) jobs)
+
+let run_mutation t job =
+  observe_waits [| job |];
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.observe m_batch_size 1.0;
+  match t.run_write job.payload with
+  | r -> complete t job r
+  | exception e -> complete t job (t.on_exn (Printexc.to_string e))
+
+(* Pop the leading run of reads (the head job is already popped and
+   counted). Stops at the first mutation so writes keep their arrival
+   order relative to the reads behind them. *)
+let drain_reads t acc =
+  Mutex.lock t.lock;
+  let more = ref true in
+  while !more && List.length !acc < t.batch_max do
+    match Queue.peek_opt t.queue with
+    | Some j when j.j_kind = Read -> acc := Queue.pop t.queue :: !acc
+    | _ -> more := false
+  done;
+  Mutex.unlock t.lock
+
+let batcher_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.arrived t.lock
+    done;
+    let head = Queue.take_opt t.queue in
+    Mutex.unlock t.lock;
+    match head with
+    | None -> running := false (* stopping && drained *)
+    | Some job when job.j_kind = Mutate -> run_mutation t job
+    | Some job ->
+        (* Hold the door open one admission window so concurrent reads
+           coalesce into this batch's snapshot epoch. *)
+        if t.window_ns > 0.0 then Thread.delay (t.window_ns *. 1e-9);
+        let acc = ref [ job ] in
+        drain_reads t acc;
+        run_reads t (Array.of_list (List.rev !acc))
+  done
+
+let create ?(window_ns = 0.0) ?(batch_max = 256) ~run_batch ~run_write ~on_exn () =
+  if batch_max < 1 then invalid_arg "Admission.create: batch_max < 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      arrived = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      batcher = None;
+      window_ns;
+      batch_max;
+      run_batch;
+      run_write;
+      on_exn;
+    }
+  in
+  t.batcher <- Some (Thread.create batcher_loop t);
+  t
+
+let submit t kind payload =
+  let job =
+    { j_kind = kind; payload; reply = None; done_cv = Condition.create (); enq_ns = Stdx.Clock.now_ns () }
+  in
+  Mutex.lock t.lock;
+  if t.stopping then (
+    Mutex.unlock t.lock;
+    invalid_arg "Admission.submit: stopped");
+  Queue.push job t.queue;
+  Condition.signal t.arrived;
+  while job.reply = None do
+    Condition.wait job.done_cv t.lock
+  done;
+  let r = Option.get job.reply in
+  Mutex.unlock t.lock;
+  r
+
+let stop t =
+  Mutex.lock t.lock;
+  let first = not t.stopping in
+  t.stopping <- true;
+  Condition.signal t.arrived;
+  Mutex.unlock t.lock;
+  if first then
+    match t.batcher with
+    | Some th ->
+        Thread.join th;
+        t.batcher <- None
+    | None -> ()

@@ -85,6 +85,14 @@ let parallel_init t n f =
     let next = ref 0 in
     let pending = ref 0 in
     let err = ref None in
+    (* The first failure wins; its backtrace is captured at the catch
+       site so the caller's re-raise points at the chunk that died, not
+       at [parallel_init] itself. *)
+    let record_err e bt =
+      Mutex.lock m;
+      if !err = None then err := Some (e, bt);
+      Mutex.unlock m
+    in
     (* Every participant (caller + helpers) pulls the next unclaimed
        chunk index until none remain or a chunk has failed. *)
     let rec body () =
@@ -96,10 +104,7 @@ let parallel_init t n f =
       if not stop then begin
         (match f i with
         | v -> results.(i) <- Some v
-        | exception e ->
-            Mutex.lock m;
-            if !err = None then err := Some e;
-            Mutex.unlock m);
+        | exception e -> record_err e (Printexc.get_raw_backtrace ()));
         body ()
       end
     in
@@ -114,16 +119,33 @@ let parallel_init t n f =
     Mutex.lock m;
     pending := helpers;
     Mutex.unlock m;
-    for _ = 1 to helpers do
-      submit t (Job helper)
-    done;
+    (* A concurrent [shutdown] can make [submit] raise part-way through
+       the fan-out. Helpers that never reached the queue will never run
+       [decr pending], so waiting on their slots would block forever:
+       roll the unqueued slots back and treat the submission failure
+       like any chunk error — the caller still drains the helpers that
+       did get queued before raising. *)
+    let queued = ref 0 in
+    (try
+       for _ = 1 to helpers do
+         submit t (Job helper);
+         incr queued
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock m;
+       pending := !pending - (helpers - !queued);
+       if !err = None then err := Some (e, bt);
+       Mutex.unlock m);
     body ();
     Mutex.lock m;
     while !pending > 0 do
       Condition.wait finished m
     done;
     Mutex.unlock m;
-    (match !err with Some e -> raise e | None -> ());
+    (match !err with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     Array.map
       (function
         | Some v -> v

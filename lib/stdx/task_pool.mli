@@ -28,9 +28,14 @@ val parallel_init : t -> int -> (int -> 'a) -> 'a array
 (** [parallel_init t n f] is [Array.init n f] with the [f i] calls
     distributed over the pool. Each index is computed exactly once;
     the result array is in index order regardless of scheduling. If
-    any [f i] raises, one such exception is re-raised in the caller
-    after all in-flight tasks drain (remaining indexes are skipped,
-    so side effects of [f] must not be relied on after a failure). *)
+    any [f i] raises, one such exception is re-raised in the caller —
+    with the backtrace captured at the failing chunk, via
+    [Printexc.raise_with_backtrace] — after all in-flight tasks drain
+    (remaining indexes are skipped, so side effects of [f] must not be
+    relied on after a failure). A concurrent {!shutdown} that makes
+    internal submission fail is reported the same way: the queued
+    helpers drain, then the submission error is raised — never a
+    deadlock, and never a task left running past the call. *)
 
 val parallel_iter : t -> int -> (int -> unit) -> unit
 (** [parallel_init] for effects only. *)

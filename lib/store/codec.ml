@@ -8,6 +8,7 @@ type cursor = { s : string; mutable p : int }
 
 let cursor s = { s; p = 0 }
 let pos c = c.p
+let remaining c = String.length c.s - c.p
 let at_end c = c.p >= String.length c.s
 
 let need c n = if c.p + n > String.length c.s then corrupt "truncated at byte %d (need %d)" c.p n

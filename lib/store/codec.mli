@@ -12,6 +12,11 @@ type cursor
 
 val cursor : string -> cursor
 val pos : cursor -> int
+
+val remaining : cursor -> int
+(** Bytes left to read — lets decoders bound element counts by the
+    payload actually present before allocating. *)
+
 val at_end : cursor -> bool
 val skip : cursor -> int -> unit
 

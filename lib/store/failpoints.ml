@@ -11,7 +11,31 @@ let bytes_seen = ref 0
 let events_seen : (string, int) Hashtbl.t = Hashtbl.create 8
 let lose_flag = ref false
 
-let disarm () = mode := Off
+(* Scripted per-syscall outcomes for the descriptor-level write loop:
+   each write(2) attempt consumes the next entry. Orthogonal to [mode]
+   so a cut/event failpoint can be armed at the same time. *)
+type syscall_outcome = [ `Short of int | `Errno of Unix.error ]
+
+let syscalls : syscall_outcome list ref = ref []
+
+let arm_syscalls outcomes =
+  List.iter
+    (function
+      | `Short k when k < 0 -> invalid_arg "Failpoints.arm_syscalls: negative short write"
+      | _ -> ())
+    outcomes;
+  syscalls := outcomes
+
+let on_syscall ~requested =
+  match !syscalls with
+  | [] -> `Write requested
+  | o :: rest ->
+      syscalls := rest;
+      (match o with `Short k -> `Write (min k requested) | `Errno e -> `Raise e)
+
+let disarm () =
+  mode := Off;
+  syscalls := []
 
 let arm_cut_bytes ?(lose_unsynced = false) n =
   if n < 0 then invalid_arg "Failpoints.arm_cut_bytes: negative budget";
@@ -32,7 +56,7 @@ let counted_events () =
   Hashtbl.fold (fun p n acc -> (p, n) :: acc) events_seen []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let armed () = !mode <> Off
+let armed () = !mode <> Off || !syscalls <> []
 
 (* Firing is one-shot: record the lose-unsynced request and disarm so
    the recovery that follows the crash runs unimpeded. *)

@@ -38,6 +38,19 @@ val arm_counting : unit -> unit
 (** Observe-only mode: count bytes written and event occurrences so a
     test can enumerate the crash matrix for a workload. *)
 
+type syscall_outcome = [ `Short of int | `Errno of Unix.error ]
+
+val arm_syscalls : syscall_outcome list -> unit
+(** Script the next write(2) attempts of the {!Io} retry loop, one
+    outcome per syscall: [`Short k] makes the kernel accept only the
+    first [k] bytes (a genuine short write), [`Errno e] makes the
+    attempt raise [Unix_error (e, _, _)] without writing anything —
+    [EINTR]/[EAGAIN] exercise the transient-retry path, anything else
+    (say [ENOSPC]) the fatal path, whose partial progress must still be
+    reflected in the file bookkeeping. When the list is exhausted,
+    syscalls behave normally. Orthogonal to the byte/event failpoints;
+    cleared by {!disarm}. *)
+
 val counted_bytes : unit -> int
 val counted_events : unit -> (string * int) list
 (** Occurrence counts per event point, sorted by name. *)
@@ -50,6 +63,13 @@ val armed : unit -> bool
 val on_write : int -> [ `All | `Partial of int ]
 (** Called with the byte count about to be written. [`Partial k] means:
     write only the first [k] bytes, then {!Io.crash}. *)
+
+val on_syscall : requested:int -> [ `Write of int | `Raise of Unix.error ]
+(** Consulted before every individual write(2) attempt (after
+    {!on_write} has sized the overall operation): [`Write k] = issue
+    the syscall for the first [k] bytes of the remainder, [`Raise e] =
+    the syscall fails with [e] having written nothing. Unarmed:
+    [`Write requested]. *)
 
 val on_event : string -> bool
 (** [true] = skip the operation and {!Io.crash} instead. *)

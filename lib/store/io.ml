@@ -50,23 +50,51 @@ let open_trunc p =
   register f;
   f
 
-let write_all fd s pos len =
+(* The one write loop everything rides on. A server process that
+   handles signals sees EINTR (and, on sockets, EAGAIN) from write(2)
+   at any moment; treat those as "try again", never as failure. Every
+   individual attempt consults the syscall failpoint so tests can
+   script short writes and transient/fatal errnos. [progress] observes
+   the running byte count after each successful syscall — a caller
+   whose bookkeeping must mirror the kernel's view of the file (sizes
+   the crash-recovery invariants rest on) stays exact even when a
+   later attempt raises a fatal error mid-string. *)
+let write_retry ~progress fd s pos len =
   let written = ref 0 in
   while !written < len do
-    written := !written + Unix.write_substring fd s (pos + !written) (len - !written)
+    match
+      (match Failpoints.on_syscall ~requested:(len - !written) with
+      | `Write k -> Unix.write_substring fd s (pos + !written) k
+      | `Raise e -> raise (Unix.Unix_error (e, "write", "")))
+    with
+    | n ->
+        written := !written + n;
+        progress !written
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   done
 
 let write ?(point = "write") f s =
   if Failpoints.on_event point then crash ();
   let n = String.length s in
+  let base = f.size in
+  (* Progress lands in [f.size] syscall by syscall: if the loop raises
+     after a partial write, [size] already counts the bytes that
+     reached the fd, so the size/synced bookkeeping — and the simulated
+     crash truncation that relies on it — never diverges from the file. *)
+  let progress w = f.size <- base + w in
   match Failpoints.on_write n with
-  | `All ->
-      write_all f.fd s 0 n;
-      f.size <- f.size + n
+  | `All -> write_retry ~progress f.fd s 0 n
   | `Partial k ->
-      write_all f.fd s 0 k;
-      f.size <- f.size + k;
+      write_retry ~progress f.fd s 0 k;
       crash ()
+
+let write_fd_all fd s = write_retry ~progress:ignore fd s 0 (String.length s)
+
+let rec read_fd fd buf pos len =
+  match Unix.read fd buf pos len with
+  | n -> n
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      read_fd fd buf pos len
 
 let fsync ?(point = "fsync") f =
   if Failpoints.on_event point then crash ();

@@ -25,8 +25,13 @@ val size : file -> int
 val path : file -> string
 
 val write : ?point:string -> file -> string -> unit
-(** Append the bytes. A [Cut] failpoint may land mid-string: the
-    surviving prefix is written (a torn write), then {!crash}. *)
+(** Append the bytes. Interrupted and transient syscalls
+    ([EINTR]/[EAGAIN]) are retried; the {!size} bookkeeping is advanced
+    syscall by syscall, so if a fatal error (or an injected
+    {!Failpoints.arm_syscalls} outcome) aborts the loop mid-string, the
+    recorded size still matches the bytes that actually reached the fd.
+    A [Cut] failpoint may land mid-string: the surviving prefix is
+    written (a torn write), then {!crash}. *)
 
 val fsync : ?point:string -> file -> unit
 (** Make written bytes durable. An armed event failpoint crashes {e
@@ -57,3 +62,19 @@ val atomic_write_text : path:string -> string -> unit
 
 val read_file : string -> string option
 (** Whole-file read; [None] if absent. *)
+
+(** {2 Descriptor-level primitives}
+
+    For non-file descriptors — sockets, pipes — that need the same
+    hardened syscall discipline as the storage files but none of the
+    size/synced bookkeeping. The server's wire protocol rides on these
+    (and lint rule R6 keeps every raw write in the repo behind this
+    module). *)
+
+val write_fd_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying [EINTR]/[EAGAIN]/short writes
+    until every byte is accepted. Intended for blocking descriptors;
+    fatal errors ([EPIPE], …) propagate as [Unix.Unix_error]. *)
+
+val read_fd : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read] retrying [EINTR]/[EAGAIN]; returns 0 only at EOF. *)

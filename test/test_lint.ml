@@ -319,6 +319,16 @@ let r8_out_of_scope () =
   check_project_silent ~rules:r8
     [ ("lib/stdx/fixture.ml", {| type t = { mutable hits : int } |}) ]
 
+let r8_server_in_scope () =
+  (* PR 7 put the batched-admission server on the fan-out surface:
+     unguarded session state in lib/server must fire like lib/sqldb. *)
+  check_project_fires ~rules:r8 "R8"
+    [ ("lib/server/fixture.ml", {| type t = { mutable sessions : int } |}) ];
+  check_project_silent ~rules:r8
+    [ ("lib/server/fixture.ml",
+       {| (* lint: guarded-by lock *)
+          type t = { mutable sessions : int; lock : Mutex.t } |}) ]
+
 let r8_reachability () =
   (* With a Task_pool user in the project, only modules it (transitively)
      references are in scope. *)
@@ -528,6 +538,7 @@ let () =
           Alcotest.test_case "Atomic/DLS clean" `Quick r8_atomic_clean;
           Alcotest.test_case "guarded-by annotation" `Quick r8_guard_annotation;
           Alcotest.test_case "out of scope" `Quick r8_out_of_scope;
+          Alcotest.test_case "lib/server in scope" `Quick r8_server_in_scope;
           Alcotest.test_case "fan-out reachability" `Quick r8_reachability;
           Alcotest.test_case "off is silent" `Quick r8_off_is_silent;
         ] );

@@ -302,6 +302,49 @@ let test_pool_rejects_bad_args () =
     | () -> false
     | exception Invalid_argument _ -> true)
 
+exception Chunk_died
+
+(* Regression (PR 7): the old re-raise used [raise], which rewrote the
+   backtrace to point at [parallel_init] itself. The backtrace must
+   reach back into the chunk that died. *)
+let[@inline never] chunk_that_dies () = raise Chunk_died
+
+let test_pool_preserves_backtrace () =
+  let was = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was)
+    (fun () ->
+      Stdx.Task_pool.with_pool ~domains:2 (fun pool ->
+          match
+            Stdx.Task_pool.parallel_init pool 8 (fun i ->
+                if i = 3 then chunk_that_dies () else i)
+          with
+          | (_ : int array) -> Alcotest.fail "expected Chunk_died"
+          | exception Chunk_died ->
+              let bt = Printexc.get_backtrace () in
+              let contains hay needle =
+                let nh = String.length hay and nn = String.length needle in
+                let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+                go 0
+              in
+              check_bool
+                (Printf.sprintf "backtrace reaches the chunk: %s" bt)
+                true
+                (contains bt "test_stdx")))
+
+(* Regression (PR 7): a concurrent shutdown makes [submit] raise after
+   [pending] was already set; the old code then waited forever for
+   helpers that never reached the queue. The call must raise promptly
+   instead of deadlocking. *)
+let test_pool_submit_failure_does_not_deadlock () =
+  let pool = Stdx.Task_pool.create ~domains:4 in
+  Stdx.Task_pool.shutdown pool;
+  check_bool "raises Invalid_argument" true
+    (match Stdx.Task_pool.parallel_init pool 8 Fun.id with
+    | (_ : int array) -> false
+    | exception Invalid_argument _ -> true)
+
 (* ---------------- Clock ---------------- *)
 
 let test_clock_monotonic () =
@@ -504,6 +547,9 @@ let () =
             test_pool_parallel_init_matches;
           Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
           Alcotest.test_case "bad args" `Quick test_pool_rejects_bad_args;
+          Alcotest.test_case "backtrace preserved" `Quick test_pool_preserves_backtrace;
+          Alcotest.test_case "submit failure no deadlock" `Quick
+            test_pool_submit_failure_does_not_deadlock;
         ] );
       ("clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ]);
       ( "properties",

@@ -637,6 +637,60 @@ let test_group_commit_window_of_loss () =
       check_int "unsynced window lost, base intact" 0 (Sqldb.Table.row_count t);
       Store.Engine.close store)
 
+(* ---------------- Io syscall hardening ---------------- *)
+
+(* Regression (PR 7): [Io.write] used to issue one [Unix.write_substring]
+   and assume it took the whole string — an EINTR/EAGAIN or short write
+   either killed the caller or silently dropped bytes, and [Io.size]
+   diverged from the file. [Failpoints.arm_syscalls] scripts the kernel's
+   answers so the retry loop itself is what's under test. *)
+
+let test_io_write_retries_transient_errors () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.bin" in
+      let f = Store.Io.open_trunc path in
+      Store.Failpoints.arm_syscalls
+        [ `Errno Unix.EINTR; `Short 3; `Errno Unix.EAGAIN; `Short 4 ];
+      Store.Io.write f "hello world";
+      Store.Failpoints.disarm ();
+      check_int "size accounts every byte" 11 (Store.Io.size f);
+      Store.Io.close f;
+      check_bool "content intact" true (Store.Io.read_file path = Some "hello world"))
+
+let test_io_write_partial_progress_accounted () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.bin" in
+      let f = Store.Io.open_trunc path in
+      Store.Io.write f "base-";
+      (* Three bytes land, then the disk fills: the error must propagate
+         AND the recorded size must match exactly what reached the fd. *)
+      Store.Failpoints.arm_syscalls [ `Short 3; `Errno Unix.ENOSPC ];
+      let raised =
+        match Store.Io.write f "abcdefgh" with
+        | () -> false
+        | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> true
+      in
+      Store.Failpoints.disarm ();
+      check_bool "fatal errno propagates" true raised;
+      check_int "size = prior + partial progress" 8 (Store.Io.size f);
+      Store.Io.close f;
+      check_bool "disk matches bookkeeping" true (Store.Io.read_file path = Some "base-abc"))
+
+let test_wal_append_under_interrupts () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.bin" in
+      let wal = Store.Wal.create ~path ~group_commit:1 ~next_lsn:1L in
+      Store.Failpoints.arm_syscalls
+        [ `Errno Unix.EINTR; `Short 2; `Errno Unix.EAGAIN; `Short 1; `Errno Unix.EINTR ];
+      ignore (Store.Wal.append wal "alpha");
+      ignore (Store.Wal.append wal "beta");
+      Store.Failpoints.disarm ();
+      Store.Wal.close wal;
+      let got = ref [] in
+      let max_lsn, _ = Store.Wal.replay ~path (fun _ p -> got := p :: !got) in
+      check_bool "frames intact through interrupts" true (List.rev !got = [ "alpha"; "beta" ]);
+      check_bool "lsn" true (max_lsn = 2L))
+
 (* ---------------- suite ---------------- *)
 
 let () =
@@ -686,6 +740,15 @@ let () =
           Alcotest.test_case "checkpoint crash with live reader" `Quick
             test_checkpoint_crash_reader_holds_old_epoch;
           Alcotest.test_case "group-commit loss window" `Quick test_group_commit_window_of_loss;
+        ] );
+      ( "io_syscalls",
+        [
+          Alcotest.test_case "transient errors retried" `Quick
+            test_io_write_retries_transient_errors;
+          Alcotest.test_case "partial progress accounted" `Quick
+            test_io_write_partial_progress_accounted;
+          Alcotest.test_case "wal append under interrupts" `Quick
+            test_wal_append_under_interrupts;
         ] );
       ("properties", q [ qcheck_codec_value_roundtrip ]);
     ]

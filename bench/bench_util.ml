@@ -18,10 +18,35 @@ let generate_rows n =
   let gen = Sparta.Generator.create ~seed:data_seed in
   Array.of_seq (Sparta.Generator.rows gen ~n)
 
+(* Same rows as {!generate_rows}, as a fresh single-pass sequence — the
+   10M-row ingest path streams these into chunks instead of holding the
+   whole plaintext array. *)
+let row_seq n = Sparta.Generator.rows (Sparta.Generator.create ~seed:data_seed) ~n
+
 let enc_columns = Sparta.Generator.encrypted_columns
 
 let dist_of_rows rows =
   Wre.Dist_est.of_rows ~schema:Sparta.Generator.schema ~columns:enc_columns (Array.to_seq rows)
+
+(* Streaming profile pass: one generator sweep, no materialized rows. *)
+let dist_of_scale n =
+  Wre.Dist_est.of_rows ~schema:Sparta.Generator.schema ~columns:enc_columns (row_seq n)
+
+(* Peak resident set (VmHWM) in MiB, from /proc/self/status; 0.0 where
+   procfs is unavailable. High-water mark, so read it at exit. *)
+let peak_rss_mib () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception _ -> 0.0
+  | status -> (
+      let rec find = function
+        | [] -> 0.0
+        | line :: rest ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+                (fun kb -> float_of_int kb /. 1024.0)
+            else find rest
+      in
+      try find (String.split_on_char '\n' status) with Scanf.Scan_failure _ | End_of_file -> 0.0)
 
 (* Plaintext reference database: same table, same indexed columns. *)
 let build_plain rows =

@@ -71,17 +71,41 @@ let run_mutation t job =
   | exception e -> complete t job (t.on_exn (Printexc.to_string e))
 
 (* Pop the leading run of reads (the head job is already popped and
-   counted). Stops at the first mutation so writes keep their arrival
-   order relative to the reads behind them. *)
+   counted, hence [n] starts at 1). Stops at the first mutation so
+   writes keep their arrival order relative to the reads behind them.
+   The count is carried alongside the list — [List.length] per
+   iteration would make draining a full queue quadratic in
+   [batch_max]. *)
 let drain_reads t acc =
   Mutex.lock t.lock;
-  let more = ref true in
-  while !more && List.length !acc < t.batch_max do
+  let n = ref 1 and more = ref true in
+  while !more && !n < t.batch_max do
     match Queue.peek_opt t.queue with
-    | Some j when j.j_kind = Read -> acc := Queue.pop t.queue :: !acc
+    | Some j when j.j_kind = Read ->
+        acc := Queue.pop t.queue :: !acc;
+        incr n
     | _ -> more := false
   done;
   Mutex.unlock t.lock
+
+(* Reads already queued behind the popped head, up to [batch_max] —
+   when the batch is full on arrival, the admission window buys no
+   extra coalescing and is pure latency. *)
+let leading_reads t =
+  Mutex.lock t.lock;
+  let n = ref 0 and stop = ref false in
+  (try
+     Queue.iter
+       (fun j ->
+         if !stop || j.j_kind <> Read then stop := true
+         else begin
+           incr n;
+           if !n >= t.batch_max then raise Exit
+         end)
+       t.queue
+   with Exit -> ());
+  Mutex.unlock t.lock;
+  !n
 
 let batcher_loop t =
   let running = ref true in
@@ -97,8 +121,11 @@ let batcher_loop t =
     | Some job when job.j_kind = Mutate -> run_mutation t job
     | Some job ->
         (* Hold the door open one admission window so concurrent reads
-           coalesce into this batch's snapshot epoch. *)
-        if t.window_ns > 0.0 then Thread.delay (t.window_ns *. 1e-9);
+           coalesce into this batch's snapshot epoch — unless a full
+           batch is already waiting, in which case sleeping only delays
+           it. *)
+        if t.window_ns > 0.0 && 1 + leading_reads t < t.batch_max then
+          Thread.delay (t.window_ns *. 1e-9);
         let acc = ref [ job ] in
         drain_reads t acc;
         run_reads t (Array.of_list (List.rev !acc))

@@ -1,0 +1,231 @@
+(* lint: guarded-by the owning table's writer lock — a dictionary is
+   private to one [Table.t] and is only mutated inside [Table.mutate];
+   frozen views share the immutable entries backing (see [freeze]). *)
+
+(* Per-column dictionary of interned values (EncDBDB-style dictionary
+   encoding). Repeated ciphertext/tag bytes are stored once; rows hold
+   small integer ids instead. Heavy-tailed SPARTA tag columns repeat a
+   lot, so the dictionary wins big there; ciphertext columns with
+   per-row random nonces never repeat, so interning would be pure
+   hash-table overhead — the dictionary watches its own hit rate and
+   permanently drops the intern table once the column is evidently
+   unique-ish ("raw mode": every append is a fresh entry, accounted as
+   inline column storage rather than dictionary storage).
+
+   Concurrency contract: entry ids are never remapped or reused and
+   the entries backing array is only ever (a) appended to in place at
+   indexes past every frozen length, or (b) replaced wholesale by
+   [vacuum]. A [frozen] handle therefore stays valid forever without
+   copying. Reference counts are only touched under the owning table's
+   writer lock and are never read through a frozen handle. *)
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type entry = {
+  value : Value.t;
+  accounted : bool;  (* created while interning: storage lives in the dictionary *)
+  mutable rc : int;  (* references from non-reclaimed heap slots *)
+}
+
+type t = {
+  mutable entries : entry option array;  (* [None] = vacuumed hole; ids stable *)
+  mutable len : int;  (* ids allocated so far (monotone) *)
+  mutable intern_tbl : int VH.t option;  (* [None] once raw mode is entered *)
+  mutable appends : int;  (* total interns ever (monotone) — drives raw-mode switch *)
+  mutable live : int;  (* non-hole entries *)
+  mutable value_bytes : int;  (* Σ Value.heap_bytes over non-hole entries *)
+  mutable overhead_bytes : int;  (* dictionary-resident storage, see [overhead_bytes] *)
+}
+
+(* Directory cost per resident entry: one 8-byte slot pointing at the
+   value, the same word-per-tuple model the heap uses. *)
+let dir_entry_bytes = 8
+
+(* Re-check the hit rate once the column has seen this many appends;
+   if fewer than 1 in 8 appends deduplicated, stop interning. *)
+let probation = 4096
+
+let width_for n = if n <= 0x100 then 1 else if n <= 0x1_0000 then 2 else 4
+
+let create () =
+  {
+    entries = [||];
+    len = 0;
+    intern_tbl = Some (VH.create 64);
+    appends = 0;
+    live = 0;
+    value_bytes = 0;
+    overhead_bytes = 0;
+  }
+
+let size t = t.len
+let live_entries t = t.live
+let value_bytes t = t.value_bytes
+let overhead_bytes t = t.overhead_bytes
+let appends t = t.appends
+let intern_on t = t.intern_tbl <> None
+let id_width t = width_for t.len
+
+let check t id =
+  if id < 0 || id >= t.len then
+    invalid_arg (Printf.sprintf "Column_dict: id %d out of bounds (len %d)" id t.len)
+
+let entry_exn t id =
+  check t id;
+  match t.entries.(id) with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Column_dict: id %d is a vacuumed hole" id)
+
+let get t id = (entry_exn t id).value
+let rc t id = (entry_exn t id).rc
+let is_accounted t id = (entry_exn t id).accounted
+
+let grow t =
+  let cap = Array.length t.entries in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  let a = Array.make new_cap None in
+  Array.blit t.entries 0 a 0 t.len;
+  t.entries <- a
+
+let alloc t e =
+  if t.len = Array.length t.entries then grow t;
+  t.entries.(t.len) <- Some e;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let add_fresh t v ~accounted =
+  let vb = Value.heap_bytes v in
+  let id = alloc t { value = v; accounted; rc = 1 } in
+  t.live <- t.live + 1;
+  t.value_bytes <- t.value_bytes + vb;
+  if accounted then t.overhead_bytes <- t.overhead_bytes + vb + dir_entry_bytes;
+  id
+
+let intern t v =
+  (match t.intern_tbl with
+  | Some _ when t.appends >= probation && t.len * 8 > t.appends * 7 ->
+      (* Nearly every append allocated a new entry: this column does
+         not repeat (unique nonces), so drop the hash table for good.
+         The decision depends only on (appends, len), both serialized
+         in snapshots, so a restored column flips at the same point a
+         crash-free run would. *)
+      t.intern_tbl <- None
+  | _ -> ());
+  t.appends <- t.appends + 1;
+  match t.intern_tbl with
+  | Some tbl -> (
+      match VH.find_opt tbl v with
+      | Some id ->
+          (entry_exn t id).rc <- (entry_exn t id).rc + 1;
+          id
+      | None ->
+          let id = add_fresh t v ~accounted:true in
+          VH.replace tbl v id;
+          id)
+  | None -> add_fresh t v ~accounted:false
+
+let release t id =
+  let e = entry_exn t id in
+  if e.rc <= 0 then invalid_arg (Printf.sprintf "Column_dict.release: id %d already at rc 0" id);
+  e.rc <- e.rc - 1
+
+let addref t id =
+  let e = entry_exn t id in
+  e.rc <- e.rc + 1
+
+(* Drop rc=0 entries. Copy-on-write: frozen views keep the old entries
+   backing; surviving ids are unchanged and holes are never reused, so
+   no id stored anywhere (rows, indexes, older views) is remapped. *)
+let vacuum t =
+  let fresh = Array.make (max (Array.length t.entries) 1) None in
+  let tbl = match t.intern_tbl with Some _ -> Some (VH.create 64) | None -> None in
+  t.live <- 0;
+  t.value_bytes <- 0;
+  t.overhead_bytes <- 0;
+  for i = 0 to t.len - 1 do
+    match t.entries.(i) with
+    | Some e when e.rc > 0 ->
+        fresh.(i) <- Some e;
+        (match tbl with Some tb -> VH.replace tb e.value i | None -> ());
+        t.live <- t.live + 1;
+        let vb = Value.heap_bytes e.value in
+        t.value_bytes <- t.value_bytes + vb;
+        if e.accounted then t.overhead_bytes <- t.overhead_bytes + vb + dir_entry_bytes
+    | _ -> ()
+  done;
+  t.entries <- fresh;
+  t.intern_tbl <- tbl
+
+(* Frozen handle: the backing array plus the lengths/counters at freeze
+   time. Readers only dereference ids below [f_len], all of which are
+   immutable forever (see the concurrency contract above). *)
+type frozen = {
+  f_entries : entry option array;
+  f_len : int;
+  f_appends : int;
+  f_intern_on : bool;
+}
+
+let freeze t =
+  { f_entries = t.entries; f_len = t.len; f_appends = t.appends; f_intern_on = intern_on t }
+
+let frozen_len f = f.f_len
+
+let frozen_check f id =
+  if id < 0 || id >= f.f_len then
+    invalid_arg (Printf.sprintf "Column_dict: frozen id %d out of bounds (len %d)" id f.f_len)
+
+let frozen_get f id =
+  frozen_check f id;
+  match f.f_entries.(id) with
+  | Some e -> e.value
+  | None -> invalid_arg (Printf.sprintf "Column_dict: frozen id %d is a vacuumed hole" id)
+
+let frozen_entry f id =
+  frozen_check f id;
+  match f.f_entries.(id) with Some e -> Some (e.value, e.accounted) | None -> None
+
+let frozen_is_accounted f id =
+  frozen_check f id;
+  match f.f_entries.(id) with Some e -> e.accounted | None -> false
+
+let frozen_appends f = f.f_appends
+let frozen_intern_on f = f.f_intern_on
+let frozen_id_width f = width_for f.f_len
+
+(* Restore path: rebuild from a serialized entry array. Every rc starts
+   at 0 — the caller addrefs once per referencing heap slot, restoring
+   the exact counts a crash-free run would hold. *)
+let of_entries ~appends ~intern_on ents =
+  let n = Array.length ents in
+  let t =
+    {
+      entries = Array.make (max n 1) None;
+      len = n;
+      intern_tbl = None;
+      appends;
+      live = 0;
+      value_bytes = 0;
+      overhead_bytes = 0;
+    }
+  in
+  let tbl = if intern_on then Some (VH.create (max 64 n)) else None in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (v, accounted) ->
+          t.entries.(i) <- Some { value = v; accounted; rc = 0 };
+          (match tbl with Some tb -> VH.replace tb v i | None -> ());
+          t.live <- t.live + 1;
+          let vb = Value.heap_bytes v in
+          t.value_bytes <- t.value_bytes + vb;
+          if accounted then t.overhead_bytes <- t.overhead_bytes + vb + dir_entry_bytes
+      | None -> ())
+    ents;
+  t.intern_tbl <- tbl;
+  t

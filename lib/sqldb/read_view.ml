@@ -1,13 +1,18 @@
 (* An immutable point-in-time view of one table: the copy-on-write
    snapshot a reader domain works against while writers keep mutating
-   the live table. Row arrays are shared with the table by pointer —
-   safe because the table never mutates a stored row in place (insert
-   copies, update is delete+insert, vacuum swaps in a fresh sentinel) —
-   while the visibility bitmap, page map and index structures are
-   copied, so no later insert/delete/vacuum/checkpoint is observable
-   through the view. Built by [Table.freeze] under the table's writer
-   lock; every accessor here is a pure read plus pager charges, safe to
-   call from any domain. *)
+   the live table. The columnar storage is shared with the table by
+   pointer — per-column dictionary backings and id arrays are append-
+   only (vacuum replaces them wholesale instead of mutating shared
+   slots), so everything below a frozen length is immutable forever —
+   while the visibility bitmap is copied, so no later insert/delete/
+   vacuum/checkpoint is observable through the view. Built by
+   [Table.freeze] under the table's writer lock; every accessor here is
+   a pure read plus pager charges, safe to call from any domain. *)
+
+type col = {
+  dict : Column_dict.frozen;
+  ids : int array;  (* shared backing; only the first [n] slots are ours *)
+}
 
 type t = {
   epoch : int;
@@ -15,55 +20,83 @@ type t = {
   schema : Schema.t;
   pager : Pager.t;
   heap_rel : Pager.rel;
-  rows : Value.t array array;
-  live : bool array;
-  row_pages : int array;
+  cols : col array;
+  n : int;  (* heap slots at freeze time; shared backings may be longer *)
+  live : bool array;  (* copied: the table tombstones in place *)
+  row_pages : int array;  (* shared backing *)
+  row_sizes : int array;  (* shared backing; physical tuple bytes *)
   n_dead : int;
   cur_page : int;
   cur_fill : int;
   data_bytes : int;
+  live_bytes : int;
+  rm_cur_page : int;
+  rm_cur_fill : int;
+  rm_data_bytes : int;
+  dict_overhead_bytes : int;
   reclaimed : Value.t array; (* physical sentinel for vacuumed slots *)
-  row_bytes : Value.t array -> int; (* tuple size, for transfer charges *)
+  row_bytes : Value.t array -> int; (* logical tuple size, for transfer charges *)
   indexes : (string * Table_index.t) list; (* frozen copies, sorted by column *)
 }
 
-let make ~epoch ~name ~schema ~pager ~heap_rel ~rows ~live ~row_pages ~n_dead ~cur_page
-    ~cur_fill ~data_bytes ~reclaimed ~row_bytes ~indexes =
-  { epoch; name; schema; pager; heap_rel; rows; live; row_pages; n_dead; cur_page; cur_fill;
-    data_bytes; reclaimed; row_bytes; indexes }
+let make ~epoch ~name ~schema ~pager ~heap_rel ~cols ~n ~live ~row_pages ~row_sizes ~n_dead
+    ~cur_page ~cur_fill ~data_bytes ~live_bytes ~rm_cur_page ~rm_cur_fill ~rm_data_bytes
+    ~dict_overhead_bytes ~reclaimed ~row_bytes ~indexes =
+  { epoch; name; schema; pager; heap_rel; cols; n; live; row_pages; row_sizes; n_dead;
+    cur_page; cur_fill; data_bytes; live_bytes; rm_cur_page; rm_cur_fill; rm_data_bytes;
+    dict_overhead_bytes; reclaimed; row_bytes; indexes }
 
 let epoch t = t.epoch
 let name t = t.name
 let schema t = t.schema
 let pager t = t.pager
 
-let row_count t = Array.length t.rows
-let live_count t = row_count t - t.n_dead
-let is_live t id = t.live.(id)
-let is_reclaimed t id = t.rows.(id) == t.reclaimed
+let row_count t = t.n
+let live_count t = t.n - t.n_dead
 
-let peek_row t id = t.rows.(id)
-let row_page t id = t.row_pages.(id)
+(* Shared backings outlive [n], so every per-row accessor must bound-
+   check explicitly rather than rely on the array length. *)
+let check t id =
+  if id < 0 || id >= t.n then
+    invalid_arg (Printf.sprintf "Read_view(%s): row %d out of bounds (rows %d)" t.name id t.n)
+
+let is_live t id =
+  check t id;
+  t.live.(id)
+
+let n_cols t = Array.length t.cols
+
+let is_reclaimed t id =
+  check t id;
+  n_cols t > 0 && t.cols.(0).ids.(id) < 0
+
+let materialize t id =
+  Array.map (fun c -> Column_dict.frozen_get c.dict c.ids.(id)) t.cols
+
+let peek_row t id = if is_reclaimed t id then t.reclaimed else materialize t id
+
+let row_page t id =
+  check t id;
+  t.row_pages.(id)
 
 let read_row t id =
-  let row = t.rows.(id) in
+  let row = peek_row t id in
   Pager.touch t.pager t.heap_rel t.row_pages.(id);
   Pager.charge_rows t.pager 1;
   Pager.charge_transfer t.pager (t.row_bytes row);
   row
 
 let scan t f =
-  let n = Array.length t.rows in
   let last_page = ref (-1) in
-  for id = 0 to n - 1 do
+  for id = 0 to t.n - 1 do
     let page = t.row_pages.(id) in
     if page <> !last_page then begin
       Pager.touch t.pager t.heap_rel page;
       last_page := page
     end;
-    if t.live.(id) then f id t.rows.(id)
+    if t.live.(id) then f id (peek_row t id)
   done;
-  Pager.charge_rows t.pager n
+  Pager.charge_rows t.pager t.n
 
 let index_on t ~column =
   List.assoc_opt column t.indexes
@@ -73,3 +106,21 @@ let indexes t = t.indexes
 let cur_page t = t.cur_page
 let cur_fill t = t.cur_fill
 let data_bytes t = t.data_bytes
+let live_bytes t = t.live_bytes
+let rm_cur_page t = t.rm_cur_page
+let rm_cur_fill t = t.rm_cur_fill
+let rm_data_bytes t = t.rm_data_bytes
+let dict_overhead_bytes t = t.dict_overhead_bytes
+
+(* Columnar internals, for the checkpoint serializer: everything the
+   wire format needs, without materializing rows. *)
+
+let col_id t ~col id =
+  check t id;
+  t.cols.(col).ids.(id)
+
+let row_size t id =
+  check t id;
+  t.row_sizes.(id)
+
+let dict t ~col = t.cols.(col).dict

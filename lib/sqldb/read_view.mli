@@ -4,12 +4,19 @@
     lock; afterwards every accessor is a pure read plus pager charges,
     so any number of reader domains can query the view while writers
     keep mutating the live table — readers never block writers and
-    vice versa. Row arrays are shared by pointer (the table never
-    mutates a stored row in place); visibility, page map and index
+    vice versa. The columnar storage (per-column dictionaries and id
+    arrays) is shared by pointer — safe because those structures are
+    append-only, with vacuum swapping in fresh backings instead of
+    mutating shared slots — while the visibility bitmap and index
     structures are copied, so later mutations — including vacuum and
     checkpoint — are invisible through the view. *)
 
 type t
+
+type col = {
+  dict : Column_dict.frozen;
+  ids : int array;  (** shared backing; slots at or past the view's row count are foreign *)
+}
 
 val make :
   epoch:int ->
@@ -17,13 +24,20 @@ val make :
   schema:Schema.t ->
   pager:Pager.t ->
   heap_rel:Pager.rel ->
-  rows:Value.t array array ->
+  cols:col array ->
+  n:int ->
   live:bool array ->
   row_pages:int array ->
+  row_sizes:int array ->
   n_dead:int ->
   cur_page:int ->
   cur_fill:int ->
   data_bytes:int ->
+  live_bytes:int ->
+  rm_cur_page:int ->
+  rm_cur_fill:int ->
+  rm_data_bytes:int ->
+  dict_overhead_bytes:int ->
   reclaimed:Value.t array ->
   row_bytes:(Value.t array -> int) ->
   indexes:(string * Table_index.t) list ->
@@ -44,14 +58,17 @@ val live_count : t -> int
 val is_live : t -> int -> bool
 
 val is_reclaimed : t -> int -> bool
-(** True for a slot vacuumed away before the freeze (physical-identity
-    check against the table's shared sentinel). *)
+(** True for a slot vacuumed away before the freeze. *)
 
 val peek_row : t -> int -> Value.t array
-(** The row without any pager charge (predicate evaluation). *)
+(** Materialize the row from the column dictionaries, without any pager
+    charge (predicate evaluation). Reclaimed slots return the empty
+    sentinel row. *)
 
 val read_row : t -> int -> Value.t array
-(** The row with heap page touch, row and transfer charges. *)
+(** The row with heap page touch, row and transfer charges. Transfer is
+    charged at the logical (row-format) tuple size, like the pre-
+    columnar engine, so simulated query costs are layout-independent. *)
 
 val scan : t -> (int -> Value.t array -> unit) -> unit
 (** Full scan in id order: touches each heap page once, surfaces live
@@ -67,5 +84,26 @@ val row_page : t -> int -> int
 val cur_page : t -> int
 val cur_fill : t -> int
 val data_bytes : t -> int
-(** Heap-cursor state at freeze time, so a physical checkpoint taken
-    from the view ([Table.snapshot_of_view]) restores byte-identically. *)
+val live_bytes : t -> int
+val rm_cur_page : t -> int
+val rm_cur_fill : t -> int
+val rm_data_bytes : t -> int
+(** Heap-cursor and accounting state at freeze time ([rm_*] is the
+    row-format shadow layout), so a physical checkpoint taken from the
+    view ([Table.snapshot_of_view]) restores byte-identically. *)
+
+val dict_overhead_bytes : t -> int
+(** Dictionary-resident bytes across all columns at freeze time. *)
+
+(* Columnar internals — the checkpoint serializer streams these
+   directly instead of materializing rows. *)
+
+val n_cols : t -> int
+
+val col_id : t -> col:int -> int -> int
+(** Dictionary id of (column, row); -1 for a reclaimed slot. *)
+
+val row_size : t -> int -> int
+(** Physical (columnar) tuple bytes of a heap slot; 0 once reclaimed. *)
+
+val dict : t -> col:int -> Column_dict.frozen

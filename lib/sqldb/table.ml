@@ -1,16 +1,37 @@
-(* lint: guarded-by writer *)
+(* lint: guarded-by writer — every mutable field below except the
+   Atomic [writer_holder] is read and written only while [writer] is
+   held (mutations run inside [mutate]; [epoch]/[freeze] take the lock
+   to read). *)
+
+type col = {
+  mutable dict : Column_dict.t;
+  mutable ids : int Stdx.Vec.t;
+      (* dictionary id per heap slot; -1 = vacuum-reclaimed. Append-only
+         between vacuums; vacuum swaps in a fresh vector so frozen views
+         keep the old backing. *)
+}
+
 type t = {
   name : string;
   schema : Schema.t;
   pager : Pager.t;
   heap_rel : Pager.rel;
-  rows : Value.t array Stdx.Vec.t;
-  row_pages : int Stdx.Vec.t;
+  cols : col array;  (* one per schema column: dictionary-encoded columnar storage *)
   live : bool Stdx.Vec.t;
+  mutable row_pages : int Stdx.Vec.t;
+  mutable row_sizes : int Stdx.Vec.t;  (* physical tuple bytes per slot; 0 = reclaimed *)
   mutable n_dead : int;
   mutable cur_page : int;
   mutable cur_fill : int; (* bytes used on the current heap page *)
-  mutable data_bytes : int; (* logical tuple bytes, for avg_row_bytes *)
+  mutable data_bytes : int; (* physical tuple bytes, live + dead-but-unvacuumed *)
+  mutable live_bytes : int; (* physical tuple bytes of live rows only *)
+  (* Row-format shadow accounting: the page cursor the pre-columnar
+     engine (24-byte tuple headers, values inline) would be at. Costs
+     nothing per row and gives benchmarks an honest like-for-like
+     baseline for the dictionary compression ratio. *)
+  mutable rm_cur_page : int;
+  mutable rm_cur_fill : int;
+  mutable rm_data_bytes : int;
   indexes : (string, Table_index.t) Hashtbl.t;
   mutable journal : Journal.hook option;
   (* Epoch-based copy-on-write reads: every mutation runs under
@@ -18,11 +39,12 @@ type t = {
      [freeze] rebuilds it at most once per epoch. Readers work against
      the returned [Read_view.t] without taking any lock. *)
   writer : Mutex.t;
-  mutable writer_holder : int;
-      (* Domain id currently inside [mutate], -1 when free. Lets
-         [freeze]/[epoch] detect a reentrant call from the journal hook
-         (the storage engine's auto-checkpoint) instead of deadlocking
-         on the non-reentrant mutex. *)
+  writer_holder : int Atomic.t;
+      (* Domain id currently inside [mutate], -1 when free. An Atomic —
+         [freeze]/[epoch] read it from arbitrary domains without the
+         lock to detect a reentrant call from the journal hook (the
+         storage engine's auto-checkpoint) instead of deadlocking on
+         the non-reentrant mutex. *)
   mutable epoch : int;
   mutable frozen : Read_view.t option;
 }
@@ -38,10 +60,10 @@ let self_id () = (Domain.self () :> int)
 
 let mutate t f =
   Mutex.lock t.writer;
-  t.writer_holder <- self_id ();
+  Atomic.set t.writer_holder (self_id ());
   Fun.protect
     ~finally:(fun () ->
-      t.writer_holder <- -1;
+      Atomic.set t.writer_holder (-1);
       Mutex.unlock t.writer)
     (fun () ->
       t.epoch <- t.epoch + 1;
@@ -49,7 +71,8 @@ let mutate t f =
       f ())
 
 let page_header = 24
-let tuple_header = 24
+let row_tuple_header = 24 (* row-format shadow: full header + null bitmap *)
+let col_tuple_header = 8 (* columnar tuple: visibility word only *)
 let line_pointer = 4
 let maxalign n = (n + 7) land lnot 7
 
@@ -59,17 +82,25 @@ let create pager ~name ~schema =
     schema;
     pager;
     heap_rel = Pager.make_rel pager ~name:(name ^ ".heap");
-    rows = Stdx.Vec.create ();
-    row_pages = Stdx.Vec.create ();
+    cols =
+      Array.map
+        (fun (_ : Schema.column) -> { dict = Column_dict.create (); ids = Stdx.Vec.create () })
+        (Schema.columns schema);
     live = Stdx.Vec.create ();
+    row_pages = Stdx.Vec.create ();
+    row_sizes = Stdx.Vec.create ();
     n_dead = 0;
     cur_page = 0;
     cur_fill = 0;
     data_bytes = 0;
+    live_bytes = 0;
+    rm_cur_page = 0;
+    rm_cur_fill = 0;
+    rm_data_bytes = 0;
     indexes = Hashtbl.create 4;
     journal = None;
     writer = Mutex.create ();
-    writer_holder = -1;
+    writer_holder = Atomic.make (-1);
     epoch = 0;
     frozen = None;
   }
@@ -77,18 +108,54 @@ let create pager ~name ~schema =
 let name t = t.name
 let schema t = t.schema
 let pager t = t.pager
+let n_cols t = Array.length t.cols
 
+(* Logical (row-format) tuple size — unchanged from the row-storage
+   engine: read/transfer charges and the row-model shadow accounting
+   both use it, so simulated query costs do not depend on the physical
+   layout. *)
 let tuple_bytes schema row =
   let data = Array.fold_left (fun acc v -> acc + Value.heap_bytes v) 0 row in
   let null_bitmap = if Array.exists (fun v -> v = Value.Null) row then (Schema.arity schema + 7) / 8 else 0 in
-  tuple_header + line_pointer + maxalign (data + null_bitmap)
+  row_tuple_header + line_pointer + maxalign (data + null_bitmap)
 
-(* Heap bookkeeping shared by insert and insert_batch: page assignment,
-   row/live/page vec pushes. Index maintenance is the caller's job (the
-   batch path resolves index column positions once for the whole
-   batch). *)
+let row_count t = Stdx.Vec.length t.live
+let live_count t = row_count t - t.n_dead
+let is_live t id = Stdx.Vec.get t.live id
+
+(* Shared sentinel for vacuumed-away tuples: physical identity
+   distinguishes it from any real row (all empty arrays are the same
+   atom, but no live materialized row of a non-empty schema is empty). *)
+let reclaimed : Value.t array = [||]
+
+let is_reclaimed_slot t id = n_cols t > 0 && Stdx.Vec.get t.cols.(0).ids id < 0
+
+let value_at t c id = Column_dict.get t.cols.(c).dict (Stdx.Vec.get t.cols.(c).ids id)
+
+let peek_row t id =
+  ignore (Stdx.Vec.get t.live id : bool) (* bound-check even for 0-column schemas *);
+  if n_cols t = 0 || is_reclaimed_slot t id then reclaimed
+  else Array.init (n_cols t) (fun c -> value_at t c id)
+
+(* Heap bookkeeping shared by insert and insert_batch: dictionary
+   interning, page assignment, per-slot vec pushes. Index maintenance
+   is the caller's job (the batch path resolves index column positions
+   once for the whole batch). *)
 let append_row t row =
-  let bytes = tuple_bytes t.schema row in
+  let widths = ref 0 in
+  Array.iteri
+    (fun c v ->
+      let col = t.cols.(c) in
+      let did = Column_dict.intern col.dict v in
+      Stdx.Vec.push col.ids did;
+      (* Interned columns store an id per tuple (the value lives in the
+         dictionary); raw-mode columns store the value inline. *)
+      widths :=
+        !widths
+        + (if Column_dict.is_accounted col.dict did then Column_dict.id_width col.dict
+           else Value.heap_bytes v))
+    row;
+  let bytes = col_tuple_header + line_pointer + maxalign !widths in
   let usable = (Pager.config t.pager).page_size - page_header in
   if t.cur_fill + bytes > usable && t.cur_fill > 0 then begin
     t.cur_page <- t.cur_page + 1;
@@ -96,9 +163,17 @@ let append_row t row =
   end;
   t.cur_fill <- t.cur_fill + bytes;
   t.data_bytes <- t.data_bytes + bytes;
-  let id = Stdx.Vec.length t.rows in
-  Stdx.Vec.push t.rows (Array.copy row);
+  t.live_bytes <- t.live_bytes + bytes;
+  let rm = tuple_bytes t.schema row in
+  if t.rm_cur_fill + rm > usable && t.rm_cur_fill > 0 then begin
+    t.rm_cur_page <- t.rm_cur_page + 1;
+    t.rm_cur_fill <- 0
+  end;
+  t.rm_cur_fill <- t.rm_cur_fill + rm;
+  t.rm_data_bytes <- t.rm_data_bytes + rm;
+  let id = Stdx.Vec.length t.live in
   Stdx.Vec.push t.row_pages t.cur_page;
+  Stdx.Vec.push t.row_sizes bytes;
   Stdx.Vec.push t.live true;
   id
 
@@ -112,8 +187,9 @@ let insert_unlocked t row =
   Hashtbl.iter
     (fun col idx -> Table_index.insert idx row.(Schema.column_index t.schema col) id)
     t.indexes;
-  (* The stored copy, not the caller's array: the hook may retain it. *)
-  emit t (Journal.Inserted { table = t.name; row = Stdx.Vec.get t.rows id });
+  (* Materialized from the dictionaries, not the caller's array: the
+     hook may retain it. *)
+  emit t (Journal.Inserted { table = t.name; row = peek_row t id });
   id
 
 let insert t row =
@@ -131,7 +207,7 @@ let insert_batch t rows =
     rows;
   mutate t @@ fun () ->
   let positions = index_positions t in
-  let first = Stdx.Vec.length t.rows in
+  let first = Stdx.Vec.length t.live in
   Array.iter
     (fun row ->
       let id = append_row t row in
@@ -142,26 +218,24 @@ let insert_batch t rows =
       (Journal.Inserted_batch
          {
            table = t.name;
-           rows = Array.init (Array.length rows) (fun i -> Stdx.Vec.get t.rows (first + i));
+           rows = Array.init (Array.length rows) (fun i -> peek_row t (first + i));
          });
   first
-
-let row_count t = Stdx.Vec.length t.rows
-let live_count t = row_count t - t.n_dead
-let is_live t id = Stdx.Vec.get t.live id
 
 let delete_unlocked t id =
   if Stdx.Vec.get t.live id then begin
     Stdx.Vec.set t.live id false;
     t.n_dead <- t.n_dead + 1;
+    (* Dead tuples keep their heap storage (and dictionary references)
+       until vacuum, but stop counting toward the live-byte totals that
+       [avg_row_bytes] reports. *)
+    t.live_bytes <- t.live_bytes - Stdx.Vec.get t.row_sizes id;
     emit t (Journal.Deleted { table = t.name; id });
     true
   end
   else false
 
 let delete t id = mutate t (fun () -> delete_unlocked t id)
-
-let peek_row t id = Stdx.Vec.get t.rows id
 
 let row_page t id = Stdx.Vec.get t.row_pages id
 
@@ -173,7 +247,7 @@ let read_row t id =
   row
 
 let scan t f =
-  let n = Stdx.Vec.length t.rows in
+  let n = row_count t in
   let last_page = ref (-1) in
   for id = 0 to n - 1 do
     (* Dead tuples still cost a page visit (they occupy the heap until
@@ -183,7 +257,7 @@ let scan t f =
       Pager.touch t.pager t.heap_rel page;
       last_page := page
     end;
-    if Stdx.Vec.get t.live id then f id (Stdx.Vec.get t.rows id)
+    if Stdx.Vec.get t.live id then f id (peek_row t id)
   done;
   Pager.charge_rows t.pager n
 
@@ -197,46 +271,69 @@ let update t id row =
   ignore (delete_unlocked t id);
   insert_unlocked t row
 
-(* Shared sentinel for vacuumed-away tuples: physical identity
-   distinguishes it from any real (possibly empty) row. *)
-let reclaimed : Value.t array = [||]
-
 let vacuum t =
   mutate t @@ fun () ->
   if t.n_dead > 0 then begin
     let positions = index_positions t in
-    let n = Stdx.Vec.length t.rows in
+    let n = row_count t in
     (* 1. Drop dead tuples: index entries first (while the key values
-       are still readable), then the heap storage itself. *)
+       are still readable through the old dictionaries), then release
+       their dictionary references. *)
     for id = 0 to n - 1 do
-      if not (Stdx.Vec.get t.live id) then begin
-        let row = Stdx.Vec.get t.rows id in
-        if row != reclaimed then begin
-          List.iter (fun (pos, idx) -> Table_index.remove idx row.(pos) id) positions;
-          Stdx.Vec.set t.rows id reclaimed
-        end
+      if (not (Stdx.Vec.get t.live id)) && not (is_reclaimed_slot t id) then begin
+        List.iter (fun (pos, idx) -> Table_index.remove idx (value_at t pos id) id) positions;
+        Array.iter (fun col -> Column_dict.release col.dict (Stdx.Vec.get col.ids id)) t.cols
       end
     done;
-    (* 2. Repack the heap: reassign pages over live tuples only. Row
-       ids are stable (dead ids remain, pointing at [reclaimed]); a
-       dead id inherits the current page so scans touch no extra
-       pages on its account. *)
+    (* 2. Reclaim dictionary space: entries whose last reference just
+       went away become holes. Copy-on-write — frozen views keep the
+       old entries backing, and surviving ids are never remapped. *)
+    Array.iter (fun col -> Column_dict.vacuum col.dict) t.cols;
+    (* 3. Repack the heap: reassign pages over live tuples only, into
+       fresh vectors so frozen views keep the old backings. Row ids are
+       stable (dead ids remain, marked reclaimed); a dead id inherits
+       the current page so scans touch no extra pages on its account.
+       Live tuples keep the physical size recorded at insert. *)
+    let ids' = Array.map (fun _ -> Stdx.Vec.create ()) t.cols in
+    let pages' = Stdx.Vec.create () in
+    let sizes' = Stdx.Vec.create () in
     t.cur_page <- 0;
     t.cur_fill <- 0;
     t.data_bytes <- 0;
+    t.live_bytes <- 0;
+    t.rm_cur_page <- 0;
+    t.rm_cur_fill <- 0;
+    t.rm_data_bytes <- 0;
     let usable = (Pager.config t.pager).page_size - page_header in
     for id = 0 to n - 1 do
       if Stdx.Vec.get t.live id then begin
-        let bytes = tuple_bytes t.schema (Stdx.Vec.get t.rows id) in
+        let bytes = Stdx.Vec.get t.row_sizes id in
         if t.cur_fill + bytes > usable && t.cur_fill > 0 then begin
           t.cur_page <- t.cur_page + 1;
           t.cur_fill <- 0
         end;
         t.cur_fill <- t.cur_fill + bytes;
-        t.data_bytes <- t.data_bytes + bytes
+        t.data_bytes <- t.data_bytes + bytes;
+        t.live_bytes <- t.live_bytes + bytes;
+        let rm = tuple_bytes t.schema (peek_row t id) in
+        if t.rm_cur_fill + rm > usable && t.rm_cur_fill > 0 then begin
+          t.rm_cur_page <- t.rm_cur_page + 1;
+          t.rm_cur_fill <- 0
+        end;
+        t.rm_cur_fill <- t.rm_cur_fill + rm;
+        t.rm_data_bytes <- t.rm_data_bytes + rm;
+        Array.iteri (fun c col -> Stdx.Vec.push ids'.(c) (Stdx.Vec.get col.ids id)) t.cols;
+        Stdx.Vec.push sizes' bytes
+      end
+      else begin
+        Array.iter (fun v -> Stdx.Vec.push v (-1)) ids';
+        Stdx.Vec.push sizes' 0
       end;
-      Stdx.Vec.set t.row_pages id t.cur_page
+      Stdx.Vec.push pages' t.cur_page
     done;
+    Array.iteri (fun c col -> col.ids <- ids'.(c)) t.cols;
+    t.row_pages <- pages';
+    t.row_sizes <- sizes';
     emit t (Journal.Vacuumed { table = t.name })
   end
 
@@ -247,7 +344,11 @@ let create_index ?(kind = Table_index.Btree) t ~column =
   | None ->
       let col_pos = Schema.column_index t.schema column in
       let idx = Table_index.create kind t.pager ~name:(t.name ^ "." ^ column ^ ".idx") in
-      Stdx.Vec.iteri (fun id row -> Table_index.insert idx row.(col_pos) id) t.rows;
+      for id = 0 to row_count t - 1 do
+        (* Dead-but-unvacuumed tuples are indexed (as live tables do);
+           reclaimed slots have no values to index. *)
+        if not (is_reclaimed_slot t id) then Table_index.insert idx (value_at t col_pos id) id
+      done;
       Hashtbl.replace t.indexes column idx;
       emit t (Journal.Created_index { table = t.name; column; kind });
       idx
@@ -255,16 +356,90 @@ let create_index ?(kind = Table_index.Btree) t ~column =
 let index_on t ~column = Hashtbl.find_opt t.indexes column
 let indexes t = Hashtbl.fold (fun _ idx acc -> idx :: acc) t.indexes []
 
-let heap_pages t = if t.data_bytes = 0 then 0 else t.cur_page + 1
-let heap_bytes t = heap_pages t * (Pager.config t.pager).page_size
+(* Storage accounting: tuple pages plus the pages the resident column
+   dictionaries occupy. Query-cost page touches model only the tuple
+   pages — dictionary pages are hot by construction (every materialize
+   hits them), matching the all-in-memory dictionaries of EncDBDB. *)
+
+let dict_overhead_bytes t =
+  Array.fold_left (fun acc col -> acc + Column_dict.overhead_bytes col.dict) 0 t.cols
+
+let page_size t = (Pager.config t.pager).page_size
+let tuple_pages t = if t.data_bytes = 0 then 0 else t.cur_page + 1
+
+let dict_pages t =
+  let b = dict_overhead_bytes t in
+  (b + page_size t - 1) / page_size t
+
+let heap_pages t = tuple_pages t + dict_pages t
+let heap_bytes t = heap_pages t * page_size t
 let index_bytes t = Hashtbl.fold (fun _ idx acc -> acc + Table_index.size_bytes idx) t.indexes 0
 let total_bytes t = heap_bytes t + index_bytes t
 
 let avg_row_bytes t =
-  if live_count t = 0 then 0.0 else float_of_int t.data_bytes /. float_of_int (live_count t)
+  if live_count t = 0 then 0.0 else float_of_int t.live_bytes /. float_of_int (live_count t)
+
+let row_model_pages t = if t.rm_data_bytes = 0 then 0 else t.rm_cur_page + 1
+let row_model_bytes t = row_model_pages t * page_size t
+
+type column_stats = {
+  st_column : string;
+  st_rows : int;
+  st_distinct : int;
+  st_interned : bool;
+  st_dict_bytes : int;
+  st_ids_bytes : int;
+  st_plain_bytes : int;
+}
+
+type storage_stats = {
+  st_columns : column_stats array;
+  st_heap_pages : int;
+  st_heap_bytes : int;
+  st_row_model_pages : int;
+  st_row_model_bytes : int;
+}
+
+let storage_stats t =
+  let n = row_count t in
+  let st_columns =
+    Array.mapi
+      (fun c (sc : Schema.column) ->
+        let col = t.cols.(c) in
+        let rows = ref 0 and ids_bytes = ref 0 and plain_bytes = ref 0 in
+        let w = Column_dict.id_width col.dict in
+        for id = 0 to n - 1 do
+          let did = Stdx.Vec.get col.ids id in
+          if did >= 0 then begin
+            incr rows;
+            let v = Column_dict.get col.dict did in
+            plain_bytes := !plain_bytes + Value.heap_bytes v;
+            ids_bytes :=
+              !ids_bytes
+              + (if Column_dict.is_accounted col.dict did then w else Value.heap_bytes v)
+          end
+        done;
+        {
+          st_column = sc.Schema.name;
+          st_rows = !rows;
+          st_distinct = Column_dict.live_entries col.dict;
+          st_interned = Column_dict.intern_on col.dict;
+          st_dict_bytes = Column_dict.overhead_bytes col.dict;
+          st_ids_bytes = !ids_bytes;
+          st_plain_bytes = !plain_bytes;
+        })
+      (Schema.columns t.schema)
+  in
+  {
+    st_columns;
+    st_heap_pages = heap_pages t;
+    st_heap_bytes = heap_bytes t;
+    st_row_model_pages = row_model_pages t;
+    st_row_model_bytes = row_model_bytes t;
+  }
 
 let epoch t =
-  if t.writer_holder = self_id () then t.epoch
+  if Atomic.get t.writer_holder = self_id () then t.epoch
   else begin
     Mutex.lock t.writer;
     let e = t.epoch in
@@ -273,25 +448,34 @@ let epoch t =
   end
 
 let build_view t =
-  let n = Stdx.Vec.length t.rows in
+  let n = row_count t in
+  let cols =
+    Array.map
+      (fun col ->
+        let ids, _ = Stdx.Vec.backing col.ids in
+        { Read_view.dict = Column_dict.freeze col.dict; ids })
+      t.cols
+  in
+  let row_pages, _ = Stdx.Vec.backing t.row_pages in
+  let row_sizes, _ = Stdx.Vec.backing t.row_sizes in
   Read_view.make ~epoch:t.epoch ~name:t.name ~schema:t.schema ~pager:t.pager ~heap_rel:t.heap_rel
-    ~rows:(Array.init n (Stdx.Vec.get t.rows))
+    ~cols ~n
     ~live:(Array.init n (Stdx.Vec.get t.live))
-    ~row_pages:(Array.init n (Stdx.Vec.get t.row_pages))
-    ~n_dead:t.n_dead ~cur_page:t.cur_page ~cur_fill:t.cur_fill ~data_bytes:t.data_bytes
-    ~reclaimed
+    ~row_pages ~row_sizes ~n_dead:t.n_dead ~cur_page:t.cur_page ~cur_fill:t.cur_fill
+    ~data_bytes:t.data_bytes ~live_bytes:t.live_bytes ~rm_cur_page:t.rm_cur_page
+    ~rm_cur_fill:t.rm_cur_fill ~rm_data_bytes:t.rm_data_bytes
+    ~dict_overhead_bytes:(dict_overhead_bytes t) ~reclaimed
     ~row_bytes:(fun row -> tuple_bytes t.schema row)
     ~indexes:
       (Hashtbl.fold (fun col idx acc -> (col, Table_index.freeze idx) :: acc) t.indexes []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 (* Publish the current epoch as an immutable read view. Cached: the
-   O(n) copy (plus index freezes) happens at most once per epoch, and
-   only when a reader actually asks. Row arrays are shared by pointer —
-   the table never mutates a stored row in place — so "copy-on-write"
-   costs one pointer array, two scalar arrays and the index copies. *)
+   copy (one visibility bitmap plus index freezes — the columnar
+   storage itself is shared by pointer, see Read_view) happens at most
+   once per epoch, and only when a reader actually asks. *)
 let freeze t =
-  if t.writer_holder = self_id () then
+  if Atomic.get t.writer_holder = self_id () then
     (* Reentrant call from inside this domain's own mutation — the
        journal hook triggering the storage engine's auto-checkpoint.
        Each hook fires right after its mutation is applied, so the
@@ -311,20 +495,34 @@ let freeze t =
         v
   end
 
-(* Physical snapshot: the exact heap state, including tombstones and
-   vacuum holes, so a restored table is byte-identical — same row ids,
-   same page assignment — even after vacuums that a logical replay
-   could not reproduce. *)
+(* Physical snapshot: the exact columnar heap state, including
+   tombstones, vacuum holes and dictionary contents, so a restored
+   table is byte-identical — same row ids, dictionary ids, page
+   assignment and accounting — even after vacuums that a logical
+   replay could not reproduce. *)
+
+type column_snapshot = {
+  cs_entries : (Value.t * bool) option array;
+      (* dictionary slots in id order; [None] = hole, bool = dictionary-accounted *)
+  cs_appends : int;
+  cs_intern_on : bool;
+  cs_ids : int array;  (* dictionary id per heap slot; -1 = reclaimed *)
+}
 
 type snapshot = {
   s_name : string;
   s_schema : Schema.t;
-  s_rows : Value.t array option array;  (* [None] = vacuum-reclaimed slot *)
+  s_cols : column_snapshot array;
   s_live : bool array;
   s_row_pages : int array;
+  s_row_sizes : int array;
   s_cur_page : int;
   s_cur_fill : int;
   s_data_bytes : int;
+  s_live_bytes : int;
+  s_rm_cur_page : int;
+  s_rm_cur_fill : int;
+  s_rm_data_bytes : int;
   s_indexes : (string * Table_index.kind) list;
 }
 
@@ -336,15 +534,25 @@ let snapshot_of_view v =
   {
     s_name = Read_view.name v;
     s_schema = Read_view.schema v;
-    s_rows =
-      Array.init n (fun id ->
-          if Read_view.is_reclaimed v id then None
-          else Some (Array.copy (Read_view.peek_row v id)));
+    s_cols =
+      Array.init (Read_view.n_cols v) (fun c ->
+          let d = Read_view.dict v ~col:c in
+          {
+            cs_entries = Array.init (Column_dict.frozen_len d) (Column_dict.frozen_entry d);
+            cs_appends = Column_dict.frozen_appends d;
+            cs_intern_on = Column_dict.frozen_intern_on d;
+            cs_ids = Array.init n (Read_view.col_id v ~col:c);
+          });
     s_live = Array.init n (Read_view.is_live v);
     s_row_pages = Array.init n (Read_view.row_page v);
+    s_row_sizes = Array.init n (Read_view.row_size v);
     s_cur_page = Read_view.cur_page v;
     s_cur_fill = Read_view.cur_fill v;
     s_data_bytes = Read_view.data_bytes v;
+    s_live_bytes = Read_view.live_bytes v;
+    s_rm_cur_page = Read_view.rm_cur_page v;
+    s_rm_cur_fill = Read_view.rm_cur_fill v;
+    s_rm_data_bytes = Read_view.rm_data_bytes v;
     s_indexes = List.map (fun (col, idx) -> (col, Table_index.kind idx)) (Read_view.indexes v);
   }
 
@@ -352,19 +560,32 @@ let snapshot t = snapshot_of_view (freeze t)
 
 let of_snapshot pager s =
   let t = create pager ~name:s.s_name ~schema:s.s_schema in
-  let n = Array.length s.s_rows in
+  let n = Array.length s.s_live in
+  (* Dictionaries first (reference counts rebuilt from the heap slots
+     below), then the heap vectors verbatim. *)
+  Array.iteri
+    (fun c cs ->
+      let col = t.cols.(c) in
+      col.dict <-
+        Column_dict.of_entries ~appends:cs.cs_appends ~intern_on:cs.cs_intern_on cs.cs_entries;
+      col.ids <- Stdx.Vec.of_array cs.cs_ids;
+      Array.iter (fun did -> if did >= 0 then Column_dict.addref col.dict did) cs.cs_ids)
+    s.s_cols;
   let n_dead = ref 0 in
   for id = 0 to n - 1 do
-    Stdx.Vec.push t.rows
-      (match s.s_rows.(id) with Some row -> Array.copy row | None -> reclaimed);
-    Stdx.Vec.push t.row_pages s.s_row_pages.(id);
     Stdx.Vec.push t.live s.s_live.(id);
+    Stdx.Vec.push t.row_pages s.s_row_pages.(id);
+    Stdx.Vec.push t.row_sizes s.s_row_sizes.(id);
     if not s.s_live.(id) then incr n_dead
   done;
   t.n_dead <- !n_dead;
   t.cur_page <- s.s_cur_page;
   t.cur_fill <- s.s_cur_fill;
   t.data_bytes <- s.s_data_bytes;
+  t.live_bytes <- s.s_live_bytes;
+  t.rm_cur_page <- s.s_rm_cur_page;
+  t.rm_cur_fill <- s.s_rm_cur_fill;
+  t.rm_data_bytes <- s.s_rm_data_bytes;
   (* Rebuild indexes directly: dead-but-unvacuumed tuples keep their
      entries (as live tables do), reclaimed slots have none. Bypasses
      [create_index] so no journal events fire during restore. *)
@@ -372,9 +593,9 @@ let of_snapshot pager s =
     (fun (column, kind) ->
       let col_pos = Schema.column_index t.schema column in
       let idx = Table_index.create kind t.pager ~name:(t.name ^ "." ^ column ^ ".idx") in
-      Array.iteri
-        (fun id r -> match r with Some row -> Table_index.insert idx row.(col_pos) id | None -> ())
-        s.s_rows;
+      for id = 0 to n - 1 do
+        if not (is_reclaimed_slot t id) then Table_index.insert idx (value_at t col_pos id) id
+      done;
       Hashtbl.replace t.indexes column idx)
     s.s_indexes;
   t

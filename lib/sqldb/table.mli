@@ -1,11 +1,16 @@
-(** Heap tables.
+(** Heap tables with dictionary-encoded columnar pages.
 
-    Rows are stored in insertion order and packed into 8 KiB heap pages
-    with PostgreSQL-style per-tuple overhead (24-byte header + 4-byte
-    line pointer, MAXALIGN'd data). The page assignment is what makes
-    the cold-cache `SELECT *` experiments faithful: rows matching one
-    search tag were inserted at random times, so fetching them touches
-    that many distinct heap pages. *)
+    Rows are stored in insertion order; each column's values are
+    interned in a per-column dictionary ({!Column_dict}) and the row
+    holds small integer ids, packed into 8 KiB heap pages (8-byte
+    tuple header + 4-byte line pointer, MAXALIGN'd id data). Columns
+    that evidently never repeat (ciphertext with random nonces) fall
+    back to raw storage, accounted inline. The page assignment is what
+    makes the cold-cache `SELECT *` experiments faithful: rows matching
+    one search tag were inserted at random times, so fetching them
+    touches that many distinct heap pages. Simulated query costs are
+    layout-independent — read/transfer charges use the logical
+    (row-format) tuple size throughout. *)
 
 type t
 
@@ -38,7 +43,9 @@ val is_live : t -> int -> bool
 val delete : t -> int -> bool
 (** Tombstone a row (Postgres-style: the heap tuple and its index
     entries stay until a vacuum; scans and lookups skip it). Returns
-    [false] if the row was already dead. *)
+    [false] if the row was already dead. Live-byte accounting
+    ({!avg_row_bytes}) drops the row immediately; heap pages shrink
+    only at {!vacuum}. *)
 
 val update : t -> int -> Value.t array -> int
 (** MVCC-style update: tombstone the old version, insert the new one
@@ -48,18 +55,21 @@ val update : t -> int -> Value.t array -> int
 
 val vacuum : t -> unit
 (** Reclaim dead tuples: drop their index entries (so [entry_count]
-    and [size_bytes] shrink back to the live rows), release their heap
-    storage, and repack live tuples onto a fresh page assignment. Row
-    ids are stable — dead ids stay dead and [peek_row] on them returns
-    an empty row afterwards. No-op when nothing is dead. *)
+    and [size_bytes] shrink back to the live rows), release their
+    dictionary references (unreferenced dictionary entries are
+    reclaimed too), and repack live tuples onto a fresh page
+    assignment. Row ids are stable — dead ids stay dead and
+    [peek_row] on them returns an empty row afterwards. No-op when
+    nothing is dead. *)
 
 val read_row : t -> int -> Value.t array
 (** Fetch through the pager (touches the row's heap page and charges
-    CPU + transfer); out-of-range ids raise [Invalid_argument]. *)
+    CPU + transfer at the logical row-format tuple size); out-of-range
+    ids raise [Invalid_argument]. *)
 
 val peek_row : t -> int -> Value.t array
-(** Read without cost accounting (for test assertions and internal
-    scans that account separately). *)
+(** Materialize from the column dictionaries without cost accounting
+    (for test assertions and internal scans that account separately). *)
 
 val row_page : t -> int -> int
 (** Heap page number holding a row. *)
@@ -87,22 +97,53 @@ val epoch : t -> int
 val freeze : t -> Read_view.t
 (** Publish the current epoch as an immutable {!Read_view.t}. The view
     is cached per epoch, so repeated freezes between mutations are
-    O(1); after a mutation the next freeze pays one O(n) copy plus an
-    index freeze per index. Readers use the view from any domain
+    O(1); after a mutation the next freeze pays one O(n) visibility-
+    bitmap copy plus an index freeze per index — the columnar storage
+    itself is shared by pointer. Readers use the view from any domain
     without locking; writers keep mutating the live table — neither
     blocks the other. *)
 
 (* Storage accounting (Table I). *)
 
 val heap_pages : t -> int
+(** Tuple pages plus the pages the resident column dictionaries
+    occupy. *)
+
 val heap_bytes : t -> int
 val index_bytes : t -> int
 val total_bytes : t -> int
 (** heap + all indexes. *)
 
 val avg_row_bytes : t -> float
-(** Logical tuple bytes per live row (tombstoned-but-unvacuumed tuples
-    still count toward the byte total, as on disk). *)
+(** Physical tuple bytes per live row. Unlike heap pages, this drops a
+    row's contribution as soon as it is deleted — no vacuum needed. *)
+
+val row_model_pages : t -> int
+val row_model_bytes : t -> int
+(** What the pre-columnar row-format engine (24-byte tuple headers,
+    values inline) would occupy for the same rows — the like-for-like
+    baseline for the dictionary compression ratio. *)
+
+type column_stats = {
+  st_column : string;
+  st_rows : int;  (** non-reclaimed heap slots *)
+  st_distinct : int;  (** resident dictionary entries *)
+  st_interned : bool;  (** still interning (not in raw mode) *)
+  st_dict_bytes : int;  (** dictionary-resident storage *)
+  st_ids_bytes : int;  (** per-tuple storage: id widths + raw inline values *)
+  st_plain_bytes : int;  (** Σ logical value bytes — what row storage would hold *)
+}
+
+type storage_stats = {
+  st_columns : column_stats array;
+  st_heap_pages : int;
+  st_heap_bytes : int;
+  st_row_model_pages : int;
+  st_row_model_bytes : int;
+}
+
+val storage_stats : t -> storage_stats
+(** Per-column dictionary/compression breakdown (O(rows × columns)). *)
 
 (* Durability hooks. *)
 
@@ -110,20 +151,34 @@ val set_journal : t -> Journal.hook option -> unit
 (** Install (or clear) the mutation hook. Each successful mutation is
     reported after it has fully applied in memory; see {!Journal}. *)
 
+type column_snapshot = {
+  cs_entries : (Value.t * bool) option array;
+      (** dictionary slots in id order; [None] = hole, bool = dictionary-accounted *)
+  cs_appends : int;
+  cs_intern_on : bool;
+  cs_ids : int array;  (** dictionary id per heap slot; -1 = reclaimed *)
+}
+
 type snapshot = {
   s_name : string;
   s_schema : Schema.t;
-  s_rows : Value.t array option array;  (** [None] = vacuum-reclaimed slot *)
+  s_cols : column_snapshot array;
   s_live : bool array;
   s_row_pages : int array;
+  s_row_sizes : int array;  (** physical tuple bytes per slot; 0 = reclaimed *)
   s_cur_page : int;
   s_cur_fill : int;
   s_data_bytes : int;
+  s_live_bytes : int;
+  s_rm_cur_page : int;
+  s_rm_cur_fill : int;
+  s_rm_data_bytes : int;
   s_indexes : (string * Table_index.kind) list;  (** sorted by column *)
 }
 (** Physical table state as checkpointed by the storage engine: the
-    heap vectors verbatim (row ids, tombstones, page assignment) plus
-    the index definitions — index {e contents} are rebuilt on restore. *)
+    columnar heap verbatim (dictionaries, id vectors, tombstones, page
+    assignment, accounting) plus the index definitions — index
+    {e contents} are rebuilt on restore. *)
 
 val snapshot : t -> snapshot
 (** Deep copy of the current physical state (via {!freeze}). *)
@@ -135,6 +190,6 @@ val snapshot_of_view : Read_view.t -> snapshot
 
 val of_snapshot : Pager.t -> snapshot -> t
 (** Reconstruct a table from a snapshot, byte-identical to the one
-    {!snapshot} saw: same row ids, heap pages, accounting, and index
-    entries (including entries of dead-but-unvacuumed tuples). Emits no
-    journal events. *)
+    {!snapshot} saw: same row ids, dictionary ids, heap pages,
+    accounting, and index entries (including entries of dead-but-
+    unvacuumed tuples). Emits no journal events. *)

@@ -58,6 +58,8 @@ let fold_left f acc t =
 
 let to_array t = Array.sub t.data 0 t.len
 
+let backing t = (t.data, t.len)
+
 let map f t =
   { data = Array.map f (to_array t); len = t.len }
 

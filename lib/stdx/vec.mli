@@ -26,6 +26,16 @@ val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val map : ('a -> 'b) -> 'a t -> 'b t
 val exists : ('a -> bool) -> 'a t -> bool
 val to_array : 'a t -> 'a array
+
+val backing : 'a t -> 'a array * int
+(** The current backing array and logical length, without copying. The
+    first [len] slots stay valid as long as the vector is only pushed
+    to: a push that outgrows the capacity reallocates, leaving the
+    returned array behind, and {!set} is the only operation that would
+    mutate a shared slot in place. For zero-copy snapshot sharing
+    (e.g. [Table.freeze]); callers must treat the array as read-only
+    and never index at or beyond the returned length. *)
+
 val to_list : 'a t -> 'a list
 val of_array : 'a array -> 'a t
 val of_list : 'a list -> 'a t

@@ -74,30 +74,160 @@ let put_schema b schema =
 
 let index_kind_code = function Table_index.Btree -> 0 | Table_index.Hash -> 1
 
-let put_table_snapshot b (s : Table.snapshot) =
-  put_str b s.Table.s_name;
-  put_schema b s.s_schema;
-  let n = Array.length s.s_rows in
+(* Little-endian fixed-width integers: dictionary ids and page numbers
+   are stored at the narrowest width that fits their range (recorded
+   elsewhere in the stream), which is what keeps a 10M-row checkpoint
+   near the in-memory columnar size instead of 4-8 bytes per cell. *)
+let put_fixed b width n =
+  put_u8 b n;
+  if width >= 2 then put_u8 b (n lsr 8);
+  if width >= 4 then begin
+    put_u8 b (n lsr 16);
+    put_u8 b (n lsr 24)
+  end
+
+(* A table snapshot abstracted over its source, so checkpointing can
+   stream straight from a frozen view — cell by cell, with [flush]
+   giving the sink a chance to spill the buffer — without ever
+   materializing the whole table as one record. *)
+type table_writer = {
+  w_name : string;
+  w_schema : Schema.t;
+  w_rows : int;
+  w_cols : int;
+  w_dict_len : int -> int;
+  w_dict_entry : int -> int -> (Value.t * bool) option;
+  w_dict_appends : int -> int;
+  w_dict_intern_on : int -> bool;
+  w_col_id : int -> int -> int;  (* col -> row id -> dictionary id (-1 = reclaimed) *)
+  w_live : int -> bool;
+  w_row_page : int -> int;
+  w_row_size : int -> int;
+  w_cur_page : int;
+  w_cur_fill : int;
+  w_data_bytes : int;
+  w_live_bytes : int;
+  w_rm_cur_page : int;
+  w_rm_cur_fill : int;
+  w_rm_data_bytes : int;
+  w_indexes : (string * Table_index.kind) list;
+}
+
+let writer_of_snapshot (s : Table.snapshot) =
+  {
+    w_name = s.Table.s_name;
+    w_schema = s.s_schema;
+    w_rows = Array.length s.s_live;
+    w_cols = Array.length s.s_cols;
+    w_dict_len = (fun c -> Array.length s.s_cols.(c).Table.cs_entries);
+    w_dict_entry = (fun c i -> s.s_cols.(c).Table.cs_entries.(i));
+    w_dict_appends = (fun c -> s.s_cols.(c).Table.cs_appends);
+    w_dict_intern_on = (fun c -> s.s_cols.(c).Table.cs_intern_on);
+    w_col_id = (fun c id -> s.s_cols.(c).Table.cs_ids.(id));
+    w_live = (fun id -> s.s_live.(id));
+    w_row_page = (fun id -> s.s_row_pages.(id));
+    w_row_size = (fun id -> s.s_row_sizes.(id));
+    w_cur_page = s.s_cur_page;
+    w_cur_fill = s.s_cur_fill;
+    w_data_bytes = s.s_data_bytes;
+    w_live_bytes = s.s_live_bytes;
+    w_rm_cur_page = s.s_rm_cur_page;
+    w_rm_cur_fill = s.s_rm_cur_fill;
+    w_rm_data_bytes = s.s_rm_data_bytes;
+    w_indexes = s.s_indexes;
+  }
+
+let writer_of_view v =
+  {
+    w_name = Read_view.name v;
+    w_schema = Read_view.schema v;
+    w_rows = Read_view.row_count v;
+    w_cols = Read_view.n_cols v;
+    w_dict_len = (fun c -> Column_dict.frozen_len (Read_view.dict v ~col:c));
+    w_dict_entry = (fun c i -> Column_dict.frozen_entry (Read_view.dict v ~col:c) i);
+    w_dict_appends = (fun c -> Column_dict.frozen_appends (Read_view.dict v ~col:c));
+    w_dict_intern_on = (fun c -> Column_dict.frozen_intern_on (Read_view.dict v ~col:c));
+    w_col_id = (fun c id -> Read_view.col_id v ~col:c id);
+    w_live = Read_view.is_live v;
+    w_row_page = Read_view.row_page v;
+    w_row_size = Read_view.row_size v;
+    w_cur_page = Read_view.cur_page v;
+    w_cur_fill = Read_view.cur_fill v;
+    w_data_bytes = Read_view.data_bytes v;
+    w_live_bytes = Read_view.live_bytes v;
+    w_rm_cur_page = Read_view.rm_cur_page v;
+    w_rm_cur_fill = Read_view.rm_cur_fill v;
+    w_rm_data_bytes = Read_view.rm_data_bytes v;
+    w_indexes = List.map (fun (col, idx) -> (col, Table_index.kind idx)) (Read_view.indexes v);
+  }
+
+let put_table_writer ?(flush = fun () -> ()) b w =
+  put_str b w.w_name;
+  put_schema b w.w_schema;
+  let n = w.w_rows in
   put_u32 b n;
-  for id = 0 to n - 1 do
-    (* bit0 = row present (not vacuum-reclaimed), bit1 = live *)
-    let flags =
-      (match s.s_rows.(id) with Some _ -> 1 | None -> 0)
-      lor (if s.s_live.(id) then 2 else 0)
-    in
-    put_u8 b flags;
-    (match s.s_rows.(id) with Some row -> put_row b row | None -> ());
-    put_u32 b s.s_row_pages.(id)
+  put_u32 b w.w_cols;
+  for c = 0 to w.w_cols - 1 do
+    let dict_len = w.w_dict_len c in
+    put_u32 b dict_len;
+    for i = 0 to dict_len - 1 do
+      (* bit0 = entry present (not a vacuumed hole), bit1 = accounted *)
+      (match w.w_dict_entry c i with
+      | Some (v, accounted) ->
+          put_u8 b (1 lor if accounted then 2 else 0);
+          put_value b v
+      | None -> put_u8 b 0);
+      if i land 0xFF = 0xFF then flush ()
+    done;
+    put_u64 b (Int64.of_int (w.w_dict_appends c));
+    put_bool b (w.w_dict_intern_on c);
+    (* ids stored as id+1 (0 = reclaimed slot) at the narrowest width
+       that fits the dictionary. *)
+    let idw = Column_dict.width_for (dict_len + 1) in
+    for id = 0 to n - 1 do
+      put_fixed b idw (w.w_col_id c id + 1);
+      if id land 0x1FFF = 0x1FFF then flush ()
+    done;
+    flush ()
   done;
-  put_u32 b s.s_cur_page;
-  put_u32 b s.s_cur_fill;
-  put_u64 b (Int64.of_int s.s_data_bytes);
-  put_u32 b (List.length s.s_indexes);
+  (* Visibility bitmap, packed. *)
+  let byte = ref 0 in
+  for id = 0 to n - 1 do
+    if w.w_live id then byte := !byte lor (1 lsl (id land 7));
+    if id land 7 = 7 then begin
+      put_u8 b !byte;
+      byte := 0
+    end
+  done;
+  if n land 7 <> 0 then put_u8 b !byte;
+  flush ();
+  put_u32 b w.w_cur_page;
+  put_u32 b w.w_cur_fill;
+  let pw = Column_dict.width_for (w.w_cur_page + 1) in
+  for id = 0 to n - 1 do
+    put_fixed b pw (w.w_row_page id);
+    if id land 0x1FFF = 0x1FFF then flush ()
+  done;
+  flush ();
+  for id = 0 to n - 1 do
+    put_u32 b (w.w_row_size id);
+    if id land 0x1FFF = 0x1FFF then flush ()
+  done;
+  flush ();
+  put_u64 b (Int64.of_int w.w_data_bytes);
+  put_u64 b (Int64.of_int w.w_live_bytes);
+  put_u32 b w.w_rm_cur_page;
+  put_u32 b w.w_rm_cur_fill;
+  put_u64 b (Int64.of_int w.w_rm_data_bytes);
+  put_u32 b (List.length w.w_indexes);
   List.iter
     (fun (col, kind) ->
       put_str b col;
       put_u8 b (index_kind_code kind))
-    s.s_indexes
+    w.w_indexes;
+  flush ()
+
+let put_table_snapshot b s = put_table_writer b (writer_of_snapshot s)
 
 (* Readers *)
 
@@ -173,25 +303,60 @@ let index_kind_of_code = function
   | 1 -> Table_index.Hash
   | n -> corrupt "bad index kind %d" n
 
+let get_fixed c width =
+  let a = get_u8 c in
+  if width = 1 then a
+  else
+    let b = get_u8 c in
+    if width = 2 then a lor (b lsl 8)
+    else
+      let d = get_u8 c in
+      let e = get_u8 c in
+      a lor (b lsl 8) lor (d lsl 16) lor (e lsl 24)
+
 let get_table_snapshot c =
   let s_name = get_str c in
   let s_schema = get_schema c in
   let n = get_u32 c in
-  if n > String.length c.s - pos c then corrupt "row count %d exceeds input" n;
-  let s_rows = Array.make n None in
-  let s_live = Array.make n false in
-  let s_row_pages = Array.make n 0 in
-  for id = 0 to n - 1 do
-    let flags = get_u8 c in
-    if flags land 1 = 1 then s_rows.(id) <- Some (get_row c);
-    s_live.(id) <- flags land 2 = 2;
-    s_row_pages.(id) <- get_u32 c
-  done;
+  if n > remaining c then corrupt "row count %d exceeds input" n;
+  let n_cols = get_u32 c in
+  if n_cols > remaining c then corrupt "column count %d exceeds input" n_cols;
+  let s_cols =
+    Array.init n_cols (fun _ ->
+        let dict_len = get_u32 c in
+        if dict_len > remaining c then corrupt "dictionary size %d exceeds input" dict_len;
+        let cs_entries =
+          Array.init dict_len (fun _ ->
+              let flags = get_u8 c in
+              if flags land 1 = 1 then Some (get_value c, flags land 2 = 2) else None)
+        in
+        let cs_appends = Int64.to_int (get_u64 c) in
+        let cs_intern_on = get_bool c in
+        let idw = Column_dict.width_for (dict_len + 1) in
+        let cs_ids =
+          Array.init n (fun _ ->
+              let v = get_fixed c idw - 1 in
+              if v >= dict_len then corrupt "dictionary id %d out of range %d" v dict_len;
+              v)
+        in
+        { Table.cs_entries; cs_appends; cs_intern_on; cs_ids })
+  in
+  let nbytes = (n + 7) / 8 in
+  need c nbytes;
+  let s_live = Array.init n (fun id -> Char.code c.s.[c.p + (id / 8)] land (1 lsl (id land 7)) <> 0) in
+  c.p <- c.p + nbytes;
   let s_cur_page = get_u32 c in
   let s_cur_fill = get_u32 c in
+  let pw = Column_dict.width_for (s_cur_page + 1) in
+  let s_row_pages = Array.init n (fun _ -> get_fixed c pw) in
+  let s_row_sizes = Array.init n (fun _ -> get_u32 c) in
   let s_data_bytes = Int64.to_int (get_u64 c) in
+  let s_live_bytes = Int64.to_int (get_u64 c) in
+  let s_rm_cur_page = get_u32 c in
+  let s_rm_cur_fill = get_u32 c in
+  let s_rm_data_bytes = Int64.to_int (get_u64 c) in
   let n_idx = get_u32 c in
-  if n_idx > String.length c.s - pos c then corrupt "index count %d exceeds input" n_idx;
+  if n_idx > remaining c then corrupt "index count %d exceeds input" n_idx;
   let s_indexes =
     List.init n_idx (fun _ ->
         let col = get_str c in
@@ -201,11 +366,16 @@ let get_table_snapshot c =
   {
     Table.s_name;
     s_schema;
-    s_rows;
+    s_cols;
     s_live;
     s_row_pages;
+    s_row_sizes;
     s_cur_page;
     s_cur_fill;
     s_data_bytes;
+    s_live_bytes;
+    s_rm_cur_page;
+    s_rm_cur_fill;
+    s_rm_data_bytes;
     s_indexes;
   }

@@ -29,7 +29,24 @@ val put_str : Buffer.t -> string -> unit
 val put_value : Buffer.t -> Sqldb.Value.t -> unit
 val put_row : Buffer.t -> Sqldb.Value.t array -> unit
 val put_schema : Buffer.t -> Sqldb.Schema.t -> unit
+
+type table_writer
+(** A table snapshot abstracted over its source — a materialized
+    {!Sqldb.Table.snapshot} record or a live frozen view — so the
+    checkpoint path can stream cell by cell instead of building the
+    whole record in memory. *)
+
+val writer_of_snapshot : Sqldb.Table.snapshot -> table_writer
+val writer_of_view : Sqldb.Read_view.t -> table_writer
+
+val put_table_writer : ?flush:(unit -> unit) -> Buffer.t -> table_writer -> unit
+(** Serialize; [flush] is called at least once per few thousand cells
+    (and at every section boundary) so the caller can spill the buffer
+    to disk. Dictionary ids and page numbers are written at the
+    narrowest fixed width that fits their range. *)
+
 val put_table_snapshot : Buffer.t -> Sqldb.Table.snapshot -> unit
+(** [put_table_writer] over [writer_of_snapshot], no flushing. *)
 
 val get_u8 : cursor -> int
 val get_u32 : cursor -> int

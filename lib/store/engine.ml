@@ -88,13 +88,10 @@ let checkpoint t =
         | None -> cfg)
       t.wre_configs
   in
-  Snapshot.write ~dir:t.dir
-    {
-      Snapshot.last_lsn = Int64.pred (Wal.next_lsn t.wal);
-      pager = Pager.config (Database.pager t.db);
-      tables = List.map Table.snapshot_of_view views;
-      wre;
-    };
+  Snapshot.write_views ~dir:t.dir
+    ~last_lsn:(Int64.pred (Wal.next_lsn t.wal))
+    ~pager:(Pager.config (Database.pager t.db))
+    ~views ~wre;
   Wal.reset t.wal;
   t.ops_since_checkpoint <- 0;
   Obs.Metrics.incr m_checkpoints

@@ -7,25 +7,70 @@ type t = {
 
 exception Corrupt_snapshot of string
 
-let magic = "WRESNAP1"
+(* Format 2: streamed body. WRESNAP1 put a whole-body CRC in the
+   header, which forced the writer to materialize the entire body in
+   memory before the first byte hit disk — at 10M rows that is the
+   whole database twice over. V2 writes [magic | body | u32 crc]: the
+   CRC is computed incrementally while the body streams out through a
+   bounded buffer and lands in a footer. The atomic tmp-rename publish
+   is unchanged, so a torn write still leaves the old snapshot. *)
+let magic = "WRESNAP2"
 
 let path ~dir = Filename.concat dir "snapshot.bin"
 let wal_path ~dir = Filename.concat dir "wal.bin"
 
-let encode_body t =
-  let b = Buffer.create 4096 in
-  Codec.put_u64 b t.last_lsn;
-  let (p : Sqldb.Pager.config) = t.pager in
-  Codec.put_u32 b p.page_size;
-  Codec.put_float b p.io_miss_ns;
-  Codec.put_float b p.cpu_row_ns;
-  Codec.put_float b p.cpu_probe_ns;
-  Codec.put_float b p.cpu_transfer_ns_per_byte;
-  Codec.put_u32 b (List.length t.tables);
-  List.iter (Codec.put_table_snapshot b) t.tables;
-  Codec.put_u32 b (List.length t.wre);
-  List.iter (Record.put_wre_config b) t.wre;
-  Buffer.contents b
+(* Bounded spill buffer: the serializers' [flush] hooks drain it to the
+   file once it crosses the threshold, folding the bytes into the
+   running CRC on the way out. *)
+type sink = { file : Io.file; buf : Buffer.t; mutable crc : int32 }
+
+let flush_threshold = 256 * 1024
+
+let sink_drain s =
+  if Buffer.length s.buf > 0 then begin
+    let chunk = Buffer.contents s.buf in
+    Buffer.clear s.buf;
+    s.crc <- Crc32.update s.crc chunk;
+    Io.write ~point:"snapshot.write" s.file chunk
+  end
+
+let sink_flush s = if Buffer.length s.buf >= flush_threshold then sink_drain s
+
+let write_stream ~dir ~last_lsn ~(pager : Sqldb.Pager.config) ~table_writers ~wre =
+  let dst = path ~dir in
+  let tmp = dst ^ ".tmp" in
+  let f = Io.open_trunc tmp in
+  Io.write ~point:"snapshot.write" f magic;
+  let s = { file = f; buf = Buffer.create (flush_threshold + 4096); crc = Crc32.digest "" } in
+  Codec.put_u64 s.buf last_lsn;
+  Codec.put_u32 s.buf pager.page_size;
+  Codec.put_float s.buf pager.io_miss_ns;
+  Codec.put_float s.buf pager.cpu_row_ns;
+  Codec.put_float s.buf pager.cpu_probe_ns;
+  Codec.put_float s.buf pager.cpu_transfer_ns_per_byte;
+  Codec.put_u32 s.buf (List.length table_writers);
+  List.iter (fun w -> Codec.put_table_writer ~flush:(fun () -> sink_flush s) s.buf w) table_writers;
+  Codec.put_u32 s.buf (List.length wre);
+  List.iter (Record.put_wre_config s.buf) wre;
+  sink_drain s;
+  let footer = Buffer.create 4 in
+  Codec.put_u32 footer (Int32.to_int s.crc land 0xFFFFFFFF);
+  Io.write ~point:"snapshot.write" f (Buffer.contents footer);
+  Io.fsync ~point:"snapshot.fsync" f;
+  Io.close f;
+  Io.rename ~point:"snapshot.rename" tmp dst;
+  Io.fsync_dir ~point:"dir.fsync" dir
+
+let write ~dir t =
+  write_stream ~dir ~last_lsn:t.last_lsn ~pager:t.pager
+    ~table_writers:(List.map Codec.writer_of_snapshot t.tables)
+    ~wre:t.wre
+
+(* The checkpoint path: stream straight from frozen views, so the
+   snapshot record (rows × columns of boxed values) is never
+   materialized — peak memory is the spill buffer. *)
+let write_views ~dir ~last_lsn ~pager ~views ~wre =
+  write_stream ~dir ~last_lsn ~pager ~table_writers:(List.map Codec.writer_of_view views) ~wre
 
 let decode_body body =
   let c = Codec.cursor body in
@@ -45,30 +90,14 @@ let decode_body body =
   if not (Codec.at_end c) then raise (Codec.Corrupt "trailing bytes after snapshot");
   { last_lsn; pager; tables; wre }
 
-let write ~dir t =
-  let body = encode_body t in
-  let b = Buffer.create (String.length body + 16) in
-  Buffer.add_string b magic;
-  Codec.put_u32 b (Int32.to_int (Crc32.digest body) land 0xFFFFFFFF);
-  Buffer.add_string b body;
-  let dst = path ~dir in
-  let tmp = dst ^ ".tmp" in
-  let f = Io.open_trunc tmp in
-  Io.write ~point:"snapshot.write" f (Buffer.contents b);
-  Io.fsync ~point:"snapshot.fsync" f;
-  Io.close f;
-  Io.rename ~point:"snapshot.rename" tmp dst;
-  Io.fsync_dir ~point:"dir.fsync" dir
-
 let load ~dir =
   match Io.read_file (path ~dir) with
   | None -> None
   | Some data -> (
       if String.length data < 12 || String.sub data 0 8 <> magic then
         raise (Corrupt_snapshot "bad magic");
-      let c = Codec.cursor data in
-      Codec.skip c 8;
+      let body = String.sub data 8 (String.length data - 12) in
+      let c = Codec.cursor (String.sub data (String.length data - 4) 4) in
       let crc = Int32.of_int (Codec.get_u32 c) in
-      let body = String.sub data 12 (String.length data - 12) in
       if Crc32.digest body <> crc then raise (Corrupt_snapshot "checksum mismatch");
       try Some (decode_body body) with Codec.Corrupt e -> raise (Corrupt_snapshot e))

@@ -6,14 +6,16 @@
     WRE state of every encrypted table (keys, profiled distributions,
     range boundaries, PRNG stream position).
 
-    Publication is atomic: the body is written to [snapshot.bin.tmp],
-    fsynced, renamed over [snapshot.bin], and the directory is synced.
-    A crash at any point leaves either the old snapshot or the new one
-    — a leftover [.tmp] is ignored by {!load}. The file carries a magic
-    and a CRC over the whole body; a {e published} snapshot that fails
-    either check is a hard error ({!Corrupt_snapshot}), unlike a torn
-    WAL tail, because the rename protocol never legitimately produces
-    one. *)
+    Publication is atomic: the body is streamed to [snapshot.bin.tmp]
+    through a bounded spill buffer (peak writer memory is ~256 KiB
+    regardless of table size), fsynced, renamed over [snapshot.bin],
+    and the directory is synced. A crash at any point leaves either
+    the old snapshot or the new one — a leftover [.tmp] is ignored by
+    {!load}. The file is [magic | body | u32 CRC-of-body] (the CRC is
+    a footer so it can be computed while streaming); a {e published}
+    snapshot that fails either check is a hard error
+    ({!Corrupt_snapshot}), unlike a torn WAL tail, because the rename
+    protocol never legitimately produces one. *)
 
 type t = {
   last_lsn : int64;  (** every WAL record with LSN ≤ this is reflected *)
@@ -32,6 +34,18 @@ val wal_path : dir:string -> string
 
 val write : dir:string -> t -> unit
 (** Atomic publish as described above. *)
+
+val write_views :
+  dir:string ->
+  last_lsn:int64 ->
+  pager:Sqldb.Pager.config ->
+  views:Sqldb.Read_view.t list ->
+  wre:Record.wre_config list ->
+  unit
+(** The checkpoint path: identical bytes to {!write} of the equivalent
+    record ([Table.snapshot_of_view] per view), but streamed straight
+    from the frozen views — the snapshot record is never materialized,
+    so checkpointing a 10M-row table runs in bounded memory. *)
 
 val load : dir:string -> t option
 (** [None] when no snapshot has ever been published; raises

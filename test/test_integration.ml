@@ -116,9 +116,18 @@ let test_tag_count_independent_of_scheme_for_storage () =
      size". *)
   let _d1, e1 = build_encrypted (Wre.Scheme.Fixed 100) in
   let _d2, e2 = build_encrypted (Wre.Scheme.Poisson 1000.0) in
-  check_int "identical heap bytes"
-    (Sqldb.Table.heap_bytes (Wre.Encrypted_db.table e1))
-    (Sqldb.Table.heap_bytes (Wre.Encrypted_db.table e2))
+  let t1 = Wre.Encrypted_db.table e1 and t2 = Wre.Encrypted_db.table e2 in
+  (* Row-format size (values inline) is exactly scheme-independent:
+     every scheme stores one 8-byte tag and one same-length ciphertext
+     per cell. *)
+  check_int "identical row-model bytes" (Sqldb.Table.row_model_bytes t1)
+    (Sqldb.Table.row_model_bytes t2);
+  (* Columnar pages dictionary-encode the tag columns, so the physical
+     size now depends (weakly) on how many distinct tags the salt
+     scheme emits — bounded to a few percent of the table. *)
+  let h1 = float_of_int (Sqldb.Table.heap_bytes t1)
+  and h2 = float_of_int (Sqldb.Table.heap_bytes t2) in
+  check_bool "heap bytes within 5%" true (Float.abs (h1 -. h2) /. Float.max h1 h2 < 0.05)
 
 let test_snapshot_attack_on_full_pipeline () =
   (* The integration-level security check: frequency analysis against

@@ -208,6 +208,56 @@ let test_admission_batches_and_writes () =
     | (_ : int) -> false
     | exception Invalid_argument _ -> true)
 
+(* A full batch already queued must not pay the admission window: with
+   a 2 s window and batch_max reads waiting behind a blocked write, the
+   batch has to complete as soon as the write releases — the sleep buys
+   no extra coalescing once the batch is full on arrival. *)
+let test_admission_full_batch_skips_window () =
+  let batch_max = 4 in
+  let write_entered = Atomic.make false in
+  let queued = Atomic.make 0 in
+  let released_at = Atomic.make 0.0 in
+  let batch_sizes = ref [] in
+  let adm =
+    Admission.create ~window_ns:2e9 ~batch_max
+      ~run_batch:(fun xs ->
+        batch_sizes := Array.length xs :: !batch_sizes;
+        xs)
+      ~run_write:(fun x ->
+        (* Hold the batcher until every reader is queued behind us. *)
+        Atomic.set write_entered true;
+        while Atomic.get queued < batch_max do
+          Thread.yield ()
+        done;
+        (* Readers bump [queued] just before submitting; give the last
+           push time to land in the queue. *)
+        Thread.delay 0.2;
+        Atomic.set released_at (Unix.gettimeofday ());
+        x)
+      ~on_exn:(fun _ -> -1)
+      ()
+  in
+  let writer = Thread.create (fun () -> ignore (Admission.submit adm Admission.Mutate 0)) () in
+  (* Only start the readers once the batcher is inside run_write, so
+     all of them queue behind the in-flight mutation. *)
+  while not (Atomic.get write_entered) do
+    Thread.yield ()
+  done;
+  let readers =
+    List.init batch_max (fun i ->
+        Thread.create
+          (fun () ->
+            Atomic.incr queued;
+            ignore (Admission.submit adm Admission.Read (i + 1)))
+          ())
+  in
+  List.iter Thread.join readers;
+  let elapsed = Unix.gettimeofday () -. Atomic.get released_at in
+  Thread.join writer;
+  Admission.stop adm;
+  check_bool "full batch ran without the window sleep" true (elapsed < 1.0);
+  check_bool "reads ran as one full batch" true (List.mem batch_max !batch_sizes)
+
 let test_admission_contains_executor_failure () =
   let adm =
     Admission.create
@@ -450,6 +500,8 @@ let () =
         [
           Alcotest.test_case "batches reads, serializes writes" `Quick
             test_admission_batches_and_writes;
+          Alcotest.test_case "full batch skips window" `Quick
+            test_admission_full_batch_skips_window;
           Alcotest.test_case "contains executor failure" `Quick
             test_admission_contains_executor_failure;
         ] );

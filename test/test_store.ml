@@ -414,6 +414,39 @@ let test_corrupt_snapshot_rejected () =
         | exception Store.Snapshot.Corrupt_snapshot _ -> true
         | _ -> false))
 
+(* The streaming checkpoint writer must be byte-for-byte the same
+   format as serializing the materialized snapshot record — stream two
+   churned tables both ways and compare files and decoded state. *)
+let test_snapshot_stream_equals_record () =
+  with_temp_dir (fun dir ->
+      let pager = Sqldb.Pager.create () in
+      let t1 = Sqldb.Table.create pager ~name:"t1" ~schema:plain_schema in
+      for i = 0 to 499 do
+        ignore (Sqldb.Table.insert t1 (op_row i))
+      done;
+      ignore (Sqldb.Table.create_index t1 ~column:"name");
+      for i = 0 to 99 do
+        ignore (Sqldb.Table.delete t1 (i * 3))
+      done;
+      Sqldb.Table.vacuum t1;
+      for i = 500 to 599 do
+        ignore (Sqldb.Table.insert t1 (op_row i))
+      done;
+      ignore (Sqldb.Table.delete t1 550);
+      let t2 = Sqldb.Table.create pager ~name:"t2" ~schema:plain_schema in
+      (* empty-table edge *)
+      let views = [ Sqldb.Table.freeze t1; Sqldb.Table.freeze t2 ] in
+      let last_lsn = 42L and pager_cfg = Sqldb.Pager.config pager in
+      Store.Snapshot.write_views ~dir ~last_lsn ~pager:pager_cfg ~views ~wre:[];
+      let streamed = Option.get (Store.Io.read_file (Store.Snapshot.path ~dir)) in
+      let tables = List.map Sqldb.Table.snapshot_of_view views in
+      Store.Snapshot.write ~dir { Store.Snapshot.last_lsn; pager = pager_cfg; tables; wre = [] };
+      let recorded = Option.get (Store.Io.read_file (Store.Snapshot.path ~dir)) in
+      check_bool "identical bytes" true (String.equal streamed recorded);
+      let loaded = Option.get (Store.Snapshot.load ~dir) in
+      check_bool "decodes to the frozen state" true (loaded.Store.Snapshot.tables = tables);
+      check_bool "lsn preserved" true (loaded.Store.Snapshot.last_lsn = last_lsn))
+
 let test_atomic_write_text_crash_safe () =
   with_temp_dir (fun dir ->
       let path = Filename.concat dir "report.json" in
@@ -730,6 +763,7 @@ let () =
         [
           Alcotest.test_case "tmp ignored" `Quick test_snapshot_tmp_ignored;
           Alcotest.test_case "corrupt rejected" `Quick test_corrupt_snapshot_rejected;
+          Alcotest.test_case "stream = record" `Quick test_snapshot_stream_equals_record;
           Alcotest.test_case "atomic_write_text" `Quick test_atomic_write_text_crash_safe;
         ] );
       ( "failpoints",

@@ -8,12 +8,12 @@
    Experiments: table1 creation fig2 fig4..fig7 (figs) fig8 fig9 (fp)
                 aliasing attacks indcuda lambda_sweep updates
                 index_ablation correlation micro ingest recovery
-                concurrency server all *)
+                concurrency server join all *)
 
 let usage () =
   print_endline
     "usage: main.exe [--rows N] [--queries N] [--trials N] \
-     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|concurrency|server|all]...";
+     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|concurrency|server|join|all]...";
   exit 1
 
 let () =
@@ -58,6 +58,7 @@ let () =
     | "recovery" -> Exp_recovery.run ~rows:!rows ()
     | "concurrency" -> Exp_concurrency.run ~rows:!rows ~n_queries:!queries ()
     | "server" -> Exp_server.run ~rows:!rows ~n_queries:!queries ()
+    | "join" -> Exp_join.run ~rows:!rows ()
     | "all" ->
         Exp_table1.run ~rows:!rows ();
         Exp_fig2.run ();
@@ -74,7 +75,8 @@ let () =
         Exp_ingest.run ~rows:!rows ();
         Exp_recovery.run ~rows:!rows ();
         Exp_concurrency.run ~rows:!rows ~n_queries:!queries ();
-        Exp_server.run ~rows:!rows ~n_queries:!queries ()
+        Exp_server.run ~rows:!rows ~n_queries:!queries ();
+        Exp_join.run ~rows:!rows ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()

@@ -434,26 +434,41 @@ let encrypt_csv input output sidecar columns_spec key_column encrypted_spec seed
   in
   match result with Ok () -> `Ok () | Error e -> `Error (false, e)
 
-let query_csv input sidecar sql domains tracing =
+(* Rebuild one encrypted table (client state from its sidecar, rows
+   from its encrypted CSV) inside [db] under [name]. *)
+let load_encrypted_csv db ~name ~input ~sidecar =
+  let ( let* ) = Result.bind in
+  let* kind, master, seed, key_column, encrypted, schema, dist_of =
+    parse_sidecar (read_file sidecar)
+  in
+  let edb =
+    Wre.Encrypted_db.create ~fallback:`Min_frequency ~db ~name ~plain_schema:schema ~key_column
+      ~encrypted_columns:encrypted ~kind ~master ~dist_of ~seed ()
+  in
+  let enc_schema = Wre.Encrypted_db.encrypted_schema edb in
+  let* cells = Sqldb.Csv.parse (read_file input) in
+  let* enc_rows = Sqldb.Csv.typed_rows ~schema:enc_schema ~header:true cells in
+  List.iter (fun r -> ignore (Wre.Encrypted_db.insert_encrypted edb r)) enc_rows;
+  Ok edb
+
+let query_csv input sidecar table input2 sidecar2 table2 sql domains tracing =
   Obs.Trace.set_enabled tracing;
   let ( let* ) = Result.bind in
   let result =
     let* () =
       if domains >= 1 then Ok () else Error "--domains must be at least 1"
     in
-    let* kind, master, seed, key_column, encrypted, schema, dist_of =
-      parse_sidecar (read_file sidecar)
-    in
     let db = Sqldb.Database.create () in
-    let edb =
-      Wre.Encrypted_db.create ~fallback:`Min_frequency ~db ~name:"t" ~plain_schema:schema
-        ~key_column ~encrypted_columns:encrypted ~kind ~master ~dist_of ~seed ()
+    let* edb = load_encrypted_csv db ~name:table ~input ~sidecar in
+    let* edbs =
+      match (input2, sidecar2) with
+      | None, None -> Ok [ edb ]
+      | Some input2, Some sidecar2 ->
+          let* edb2 = load_encrypted_csv db ~name:table2 ~input:input2 ~sidecar:sidecar2 in
+          Ok [ edb; edb2 ]
+      | _ -> Error "--input2 and --sidecar2 must be given together"
     in
-    let enc_schema = Wre.Encrypted_db.encrypted_schema edb in
-    let* cells = Sqldb.Csv.parse (read_file input) in
-    let* enc_rows = Sqldb.Csv.typed_rows ~schema:enc_schema ~header:true cells in
-    List.iter (fun r -> ignore (Wre.Encrypted_db.insert_encrypted edb r)) enc_rows;
-    let proxy = Wre.Proxy.create edb in
+    let proxy = Wre.Proxy.create_multi edbs in
     let* r =
       if domains = 1 then Wre.Proxy.execute proxy sql
       else
@@ -521,11 +536,37 @@ let query_csv_cmd =
       required & opt (some file) None
       & info [ "sidecar" ] ~docv:"FILE" ~doc:"Sidecar from encrypt-csv.")
   in
+  let table =
+    Arg.(
+      value & opt string "t"
+      & info [ "table" ] ~docv:"NAME" ~doc:"Table name the SQL refers to the first CSV by.")
+  in
+  let input2 =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input2" ] ~docv:"FILE" ~doc:"Second encrypted CSV, for two-table JOIN queries.")
+  in
+  let sidecar2 =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "sidecar2" ] ~docv:"FILE" ~doc:"Sidecar of the second CSV.")
+  in
+  let table2 =
+    Arg.(
+      value & opt string "t2"
+      & info [ "table2" ] ~docv:"NAME" ~doc:"Table name the SQL refers to the second CSV by.")
+  in
   let sql =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"SQL" ~doc:"Plaintext SELECT, e.g. \"SELECT * FROM t WHERE name = 'Alice'\".")
+      & info [] ~docv:"SQL"
+          ~doc:
+            "Plaintext SELECT, e.g. \"SELECT * FROM t WHERE name = 'Alice'\" — or, with \
+             --input2/--sidecar2, a JOIN such as \"SELECT * FROM t JOIN t2 ON t.name = \
+             t2.name\" (result headers are qualified: t.id, t.name, t2.id, …).")
   in
   let domains =
     Arg.(
@@ -533,12 +574,15 @@ let query_csv_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:
             "Serve the SELECT from a frozen snapshot view with $(docv) reader domains \
-             (index probes and decryption fan out; results are identical to the \
-             sequential path).")
+             (index probes, JOIN bucket probes and decryption fan out; results are \
+             identical to the sequential path).")
   in
-  let doc = "Query an encrypted CSV with plaintext SQL (rewriting proxy + decryption)." in
+  let doc = "Query one or two encrypted CSVs with plaintext SQL (rewriting proxy + decryption)." in
   Cmd.v (Cmd.info "query-csv" ~doc)
-    Term.(ret (const query_csv $ input $ sidecar $ sql $ domains $ trace_arg))
+    Term.(
+      ret
+        (const query_csv $ input $ sidecar $ table $ input2 $ sidecar2 $ table2 $ sql $ domains
+       $ trace_arg))
 
 (* ---------------- init / open (durable store) ---------------- *)
 
@@ -601,9 +645,13 @@ let open_store dir sql do_checkpoint do_vacuum kill9 =
         | Some q -> (
             match Store.Engine.encrypted_names store with
             | [] -> Error "store has no encrypted tables to query"
-            | name :: _ ->
-                let edb = Option.get (Store.Engine.encrypted store name) in
-                let proxy = Wre.Proxy.create edb in
+            | names ->
+                (* All encrypted tables, so --sql can run two-table
+                   JOINs against a multi-table store. *)
+                let proxy =
+                  Wre.Proxy.create_multi
+                    (List.map (fun n -> Option.get (Store.Engine.encrypted store n)) names)
+                in
                 let* res = Wre.Proxy.execute proxy q in
                 print_string (Sqldb.Csv.render (res.columns :: Sqldb.Csv.untyped_rows res.rows));
                 Printf.eprintf "(%d rows, %d affected)\n" (List.length res.rows) res.affected;

@@ -1,0 +1,72 @@
+type t = {
+  n_buckets : int;
+  bucket_accuracy : float;
+  pair_recovery : float;
+  l1_distance : float;
+}
+
+(* Stable descending sort of indices by score — rank ties break by
+   first occurrence, the classical frequency-analysis convention. *)
+let rank_desc scores =
+  let idx = Array.init (Array.length scores) Fun.id in
+  let cmp a b =
+    match compare scores.(b) scores.(a) with 0 -> compare a b | c -> c
+  in
+  Array.sort cmp idx;
+  idx
+
+let l1 observed aux_counts =
+  let total a = Array.fold_left (fun s x -> s +. float_of_int x) 0.0 a in
+  let to_dist a =
+    let t = total a in
+    (* An all-zero side contributes its mass as 0 everywhere; the
+       distance then degenerates to the other side's mass. *)
+    if t = 0.0 then Array.map (fun _ -> 0.0) a
+    else Array.map (fun x -> float_of_int x /. t) a
+  in
+  let o = to_dist observed in
+  (* Compare degree *profiles*: both sides sorted descending, padded
+     with zeros — the attacker aligns shapes, not labels. *)
+  let a = to_dist aux_counts in
+  Array.sort (fun x y -> compare y x) o;
+  Array.sort (fun x y -> compare y x) a;
+  let n = max (Array.length o) (Array.length a) in
+  let at arr i = if i < Array.length arr then arr.(i) else 0.0 in
+  let d = ref 0.0 in
+  for i = 0 to n - 1 do
+    d := !d +. Float.abs (at o i -. at a i)
+  done;
+  !d
+
+let measure ~observed ~actual ~aux =
+  let n = Array.length observed in
+  if Array.length actual <> n then
+    invalid_arg "Join_leakage.measure: observed and actual differ in length";
+  let aux_counts = Array.map snd aux in
+  (* Rank matching: i-th most-productive bucket ↔ i-th highest-degree
+     auxiliary plaintext. *)
+  let bucket_rank = rank_desc observed in
+  let aux_rank = rank_desc aux_counts in
+  let guess = Array.make n None in
+  Array.iteri
+    (fun r b -> if r < Array.length aux_rank then guess.(b) <- Some (fst aux.(aux_rank.(r))))
+    bucket_rank;
+  let hits = ref 0 and pair_hits = ref 0 and pairs = ref 0 in
+  for i = 0 to n - 1 do
+    pairs := !pairs + observed.(i);
+    if guess.(i) = Some actual.(i) then begin
+      incr hits;
+      pair_hits := !pair_hits + observed.(i)
+    end
+  done;
+  {
+    n_buckets = n;
+    bucket_accuracy = (if n = 0 then 0.0 else float_of_int !hits /. float_of_int n);
+    pair_recovery =
+      (if !pairs = 0 then 0.0 else float_of_int !pair_hits /. float_of_int !pairs);
+    l1_distance = l1 observed aux_counts;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "buckets=%d accuracy=%.3f pair-recovery=%.3f l1=%.3f" t.n_buckets
+    t.bucket_accuracy t.pair_recovery t.l1_distance

@@ -1,0 +1,46 @@
+(** Join-degree leakage of the tag-bucket equi-join.
+
+    The server resolving a tag-bucket join observes, per bucket, how
+    many candidate row pairs it produced — the product of the two
+    sides' per-plaintext row counts (plus bucketized false positives).
+    Buckets are pseudonymous (tag lists, no plaintext), but their
+    candidate-pair counts form the join's {e degree distribution},
+    which an attacker can match against an auxiliary model of the
+    plaintext distribution exactly as in classical frequency analysis
+    — the same adversary model as {!Frequency}, lifted from
+    single-column frequencies to join degrees.
+
+    {!measure} runs the rank-matching attacker (sort buckets by
+    observed candidate count, auxiliary plaintexts by modeled degree,
+    match rank to rank) and reports how much of the bucket ↔ plaintext
+    correspondence it recovers, plus the ℓ1 distance between observed
+    and modeled degree distributions (how faithfully the leakage
+    reproduces the auxiliary knowledge — 0 means the counts betray the
+    degrees exactly, 2 is maximal discrepancy). *)
+
+type t = {
+  n_buckets : int;  (** buckets the server observed *)
+  bucket_accuracy : float;
+      (** fraction of buckets whose plaintext the rank attacker names
+          correctly *)
+  pair_recovery : float;
+      (** same, weighted by each bucket's true pair count: fraction of
+          joined row pairs whose plaintext is recovered *)
+  l1_distance : float;
+      (** ℓ1 distance between the normalized observed and auxiliary
+          degree distributions, in [0, 2] *)
+}
+
+val measure : observed:int array -> actual:string array -> aux:(string * int) array -> t
+(** [measure ~observed ~actual ~aux]: [observed.(i)] is the candidate
+    pair count the server saw for bucket [i]
+    ({!Sqldb.Join.result.bucket_pairs}), [actual.(i)] that bucket's
+    true plaintext (ground truth, from the proxy's bucket order), and
+    [aux] the attacker's auxiliary model — each plaintext with its
+    modeled join degree (e.g. per-plaintext count products from a
+    public dataset drawn from the same distribution). Ties in either
+    ranking break by first occurrence (stable sort), matching the
+    classical attacker. Raises [Invalid_argument] if [observed] and
+    [actual] differ in length. *)
+
+val pp : Format.formatter -> t -> unit

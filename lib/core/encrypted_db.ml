@@ -329,6 +329,11 @@ let delete_row t id = Table.delete t.table id
 
 let tags_for t ~column m = Column_enc.search_tags (column_encryptor t column) m
 
+(* The column's profiled plaintext support, in the distribution's
+   canonical (descending-probability) order — what the join rewrite
+   enumerates to build per-plaintext tag buckets. *)
+let support t ~column = Dist.Empirical.support (Column_enc.dist (column_encryptor t column))
+
 let search_predicate t ~column m =
   let tags = tags_for t ~column m in
   Predicate.In (tag_column column, List.map (fun tag -> Value.Int tag) tags)

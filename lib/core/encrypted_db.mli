@@ -175,6 +175,11 @@ val search_predicate : t -> column:string -> string -> Sqldb.Predicate.t
 
 val tags_for : t -> column:string -> string -> int64 list
 
+val support : t -> column:string -> string array
+(** The profiled plaintext support of an encrypted column, in the
+    distribution's canonical (descending-probability) order — what the
+    proxy's join rewrite enumerates to build tag buckets. *)
+
 (* Bucketized range queries (extension; see {!Range_index}). *)
 
 val range_columns : t -> string list

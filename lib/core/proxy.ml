@@ -1,8 +1,36 @@
+(* lint: guarded-by construction (by_name filled in create_multi, read-only afterwards) *)
 open Sqldb
 
-type t = { edb : Encrypted_db.t }
+(* Multi-table registry: one encrypted table per plaintext logical
+   name. Single-table statements resolve by the statement's FROM name,
+   falling back to the sole table when only one is registered (the
+   legacy single-table proxy accepted any spelling); joins resolve both
+   names exactly. *)
+type t = { default : Encrypted_db.t; by_name : (string, Encrypted_db.t) Hashtbl.t }
 
-let create edb = { edb }
+let table_name edb = Table.name (Encrypted_db.table edb)
+
+let create_multi = function
+  | [] -> invalid_arg "Proxy.create_multi: at least one encrypted table required"
+  | e :: _ as es ->
+      let by_name = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let n = table_name e in
+          if Hashtbl.mem by_name n then
+            invalid_arg (Printf.sprintf "Proxy.create_multi: duplicate table %S" n);
+          Hashtbl.replace by_name n e)
+        es;
+      { default = e; by_name }
+
+let create edb = create_multi [ edb ]
+
+let edb_for t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some e -> Some e
+  | None -> if Hashtbl.length t.by_name = 1 then Some t.default else None
+
+let edb_exact t name = Hashtbl.find_opt t.by_name name
 
 type rewritten = {
   server_sql : string;
@@ -16,6 +44,7 @@ type query_result = {
   affected : int;
   server_rows : int;
   exec : Executor.result option;
+  join_exec : Join.result option;
 }
 
 (* Statement mix plus the per-phase latency breakdown of the full
@@ -23,10 +52,12 @@ type query_result = {
    filter). The query.* histograms are shared with [Encrypted_db]'s
    search entry points — both paths measure the same pipeline. *)
 let m_select = Obs.Metrics.counter "proxy.select_total"
+let m_join = Obs.Metrics.counter "proxy.join_total"
 let m_insert = Obs.Metrics.counter "proxy.insert_total"
 let m_update = Obs.Metrics.counter "proxy.update_total"
 let m_delete = Obs.Metrics.counter "proxy.delete_total"
 let m_full_scan = Obs.Metrics.counter "proxy.full_scan_total"
+let m_pairs_verified = Obs.Metrics.counter "join.pairs_verified_total"
 let h_parse = Obs.Metrics.histogram "query.parse_ns"
 let h_rewrite = Obs.Metrics.histogram "query.rewrite_ns"
 let h_exec = Obs.Metrics.histogram "query.exec_ns"
@@ -57,13 +88,13 @@ let rec simplify = function
    - Eq/In on an encrypted (searchable) column -> rewritten to tags;
    - Eq/In/Range on the plaintext key column -> passed through;
    - Range/Eq on a range-indexed column -> rewritten to rtag buckets. *)
-let rec split t key_column = function
+let rec split edb key_column = function
   | Predicate.True -> Ok (Predicate.True, Predicate.True)
   | Predicate.And ps ->
       let rec go acc_server acc_res = function
         | [] -> Ok (Predicate.And (List.rev acc_server), Predicate.And (List.rev acc_res))
         | p :: rest -> (
-            match split t key_column p with
+            match split edb key_column p with
             | Error e -> Error e
             | Ok (s, r) -> go (s :: acc_server) (r :: acc_res) rest)
       in
@@ -72,7 +103,7 @@ let rec split t key_column = function
       let rec go acc = function
         | [] -> Ok (List.rev acc)
         | leg :: rest -> (
-            match split t key_column leg with
+            match split edb key_column leg with
             | Error e -> Error e
             | Ok (s, _) -> go (simplify s :: acc) rest)
       in
@@ -82,14 +113,14 @@ let rec split t key_column = function
             (Predicate.Or servers, p)
           else (Predicate.True, p))
         (go [] legs)
-  | Predicate.Eq (col, Value.Text v) when List.mem col (Encrypted_db.encrypted_columns t.edb) ->
-      Ok (Encrypted_db.search_predicate t.edb ~column:col v, Predicate.Eq (col, Value.Text v))
-  | Predicate.In (col, vs) when List.mem col (Encrypted_db.encrypted_columns t.edb) ->
+  | Predicate.Eq (col, Value.Text v) when List.mem col (Encrypted_db.encrypted_columns edb) ->
+      Ok (Encrypted_db.search_predicate edb ~column:col v, Predicate.Eq (col, Value.Text v))
+  | Predicate.In (col, vs) when List.mem col (Encrypted_db.encrypted_columns edb) ->
       (* OR of per-value tag lists; each value may be a Text. *)
       let rec tags acc = function
         | [] -> Ok (List.concat (List.rev acc))
         | Value.Text v :: rest -> (
-            match Encrypted_db.search_predicate t.edb ~column:col v with
+            match Encrypted_db.search_predicate edb ~column:col v with
             | Predicate.In (_, ts) -> tags (ts :: acc) rest
             | _ -> Error "unexpected rewrite shape")
         | _ -> Error (Printf.sprintf "IN-list on encrypted column %S must hold strings" col)
@@ -97,13 +128,13 @@ let rec split t key_column = function
       Result.map
         (fun ts -> (Predicate.In (Encrypted_db.tag_column col, ts), Predicate.In (col, vs)))
         (tags [] vs)
-  | Predicate.Eq (col, _) when List.mem col (Encrypted_db.encrypted_columns t.edb) ->
+  | Predicate.Eq (col, _) when List.mem col (Encrypted_db.encrypted_columns edb) ->
       Error (Printf.sprintf "encrypted column %S only supports string equality" col)
   | (Predicate.Eq (col, _) | Predicate.In (col, _) | Predicate.Range (col, _, _)) as p
     when col = key_column ->
       Ok (p, Predicate.True)
   | Predicate.Range (col, lo, hi) as p
-    when List.mem col (Encrypted_db.range_columns t.edb) -> (
+    when List.mem col (Encrypted_db.range_columns edb) -> (
       (* Bucketized range rewrite: overlapping buckets server-side, the
          true range client-side. *)
       let bound = function
@@ -112,12 +143,12 @@ let rec split t key_column = function
         | Some _ -> Error (Printf.sprintf "range column %S takes integer bounds" col)
       in
       match (bound lo, bound hi) with
-      | Ok lo', Ok hi' -> Ok (Encrypted_db.range_predicate t.edb ~column:col ~lo:lo' ~hi:hi', p)
+      | Ok lo', Ok hi' -> Ok (Encrypted_db.range_predicate edb ~column:col ~lo:lo' ~hi:hi', p)
       | Error e, _ | _, Error e -> Error e)
-  | Predicate.Eq (col, Value.Int x) when List.mem col (Encrypted_db.range_columns t.edb) ->
+  | Predicate.Eq (col, Value.Int x) when List.mem col (Encrypted_db.range_columns edb) ->
       (* Point query on a range column = one-bucket range. *)
       Ok
-        ( Encrypted_db.range_predicate t.edb ~column:col ~lo:(Some x) ~hi:(Some x),
+        ( Encrypted_db.range_predicate edb ~column:col ~lo:(Some x) ~hi:(Some x),
           Predicate.Eq (col, Value.Int x) )
   | p ->
       (* Not server-checkable: full client-side filter. The server leg
@@ -144,9 +175,9 @@ let note_full_scan server residual =
   end
 
 (* Split + simplify + full-scan accounting, timed as the rewrite phase. *)
-let rewrite t where =
+let rewrite edb where =
   phase h_rewrite "proxy.rewrite" @@ fun () ->
-  match split t (Encrypted_db.key_column t.edb) where with
+  match split edb (Encrypted_db.key_column edb) where with
   | Error e -> Error e
   | Ok (server, residual) ->
       let server = simplify server and residual = simplify residual in
@@ -154,13 +185,16 @@ let rewrite t where =
       Ok (server, residual)
 
 let rewrite_select t (s : Sql.select) =
-  match rewrite t s.where with
-  | Error e -> Error e
-  | Ok (server, residual) ->
-      let server_sql =
-        Format.asprintf "SELECT * FROM %s WHERE %a" s.table Predicate.pp server
-      in
-      Ok { server_sql; server_predicate = server; residual }
+  match edb_for t s.table with
+  | None -> Error (Printf.sprintf "no such encrypted table %S" s.table)
+  | Some edb -> (
+      match rewrite edb s.where with
+      | Error e -> Error e
+      | Ok (server, residual) ->
+          let server_sql =
+            Format.asprintf "SELECT * FROM %s WHERE %a" s.table Predicate.pp server
+          in
+          Ok { server_sql; server_predicate = server; residual })
 
 (* Shared SELECT/DELETE/UPDATE back half: decrypt the server's answer
    lazily and keep rows passing the residual predicate, stopping after
@@ -168,7 +202,7 @@ let rewrite_select t (s : Sql.select) =
    — a LIMIT n query never decrypts more than it needs beyond the rows
    the residual rejects — so the two phases are accounted by summed
    per-row clock deltas and recorded as pre-measured trace spans. *)
-let decrypt_filter_limit ?pool t eval ?limit (exec : Executor.result) =
+let decrypt_filter_limit ?pool edb eval ?limit (exec : Executor.result) =
   let start_ns = Stdx.Clock.now_ns () in
   let wanted = match limit with None -> max_int | Some n -> n in
   let kept = ref [] and n_kept = ref 0 in
@@ -188,7 +222,7 @@ let decrypt_filter_limit ?pool t eval ?limit (exec : Executor.result) =
       let i = ref 0 in
       while !i < n && !n_kept < wanted do
         let t0 = Stdx.Clock.now_ns () in
-        let plain = Encrypted_db.decrypt_row t.edb exec.rows.(!i) in
+        let plain = Encrypted_db.decrypt_row edb exec.rows.(!i) in
         let t1 = Stdx.Clock.now_ns () in
         let keep = eval plain in
         decrypt_ns := !decrypt_ns +. (t1 -. t0);
@@ -215,7 +249,7 @@ let decrypt_filter_limit ?pool t eval ?limit (exec : Executor.result) =
         let t0 = Stdx.Clock.now_ns () in
         let plains =
           Stdx.Task_pool.parallel_init pool len (fun j ->
-              Encrypted_db.decrypt_row t.edb exec.rows.(lo + j))
+              Encrypted_db.decrypt_row edb exec.rows.(lo + j))
         in
         let t1 = Stdx.Clock.now_ns () in
         decrypt_ns := !decrypt_ns +. (t1 -. t0);
@@ -247,8 +281,8 @@ let decrypt_filter_limit ?pool t eval ?limit (exec : Executor.result) =
 (* Shared SELECT/DELETE/UPDATE front half: run the rewritten server
    query, decrypt, apply the residual predicate; returns surviving
    (row_id, plaintext_row) pairs plus the raw executor result. *)
-let fetch_matching ?pool ?view t ?limit where =
-  match rewrite t where with
+let fetch_matching ?pool ?view edb ?limit where =
+  match rewrite edb where with
   | Error e -> Error e
   | Ok (server, residual) -> (
       match
@@ -256,18 +290,18 @@ let fetch_matching ?pool ?view t ?limit where =
             match view with
             | Some v -> Executor.run_view ?pool v ~projection:Executor.All_columns server
             | None ->
-                Executor.run (Encrypted_db.table t.edb) ~projection:Executor.All_columns server)
+                Executor.run (Encrypted_db.table edb) ~projection:Executor.All_columns server)
       with
       | exception Not_found -> Error "predicate references an unknown column"
       | exec -> (
-          let plain_schema = Encrypted_db.plain_schema t.edb in
+          let plain_schema = Encrypted_db.plain_schema edb in
           match Predicate.compile plain_schema residual with
           | exception Not_found -> Error "residual predicate references an unknown column"
-          | eval -> Ok (decrypt_filter_limit ?pool t eval ?limit exec, exec)))
+          | eval -> Ok (decrypt_filter_limit ?pool edb eval ?limit exec, exec)))
 
 (* Project surviving plaintext rows per the SELECT's projection list. *)
-let select_result t (s : Sql.select) pairs (exec : Executor.result) =
-  let plain_schema = Encrypted_db.plain_schema t.edb in
+let select_result edb (s : Sql.select) pairs (exec : Executor.result) =
+  let plain_schema = Encrypted_db.plain_schema edb in
   let limited = List.map snd pairs in
   let server_rows = Array.length exec.rows in
   match s.projection with
@@ -275,7 +309,7 @@ let select_result t (s : Sql.select) pairs (exec : Executor.result) =
       let columns =
         List.map (fun (c : Schema.column) -> c.name) (Array.to_list (Schema.columns plain_schema))
       in
-      Ok { columns; rows = limited; affected = 0; server_rows; exec = Some exec }
+      Ok { columns; rows = limited; affected = 0; server_rows; exec = Some exec; join_exec = None }
   | `Columns cols -> (
       match List.map (fun c -> (c, Schema.column_index plain_schema c)) cols with
       | exception Not_found -> Error "projected column does not exist"
@@ -283,80 +317,264 @@ let select_result t (s : Sql.select) pairs (exec : Executor.result) =
           let rows =
             List.map (fun row -> Array.of_list (List.map (fun (_, i) -> row.(i)) idx_pairs)) limited
           in
-          Ok { columns = cols; rows; affected = 0; server_rows; exec = Some exec })
+          Ok { columns = cols; rows; affected = 0; server_rows; exec = Some exec; join_exec = None })
+
+(* ---------------- Encrypted equi-joins ---------------- *)
+
+(* Resolve both sides of a join (exact names — no single-table
+   fallback) and require the ON columns to be searchable encrypted
+   columns: the tag-bucket join only exists over WRE search tags. *)
+let resolve_join t (j : Sql.join) =
+  match (edb_exact t j.Sql.j_left, edb_exact t j.Sql.j_right) with
+  | None, _ -> Error (Printf.sprintf "no such encrypted table %S" j.Sql.j_left)
+  | _, None -> Error (Printf.sprintf "no such encrypted table %S" j.Sql.j_right)
+  | Some el, Some er ->
+      let cl = j.Sql.j_on_left.Sql.q_column and cr = j.Sql.j_on_right.Sql.q_column in
+      if not (List.mem cl (Encrypted_db.encrypted_columns el)) then
+        Error
+          (Printf.sprintf "join column %S is not a searchable encrypted column of %S" cl
+             j.Sql.j_left)
+      else if not (List.mem cr (Encrypted_db.encrypted_columns er)) then
+        Error
+          (Printf.sprintf "join column %S is not a searchable encrypted column of %S" cr
+             j.Sql.j_right)
+      else Ok (el, er)
+
+(* One bucket per plaintext in both sides' profiled supports: the salt
+   tag sets either side's rows may carry for that plaintext. Bucket
+   order is the left support's canonical (descending-probability)
+   order — deterministic, and what the leakage experiment keys on. *)
+let join_buckets el col_l er col_r =
+  let sup_l = Encrypted_db.support el ~column:col_l in
+  let sup_r = Encrypted_db.support er ~column:col_r in
+  let rset = Hashtbl.create (Array.length sup_r) in
+  Array.iter (fun m -> Hashtbl.replace rset m ()) sup_r;
+  Array.of_list
+    (List.filter_map
+       (fun m ->
+         if Hashtbl.mem rset m then
+           Some
+             ( m,
+               List.map (fun x -> Value.Int x) (Encrypted_db.tags_for el ~column:col_l m),
+               List.map (fun x -> Value.Int x) (Encrypted_db.tags_for er ~column:col_r m) )
+         else None)
+       (Array.to_list sup_l))
+
+let rewrite_join t (j : Sql.join) =
+  match resolve_join t j with
+  | Error e -> Error e
+  | Ok (el, er) ->
+      Ok (join_buckets el j.Sql.j_on_left.Sql.q_column er j.Sql.j_on_right.Sql.q_column)
+
+(* Plaintext equality for the residual ON verification. TEXT compares
+   in constant time: these are decrypted secrets, and the comparison
+   outcome alone is what we are allowed to leak. *)
+let value_eq (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Text x, Value.Text y -> Stdx.Bytes_util.ct_equal x y
+  | _ -> a = b
+
+(* The encrypted join, end to end. Server side: tag-bucket hash join
+   over the two frozen views (candidate pairs are a superset of the
+   true join — salt tags collide across plaintexts for bucketized
+   schemes, and 64-bit tags can collide for any scheme). Client side:
+   decrypt each distinct row id once (memoized per side), then
+   re-verify every candidate pair on plaintext — ON-column equality
+   first, then the WHERE residual over the combined row — stopping at
+   LIMIT survivors. Both freezes happen back to back: proxy mutations
+   are caller-serialized (the server admission queue single-threads
+   writes), so the pair of views is epoch-consistent. *)
+let execute_join ?pool t (j : Sql.join) =
+  Obs.Metrics.incr m_join;
+  match resolve_join t j with
+  | Error e -> Error e
+  | Ok (el, er) -> (
+      let col_l = j.Sql.j_on_left.Sql.q_column and col_r = j.Sql.j_on_right.Sql.q_column in
+      match
+        Sql.join_schema j (Encrypted_db.plain_schema el) (Encrypted_db.plain_schema er)
+      with
+      | Error e -> Error e
+      | Ok combined -> (
+          match Sql.join_projection j combined with
+          | Error e -> Error e
+          | Ok columns -> (
+              match Predicate.compile combined j.Sql.j_where with
+              | exception Not_found -> Error "predicate references an unknown column"
+              | eval ->
+                  let buckets =
+                    phase h_rewrite "proxy.join_rewrite" (fun () ->
+                        join_buckets el col_l er col_r)
+                  in
+                  let vl = Encrypted_db.freeze el in
+                  let vr = Encrypted_db.freeze er in
+                  let jr =
+                    phase h_exec "proxy.join_server_exec" (fun () ->
+                        Executor.run_join ?pool ~left:vl ~right:vr
+                          ~on_left:(Encrypted_db.tag_column col_l)
+                          ~on_right:(Encrypted_db.tag_column col_r)
+                          (Join.Buckets (Array.map (fun (_, l, r) -> (l, r)) buckets)))
+                  in
+                  let start_ns = Stdx.Clock.now_ns () in
+                  let decrypt_ns = ref 0.0 and filter_ns = ref 0.0 in
+                  let cache_l = Hashtbl.create 64 and cache_r = Hashtbl.create 64 in
+                  let dec cache view edb id =
+                    match Hashtbl.find_opt cache id with
+                    | Some p -> p
+                    | None ->
+                        let t0 = Stdx.Clock.now_ns () in
+                        let p = Encrypted_db.decrypt_row edb (Read_view.read_row view id) in
+                        decrypt_ns := !decrypt_ns +. (Stdx.Clock.now_ns () -. t0);
+                        Hashtbl.replace cache id p;
+                        p
+                  in
+                  let lidx = Schema.column_index (Encrypted_db.plain_schema el) col_l in
+                  let ridx = Schema.column_index (Encrypted_db.plain_schema er) col_r in
+                  let idxs = List.map (Schema.column_index combined) columns in
+                  let wanted = match j.Sql.j_limit with None -> max_int | Some n -> n in
+                  let kept = ref [] and n_kept = ref 0 and n_verified = ref 0 in
+                  let npairs = Array.length jr.Join.pairs in
+                  let i = ref 0 in
+                  while !i < npairs && !n_kept < wanted do
+                    let l, r = jr.Join.pairs.(!i) in
+                    let pl = dec cache_l vl el l and pr = dec cache_r vr er r in
+                    let t1 = Stdx.Clock.now_ns () in
+                    if value_eq pl.(lidx) pr.(ridx) then begin
+                      incr n_verified;
+                      let row = Array.append pl pr in
+                      if eval row then begin
+                        kept := Array.of_list (List.map (fun k -> row.(k)) idxs) :: !kept;
+                        incr n_kept
+                      end
+                    end;
+                    filter_ns := !filter_ns +. (Stdx.Clock.now_ns () -. t1);
+                    incr i
+                  done;
+                  Obs.Metrics.add m_pairs_verified !n_verified;
+                  Obs.Metrics.observe h_decrypt !decrypt_ns;
+                  Obs.Metrics.observe h_filter !filter_ns;
+                  if Obs.Trace.is_enabled () then begin
+                    Obs.Trace.add ~name:"proxy.decrypt"
+                      ~attrs:
+                        [
+                          ( "rows_decrypted",
+                            string_of_int (Hashtbl.length cache_l + Hashtbl.length cache_r) );
+                        ]
+                      ~start_ns ~dur_ns:!decrypt_ns ();
+                    Obs.Trace.add ~name:"proxy.join_verify"
+                      ~attrs:
+                        [
+                          ("pairs_candidate", string_of_int npairs);
+                          ("pairs_verified", string_of_int !n_verified);
+                          ("kept", string_of_int !n_kept);
+                        ]
+                      ~start_ns:(start_ns +. !decrypt_ns) ~dur_ns:!filter_ns ()
+                  end;
+                  Ok
+                    {
+                      columns;
+                      rows = List.rev !kept;
+                      affected = 0;
+                      server_rows = npairs;
+                      exec = None;
+                      join_exec = Some jr;
+                    })))
 
 let execute_stmt t stmt =
   match stmt with
   | Sql.Create_table _ -> Error "the proxy does not rewrite CREATE TABLE"
-  | Sql.Delete { table = _; where } -> (
+  | Sql.Select_join j -> execute_join t j
+  | Sql.Delete { table; where } -> (
       Obs.Metrics.incr m_delete;
-      match fetch_matching t where with
-      | Error e -> Error e
-      | Ok (pairs, exec) ->
-          let n =
-            List.fold_left
-              (fun acc (id, _) -> if Encrypted_db.delete_row t.edb id then acc + 1 else acc)
-              0 pairs
-          in
-          Ok
-            {
-              columns = [];
-              rows = [];
-              affected = n;
-              server_rows = Array.length exec.row_ids;
-              exec = Some exec;
-            })
-  | Sql.Update { table = _; assignments; where } -> (
-      Obs.Metrics.incr m_update;
-      let plain_schema = Encrypted_db.plain_schema t.edb in
-      match List.map (fun (c, v) -> (Schema.column_index plain_schema c, v)) assignments with
-      | exception Not_found -> Error "SET references an unknown column"
-      | positions -> (
-          match fetch_matching t where with
+      match edb_for t table with
+      | None -> Error (Printf.sprintf "no such encrypted table %S" table)
+      | Some edb -> (
+          match fetch_matching edb where with
           | Error e -> Error e
-          | Ok (pairs, exec) -> (
-              (* Two-phase apply: encrypt every replacement first, so a
-                 row outside the profiled distribution (or any schema
-                 error) fails the statement *before* a single tombstone
-                 — a mid-batch failure must not lose the already-deleted
-                 prefix. Only then tombstone + insert, MVCC-style. *)
-              match
-                List.map
-                  (fun (id, plain) ->
-                    let row = Array.copy plain in
-                    List.iter (fun (i, v) -> row.(i) <- v) positions;
-                    (id, Encrypted_db.encrypt_plain_row t.edb row))
-                  pairs
-              with
-              | staged ->
-                  List.iter
-                    (fun (id, enc) ->
-                      ignore (Encrypted_db.delete_row t.edb id : bool);
-                      ignore (Encrypted_db.insert_encrypted t.edb enc : int))
-                    staged;
-                  Ok
-                    {
-                      columns = [];
-                      rows = [];
-                      affected = List.length staged;
-                      server_rows = Array.length exec.row_ids;
-                      exec = Some exec;
-                    }
-              | exception Invalid_argument e -> Error e
-              | exception Column_enc.Unknown_plaintext v ->
-                  Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v))))
-  | Sql.Insert { table = _; values } -> (
+          | Ok (pairs, exec) ->
+              let n =
+                List.fold_left
+                  (fun acc (id, _) -> if Encrypted_db.delete_row edb id then acc + 1 else acc)
+                  0 pairs
+              in
+              Ok
+                {
+                  columns = [];
+                  rows = [];
+                  affected = n;
+                  server_rows = Array.length exec.row_ids;
+                  exec = Some exec;
+                  join_exec = None;
+                }))
+  | Sql.Update { table; assignments; where } -> (
+      Obs.Metrics.incr m_update;
+      match edb_for t table with
+      | None -> Error (Printf.sprintf "no such encrypted table %S" table)
+      | Some edb -> (
+          let plain_schema = Encrypted_db.plain_schema edb in
+          match List.map (fun (c, v) -> (Schema.column_index plain_schema c, v)) assignments with
+          | exception Not_found -> Error "SET references an unknown column"
+          | positions -> (
+              match fetch_matching edb where with
+              | Error e -> Error e
+              | Ok (pairs, exec) -> (
+                  (* Two-phase apply: encrypt every replacement first, so a
+                     row outside the profiled distribution (or any schema
+                     error) fails the statement *before* a single tombstone
+                     — a mid-batch failure must not lose the already-deleted
+                     prefix. Only then tombstone + insert, MVCC-style. *)
+                  match
+                    List.map
+                      (fun (id, plain) ->
+                        let row = Array.copy plain in
+                        List.iter (fun (i, v) -> row.(i) <- v) positions;
+                        (id, Encrypted_db.encrypt_plain_row edb row))
+                      pairs
+                  with
+                  | staged ->
+                      List.iter
+                        (fun (id, enc) ->
+                          ignore (Encrypted_db.delete_row edb id : bool);
+                          ignore (Encrypted_db.insert_encrypted edb enc : int))
+                        staged;
+                      Ok
+                        {
+                          columns = [];
+                          rows = [];
+                          affected = List.length staged;
+                          server_rows = Array.length exec.row_ids;
+                          exec = Some exec;
+                          join_exec = None;
+                        }
+                  | exception Invalid_argument e -> Error e
+                  | exception Column_enc.Unknown_plaintext v ->
+                      Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v)))))
+  | Sql.Insert { table; values } -> (
       Obs.Metrics.incr m_insert;
-      match Encrypted_db.insert t.edb (Array.of_list values) with
-      | _id -> Ok { columns = []; rows = []; affected = 1; server_rows = 0; exec = None }
-      | exception Invalid_argument e -> Error e
-      | exception Column_enc.Unknown_plaintext v ->
-          Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v))
+      match edb_for t table with
+      | None -> Error (Printf.sprintf "no such encrypted table %S" table)
+      | Some edb -> (
+          match Encrypted_db.insert edb (Array.of_list values) with
+          | _id ->
+              Ok
+                {
+                  columns = [];
+                  rows = [];
+                  affected = 1;
+                  server_rows = 0;
+                  exec = None;
+                  join_exec = None;
+                }
+          | exception Invalid_argument e -> Error e
+          | exception Column_enc.Unknown_plaintext v ->
+              Error (Printf.sprintf "plaintext %S is outside the profiled distribution" v)))
   | Sql.Select s -> (
       Obs.Metrics.incr m_select;
-      match fetch_matching t ?limit:s.limit s.where with
-      | Error e -> Error e
-      | Ok (pairs, exec) -> select_result t s pairs exec)
+      match edb_for t s.table with
+      | None -> Error (Printf.sprintf "no such encrypted table %S" s.table)
+      | Some edb -> (
+          match fetch_matching edb ?limit:s.limit s.where with
+          | Error e -> Error e
+          | Ok (pairs, exec) -> select_result edb s pairs exec))
 
 let execute t src =
   Obs.Trace.with_span "proxy.execute" @@ fun () ->
@@ -368,15 +586,28 @@ let execute t src =
    given [view], or one frozen now) with the index probes and the
    decrypt/residual-filter/LIMIT pass optionally fanned over [pool];
    any other statement takes the normal write path — mutations are not
-   served from snapshots. *)
+   served from snapshots. A JOIN freezes its own pair of views (the
+   per-batch [view] is a single table's snapshot) in one
+   epoch-consistent step, fanning the per-bucket probes over [pool]. *)
 let execute_snapshot ?pool ?view t src =
   Obs.Trace.with_span "proxy.execute" @@ fun () ->
   match phase h_parse "proxy.parse" (fun () -> Sql.parse src) with
   | Error e -> Error e
   | Ok (Sql.Select s) -> (
       Obs.Metrics.incr m_select;
-      let view = match view with Some v -> v | None -> Encrypted_db.freeze t.edb in
-      match fetch_matching ?pool ~view t ?limit:s.limit s.where with
-      | Error e -> Error e
-      | Ok (pairs, exec) -> select_result t s pairs exec)
+      match edb_for t s.table with
+      | None -> Error (Printf.sprintf "no such encrypted table %S" s.table)
+      | Some edb -> (
+          (* A caller-provided view only applies when it snapshots the
+             resolved table (multi-table batches freeze one table's
+             epoch up front); otherwise freeze this table now. *)
+          let view =
+            match view with
+            | Some v when Read_view.name v = table_name edb -> v
+            | Some _ | None -> Encrypted_db.freeze edb
+          in
+          match fetch_matching ?pool ~view edb ?limit:s.limit s.where with
+          | Error e -> Error e
+          | Ok (pairs, exec) -> select_result edb s pairs exec))
+  | Ok (Sql.Select_join j) -> execute_join ?pool t j
   | Ok stmt -> execute_stmt t stmt

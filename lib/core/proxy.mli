@@ -26,6 +26,23 @@
 
     INSERT statements are encrypted field-by-field.
 
+    Two-table equi-joins
+    ([SELECT … FROM a JOIN b ON a.x = b.y [WHERE …]]) rewrite to a
+    server-side tag-bucket hash join: the proxy intersects the two join
+    columns' profiled supports, emits one bucket per shared plaintext
+    holding both sides' full salt-tag lists, and the server
+    ({!Sqldb.Executor.run_join}) resolves each bucket to candidate row
+    pairs via its tag indexes — custom-free index work, like the
+    single-table path. Candidates are a {e superset} of the true join
+    (bucketized schemes share tags across plaintexts; 64-bit tags can
+    collide), so the proxy decrypts each distinct row once and
+    re-verifies every pair on plaintext — constant-time ON-column
+    equality, then the WHERE residual over the combined
+    [left.col]/[right.col] row — before projecting and applying LIMIT.
+    The server observes the bucket structure and per-bucket candidate
+    counts: the join-degree distribution of the shared support, the
+    leakage {!Attacks} quantifies.
+
     Every statement runs under a [proxy.execute] trace span with
     parse / rewrite / server-exec / decrypt / residual-filter children,
     and feeds the [proxy.*] statement counters and [query.*_ns] phase
@@ -34,6 +51,15 @@
 type t
 
 val create : Encrypted_db.t -> t
+(** A single-table proxy: {!create_multi} with one table. *)
+
+val create_multi : Encrypted_db.t list -> t
+(** A proxy over several encrypted tables, keyed by their table names.
+    Single-table statements resolve by the statement's FROM name (with
+    a fallback to the sole table when exactly one is registered, for
+    backward compatibility); joins require exact matches on both
+    names. Raises [Invalid_argument] on an empty list or duplicate
+    table names. *)
 
 type rewritten = {
   server_sql : string;  (** what actually goes to the DBMS (for logs/tests) *)
@@ -44,19 +70,36 @@ type rewritten = {
 val rewrite_select : t -> Sqldb.Sql.select -> (rewritten, string) result
 (** Expose the rewrite without executing (tests, EXPLAIN). *)
 
+val rewrite_join :
+  t -> Sqldb.Sql.join -> ((string * Sqldb.Value.t list * Sqldb.Value.t list) array, string) result
+(** The tag buckets a join compiles to, one per plaintext shared by
+    both join columns' profiled supports, in the left support's
+    canonical (descending-probability) order:
+    [(plaintext, left tags, right tags)]. Exposed for tests, EXPLAIN
+    and the join-leakage experiment (which needs bucket ↔ plaintext
+    ground truth). Fails when a table is unknown or an ON column is
+    not a searchable encrypted column. *)
+
 type query_result = {
   columns : string list;
+      (** projected column names (qualified [table.column] for a join) *)
   rows : Sqldb.Value.t array list;  (** decrypted, residual-filtered, projected *)
   affected : int;  (** rows inserted / deleted / updated *)
-  server_rows : int;  (** rows the server returned (incl. bucketized FPs) *)
+  server_rows : int;
+      (** rows the server returned (incl. bucketized FPs); candidate
+          pairs for a join *)
   exec : Sqldb.Executor.result option;
+  join_exec : Sqldb.Join.result option;
+      (** the server-side join result (candidate pairs, per-bucket
+          counts, stats) — [Some] for joins only *)
 }
 
 val execute : t -> string -> (query_result, string) result
-(** Parse plaintext SQL (SELECT / INSERT / DELETE / UPDATE against the
-    plaintext schema), run it through the encrypted database. DELETE
-    and UPDATE decrypt and residual-filter before touching rows, so
-    bucketized false positives are never deleted or rewritten.
+(** Parse plaintext SQL (SELECT / JOIN / INSERT / DELETE / UPDATE
+    against the plaintext schema), run it through the encrypted
+    database. DELETE and UPDATE decrypt and residual-filter before
+    touching rows, so bucketized false positives are never deleted or
+    rewritten.
 
     UPDATE is atomic with respect to encryption failures: every
     replacement row is encrypted (and validated) first, and only when
@@ -67,7 +110,13 @@ val execute : t -> string -> (query_result, string) result
     SELECT decrypts lazily: decryption, residual filtering and LIMIT
     fuse into one pass over the server's answer, so [LIMIT n] stops
     after the n-th surviving row instead of decrypting the full result
-    set (visible as the [edb.rows_decrypted_total] counter). *)
+    set (visible as the [edb.rows_decrypted_total] counter).
+
+    A JOIN freezes both tables' views back to back — epoch-consistent
+    under the single-writer discipline every deployment in this repo
+    maintains (the server admission queue serializes mutations) — and
+    decrypts each distinct candidate row once per side (memoized), so
+    a row appearing in many candidate pairs costs one decryption. *)
 
 val execute_snapshot :
   ?pool:Stdx.Task_pool.t ->
@@ -82,5 +131,8 @@ val execute_snapshot :
     to {!execute} at the same epoch — chunked decryption preserves row
     order and the LIMIT stopping point, and with no pool (or a 1-domain
     pool) the execution is byte-identical to the sequential path.
-    Non-SELECT statements take the normal write path: mutations are
-    never served from snapshots. *)
+    A JOIN ignores [view] (a single table's snapshot) and freezes its
+    own epoch-consistent pair, fanning the per-bucket probes over
+    [pool] — same answer at any domain count. Non-SELECT statements
+    take the normal write path: mutations are never served from
+    snapshots. *)

@@ -28,7 +28,7 @@ type job = Wre.Proxy.t * string
 type t = {
   cfg : config;
   engine : Store.Engine.t;
-  edb : Wre.Encrypted_db.t;
+  edbs : Wre.Encrypted_db.t list;  (** every encrypted table in the store; head is primary *)
   pool : Stdx.Task_pool.t;
   adm : (job, Wire.response) Admission.t;
   listener : Unix.file_descr;
@@ -48,14 +48,18 @@ let response_of_result = function
 
 let sim_ns_of = function
   | Ok { Wre.Proxy.exec = Some e; _ } -> e.Sqldb.Executor.stats.Sqldb.Pager.sim_ns
+  | Ok { Wre.Proxy.join_exec = Some j; _ } -> j.Sqldb.Join.stats.Sqldb.Pager.sim_ns
   | _ -> 0.0
 
 (* Execute one coalesced read batch: freeze the epoch once, fan the
    queries over the pool. The modeled cost of the batch is its critical
    path — the largest per-domain sum of simulated storage nanoseconds —
    which the exp_server benchmark divides into queries/second. *)
-let run_read_batch pool edb payloads =
-  let view = Wre.Encrypted_db.freeze edb in
+let run_read_batch pool edbs payloads =
+  (* Freeze the primary table's epoch once for the whole batch; queries
+     on other tables (and joins, which freeze their own pair) fall back
+     to a per-query freeze inside the proxy. *)
+  let view = Wre.Encrypted_db.freeze (List.hd edbs) in
   let out =
     Stdx.Task_pool.parallel_init pool (Array.length payloads) (fun i ->
         let proxy, sql = payloads.(i) in
@@ -78,7 +82,9 @@ let run_mutation (proxy, sql) =
 
 let classify sql =
   match Sqldb.Sql.parse sql with
-  | Ok (Sqldb.Sql.Select _) -> Ok Admission.Read
+  (* A join is one read job: it freezes its own epoch-consistent pair
+     of views inside the batch, like any other snapshot read. *)
+  | Ok (Sqldb.Sql.Select _ | Sqldb.Sql.Select_join _) -> Ok Admission.Read
   | Ok _ -> Ok Admission.Mutate
   | Error e -> Error e
 
@@ -123,7 +129,7 @@ let rec session_loop t sid proxy fd =
           | exception Unix.Unix_error _ -> ()))
 
 let run_session t sid fd =
-  let proxy = Wre.Proxy.create t.edb in
+  let proxy = Wre.Proxy.create_multi t.edbs in
   Fun.protect
     ~finally:(fun () ->
       (* Remove-then-close under the registry lock, so [stop]'s
@@ -159,8 +165,8 @@ let accept_loop t =
 let start cfg engine =
   match Store.Engine.encrypted_names engine with
   | [] -> Error "store has no encrypted tables to serve"
-  | name :: _ ->
-      let edb = Option.get (Store.Engine.encrypted engine name) in
+  | names ->
+      let edbs = List.map (fun n -> Option.get (Store.Engine.encrypted engine n)) names in
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
       let listener = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -173,7 +179,7 @@ let start cfg engine =
       let pool = Stdx.Task_pool.create ~domains:(max 1 cfg.domains) in
       let adm =
         Admission.create ~window_ns:cfg.window_ns ~batch_max:cfg.batch_max
-          ~run_batch:(run_read_batch pool edb) ~run_write:run_mutation
+          ~run_batch:(run_read_batch pool edbs) ~run_write:run_mutation
           ~on_exn:(fun m -> Wire.Failed { message = m })
           ()
       in
@@ -181,7 +187,7 @@ let start cfg engine =
         {
           cfg;
           engine;
-          edb;
+          edbs;
           pool;
           adm;
           listener;

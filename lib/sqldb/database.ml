@@ -40,6 +40,15 @@ let table t name =
   match Hashtbl.find_opt t.catalog name with Some tbl -> tbl | None -> raise Not_found
 
 let table_opt t name = Hashtbl.find_opt t.catalog name
+
+(* Two-table name resolution + freeze for a join: both views are taken
+   back to back under the caller's single-writer discipline (no
+   mutation can interleave between the two [Table.freeze] calls), so
+   they form one epoch-consistent pair. *)
+let freeze_pair t a b =
+  match (Hashtbl.find_opt t.catalog a, Hashtbl.find_opt t.catalog b) with
+  | Some ta, Some tb -> Some (Table.freeze ta, Table.freeze tb)
+  | _ -> None
 let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.catalog []
 
 let insert t ~table:name row = Table.insert (table t name) row

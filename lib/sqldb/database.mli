@@ -20,6 +20,13 @@ val table : t -> string -> Table.t
 val table_opt : t -> string -> Table.t option
 val tables : t -> Table.t list
 
+val freeze_pair : t -> string -> string -> (Read_view.t * Read_view.t) option
+(** Resolve two table names and freeze both in one epoch-consistent
+    step: the views are taken back to back under the caller's
+    single-writer discipline, so no mutation interleaves between them.
+    [None] if either name is unknown. The join path's snapshot
+    primitive. *)
+
 val insert : t -> table:string -> Value.t array -> int
 
 val query : t -> table:string -> projection:Executor.projection -> Predicate.t -> Executor.result

@@ -187,6 +187,11 @@ let run table ~projection p =
         ];
   { row_ids; rows; plan; wall_ns; stats }
 
+(* The two-table plan: delegate to [Join], which owns bucket fan-out,
+   pair normalization and the join.* metrics. Kept behind the executor
+   so planning stays one surface. *)
+let run_join = Join.run
+
 (* Snapshot-read path: same planner, same result contract as [run],
    executed against a frozen [Read_view.t] with the per-tag index
    probes of multi-key plans (the IN-list of a rewritten WRE query, the

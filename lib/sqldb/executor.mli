@@ -42,6 +42,21 @@ val explain : Table.t -> Predicate.t -> plan_kind
 
 val run : Table.t -> projection:projection -> Predicate.t -> result
 
+val run_join :
+  ?pool:Stdx.Task_pool.t ->
+  left:Read_view.t ->
+  right:Read_view.t ->
+  on_left:string ->
+  on_right:string ->
+  Join.spec ->
+  Join.result
+(** The two-table join plan (see {!Join} for modes and contracts):
+    [Equi] hash-joins on value equality, [Buckets] runs the tag-bucket
+    join of the encrypted path — per-bucket postings from both views'
+    ON-column indexes, cross products fanned across [pool] in bucket
+    order, candidate pairs sorted + deduplicated, byte-identical to
+    the sequential run at 1 domain. *)
+
 val run_view : ?pool:Stdx.Task_pool.t -> Read_view.t -> projection:projection -> Predicate.t -> result
 (** {!run} against a frozen epoch snapshot ({!Table.freeze}), safe to
     call from any domain. When [pool] is given, the per-tag index

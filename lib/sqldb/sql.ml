@@ -8,8 +8,23 @@ type select = {
   limit : int option;
 }
 
+type qualified = { q_table : string; q_column : string }
+
+let qualified_name q = q.q_table ^ "." ^ q.q_column
+
+type join = {
+  j_projection : [ `Star | `Columns of qualified list ];
+  j_left : string;
+  j_right : string;
+  j_on_left : qualified;  (* qualifier = j_left (the parser normalizes) *)
+  j_on_right : qualified;  (* qualifier = j_right *)
+  j_where : Predicate.t;  (* columns spelled "table.column" *)
+  j_limit : int option;
+}
+
 type statement =
   | Select of select
+  | Select_join of join
   | Insert of { table : string; values : Value.t list }
   | Create_table of { table : string; columns : Schema.column list }
   | Delete of { table : string; where : Predicate.t }
@@ -26,6 +41,7 @@ type token =
   | Blob_lit of string
   | Star
   | Comma
+  | Dot
   | Lparen
   | Rparen
   | Eq
@@ -149,6 +165,7 @@ let tokenize src =
       match c with
       | '*' -> push pos Star
       | ',' -> push pos Comma
+      | '.' -> push pos Dot
       | '(' -> push pos Lparen
       | ')' -> push pos Rparen
       | '=' -> push pos Eq
@@ -206,7 +223,8 @@ let accept_keyword p kw =
 let is_reserved w =
   match String.uppercase_ascii w with
   | "SELECT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "IN" | "BETWEEN" | "LIMIT"
-  | "INSERT" | "INTO" | "VALUES" | "CREATE" | "TABLE" | "NULL" | "DELETE" | "UPDATE" | "SET" ->
+  | "INSERT" | "INTO" | "VALUES" | "CREATE" | "TABLE" | "NULL" | "DELETE" | "UPDATE" | "SET"
+  | "JOIN" | "ON" ->
       true
   | _ -> false
 
@@ -245,27 +263,56 @@ let parse_literal p =
       Value.Null
   | _ -> error (pos p) "expected a literal"
 
-let rec parse_or p =
-  let left = parse_and p in
+(* Column references come in two spellings, picked by the statement
+   context: bare identifiers in single-table statements, mandatory
+   [table.column] inside a JOIN (qualifier-checked against the two
+   joined tables, with the error anchored at the reference's own
+   token — not the statement start). The predicate grammar below is
+   parameterized over [col], the reference parser. *)
+
+let bare_column p =
+  let cpos = pos p in
+  let c = expect_ident p in
+  if peek p = Dot then
+    error cpos "qualified reference %S is only allowed in a JOIN query" c;
+  c
+
+(* [table.column] with both parts mandatory; the qualifier must name
+   one of the two joined tables. Errors point at the first token of the
+   reference. *)
+let qualified_ref ~jleft ~jright p =
+  let qpos = pos p in
+  let t = expect_ident p in
+  if peek p <> Dot then
+    error qpos "column %S must be qualified as table.column inside a JOIN" t;
+  advance p;
+  let c = expect_ident p in
+  if t <> jleft && t <> jright then
+    error qpos "unknown table %S in qualified reference (this join reads %S and %S)" t jleft
+      jright;
+  { q_table = t; q_column = c }
+
+let rec parse_or ~col p =
+  let left = parse_and ~col p in
   if accept_keyword p "OR" then
-    let right = parse_or p in
+    let right = parse_or ~col p in
     match right with Predicate.Or rs -> Predicate.Or (left :: rs) | r -> Predicate.Or [ left; r ]
   else left
 
-and parse_and p =
-  let left = parse_not p in
+and parse_and ~col p =
+  let left = parse_not ~col p in
   if accept_keyword p "AND" then
-    let right = parse_and p in
+    let right = parse_and ~col p in
     match right with Predicate.And rs -> Predicate.And (left :: rs) | r -> Predicate.And [ left; r ]
   else left
 
-and parse_not p =
-  if accept_keyword p "NOT" then Predicate.Not (parse_not p) else parse_atom p
+and parse_not ~col p =
+  if accept_keyword p "NOT" then Predicate.Not (parse_not ~col p) else parse_atom ~col p
 
-and parse_atom p =
+and parse_atom ~col p =
   if peek p = Lparen then begin
     advance p;
-    let e = parse_or p in
+    let e = parse_or ~col p in
     expect p Rparen "')'";
     e
   end
@@ -275,7 +322,7 @@ and parse_atom p =
         advance p;
         Predicate.True
     | _ ->
-        let col = expect_ident p in
+        let col = col p in
         if accept_keyword p "IN" then begin
           expect p Lparen "'('";
           let vs = ref [ parse_literal p ] in
@@ -314,36 +361,104 @@ and parse_atom p =
         end
   end
 
+let parse_limit p =
+  if accept_keyword p "LIMIT" then begin
+    match peek p with
+    | Int_lit v ->
+        advance p;
+        Some (Int64.to_int v)
+    | _ -> error (pos p) "expected an integer after LIMIT"
+  end
+  else None
+
+(* A projection item, before we know whether the statement is a join:
+   [ident] or [ident.ident], with the position of its first token so a
+   later qualification error can point at the right place. *)
+type proj_item = { p_pos : int; p_first : string; p_second : string option }
+
+let parse_join p ~left items =
+  let rpos = pos p in
+  let right = expect_ident p in
+  if right = left then error rpos "self-join: the two sides of a JOIN must be distinct tables";
+  expect_keyword p "ON";
+  let a = qualified_ref ~jleft:left ~jright:right p in
+  expect p Eq "'='";
+  let bpos = pos p in
+  let b = qualified_ref ~jleft:left ~jright:right p in
+  if a.q_table = b.q_table then
+    error bpos "ON must relate %S and %S, not %S on both sides" left right a.q_table;
+  let j_on_left, j_on_right = if a.q_table = left then (a, b) else (b, a) in
+  let j_projection =
+    match items with
+    | `Star -> `Star
+    | `Items its ->
+        `Columns
+          (List.map
+             (fun it ->
+               match it.p_second with
+               | Some c ->
+                   if it.p_first <> left && it.p_first <> right then
+                     error it.p_pos
+                       "unknown table %S in qualified reference (this join reads %S and %S)"
+                       it.p_first left right;
+                   { q_table = it.p_first; q_column = c }
+               | None ->
+                   error it.p_pos "column %S must be qualified as table.column inside a JOIN"
+                     it.p_first)
+             its)
+  in
+  let col p = qualified_name (qualified_ref ~jleft:left ~jright:right p) in
+  let j_where = if accept_keyword p "WHERE" then parse_or ~col p else Predicate.True in
+  let j_limit = parse_limit p in
+  Select_join { j_projection; j_left = left; j_right = right; j_on_left; j_on_right; j_where; j_limit }
+
 let parse_select p =
   expect_keyword p "SELECT";
-  let projection =
+  let items =
     if peek p = Star then begin
       advance p;
       `Star
     end
     else begin
-      let cols = ref [ expect_ident p ] in
+      let item () =
+        let p_pos = pos p in
+        let a = expect_ident p in
+        if peek p = Dot then begin
+          advance p;
+          { p_pos; p_first = a; p_second = Some (expect_ident p) }
+        end
+        else { p_pos; p_first = a; p_second = None }
+      in
+      let acc = ref [ item () ] in
       while peek p = Comma do
         advance p;
-        cols := expect_ident p :: !cols
+        acc := item () :: !acc
       done;
-      `Columns (List.rev !cols)
+      `Items (List.rev !acc)
     end
   in
   expect_keyword p "FROM";
   let table = expect_ident p in
-  let where = if accept_keyword p "WHERE" then parse_or p else Predicate.True in
-  let limit =
-    if accept_keyword p "LIMIT" then begin
-      match peek p with
-      | Int_lit v ->
-          advance p;
-          Some (Int64.to_int v)
-      | _ -> error (pos p) "expected an integer after LIMIT"
-    end
-    else None
-  in
-  { projection; table; where; limit }
+  if accept_keyword p "JOIN" then parse_join p ~left:table items
+  else begin
+    let projection =
+      match items with
+      | `Star -> `Star
+      | `Items its ->
+          `Columns
+            (List.map
+               (fun it ->
+                 match it.p_second with
+                 | None -> it.p_first
+                 | Some c ->
+                     error it.p_pos "qualified reference %S is only allowed in a JOIN query"
+                       (it.p_first ^ "." ^ c))
+               its)
+    in
+    let where = if accept_keyword p "WHERE" then parse_or ~col:bare_column p else Predicate.True in
+    let limit = parse_limit p in
+    Select { projection; table; where; limit }
+  end
 
 let parse_insert p =
   expect_keyword p "INSERT";
@@ -403,7 +518,7 @@ let parse_delete p =
   expect_keyword p "DELETE";
   expect_keyword p "FROM";
   let table = expect_ident p in
-  let where = if accept_keyword p "WHERE" then parse_or p else Predicate.True in
+  let where = if accept_keyword p "WHERE" then parse_or ~col:bare_column p else Predicate.True in
   Delete { table; where }
 
 let parse_update p =
@@ -420,12 +535,12 @@ let parse_update p =
     advance p;
     assignments := parse_assignment () :: !assignments
   done;
-  let where = if accept_keyword p "WHERE" then parse_or p else Predicate.True in
+  let where = if accept_keyword p "WHERE" then parse_or ~col:bare_column p else Predicate.True in
   Update { table; assignments = List.rev !assignments; where }
 
 let parse_statement p =
   match keyword p with
-  | Some "SELECT" -> Select (parse_select p)
+  | Some "SELECT" -> parse_select p
   | Some "INSERT" -> parse_insert p
   | Some "CREATE" -> parse_create p
   | Some "DELETE" -> parse_delete p
@@ -444,7 +559,7 @@ let run_parser f src =
       | exception Parse_error (m, i) -> Error (Printf.sprintf "%s (at offset %d)" m i))
 
 let parse src = run_parser parse_statement src
-let parse_predicate src = run_parser parse_or src
+let parse_predicate src = run_parser (parse_or ~col:bare_column) src
 
 (* ---------------- Printer ---------------- *)
 
@@ -515,8 +630,10 @@ let rec flatten_and = function
   | q -> [ q ]
 
 (* Precedence levels: 0 = OR may appear bare, 1 = AND, 2 = NOT, higher
-   needs parentheses. *)
-let rec print_pred buf ~level (pr : Predicate.t) =
+   needs parentheses. [pcol] prints a column reference: {!print_ident}
+   in single-table statements, the table.column splitter inside a
+   JOIN's WHERE clause. *)
+let rec print_pred buf ~pcol ~level (pr : Predicate.t) =
   let paren needed body =
     if needed then begin
       Buffer.add_char buf '(';
@@ -529,18 +646,18 @@ let rec print_pred buf ~level (pr : Predicate.t) =
     List.iteri
       (fun i q ->
         if i > 0 then Buffer.add_string buf sep;
-        print_pred buf ~level q)
+        print_pred buf ~pcol ~level q)
       qs
   in
   match pr with
   | Predicate.True -> Buffer.add_string buf "TRUE"
   | Predicate.Eq (c, v) ->
-      print_ident buf c;
+      pcol buf c;
       Buffer.add_string buf " = ";
       print_value_buf buf v
   | Predicate.In (c, vs) ->
       if vs = [] then invalid_arg "Sql.print: empty IN list";
-      print_ident buf c;
+      pcol buf c;
       Buffer.add_string buf " IN (";
       List.iteri
         (fun i v ->
@@ -549,39 +666,63 @@ let rec print_pred buf ~level (pr : Predicate.t) =
         vs;
       Buffer.add_char buf ')'
   | Predicate.Range (c, Some lo, Some hi) ->
-      print_ident buf c;
+      pcol buf c;
       Buffer.add_string buf " BETWEEN ";
       print_value_buf buf lo;
       Buffer.add_string buf " AND ";
       print_value_buf buf hi
   | Predicate.Range (c, Some lo, None) ->
-      print_ident buf c;
+      pcol buf c;
       Buffer.add_string buf " >= ";
       print_value_buf buf lo
   | Predicate.Range (c, None, Some hi) ->
-      print_ident buf c;
+      pcol buf c;
       Buffer.add_string buf " <= ";
       print_value_buf buf hi
   | Predicate.Range (_, None, None) -> invalid_arg "Sql.print: unbounded range"
   | Predicate.Not (Predicate.Eq (c, v)) ->
       (* the <> sugar: re-parses to Not (Eq _) *)
-      print_ident buf c;
+      pcol buf c;
       Buffer.add_string buf " <> ";
       print_value_buf buf v
   | Predicate.Not q ->
       paren (level > 2) @@ fun () ->
       Buffer.add_string buf "NOT ";
-      print_pred buf ~level:3 q
+      print_pred buf ~pcol ~level:3 q
   | Predicate.And qs -> (
       match flatten_and (Predicate.And qs) with
       | [] -> Buffer.add_string buf "TRUE"
-      | [ q ] -> print_pred buf ~level q
+      | [ q ] -> print_pred buf ~pcol ~level q
       | qs -> paren (level > 1) @@ fun () -> list " AND " ~level:2 qs)
   | Predicate.Or qs -> (
       match flatten_or (Predicate.Or qs) with
       | [] -> Buffer.add_string buf "NOT TRUE"
-      | [ q ] -> print_pred buf ~level q
+      | [ q ] -> print_pred buf ~pcol ~level q
       | qs -> paren (level > 0) @@ fun () -> list " OR " ~level:1 qs)
+
+(* Split a join predicate's "table.column" spelling back into its two
+   identifiers. The qualifier is matched against the join's two table
+   names, longest first, so a table name that itself contains a dot
+   still splits unambiguously; a column string qualified by neither
+   table is unprintable (the parser can never produce one). *)
+let join_pcol ~jleft ~jright buf c =
+  let split name =
+    let pl = String.length name and cl = String.length c in
+    if cl >= pl + 1 && String.sub c 0 pl = name && c.[pl] = '.' then
+      Some (name, String.sub c (pl + 1) (cl - pl - 1))
+    else None
+  in
+  let longer_first =
+    if String.length jleft >= String.length jright then [ jleft; jright ] else [ jright; jleft ]
+  in
+  match List.find_map split longer_first with
+  | Some (t, col) ->
+      print_ident buf t;
+      Buffer.add_char buf '.';
+      print_ident buf col
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sql.print: JOIN predicate column %S is qualified by neither table" c)
 
 let with_buf f =
   let buf = Buffer.create 128 in
@@ -589,7 +730,7 @@ let with_buf f =
   Buffer.contents buf
 
 let print_value v = with_buf (fun buf -> print_value_buf buf v)
-let print_predicate p = with_buf (fun buf -> print_pred buf ~level:0 p)
+let print_predicate p = with_buf (fun buf -> print_pred buf ~pcol:print_ident ~level:0 p)
 
 let print_statement (st : statement) =
   with_buf @@ fun buf ->
@@ -598,7 +739,7 @@ let print_statement (st : statement) =
     | Predicate.True -> ()
     | _ ->
         Buffer.add_string buf " WHERE ";
-        print_pred buf ~level:0 w
+        print_pred buf ~pcol:print_ident ~level:0 w
   in
   match st with
   | Select s ->
@@ -615,6 +756,37 @@ let print_statement (st : statement) =
       print_ident buf s.table;
       where s.where;
       (match s.limit with
+      | None -> ()
+      | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n))
+  | Select_join j ->
+      let pq q =
+        print_ident buf q.q_table;
+        Buffer.add_char buf '.';
+        print_ident buf q.q_column
+      in
+      Buffer.add_string buf "SELECT ";
+      (match j.j_projection with
+      | `Star -> Buffer.add_char buf '*'
+      | `Columns cols ->
+          List.iteri
+            (fun i q ->
+              if i > 0 then Buffer.add_string buf ", ";
+              pq q)
+            cols);
+      Buffer.add_string buf " FROM ";
+      print_ident buf j.j_left;
+      Buffer.add_string buf " JOIN ";
+      print_ident buf j.j_right;
+      Buffer.add_string buf " ON ";
+      pq j.j_on_left;
+      Buffer.add_string buf " = ";
+      pq j.j_on_right;
+      (match j.j_where with
+      | Predicate.True -> ()
+      | w ->
+          Buffer.add_string buf " WHERE ";
+          print_pred buf ~pcol:(join_pcol ~jleft:j.j_left ~jright:j.j_right) ~level:0 w);
+      (match j.j_limit with
       | None -> ()
       | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n))
   | Insert { table; values } ->
@@ -668,18 +840,90 @@ type query_result = {
   rows : Value.t array list;
   affected : int;
   exec : Executor.result option;
+  join_exec : Join.result option;
 }
 
-let empty_result ?(affected = 0) () = { columns = []; rows = []; affected; exec = None }
+let empty_result ?(affected = 0) () =
+  { columns = []; rows = []; affected; exec = None; join_exec = None }
 
 let take limit l =
   match limit with
   | None -> l
   | Some n -> List.filteri (fun i _ -> i < n) l
 
+(* The combined row space of a join: every left column as
+   "left.column", then every right column as "right.column". Distinct
+   table names keep the qualified names distinct for any sane schema;
+   the pathological collision (one table name a dotted extension of
+   the other) surfaces as [Schema.create]'s duplicate-name error. *)
+let qualify_columns name (sch : Schema.t) =
+  List.map
+    (fun (c : Schema.column) -> { c with Schema.name = name ^ "." ^ c.name })
+    (Array.to_list (Schema.columns sch))
+
+let join_schema (j : join) lsch rsch =
+  match Schema.create (qualify_columns j.j_left lsch @ qualify_columns j.j_right rsch) with
+  | sch -> Ok sch
+  | exception Invalid_argument e -> Error e
+
+let join_projection (j : join) combined =
+  match j.j_projection with
+  | `Star ->
+      Ok (List.map (fun (c : Schema.column) -> c.name) (Array.to_list (Schema.columns combined)))
+  | `Columns qs ->
+      let names = List.map qualified_name qs in
+      let missing = List.filter (fun c -> Schema.column_index_opt combined c = None) names in
+      if missing = [] then Ok names
+      else Error (Printf.sprintf "no such column %S" (List.hd missing))
+
+(* Plaintext reference execution of a join: freeze both tables in one
+   epoch-consistent step, hash-join on value equality, then filter the
+   combined rows by WHERE and apply projection + LIMIT. The oracle the
+   encrypted path is differenced against. *)
+let execute_join db (j : join) =
+  match (Database.table_opt db j.j_left, Database.table_opt db j.j_right) with
+  | None, _ -> Error (Printf.sprintf "no such table %S" j.j_left)
+  | _, None -> Error (Printf.sprintf "no such table %S" j.j_right)
+  | Some tl, Some tr -> (
+      let lsch = Table.schema tl and rsch = Table.schema tr in
+      if Schema.column_index_opt lsch j.j_on_left.q_column = None then
+        Error (Printf.sprintf "no such column %S in table %S" j.j_on_left.q_column j.j_left)
+      else if Schema.column_index_opt rsch j.j_on_right.q_column = None then
+        Error (Printf.sprintf "no such column %S in table %S" j.j_on_right.q_column j.j_right)
+      else
+        match join_schema j lsch rsch with
+        | Error e -> Error e
+        | Ok combined -> (
+            match join_projection j combined with
+            | Error e -> Error e
+            | Ok columns -> (
+                match Predicate.compile combined j.j_where with
+                | exception Not_found -> Error "predicate references an unknown column"
+                | eval ->
+                    let lv, rv = Option.get (Database.freeze_pair db j.j_left j.j_right) in
+                    let jr =
+                      Executor.run_join ~left:lv ~right:rv ~on_left:j.j_on_left.q_column
+                        ~on_right:j.j_on_right.q_column Join.Equi
+                    in
+                    let idxs = List.map (Schema.column_index combined) columns in
+                    let rows =
+                      take j.j_limit
+                        (List.filter_map
+                           (fun (l, r) ->
+                             let row =
+                               Array.append (Read_view.read_row lv l) (Read_view.read_row rv r)
+                             in
+                             if eval row then
+                               Some (Array.of_list (List.map (fun i -> row.(i)) idxs))
+                             else None)
+                           (Array.to_list jr.Join.pairs))
+                    in
+                    Ok { columns; rows; affected = 0; exec = None; join_exec = Some jr })))
+
 let execute db src =
   match parse src with
   | Error e -> Error e
+  | Ok (Select_join j) -> execute_join db j
   | Ok (Select s) -> (
       match Database.table_opt db s.table with
       | None -> Error (Printf.sprintf "no such table %S" s.table)
@@ -706,7 +950,7 @@ let execute db src =
                          (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs))
                          (Array.to_list exec.rows))
                   in
-                  Ok { columns; rows; affected = 0; exec = Some exec })))
+                  Ok { columns; rows; affected = 0; exec = Some exec; join_exec = None })))
   | Ok (Insert { table; values }) -> (
       match Database.table_opt db table with
       | None -> Error (Printf.sprintf "no such table %S" table)

@@ -238,19 +238,224 @@ let run_workload ~pool ~kind ~seed =
   in
   steps 0
 
+(* ---------------- Two-table join workloads ---------------- *)
+
+let pets_schema =
+  Schema.create
+    [
+      { name = "pid"; ty = TInt; nullable = false };
+      { name = "owner"; ty = TText; nullable = false };
+      { name = "species"; ty = TText; nullable = false };
+    ]
+
+let species = [| "dog"; "cat"; "fish"; "hen" |]
+let n_people = 32
+let n_pets = 20
+let n_join_statements = 5
+
+type join_targets = {
+  j_plain : Database.t;
+  j_proxy : Wre.Proxy.t;
+  j_next_person : int ref;
+  j_next_pet : int ref;
+  j_names : string array;
+  j_cities : string array;
+  j_owners : string array;
+  j_species : string array;
+}
+
+(* Two tables under one proxy: pets.owner draws from the same universe
+   as people.name, so the equi-join on those columns actually matches.
+   Both join columns are encrypted — the join must go through the
+   tag-bucket path, not key passthrough. *)
+let build_join ~kind ~seed =
+  let prng = Stdx.Prng.create seed in
+  let people =
+    List.init n_people (fun i ->
+        [|
+          Value.Int (Int64.of_int i);
+          Value.Text (pick prng names);
+          Value.Text (pick prng cities);
+          Value.Int (Int64.of_int (18 + Stdx.Prng.int prng 50));
+        |])
+  in
+  let pets =
+    List.init n_pets (fun i ->
+        [|
+          Value.Int (Int64.of_int i);
+          Value.Text (pick prng names);
+          Value.Text (pick prng species);
+        |])
+  in
+  let j_plain = Database.create () in
+  let pt = Database.create_table j_plain ~name:"people" ~schema:plain_schema in
+  List.iter (fun r -> ignore (Table.insert pt r)) people;
+  ignore (Table.create_index pt ~column:"name");
+  let qt = Database.create_table j_plain ~name:"pets" ~schema:pets_schema in
+  List.iter (fun r -> ignore (Table.insert qt r)) pets;
+  let enc_db = Database.create () in
+  let master = Crypto.Keys.of_raw ~k0:(String.make 16 'd') ~k1:(String.make 32 'f') in
+  let ep =
+    Wre.Encrypted_db.create ~db:enc_db ~name:"people" ~plain_schema ~key_column:"id"
+      ~encrypted_columns:[ "name"; "city" ] ~kind ~master
+      ~dist_of:
+        (Wre.Dist_est.of_rows ~schema:plain_schema ~columns:[ "name"; "city" ]
+           (List.to_seq people))
+      ~seed:(Int64.logxor seed 0x5eedL) ()
+  in
+  List.iter (fun r -> ignore (Wre.Encrypted_db.insert ep r)) people;
+  let et =
+    Wre.Encrypted_db.create ~db:enc_db ~name:"pets" ~plain_schema:pets_schema ~key_column:"pid"
+      ~encrypted_columns:[ "owner"; "species" ] ~kind ~master
+      ~dist_of:
+        (Wre.Dist_est.of_rows ~schema:pets_schema ~columns:[ "owner"; "species" ]
+           (List.to_seq pets))
+      ~seed:(Int64.logxor seed 0x9e75L) ()
+  in
+  List.iter (fun r -> ignore (Wre.Encrypted_db.insert et r)) pets;
+  ( {
+      j_plain;
+      j_proxy = Wre.Proxy.create_multi [ ep; et ];
+      j_next_person = ref n_people;
+      j_next_pet = ref n_pets;
+      j_names = present people 1 names;
+      j_cities = present people 2 cities;
+      j_owners = present pets 1 names;
+      j_species = present pets 2 species;
+    },
+    prng )
+
+let gen_join_where t prng =
+  let atom () =
+    match Stdx.Prng.int prng 6 with
+    | 0 -> Printf.sprintf "people.city = '%s'" (pick prng t.j_cities)
+    | 1 -> Printf.sprintf "pets.species = '%s'" (pick prng t.j_species)
+    | 2 -> Printf.sprintf "people.age >= %d" (18 + Stdx.Prng.int prng 50)
+    | 3 ->
+        let a = Stdx.Prng.int prng 40 in
+        Printf.sprintf "people.id BETWEEN %d AND %d" a (a + Stdx.Prng.int prng 20)
+    | 4 -> Printf.sprintf "NOT pets.species = '%s'" (pick prng t.j_species)
+    | _ -> Printf.sprintf "people.name = '%s'" (pick prng t.j_names)
+  in
+  match Stdx.Prng.int prng 4 with
+  | 0 -> atom ()
+  | 1 -> Printf.sprintf "%s AND %s" (atom ()) (atom ())
+  | 2 -> Printf.sprintf "%s OR %s" (atom ()) (atom ())
+  | _ -> Printf.sprintf "(%s OR %s) AND %s" (atom ()) (atom ()) (atom ())
+
+let gen_join_statement t prng =
+  match Stdx.Prng.int prng 8 with
+  | 0 ->
+      let id = !(t.j_next_person) in
+      incr t.j_next_person;
+      Mutation
+        (Printf.sprintf "INSERT INTO people VALUES (%d, '%s', '%s', %d)" id
+           (pick prng t.j_names) (pick prng t.j_cities)
+           (18 + Stdx.Prng.int prng 50))
+  | 1 ->
+      let id = !(t.j_next_pet) in
+      incr t.j_next_pet;
+      Mutation
+        (Printf.sprintf "INSERT INTO pets VALUES (%d, '%s', '%s')" id (pick prng t.j_owners)
+           (pick prng t.j_species))
+  | 2 ->
+      let a = Stdx.Prng.int prng 25 in
+      Mutation (Printf.sprintf "DELETE FROM pets WHERE pid BETWEEN %d AND %d" a (a + 1))
+  | _ ->
+      let projection =
+        match Stdx.Prng.int prng 3 with
+        | 0 -> "*"
+        | 1 -> "people.id, pets.pid"
+        | _ -> "people.name, pets.species, people.age"
+      in
+      let where =
+        if Stdx.Prng.int prng 4 = 0 then None else Some (gen_join_where t prng)
+      in
+      let limit = if Stdx.Prng.int prng 4 = 0 then Some (1 + Stdx.Prng.int prng 10) else None in
+      Select { projection; where; limit }
+
+(* Same three-way oracle as the single-table suite, over join SELECTs:
+   plaintext Sqldb join vs sequential encrypted join vs N-domain
+   parallel join, with mutations on either table interleaved so the
+   join sees fresh epochs. *)
+let run_join_workload ~pool ~kind ~seed =
+  let t, prng = build_join ~kind ~seed in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec steps i =
+    if i >= n_join_statements then Ok ()
+    else
+      match gen_join_statement t prng with
+      | Mutation sql -> (
+          match (Sql.execute t.j_plain sql, Wre.Proxy.execute t.j_proxy sql) with
+          | Ok p, Ok e ->
+              if p.Sql.affected = e.Wre.Proxy.affected then steps (i + 1)
+              else
+                fail "affected mismatch on %S: plain %d, encrypted %d" sql p.Sql.affected
+                  e.Wre.Proxy.affected
+          | Error e, _ -> fail "plain error on %S: %s" sql e
+          | _, Error e -> fail "encrypted error on %S: %s" sql e)
+      | Select { projection; where; limit } -> (
+          let base =
+            Printf.sprintf "SELECT %s FROM people JOIN pets ON people.name = pets.owner%s"
+              projection
+              (match where with None -> "" | Some w -> " WHERE " ^ w)
+          in
+          let sql =
+            match limit with None -> base | Some n -> Printf.sprintf "%s LIMIT %d" base n
+          in
+          match
+            ( Sql.execute t.j_plain sql,
+              Wre.Proxy.execute t.j_proxy sql,
+              Wre.Proxy.execute_snapshot ~pool t.j_proxy sql )
+          with
+          | Ok p, Ok s, Ok par -> (
+              if s.Wre.Proxy.join_exec = None then
+                fail "encrypted %S did not take the join path" sql
+              else if par.Wre.Proxy.rows <> s.Wre.Proxy.rows then
+                fail "parallel join differs from sequential on %S (%d vs %d rows)" sql
+                  (List.length par.Wre.Proxy.rows)
+                  (List.length s.Wre.Proxy.rows)
+              else
+                match limit with
+                | None ->
+                    if sorted s.Wre.Proxy.rows = sorted p.Sql.rows then steps (i + 1)
+                    else
+                      fail "join row sets differ on %S: plain %d rows, encrypted %d rows" sql
+                        (List.length p.Sql.rows)
+                        (List.length s.Wre.Proxy.rows)
+                | Some n -> (
+                    match Sql.execute t.j_plain base with
+                    | Error e -> fail "plain error on %S: %s" base e
+                    | Ok full ->
+                        let want = min n (List.length full.Sql.rows) in
+                        if List.length s.Wre.Proxy.rows <> want then
+                          fail "join LIMIT count on %S: got %d, want %d" sql
+                            (List.length s.Wre.Proxy.rows)
+                            want
+                        else if not (is_submultiset s.Wre.Proxy.rows full.Sql.rows) then
+                          fail "join LIMIT rows on %S are not a subset of the full plain result"
+                            sql
+                        else steps (i + 1)))
+          | Error e, _, _ -> fail "plain error on %S: %s" sql e
+          | _, Error e, _ -> fail "sequential error on %S: %s" sql e
+          | _, _, Error e -> fail "parallel error on %S: %s" sql e)
+  in
+  steps 0
+
 (* ---------------- Corpus persistence + replay ---------------- *)
 
 let corpus_dir = "corpus"
 
-let persist_failure ~kind ~domains ~seed msg =
+let persist_failure ~mode ~kind ~domains ~seed msg =
   if not (Sys.file_exists corpus_dir) then Unix.mkdir corpus_dir 0o755;
   let path =
     Filename.concat corpus_dir
-      (Printf.sprintf "differential-%s-d%d-%Ld.seed" (Wre.Scheme.to_string kind) domains seed)
+      (Printf.sprintf "differential-%s-%s-d%d-%Ld.seed" mode (Wre.Scheme.to_string kind) domains
+         seed)
   in
   Store.Io.atomic_write_text ~path
-    (Printf.sprintf "scheme=%s domains=%d seed=%Ld\n# %s\n" (Wre.Scheme.to_string kind) domains
-       seed msg);
+    (Printf.sprintf "mode=%s scheme=%s domains=%d seed=%Ld\n# %s\n" mode
+       (Wre.Scheme.to_string kind) domains seed msg);
   path
 
 let parse_corpus path =
@@ -275,7 +480,10 @@ let parse_corpus path =
           Option.bind (List.assoc_opt "domains" kv) int_of_string_opt,
           Option.bind (List.assoc_opt "seed" kv) Int64.of_string_opt )
       with
-      | Some kind, Some domains, Some seed -> Ok (kind, domains, seed)
+      | Some kind, Some domains, Some seed ->
+          (* Seeds from before the join suite carry no mode key. *)
+          let mode = Option.value ~default:"single" (List.assoc_opt "mode" kv) in
+          Ok (mode, kind, domains, seed)
       | _ -> Error (Printf.sprintf "malformed corpus header %S" line))
 
 let replay_corpus () =
@@ -291,9 +499,10 @@ let replay_corpus () =
     (fun file ->
       match parse_corpus (Filename.concat corpus_dir file) with
       | Error e -> Alcotest.fail (file ^ ": " ^ e)
-      | Ok (kind, domains, seed) -> (
+      | Ok (mode, kind, domains, seed) -> (
           Stdx.Task_pool.with_pool ~domains @@ fun pool ->
-          match run_workload ~pool ~kind ~seed with
+          let run = if mode = "join" then run_join_workload else run_workload in
+          match run ~pool ~kind ~seed with
           | Ok () -> ()
           | Error msg -> Alcotest.fail (Printf.sprintf "%s: %s" file msg)))
     files
@@ -322,32 +531,35 @@ let workload_seed ~kind ~index =
   Int64.add master_seed
     (Int64.of_int ((Hashtbl.hash (Wre.Scheme.to_string kind) * 1_000_003) + index))
 
-let oracle_case kind domains () =
+let oracle_case ~mode ~run kind domains () =
   Stdx.Task_pool.with_pool ~domains @@ fun pool ->
   for index = 0 to workloads - 1 do
     let seed = workload_seed ~kind ~index in
-    match run_workload ~pool ~kind ~seed with
+    match run ~pool ~kind ~seed with
     | Ok () -> ()
     | Error msg ->
-        let path = persist_failure ~kind ~domains ~seed msg in
+        let path = persist_failure ~mode ~kind ~domains ~seed msg in
         Alcotest.fail
           (Printf.sprintf "workload %d (seed %Ld) failed: %s [seed saved to %s — commit it to \
                            test/corpus/ to pin the regression]"
              index seed msg path)
   done
 
+let cases ~mode ~run =
+  List.concat_map
+    (fun kind ->
+      List.map
+        (fun domains ->
+          Alcotest.test_case
+            (Printf.sprintf "%s x %d domains" (Wre.Scheme.to_string kind) domains)
+            `Quick (oracle_case ~mode ~run kind domains))
+        domain_configs)
+    schemes
+
 let () =
   Alcotest.run "differential"
     [
-      ( "oracle",
-        List.concat_map
-          (fun kind ->
-            List.map
-              (fun domains ->
-                Alcotest.test_case
-                  (Printf.sprintf "%s x %d domains" (Wre.Scheme.to_string kind) domains)
-                  `Quick (oracle_case kind domains))
-              domain_configs)
-          schemes );
+      ("oracle", cases ~mode:"single" ~run:run_workload);
+      ("join-oracle", cases ~mode:"join" ~run:run_join_workload);
       ("corpus", [ Alcotest.test_case "replay saved seeds" `Quick replay_corpus ]);
     ]

@@ -88,6 +88,109 @@ let test_parse_errors () =
   check_bool "strict compare rejected" true (is_err "SELECT * FROM t WHERE a < 3");
   check_bool "bad limit" true (is_err "SELECT * FROM t LIMIT 'x'")
 
+(* ---------------- JOIN parsing ---------------- *)
+
+(* Assert that [sql] fails to parse with an error anchored at the
+   first occurrence of [needle] — the offending token's own position,
+   not the statement start. *)
+let expect_err_at sql needle =
+  let idx =
+    let nl = String.length needle in
+    let rec go i =
+      if i + nl > String.length sql then Alcotest.fail ("needle not in sql: " ^ needle)
+      else if String.sub sql i nl = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match Sql.parse sql with
+  | Ok _ -> Alcotest.fail ("parsed unexpectedly: " ^ sql)
+  | Error e ->
+      let suffix = Printf.sprintf "(at offset %d)" idx in
+      check_bool
+        (Printf.sprintf "error %S anchored at %d (%s)" e idx needle)
+        true
+        (String.length e >= String.length suffix
+        && String.sub e (String.length e - String.length suffix) (String.length suffix) = suffix)
+
+let test_parse_join_shapes () =
+  (match ok (Sql.parse "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z = 1 LIMIT 3") with
+  | Sql.Select_join j ->
+      check_str "left" "a" j.j_left;
+      check_str "right" "b" j.j_right;
+      check_bool "on left" true (j.j_on_left = { Sql.q_table = "a"; q_column = "x" });
+      check_bool "on right" true (j.j_on_right = { Sql.q_table = "b"; q_column = "y" });
+      check_bool "where qualified" true (j.j_where = Predicate.Eq ("a.z", Value.Int 1L));
+      check_bool "limit" true (j.j_limit = Some 3)
+  | _ -> Alcotest.fail "not a join");
+  (* ON order is normalized: the left table's reference comes first
+     regardless of how the query spells it. *)
+  (match ok (Sql.parse "SELECT * FROM a JOIN b ON b.y = a.x") with
+  | Sql.Select_join j ->
+      check_str "normalized on-left table" "a" j.j_on_left.Sql.q_table;
+      check_str "normalized on-right table" "b" j.j_on_right.Sql.q_table
+  | _ -> Alcotest.fail "not a join");
+  (* Qualified projection, and quoted (dotted) table names. *)
+  match ok (Sql.parse "SELECT \"a.b\".x, c.y FROM \"a.b\" JOIN c ON \"a.b\".k = c.k") with
+  | Sql.Select_join j ->
+      check_bool "projection" true
+        (j.j_projection
+        = `Columns
+            [ { Sql.q_table = "a.b"; q_column = "x" }; { Sql.q_table = "c"; q_column = "y" } ])
+  | _ -> Alcotest.fail "not a join"
+
+let test_parse_join_errors () =
+  (* Unknown qualifier in ON, anchored at the reference itself. *)
+  expect_err_at "SELECT * FROM a JOIN b ON c.x = b.y" "c.x";
+  (* Unknown qualifier in WHERE. *)
+  expect_err_at "SELECT * FROM a JOIN b ON a.x = b.y WHERE zz.k = 1" "zz.k";
+  (* Unknown qualifier in the projection. *)
+  expect_err_at "SELECT nope.x FROM a JOIN b ON a.x = b.y" "nope.x";
+  (* Qualified reference outside a JOIN. *)
+  expect_err_at "SELECT * FROM t WHERE t.x = 1" "t.x";
+  expect_err_at "SELECT t.x FROM t" "t.x";
+  (* Self-join and single-table ON. *)
+  expect_err_at "SELECT * FROM a JOIN a ON a.x = a.y" "a ON";
+  expect_err_at "SELECT * FROM a JOIN b ON a.x = a.y" "a.y";
+  (* Bare (unqualified) references inside a JOIN are rejected too. *)
+  check_bool "bare ON column" true
+    (Result.is_error (Sql.parse "SELECT * FROM a JOIN b ON x = b.y"));
+  check_bool "bare WHERE column" true
+    (Result.is_error (Sql.parse "SELECT * FROM a JOIN b ON a.x = b.y WHERE k = 1"))
+
+let test_execute_plain_join () =
+  let db = Database.create () in
+  let stmts =
+    [
+      "CREATE TABLE people (id INT NOT NULL, name TEXT NOT NULL)";
+      "CREATE TABLE pets (id INT NOT NULL, owner TEXT NOT NULL, species TEXT NOT NULL)";
+    ]
+    @ List.init 6 (fun i ->
+          Printf.sprintf "INSERT INTO people VALUES (%d, '%s')" i
+            (if i mod 2 = 0 then "ann" else "bob"))
+    @ List.init 4 (fun i ->
+          Printf.sprintf "INSERT INTO pets VALUES (%d, '%s', '%s')" i
+            (if i < 3 then "ann" else "zoe")
+            (if i mod 2 = 0 then "dog" else "cat"))
+  in
+  List.iter (fun s -> ignore (ok (Sql.execute db s))) stmts;
+  let r = ok (Sql.execute db "SELECT * FROM people JOIN pets ON people.name = pets.owner") in
+  check_bool "qualified headers" true
+    (r.columns = [ "people.id"; "people.name"; "pets.id"; "pets.owner"; "pets.species" ]);
+  (* 3 ann-pets x 3 ann-people; zoe matches nobody. *)
+  check_int "rows" 9 (List.length r.rows);
+  check_bool "join exec populated" true (r.join_exec <> None);
+  let r2 =
+    ok
+      (Sql.execute db
+         "SELECT pets.id FROM people JOIN pets ON people.name = pets.owner WHERE pets.species = \
+          'dog' LIMIT 4")
+  in
+  check_int "where + limit" 4 (List.length r2.rows);
+  check_bool "projected" true (List.for_all (fun row -> Array.length row = 1) r2.rows);
+  check_bool "missing table error" true
+    (Result.is_error (Sql.execute db "SELECT * FROM people JOIN nope ON people.name = nope.x"))
+
 (* ---------------- Execution ---------------- *)
 
 let make_db () =
@@ -383,6 +486,147 @@ let test_proxy_in_list_on_encrypted_column () =
   let r = ok (Wre.Proxy.execute proxy "SELECT id FROM people WHERE name IN ('ann', 'cat')") in
   check_int "union of both values" 40 (List.length r.rows)
 
+(* ---------------- Proxy: encrypted equi-joins ---------------- *)
+
+let pets_schema =
+  Schema.create
+    [
+      { name = "id"; ty = TInt; nullable = false };
+      { name = "owner"; ty = TText; nullable = false };
+      { name = "species"; ty = TText; nullable = false };
+    ]
+
+let pets =
+  (* Owners: ann and bob join people; zoe joins nobody (and people's
+     cat has no pets) — both one-sided support tails are exercised. *)
+  List.init 30 (fun i ->
+      [|
+        Value.Int (Int64.of_int i);
+        Value.Text (match i mod 3 with 0 -> "ann" | 1 -> "bob" | _ -> "zoe");
+        Value.Text (if i mod 2 = 0 then "dog" else "cat");
+      |])
+
+let make_join_proxy kind =
+  let db = Database.create () in
+  let master = Crypto.Keys.of_raw ~k0:(String.make 16 'p') ~k1:(String.make 32 'q') in
+  let dist_people =
+    Wre.Dist_est.of_rows ~schema:plain_schema ~columns:[ "name"; "city" ] (List.to_seq people)
+  in
+  let dist_pets =
+    Wre.Dist_est.of_rows ~schema:pets_schema ~columns:[ "owner"; "species" ] (List.to_seq pets)
+  in
+  let ep =
+    Wre.Encrypted_db.create ~db ~name:"people" ~plain_schema ~key_column:"id"
+      ~encrypted_columns:[ "name"; "city" ] ~kind ~master ~dist_of:dist_people ~seed:5L ()
+  in
+  let et =
+    Wre.Encrypted_db.create ~db ~name:"pets" ~plain_schema:pets_schema ~key_column:"id"
+      ~encrypted_columns:[ "owner"; "species" ] ~kind ~master ~dist_of:dist_pets ~seed:6L ()
+  in
+  List.iter (fun r -> ignore (Wre.Encrypted_db.insert ep r)) people;
+  List.iter (fun r -> ignore (Wre.Encrypted_db.insert et r)) pets;
+  Wre.Proxy.create_multi [ ep; et ]
+
+(* The plaintext oracle for the same two tables. *)
+let join_reference sql =
+  let db = Database.create () in
+  let tp = Database.create_table db ~name:"people" ~schema:plain_schema in
+  let tt = Database.create_table db ~name:"pets" ~schema:pets_schema in
+  List.iter (fun r -> ignore (Table.insert tp r)) people;
+  List.iter (fun r -> ignore (Table.insert tt r)) pets;
+  ok (Sql.execute db sql)
+
+let sorted_rows rows = List.sort compare (List.map Array.to_list rows)
+
+let test_proxy_join_matches_plaintext () =
+  let sql = "SELECT * FROM people JOIN pets ON people.name = pets.owner" in
+  let expected = join_reference sql in
+  List.iter
+    (fun kind ->
+      let proxy = make_join_proxy kind in
+      let r = ok (Wre.Proxy.execute proxy sql) in
+      check_bool
+        (Wre.Scheme.to_string kind ^ " qualified headers")
+        true
+        (r.columns
+        = [
+            "people.id"; "people.name"; "people.city"; "people.age"; "pets.id"; "pets.owner";
+            "pets.species";
+          ]);
+      check_bool
+        (Wre.Scheme.to_string kind ^ " join matches plaintext")
+        true
+        (sorted_rows r.rows = sorted_rows expected.rows);
+      let jr = Option.get r.join_exec in
+      check_bool "candidates are a superset" true
+        (Array.length jr.Join.pairs >= List.length r.rows))
+    [ Wre.Scheme.Det; Wre.Scheme.Fixed 5; Wre.Scheme.Poisson 100.0; Wre.Scheme.Bucketized 10.0 ]
+
+let test_proxy_join_residual_where_and_limit () =
+  let proxy = make_join_proxy (Wre.Scheme.Bucketized 10.0) in
+  (* species is encrypted but the WHERE leg is residual-verified
+     client-side; age is not searchable at all. *)
+  let sql =
+    "SELECT pets.id FROM people JOIN pets ON people.name = pets.owner WHERE pets.species = 'dog' \
+     AND people.age >= 30"
+  in
+  let expected = join_reference sql in
+  let r = ok (Wre.Proxy.execute proxy sql) in
+  check_bool "residual WHERE exact" true (sorted_rows r.rows = sorted_rows expected.rows);
+  let rl = ok (Wre.Proxy.execute proxy (sql ^ " LIMIT 5")) in
+  check_int "limit after verification" 5 (List.length rl.rows);
+  check_bool "limited rows are true matches" true
+    (List.for_all (fun row -> List.mem (Array.to_list row) (sorted_rows expected.rows)) rl.rows)
+
+let test_proxy_join_bucketized_verifies_fps () =
+  (* Under aggressive bucketization the server's candidate pairs are a
+     strict superset somewhere; the client must filter them all. *)
+  let proxy = make_join_proxy (Wre.Scheme.Bucketized 10.0) in
+  let sql = "SELECT * FROM people JOIN pets ON people.name = pets.owner" in
+  let expected = join_reference sql in
+  let r = ok (Wre.Proxy.execute proxy sql) in
+  check_bool "exact despite FPs" true (sorted_rows r.rows = sorted_rows expected.rows);
+  check_int "server_rows = candidate pairs" r.server_rows
+    (Array.length (Option.get r.join_exec).Join.pairs)
+
+let test_proxy_join_parallel_identical () =
+  let sql =
+    "SELECT people.id, pets.id FROM people JOIN pets ON people.name = pets.owner WHERE \
+     pets.species = 'cat'"
+  in
+  let proxy = make_join_proxy (Wre.Scheme.Poisson 100.0) in
+  let seq = ok (Wre.Proxy.execute proxy sql) in
+  Stdx.Task_pool.with_pool ~domains:4 (fun pool ->
+      let par = ok (Wre.Proxy.execute_snapshot ~pool proxy sql) in
+      check_bool "4-domain join identical" true (seq.rows = par.rows);
+      check_bool "same candidate pairs" true
+        ((Option.get seq.join_exec).Join.pairs = (Option.get par.join_exec).Join.pairs))
+
+let test_proxy_join_errors () =
+  let proxy = make_join_proxy (Wre.Scheme.Poisson 100.0) in
+  (* Joins need exact table names: no single-table fallback. *)
+  check_bool "unknown table" true
+    (Result.is_error
+       (Wre.Proxy.execute proxy "SELECT * FROM people JOIN nope ON people.name = nope.x"));
+  (* ON must target searchable encrypted columns. *)
+  check_bool "non-encrypted ON column" true
+    (Result.is_error
+       (Wre.Proxy.execute proxy "SELECT * FROM people JOIN pets ON people.age = pets.id"))
+
+let test_proxy_rewrite_join_buckets () =
+  let proxy = make_join_proxy (Wre.Scheme.Poisson 100.0) in
+  match Sql.parse "SELECT * FROM people JOIN pets ON people.name = pets.owner" with
+  | Ok (Sql.Select_join j) ->
+      let buckets = ok (Wre.Proxy.rewrite_join proxy j) in
+      (* Shared support is {ann, bob}: people has no zoe, pets no cat. *)
+      let names = List.sort compare (Array.to_list (Array.map (fun (m, _, _) -> m) buckets)) in
+      check_bool "buckets = shared support" true (names = [ "ann"; "bob" ]);
+      Array.iter
+        (fun (_, l, r) ->
+          check_bool "both sides have tags" true (l <> [] && r <> []))
+        buckets
+  | _ -> Alcotest.fail "parse failed"
+
 (* ---------------- Printer: quoted identifiers, round-trip ---------------- *)
 
 let test_quoted_identifiers () =
@@ -449,14 +693,14 @@ let gen_value =
 (* Canonical shapes only: the parser folds nested same-connective
    chains flat (even parenthesized tails), so And legs are never And
    and Or legs never Or — exactly the ASTs the parser itself emits. *)
-let gen_predicate =
+let gen_predicate_with gen_col =
   let open QCheck.Gen in
   let gen_atom =
     frequency
       [
         (1, return Predicate.True);
-        (4, map2 (fun c v -> Predicate.Eq (c, v)) gen_ident gen_value);
-        (2, map2 (fun c vs -> Predicate.In (c, vs)) gen_ident (list_size (int_range 1 4) gen_value));
+        (4, map2 (fun c v -> Predicate.Eq (c, v)) gen_col gen_value);
+        (2, map2 (fun c vs -> Predicate.In (c, vs)) gen_col (list_size (int_range 1 4) gen_value));
         ( 2,
           map3
             (fun c v shape ->
@@ -464,7 +708,7 @@ let gen_predicate =
               | 0 -> Predicate.Range (c, Some v, None)
               | 1 -> Predicate.Range (c, None, Some v)
               | _ -> Predicate.Range (c, Some v, Some v))
-            gen_ident gen_value (int_range 0 2) );
+            gen_col gen_value (int_range 0 2) );
       ]
   in
   let rec gen depth parent =
@@ -483,6 +727,8 @@ let gen_predicate =
       | `Top -> frequency [ (3, gen_atom); (1, gen_and ()); (1, gen_or ()); (1, gen_not ()) ]
   in
   gen 3 `Top
+
+let gen_predicate = gen_predicate_with gen_ident
 
 let gen_statement =
   let open QCheck.Gen in
@@ -525,6 +771,50 @@ let gen_statement =
       gen_predicate
   in
   frequency [ (3, gen_select); (2, gen_insert); (1, gen_create); (1, gen_delete); (2, gen_update) ]
+
+(* Join statements, respecting the invariants the parser itself
+   establishes: distinct table names, ON references qualified by left
+   resp. right, projection/WHERE columns qualified by one of the two.
+   Table names include keywords, spaces and embedded dots (the printer
+   must re-quote them and split WHERE columns on the longest table-name
+   prefix). *)
+let gen_join_statement =
+  let open QCheck.Gen in
+  let tables = [ "a"; "people"; "select"; "a.b"; "weird name" ] in
+  let table_pairs =
+    List.concat_map
+      (fun l -> List.filter_map (fun r -> if l = r then None else Some (l, r)) tables)
+      tables
+  in
+  oneofl table_pairs >>= fun (l, r) ->
+  let qref t = map (fun c -> { Sql.q_table = t; q_column = c }) gen_ident in
+  let qcol = map2 (fun pick c -> (if pick then l else r) ^ "." ^ c) bool gen_ident in
+  let gen_proj =
+    oneof
+      [
+        return `Star;
+        map (fun cs -> `Columns cs) (list_size (int_range 1 3) (oneof [ qref l; qref r ]));
+      ]
+  in
+  map2
+    (fun ((proj, ol), orr) (where, limit) ->
+      Sql.Select_join
+        {
+          j_projection = proj;
+          j_left = l;
+          j_right = r;
+          j_on_left = ol;
+          j_on_right = orr;
+          j_where = where;
+          j_limit = limit;
+        })
+    (pair (pair gen_proj (qref l)) (qref r))
+    (pair (gen_predicate_with qcol) (opt (int_range 0 50)))
+
+let qcheck_join_roundtrip =
+  QCheck.Test.make ~name:"join print → re-parse round-trip" ~count:300
+    (QCheck.make ~print:Sql.print_statement gen_join_statement) (fun st ->
+      Sql.parse (Sql.print_statement st) = Ok st)
 
 let qcheck_predicate_roundtrip =
   QCheck.Test.make ~name:"predicate print → re-parse round-trip" ~count:500
@@ -600,11 +890,14 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "quoted identifiers" `Quick test_quoted_identifiers;
           Alcotest.test_case "exponent literals" `Quick test_number_lexing_exponent;
+          Alcotest.test_case "join shapes" `Quick test_parse_join_shapes;
+          Alcotest.test_case "join errors" `Quick test_parse_join_errors;
         ] );
       ( "execute",
         [
           Alcotest.test_case "select" `Quick test_execute_select;
           Alcotest.test_case "errors" `Quick test_execute_errors;
+          Alcotest.test_case "plain join" `Quick test_execute_plain_join;
         ] );
       ( "proxy",
         [
@@ -629,6 +922,14 @@ let () =
           Alcotest.test_case "limit decrypts lazily" `Quick test_proxy_limit_decrypts_lazily;
           Alcotest.test_case "IN-list on encrypted column" `Quick
             test_proxy_in_list_on_encrypted_column;
+          Alcotest.test_case "join matches plaintext" `Quick test_proxy_join_matches_plaintext;
+          Alcotest.test_case "join residual where + limit" `Quick
+            test_proxy_join_residual_where_and_limit;
+          Alcotest.test_case "join bucketized verifies FPs" `Quick
+            test_proxy_join_bucketized_verifies_fps;
+          Alcotest.test_case "join parallel identical" `Quick test_proxy_join_parallel_identical;
+          Alcotest.test_case "join errors" `Quick test_proxy_join_errors;
+          Alcotest.test_case "join rewrite buckets" `Quick test_proxy_rewrite_join_buckets;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
@@ -636,5 +937,6 @@ let () =
             qcheck_proxy_matches_plaintext;
             qcheck_predicate_roundtrip;
             qcheck_statement_roundtrip;
+            qcheck_join_roundtrip;
           ] );
     ]

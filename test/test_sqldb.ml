@@ -968,6 +968,163 @@ let qcheck_index_vs_scan =
           Array.length via_index.row_ids = expected)
         [ 0; 1; 5; 10 ])
 
+(* ---------------- Join ---------------- *)
+
+let join_schema_left =
+  Schema.create
+    [ { name = "id"; ty = TInt; nullable = false }; { name = "k"; ty = TInt; nullable = true } ]
+
+let mk_join_tables ?(index_left = true) ?(index_right = false) left right =
+  let db = Database.create () in
+  let tl = Database.create_table db ~name:"l" ~schema:join_schema_left in
+  let tr = Database.create_table db ~name:"r" ~schema:join_schema_left in
+  let load t rows =
+    List.iteri
+      (fun i k ->
+        ignore
+          (Table.insert t
+             [| Value.Int (Int64.of_int i); (match k with Some k -> Value.Int (Int64.of_int k) | None -> Value.Null) |]))
+      rows
+  in
+  load tl left;
+  load tr right;
+  (* One indexed side, one scan side, so both postings paths run. *)
+  if index_left then ignore (Table.create_index tl ~column:"k");
+  if index_right then ignore (Table.create_index tr ~column:"k");
+  (db, tl, tr)
+
+let brute_pairs tl tr =
+  let lv = Table.freeze tl and rv = Table.freeze tr in
+  let acc = ref [] in
+  Read_view.scan lv (fun l lrow ->
+      Read_view.scan rv (fun r rrow ->
+          match (lrow.(1), rrow.(1)) with
+          | Value.Null, _ | _, Value.Null -> ()
+          | a, b -> if Value.equal a b then acc := (l, r) :: !acc));
+  List.sort compare !acc
+
+let test_join_equi_matches_naive () =
+  let left = List.map (fun k -> if k = 7 then None else Some (k mod 5)) (List.init 40 Fun.id) in
+  let right = List.map (fun k -> if k = 3 then None else Some (k mod 7)) (List.init 25 Fun.id) in
+  let _db, tl, tr = mk_join_tables left right in
+  let jr =
+    Executor.run_join ~left:(Table.freeze tl) ~right:(Table.freeze tr) ~on_left:"k" ~on_right:"k"
+      Join.Equi
+  in
+  check_bool "equi = brute force" true (Array.to_list jr.Join.pairs = brute_pairs tl tr);
+  check_bool "pairs sorted" true
+    (let l = Array.to_list jr.Join.pairs in
+     l = List.sort_uniq compare l)
+
+let test_join_buckets_overlap_dedup () =
+  (* Rows 0..9 all carry k=1. Two buckets both listing tag 1 on both
+     sides: the cross product arises twice but must be emitted once. *)
+  let _db, tl, tr = mk_join_tables (List.init 4 (fun _ -> Some 1)) (List.init 3 (fun _ -> Some 1)) in
+  let spec =
+    Join.Buckets
+      [| ([ Value.Int 1L ], [ Value.Int 1L ]); ([ Value.Int 1L ], [ Value.Int 1L ]) |]
+  in
+  let jr =
+    Executor.run_join ~left:(Table.freeze tl) ~right:(Table.freeze tr) ~on_left:"k" ~on_right:"k"
+      spec
+  in
+  check_int "deduped cross product" 12 (Array.length jr.Join.pairs);
+  check_int "bucket count" 2 (Array.length jr.Join.bucket_pairs);
+  (* Per-bucket counts are pre-dedup: what the server observes. *)
+  check_int "bucket 0 candidates" 12 jr.Join.bucket_pairs.(0)
+
+let test_join_skips_dead_rows () =
+  let _db, tl, tr =
+    mk_join_tables ~index_right:true
+      (List.init 10 (fun _ -> Some 1))
+      (List.init 6 (fun _ -> Some 1))
+  in
+  ignore (Table.delete tl 0 : bool);
+  ignore (Table.delete tr 5 : bool);
+  let jr =
+    Executor.run_join ~left:(Table.freeze tl) ~right:(Table.freeze tr) ~on_left:"k" ~on_right:"k"
+      (Join.Buckets [| ([ Value.Int 1L ], [ Value.Int 1L ]) |])
+  in
+  check_int "only live pairs" 45 (Array.length jr.Join.pairs);
+  check_bool "no dead ids" true
+    (Array.for_all (fun (l, r) -> l <> 0 && r <> 5) jr.Join.pairs)
+
+let test_join_pool_matches_sequential () =
+  let left = List.map (fun k -> Some (k mod 11)) (List.init 200 Fun.id) in
+  let right = List.map (fun k -> Some (k mod 13)) (List.init 150 Fun.id) in
+  let _db, tl, tr = mk_join_tables left right in
+  let spec =
+    Join.Buckets (Array.init 10 (fun i -> ([ Value.Int (Int64.of_int i) ], [ Value.Int (Int64.of_int i) ])))
+  in
+  let run pool =
+    Executor.run_join ?pool ~left:(Table.freeze tl) ~right:(Table.freeze tr) ~on_left:"k"
+      ~on_right:"k" spec
+  in
+  let seq = run None in
+  Stdx.Task_pool.with_pool ~domains:4 (fun pool ->
+      let par = run (Some pool) in
+      check_bool "pairs identical under 4 domains" true (seq.Join.pairs = par.Join.pairs);
+      check_bool "bucket counts identical" true
+        (seq.Join.bucket_pairs = par.Join.bucket_pairs));
+  Stdx.Task_pool.with_pool ~domains:1 (fun pool ->
+      let one = run (Some pool) in
+      check_bool "1-domain pool = sequential" true (seq.Join.pairs = one.Join.pairs))
+
+(* ---------------- Multi-table isolation ---------------- *)
+
+let test_multi_table_journal_isolated () =
+  let db = Database.create () in
+  let events = ref [] in
+  Database.set_journal db (Some (fun m -> events := m :: !events));
+  let ta = Database.create_table db ~name:"a" ~schema:small_schema in
+  let tb = Database.create_table db ~name:"b" ~schema:small_schema in
+  ignore (Table.insert ta (mk_row 0 "x" None));
+  ignore (Table.insert tb (mk_row 0 "y" None));
+  ignore (Table.delete ta 0 : bool);
+  Table.vacuum ta;
+  let tables_of ev =
+    match ev with
+    | Journal.Created_table { name; _ } -> name
+    | Journal.Created_index { table; _ } -> table
+    | Journal.Inserted { table; _ } | Journal.Inserted_batch { table; _ } -> table
+    | Journal.Deleted { table; _ } -> table
+    | Journal.Vacuumed { table } -> table
+  in
+  let for_table n = List.filter (fun e -> tables_of e = n) !events in
+  check_int "a: create + insert + delete + vacuum" 4 (List.length (for_table "a"));
+  check_int "b: create + insert only" 2 (List.length (for_table "b"));
+  check_bool "b saw no vacuum" true
+    (List.for_all (function Journal.Vacuumed _ -> false | _ -> true) (for_table "b"))
+
+let test_multi_table_vacuum_epoch_isolated () =
+  let db = Database.create () in
+  let ta = Database.create_table db ~name:"a" ~schema:small_schema in
+  let tb = Database.create_table db ~name:"b" ~schema:small_schema in
+  for i = 0 to 9 do
+    ignore (Table.insert ta (mk_row i "a" None));
+    ignore (Table.insert tb (mk_row i "b" None))
+  done;
+  let vb_before = Table.freeze tb in
+  ignore (Table.delete ta 0 : bool);
+  ignore (Table.delete ta 1 : bool);
+  Table.vacuum ta;
+  (* Vacuuming [a] must not move [b]'s epoch or disturb its frozen
+     view; [a]'s own epoch must move (the view contract). *)
+  let vb_after = Table.freeze tb in
+  check_int "b epoch unchanged" (Read_view.epoch vb_before) (Read_view.epoch vb_after);
+  check_bool "a epoch advanced" true
+    (Read_view.epoch (Table.freeze ta) > Read_view.epoch vb_before || Table.live_count ta = 8);
+  let count v =
+    let n = ref 0 in
+    Read_view.scan v (fun _ _ -> incr n);
+    !n
+  in
+  check_int "old b view intact" 10 (count vb_before);
+  check_int "a compacted" 8 (Table.live_count ta);
+  (* freeze_pair resolves both and fails cleanly on unknown names. *)
+  check_bool "freeze_pair ok" true (Database.freeze_pair db "a" "b" <> None);
+  check_bool "freeze_pair unknown" true (Database.freeze_pair db "a" "zz" = None)
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "sqldb"
@@ -1028,6 +1185,19 @@ let () =
           Alcotest.test_case "select * heap cost" `Quick test_executor_select_star_touches_heap;
           Alcotest.test_case "or union" `Quick test_executor_or_union;
           Alcotest.test_case "or/not" `Quick test_executor_or_and_not;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "equi matches naive" `Quick test_join_equi_matches_naive;
+          Alcotest.test_case "bucket overlap dedup" `Quick test_join_buckets_overlap_dedup;
+          Alcotest.test_case "skips dead rows" `Quick test_join_skips_dead_rows;
+          Alcotest.test_case "pool matches sequential" `Quick test_join_pool_matches_sequential;
+        ] );
+      ( "multi-table",
+        [
+          Alcotest.test_case "journal isolation" `Quick test_multi_table_journal_isolated;
+          Alcotest.test_case "vacuum epoch isolation" `Quick
+            test_multi_table_vacuum_epoch_isolated;
         ] );
       ("database", [ Alcotest.test_case "catalog" `Quick test_database_catalog ]);
       ("predicate", [ Alcotest.test_case "compile/columns" `Quick test_predicate_compile_columns ]);

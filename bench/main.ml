@@ -8,12 +8,12 @@
    Experiments: table1 creation fig2 fig4..fig7 (figs) fig8 fig9 (fp)
                 aliasing attacks indcuda lambda_sweep updates
                 index_ablation correlation micro ingest recovery
-                concurrency server join all *)
+                concurrency server join range all *)
 
 let usage () =
   print_endline
     "usage: main.exe [--rows N] [--queries N] [--trials N] \
-     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|concurrency|server|join|all]...";
+     [table1|fig2|figs|fp|aliasing|attacks|indcuda|lambda_sweep|updates|index_ablation|correlation|micro|ingest|recovery|concurrency|server|join|range|all]...";
   exit 1
 
 let () =
@@ -59,6 +59,7 @@ let () =
     | "concurrency" -> Exp_concurrency.run ~rows:!rows ~n_queries:!queries ()
     | "server" -> Exp_server.run ~rows:!rows ~n_queries:!queries ()
     | "join" -> Exp_join.run ~rows:!rows ()
+    | "range" -> Exp_range.run ~rows:!rows ~n_queries:!queries ()
     | "all" ->
         Exp_table1.run ~rows:!rows ();
         Exp_fig2.run ();
@@ -76,7 +77,8 @@ let () =
         Exp_recovery.run ~rows:!rows ();
         Exp_concurrency.run ~rows:!rows ~n_queries:!queries ();
         Exp_server.run ~rows:!rows ~n_queries:!queries ();
-        Exp_join.run ~rows:!rows ()
+        Exp_join.run ~rows:!rows ();
+        Exp_range.run ~rows:!rows ~n_queries:!queries ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()

@@ -61,6 +61,7 @@ let () =
     (match server_result.plan with
     | Executor.Index_scan c -> "index scan on " ^ c
     | Executor.Or_index_scan cs -> "index-union scan on " ^ String.concat ", " cs
+    | Executor.Range_traverse c -> "range-tree traversal probing " ^ c
     | Executor.Seq_scan -> "sequential scan")
     (Array.length server_result.row_ids);
   Format.printf "decrypted results:@.";

@@ -1,0 +1,156 @@
+type t = {
+  n_tokens : int;
+  n_queries : int;
+  mean_tokens_per_query : float;
+  pair_accuracy : float;
+  rank_accuracy : float;
+}
+
+(* Token co-occurrence matrix: co.(i).(j) = number of transcripts in
+   which tokens i and j appear together. Range queries cover contiguous
+   stretches of the hidden order, so adjacent tokens co-occur most —
+   the signal the chain reconstruction exploits. *)
+let cooccurrence ~n_tokens transcripts =
+  let co = Array.make_matrix n_tokens n_tokens 0 in
+  List.iter
+    (fun tokens ->
+      let k = Array.length tokens in
+      for a = 0 to k - 1 do
+        for b = a + 1 to k - 1 do
+          let i = tokens.(a) and j = tokens.(b) in
+          if i <> j then begin
+            co.(i).(j) <- co.(i).(j) + 1;
+            co.(j).(i) <- co.(j).(i) + 1
+          end
+        done
+      done)
+    transcripts;
+  co
+
+let reconstruct ~n_tokens ~transcripts =
+  if n_tokens <= 0 then [||]
+  else if n_tokens = 1 then [| 0 |]
+  else begin
+    List.iter
+      (fun tokens ->
+        Array.iter
+          (fun tok ->
+            if tok < 0 || tok >= n_tokens then
+              invalid_arg "Range_leakage.reconstruct: token out of range")
+          tokens)
+      transcripts;
+    let co = cooccurrence ~n_tokens transcripts in
+    (* Seed with the strongest pair, then greedily grow a chain: at
+       each step attach the unplaced token with the highest
+       co-occurrence against either end. Ties break by lowest index —
+       a deterministic upper-bound attacker (the same convention as
+       Join_leakage's rank matching). *)
+    let placed = Array.make n_tokens false in
+    let best = ref (0, 1, -1) in
+    for i = 0 to n_tokens - 1 do
+      for j = i + 1 to n_tokens - 1 do
+        let (_, _, b) = !best in
+        if co.(i).(j) > b then best := (i, j, co.(i).(j))
+      done
+    done;
+    let si, sj, _ = !best in
+    (* Doubly-open chain as a deque: [front] grows leftward (reversed),
+       [back] grows rightward. *)
+    let front = ref [ si ] and back = ref [ sj ] in
+    placed.(si) <- true;
+    placed.(sj) <- true;
+    let best_neighbor e =
+      let arg = ref (-1) and score = ref (-1) in
+      for k = 0 to n_tokens - 1 do
+        if (not placed.(k)) && co.(e).(k) > !score then begin
+          score := co.(e).(k);
+          arg := k
+        end
+      done;
+      (!arg, !score)
+    in
+    let remaining = ref (n_tokens - 2) in
+    while !remaining > 0 do
+      let fe = List.hd !front and be = List.hd !back in
+      let fa, fs = best_neighbor fe in
+      let ba, bs = best_neighbor be in
+      if fs <= 0 && bs <= 0 then begin
+        (* No co-occurrence evidence left: append the leftover tokens
+           in index order — the attacker has nothing better. *)
+        for k = 0 to n_tokens - 1 do
+          if not placed.(k) then begin
+            placed.(k) <- true;
+            back := k :: !back
+          end
+        done;
+        remaining := 0
+      end
+      else if fs > bs then begin
+        placed.(fa) <- true;
+        front := fa :: !front;
+        decr remaining
+      end
+      else begin
+        placed.(ba) <- true;
+        back := ba :: !back;
+        decr remaining
+      end
+    done;
+    Array.of_list (!front @ List.rev !back)
+  end
+
+(* Kendall-style pair accuracy of [order] against the identity ground
+   truth, taking the better of the order and its reversal — a chain
+   reconstruction recovers order only up to reflection. *)
+let pair_accuracy order =
+  let n = Array.length order in
+  if n < 2 then 1.0
+  else begin
+    let position = Array.make n 0 in
+    Array.iteri (fun r tok -> position.(tok) <- r) order;
+    let agree = ref 0 and total = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        incr total;
+        if position.(i) < position.(j) then incr agree
+      done
+    done;
+    let a = float_of_int !agree /. float_of_int !total in
+    Float.max a (1.0 -. a)
+  end
+
+(* Exact-position accuracy, again up to reflection. *)
+let rank_accuracy order =
+  let n = Array.length order in
+  if n = 0 then 1.0
+  else begin
+    let hits dir =
+      let h = ref 0 in
+      Array.iteri
+        (fun r tok ->
+          let expect = if dir then r else n - 1 - r in
+          if tok = expect then incr h)
+        order;
+      float_of_int !h /. float_of_int n
+    in
+    Float.max (hits true) (hits false)
+  end
+
+let measure ~n_tokens ~transcripts =
+  let order = reconstruct ~n_tokens ~transcripts in
+  let n_queries = List.length transcripts in
+  let token_count =
+    List.fold_left (fun acc tokens -> acc + Array.length tokens) 0 transcripts
+  in
+  {
+    n_tokens;
+    n_queries;
+    mean_tokens_per_query =
+      (if n_queries = 0 then 0.0 else float_of_int token_count /. float_of_int n_queries);
+    pair_accuracy = pair_accuracy order;
+    rank_accuracy = rank_accuracy order;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "tokens=%d queries=%d mean-tokens=%.2f pair-accuracy=%.3f rank-accuracy=%.3f"
+    t.n_tokens t.n_queries t.mean_tokens_per_query t.pair_accuracy t.rank_accuracy

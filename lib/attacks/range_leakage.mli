@@ -1,0 +1,47 @@
+(** Order reconstruction from range-query transcripts.
+
+    What does the wire leak about the *order* of a range column's
+    buckets? A passive adversary (network tap, query log — the
+    transcript adversary of the paper's §III threat ladder) sees which
+    pseudonymous tokens each range query ships:
+
+    - flat bucket-tag plan: one token per overlapping bucket — every
+      query reveals a full contiguous run of the hidden bucket order;
+    - ESEDS traversal plan (DESIGN.md §5k): one token per canonical
+      cover root — O(log B) tokens whose co-occurrence structure is
+      much coarser.
+
+    The attack is the classical one against bucketized/ORE-ish range
+    schemes: tokens that co-occur in many transcripts are close in the
+    hidden order, so a greedy chain over the co-occurrence graph
+    reconstructs the order up to reflection. {!measure} scores the
+    reconstruction against ground truth; the [exp_range] bench runs it
+    on both plans' transcripts and BENCH_range.json carries the
+    comparison ([traversal_beats_flat_tags]).
+
+    Convention: the caller labels tokens [0 .. n_tokens-1] in the true
+    hidden order (ground truth = identity), and ties inside the attack
+    break deterministically by token index — an upper-bound attacker,
+    the same convention as {!Join_leakage}'s rank matching. *)
+
+type t = {
+  n_tokens : int;
+  n_queries : int;
+  mean_tokens_per_query : float;  (** wire cost the transcripts exhibit *)
+  pair_accuracy : float;
+      (** Kendall pair agreement of the reconstructed order vs ground
+          truth, best of the order and its reversal; 0.5 ≈ random, 1.0
+          = full order recovery *)
+  rank_accuracy : float;  (** exact-position matches, up to reflection *)
+}
+
+val reconstruct : n_tokens:int -> transcripts:int array list -> int array
+(** Greedy co-occurrence chain: returns a permutation of
+    [0 .. n_tokens-1] (the estimated hidden order). Each transcript is
+    the token set one query shipped. Raises [Invalid_argument] on a
+    token outside [0 .. n_tokens-1]. *)
+
+val measure : n_tokens:int -> transcripts:int array list -> t
+(** {!reconstruct} + scoring against the identity ground truth. *)
+
+val pp : Format.formatter -> t -> unit

@@ -3,6 +3,7 @@ open Sqldb
 
 let tag_column c = c ^ "_tag"
 let data_column c = c ^ "_data"
+let rtag_column c = c ^ "_rtag"
 
 (* Row-level crypto counters (atomic bumps, nothing allocated per row)
    plus the per-phase latency histograms of the read path. The same
@@ -28,6 +29,7 @@ type t = {
   data_keys : (string, Crypto.Ctr.key) Hashtbl.t; (* non-searchable columns *)
   g : Stdx.Prng.t;
   range_indexes : (string, Range_index.t) Hashtbl.t;
+  range_structs : (string, Range_struct.t) Hashtbl.t;
   (* Plain-column position -> encrypted-table position maps, built once. *)
   enc_schema : Schema.t;
   plain_to_enc :
@@ -112,6 +114,17 @@ let build_encryptors ~fallback ?tag_algo ~master ~kind ~dist_of encrypted_column
     encrypted_columns;
   encryptors
 
+(* The ESEDS boundary trees are a pure function of (master, column,
+   boundaries) — see {!Range_struct} — so both {!create} and {!attach}
+   derive them from whatever range indexes they just built; no extra
+   persistence beyond the checkpointed boundaries. *)
+let build_range_structs ~master range_indexes =
+  let structs = Hashtbl.create (Hashtbl.length range_indexes) in
+  Hashtbl.iter
+    (fun c ri -> Hashtbl.replace structs c (Range_struct.of_index ~master ~column:c ri))
+    range_indexes;
+  structs
+
 let build_data_keys ~plain_schema ~key_column ~encrypted_columns ~master =
   let data_keys = Hashtbl.create 16 in
   Array.iter
@@ -161,6 +174,7 @@ let create ?(fallback = `Reject) ?tag_algo ?(tag_index = Table_index.Btree)
     data_keys = build_data_keys ~plain_schema ~key_column ~encrypted_columns ~master;
     g = Stdx.Prng.create seed;
     range_indexes;
+    range_structs = build_range_structs ~master range_indexes;
     enc_schema;
     plain_to_enc = mapping;
   }
@@ -190,6 +204,7 @@ let attach ?(fallback = `Reject) ?tag_algo ?(range_boundaries = []) ~table ~plai
     data_keys = build_data_keys ~plain_schema ~key_column ~encrypted_columns ~master;
     g = prng;
     range_indexes;
+    range_structs = build_range_structs ~master range_indexes;
     enc_schema;
     plain_to_enc = mapping;
   }
@@ -360,7 +375,15 @@ let range_columns t = Hashtbl.fold (fun c _ acc -> c :: acc) t.range_indexes []
 
 let range_predicate t ~column ~lo ~hi =
   let tags = Range_index.tags_for_range (range_index t column) ~lo ~hi in
-  Predicate.In (column ^ "_rtag", List.map (fun tag -> Value.Int tag) tags)
+  Predicate.In (rtag_column column, List.map (fun tag -> Value.Int tag) tags)
+
+let range_struct t column =
+  match Hashtbl.find_opt t.range_structs column with
+  | Some rs -> rs
+  | None -> invalid_arg (Printf.sprintf "Encrypted_db: column %S is not range-indexed" column)
+
+let range_tree t column = Range_struct.tree (range_struct t column)
+let range_cover t ~column ~lo ~hi = Range_struct.cover (range_struct t column) ~lo ~hi
 
 let decrypt_row t enc_row =
   let plain_cols = Schema.columns t.plain_schema in
@@ -433,16 +456,10 @@ let search_rows_view ?pool t ~view ~column m =
   in
   decrypt_and_filter ?pool t ~column m result
 
-(* Range search over a bucketized INT column: server returns every row
-   in the overlapping buckets; the client decrypts and keeps the rows
-   actually inside the range (edge-bucket false positives drop out). *)
-let search_range t ~column ~lo ~hi =
-  Obs.Trace.with_span "edb.search_range" @@ fun () ->
-  let pred = phase h_rewrite "query.rewrite" (fun () -> range_predicate t ~column ~lo ~hi) in
-  let result =
-    phase h_exec "query.exec" (fun () ->
-        Executor.run t.table ~projection:Executor.All_columns pred)
-  in
+(* Back half of a range search, shared by the flat and traversal
+   plans: decrypt the server's bucket superset and keep the rows truly
+   inside the inclusive range (edge-bucket false positives drop out). *)
+let decrypt_in_range t ~column ~lo ~hi (result : Executor.result) =
   let col_pos = Schema.column_index t.plain_schema column in
   let in_range v =
     match v with
@@ -460,3 +477,35 @@ let search_range t ~column ~lo ~hi =
         List.filter (fun row -> in_range row.(col_pos)) decrypted)
   in
   (rows, result)
+
+(* Range search over a bucketized INT column: server returns every row
+   in the overlapping buckets; the client decrypts and keeps the rows
+   actually inside the range (edge-bucket false positives drop out). *)
+let search_range t ~column ~lo ~hi =
+  Obs.Trace.with_span "edb.search_range" @@ fun () ->
+  let pred = phase h_rewrite "query.rewrite" (fun () -> range_predicate t ~column ~lo ~hi) in
+  let result =
+    phase h_exec "query.exec" (fun () ->
+        Executor.run t.table ~projection:Executor.All_columns pred)
+  in
+  decrypt_in_range t ~column ~lo ~hi result
+
+(* Same query through the ESEDS plan: ship the O(log B) canonical-cover
+   roots, let the server expand them over the boundary tree (DESIGN.md
+   §5k). The server predicate passed for the candidate re-check is the
+   flat rtag IN-list — traversal leaves equal the flat tags by
+   construction, so both plans return byte-identical results. *)
+let search_range_traverse ?pool t ~view ~column ~lo ~hi =
+  Obs.Trace.with_span "edb.search_range_traverse" @@ fun () ->
+  let rs = range_struct t column in
+  let cover, pred =
+    phase h_rewrite "query.rewrite" (fun () ->
+        (Range_struct.cover rs ~lo ~hi, range_predicate t ~column ~lo ~hi))
+  in
+  let result =
+    phase h_exec "query.exec" (fun () ->
+        Executor.run_traverse ?pool view ~tree:(Range_struct.tree rs)
+          ~tag_column:(rtag_column column) ~roots:cover.Range_struct.roots
+          ~projection:Executor.All_columns pred)
+  in
+  decrypt_in_range t ~column ~lo ~hi result

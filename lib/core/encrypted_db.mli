@@ -84,6 +84,10 @@ val column_encryptor : t -> string -> Column_enc.t
 val tag_column : string -> string
 val data_column : string -> string
 
+val rtag_column : string -> string
+(** The bucket-tag INT column a range-indexed column stores next to
+    its ciphertext blob. *)
+
 val insert : t -> Sqldb.Value.t array -> int
 (** Encrypt a plaintext row (in [plain_schema] order) and insert it. *)
 
@@ -197,3 +201,33 @@ val search_range :
   Sqldb.Value.t array list * Sqldb.Executor.result
 (** Decrypted rows truly inside the inclusive range, plus the raw
     server result (a superset: whole buckets). *)
+
+(* ESEDS encrypted boundary trees (extension; see {!Range_struct} and
+   DESIGN.md §5k). *)
+
+val range_struct : t -> string -> Range_struct.t
+(** The client-side boundary tree of a range column, rebuilt
+    deterministically from the column's boundaries on both {!create}
+    and {!attach}. Raises for non-range columns. *)
+
+val range_tree : t -> string -> Sqldb.Range_tree.t
+(** The pseudonymous node table the server traverses. *)
+
+val range_cover :
+  t -> column:string -> lo:int64 option -> hi:int64 option -> Range_struct.cover
+(** The O(log B) canonical-cover roots a range query ships instead of
+    the flat tag IN-list. *)
+
+val search_range_traverse :
+  ?pool:Stdx.Task_pool.t ->
+  t ->
+  view:Sqldb.Read_view.t ->
+  column:string ->
+  lo:int64 option ->
+  hi:int64 option ->
+  Sqldb.Value.t array list * Sqldb.Executor.result
+(** {!search_range} through the [Range_traverse] plan over a frozen
+    view: ships cover roots, server expands them over the boundary
+    tree and probes the rtag index, client filters edge-bucket false
+    positives after decryption. Byte-identical rows to {!search_range}
+    at any domain count. *)

@@ -57,6 +57,9 @@ let m_insert = Obs.Metrics.counter "proxy.insert_total"
 let m_update = Obs.Metrics.counter "proxy.update_total"
 let m_delete = Obs.Metrics.counter "proxy.delete_total"
 let m_full_scan = Obs.Metrics.counter "proxy.full_scan_total"
+let m_range_traverse = Obs.Metrics.counter "proxy.range_traverse_total"
+let m_range_flat = Obs.Metrics.counter "proxy.range_flat_total"
+let m_edge_fp = Obs.Metrics.counter "range.edge_fp_rows_total"
 let m_pairs_verified = Obs.Metrics.counter "join.pairs_verified_total"
 let h_parse = Obs.Metrics.histogram "query.parse_ns"
 let h_rewrite = Obs.Metrics.histogram "query.rewrite_ns"
@@ -278,26 +281,111 @@ let decrypt_filter_limit ?pool edb eval ?limit (exec : Executor.result) =
   end;
   List.rev !kept
 
+(* The ESEDS plan applies when the predicate pins a range column at
+   conjunctive position: a bare Range (or point-Eq) leg with integer
+   bounds, or such a leg of a top-level AND. Under OR/NOT the flat
+   rtag rewrite stays in charge — a traversal serves one contiguous
+   canonical cover, not a union of them. *)
+let rec traversal_leg edb = function
+  | Predicate.Range (col, lo, hi) when List.mem col (Encrypted_db.range_columns edb) -> (
+      let bound = function
+        | None -> Some None
+        | Some (Value.Int x) -> Some (Some x)
+        | Some _ -> None
+      in
+      match (bound lo, bound hi) with
+      | Some lo', Some hi' -> Some (col, lo', hi')
+      | _ -> None)
+  | Predicate.Eq (col, Value.Int x) when List.mem col (Encrypted_db.range_columns edb) ->
+      Some (col, Some x, Some x)
+  | Predicate.And ps -> List.find_map (traversal_leg edb) ps
+  | _ -> None
+
+(* Whether any part of the predicate touches a range column — the flat
+   fallback counter's guard, so traverse/flat totals partition range
+   queries. *)
+let rec uses_range_column edb = function
+  | Predicate.Range (col, _, _) | Predicate.Eq (col, _) ->
+      List.mem col (Encrypted_db.range_columns edb)
+  | Predicate.And ps | Predicate.Or ps -> List.exists (uses_range_column edb) ps
+  | Predicate.Not p -> uses_range_column edb p
+  | Predicate.True | Predicate.In _ -> false
+
 (* Shared SELECT/DELETE/UPDATE front half: run the rewritten server
    query, decrypt, apply the residual predicate; returns surviving
-   (row_id, plaintext_row) pairs plus the raw executor result. *)
+   (row_id, plaintext_row) pairs plus the raw executor result.
+
+   Range predicates at conjunctive position take the [Range_traverse]
+   plan over a frozen view (frozen here when the caller brought none —
+   mutations are caller-serialized, so the freeze is consistent): the
+   query ships O(log B) cover roots, the server expands them over the
+   encrypted boundary tree, and the residual pass counts edge-bucket
+   false positives into [range.edge_fp_rows_total]. The traversal's
+   candidate set equals the flat rtag IN-list's, so results stay
+   byte-identical to the flat plan and to the sequential path. *)
 let fetch_matching ?pool ?view edb ?limit where =
   match rewrite edb where with
   | Error e -> Error e
   | Ok (server, residual) -> (
+      let traversal = traversal_leg edb where in
+      (match traversal with
+      | Some _ -> Obs.Metrics.incr m_range_traverse
+      | None -> if uses_range_column edb where then Obs.Metrics.incr m_range_flat);
       match
         phase h_exec "proxy.server_exec" (fun () ->
-            match view with
-            | Some v -> Executor.run_view ?pool v ~projection:Executor.All_columns server
-            | None ->
-                Executor.run (Encrypted_db.table edb) ~projection:Executor.All_columns server)
+            match traversal with
+            | Some (col, lo, hi) ->
+                let v =
+                  match view with
+                  | Some v when Read_view.name v = table_name edb -> v
+                  | Some _ | None -> Encrypted_db.freeze edb
+                in
+                let cover = Encrypted_db.range_cover edb ~column:col ~lo ~hi in
+                Executor.run_traverse ?pool v
+                  ~tree:(Encrypted_db.range_tree edb col)
+                  ~tag_column:(Encrypted_db.rtag_column col)
+                  ~roots:cover.Range_struct.roots ~projection:Executor.All_columns server
+            | None -> (
+                match view with
+                | Some v -> Executor.run_view ?pool v ~projection:Executor.All_columns server
+                | None ->
+                    Executor.run (Encrypted_db.table edb) ~projection:Executor.All_columns server))
       with
       | exception Not_found -> Error "predicate references an unknown column"
       | exec -> (
           let plain_schema = Encrypted_db.plain_schema edb in
           match Predicate.compile plain_schema residual with
           | exception Not_found -> Error "residual predicate references an unknown column"
-          | eval -> Ok (decrypt_filter_limit ?pool edb eval ?limit exec, exec)))
+          | eval ->
+              let eval =
+                match traversal with
+                | None -> eval
+                | Some (col, lo, hi) ->
+                    (* Edge-bucket false-positive accounting, fused into
+                       the lazy residual pass: a decrypted row outside
+                       the true range came from an edge bucket. *)
+                    let wrap v = Option.map (fun x -> Value.Int x) v in
+                    let in_range =
+                      Predicate.compile plain_schema (Predicate.Range (col, wrap lo, wrap hi))
+                    in
+                    fun row ->
+                      if not (in_range row) then Obs.Metrics.incr m_edge_fp;
+                      eval row
+              in
+              Ok (decrypt_filter_limit ?pool edb eval ?limit exec, exec)))
+
+(* The cover a statement's range leg would ship — (column, root
+   pseudonyms) — for tests and the leakage experiment's transcript
+   capture. [None] when the flat rewrite stays in charge. *)
+let range_cover_for t ~table where =
+  match edb_for t table with
+  | None -> None
+  | Some edb -> (
+      match traversal_leg edb where with
+      | None -> None
+      | Some (col, lo, hi) ->
+          let cover = Encrypted_db.range_cover edb ~column:col ~lo ~hi in
+          Some (col, cover.Range_struct.roots))
 
 (* Project surviving plaintext rows per the SELECT's projection list. *)
 let select_result edb (s : Sql.select) pairs (exec : Executor.result) =

@@ -10,6 +10,14 @@
     Rewriting rules for a SELECT:
     - equality / IN on an encrypted column → [col_tag IN (tags…)];
     - predicates on the plaintext key column pass through;
+    - [BETWEEN] / [<=] / [>=] / strict [<] [>] / point equality on a
+      range-indexed INT column → the ESEDS [Range_traverse] plan when
+      the leg sits at conjunctive position (the query ships O(log B)
+      canonical-cover roots; the server expands them over the
+      encrypted boundary tree, DESIGN.md §5k), the flat
+      [col_rtag IN (…)] bucket rewrite otherwise (range under OR/NOT);
+      either way the true range stays in the residual, which filters
+      edge-bucket false positives ([range.edge_fp_rows_total]);
     - a disjunction whose legs are {e all} server-checkable → the OR of
       the per-leg rewrites (a tag-list union the executor answers as a
       deduplicated union of index lookups); the original plaintext OR
@@ -79,6 +87,16 @@ val rewrite_join :
     and the join-leakage experiment (which needs bucket ↔ plaintext
     ground truth). Fails when a table is unknown or an ON column is
     not a searchable encrypted column. *)
+
+val range_cover_for :
+  t -> table:string -> Sqldb.Predicate.t -> (string * int64 array) option
+(** The ESEDS cover a statement's range leg ships — the range column
+    and the canonical-cover root pseudonyms — when the predicate pins
+    a range column at conjunctive position (bare or ANDed
+    [BETWEEN]/[<=]/[>=]/point equality with integer bounds). [None]
+    when the flat rtag IN-list rewrite stays in charge (range leg
+    under OR/NOT, non-integer bounds, no range leg). Exposed for
+    tests and the range-leakage experiment's transcript capture. *)
 
 type query_result = {
   columns : string list;

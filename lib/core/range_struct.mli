@@ -1,0 +1,71 @@
+(** Client-side builder of the ESEDS encrypted boundary tree.
+
+    Kerschbaum–Tueno's efficiently searchable range structure, adapted
+    to WRE's bucketized range columns (DESIGN.md §5k): the data owner
+    takes the equi-depth bucket boundaries a [Range_index] trained,
+    builds a balanced binary tree over the buckets, and pseudonymizes
+    every node with a PRF under keys only the client holds. The server
+    receives the resulting {!Sqldb.Range_tree} node table; a range
+    query then ships the O(log B) *canonical cover* roots instead of
+    the flat list of per-bucket tags, and the server expands each root
+    to the leaf bucket tags it probes against the rtag index.
+
+    Determinism and persistence: construction is a pure function of
+    [(master, column, boundaries)] — the same inputs rebuild the same
+    node table byte for byte, so the structure needs no storage of its
+    own. The store checkpoints boundaries (see [Store.Record.ranges]);
+    {!create} on attach restores tags identically, the same contract
+    as [Range_index.restore].
+
+    Leakage: leaf tags equal the flat bucket tags by construction, so
+    query *results* leak exactly what the flat plan leaks; the wire
+    transcript shrinks from O(buckets-in-range) tokens to O(log B)
+    cover roots, which is what [Attacks.Range_leakage] measures. *)
+
+type t
+
+type cover = {
+  roots : int64 array;  (** canonical-cover node tags, bucket order; [[||]] for an empty range *)
+  first_bucket : int;  (** bucket of the lower bound — its rows need client-side edge filtering *)
+  last_bucket : int;  (** bucket of the upper bound, inclusive; [< first_bucket] iff empty *)
+}
+
+val create : master:Crypto.Keys.master -> column:string -> boundaries:int64 array -> t
+(** Deterministic build from checkpointed boundaries (strictly
+    increasing, as [Range_index.boundaries] returns them; raises
+    [Invalid_argument] otherwise). Leaf bucket tags are derived exactly
+    as [Range_index.tag_of_bucket] derives them — traversal output is
+    interchangeable with the flat tag list. *)
+
+val of_index : master:Crypto.Keys.master -> column:string -> Range_index.t -> t
+(** [create] from a live index's boundaries. *)
+
+val bucket_count : t -> int
+
+val node_count : t -> int
+(** [2 * bucket_count - 1] — a full binary tree over the buckets. *)
+
+val depth : t -> int
+(** Tree depth in nodes; covers ship at most [2 * (depth - 1)] roots. *)
+
+val tree : t -> Sqldb.Range_tree.t
+(** The pseudonymous node table handed to the server. *)
+
+val nodes : t -> Sqldb.Range_tree.node array
+(** The raw preorder node table (for persistence round-trip tests). *)
+
+val root_tag : t -> int64
+(** Pseudonym of the whole-column node — the cover of an unbounded
+    range. *)
+
+val bucket_of : t -> int64 -> int
+
+val cover : t -> lo:int64 option -> hi:int64 option -> cover
+(** Canonical cover of the inclusive range [[lo, hi]]; [None] bounds
+    are unbounded. Total: inverted ranges yield no roots, unbounded
+    ranges yield the root pseudonym. *)
+
+val leaf_tags : t -> cover -> int64 list
+(** Client-side expansion of a cover to leaf bucket tags in bucket
+    order — equal to [Range_index.tags_for_range] over the same range
+    (the qcheck property test_range checks). *)

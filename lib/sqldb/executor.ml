@@ -1,6 +1,10 @@
 type projection = Row_ids | All_columns
 
-type plan_kind = Index_scan of string | Or_index_scan of string list | Seq_scan
+type plan_kind =
+  | Index_scan of string
+  | Or_index_scan of string list
+  | Range_traverse of string
+  | Seq_scan
 
 type result = {
   row_ids : int array;
@@ -14,6 +18,11 @@ let m_queries = Obs.Metrics.counter "executor.queries_total"
 let m_plan_index = Obs.Metrics.counter "executor.plan_index_total"
 let m_plan_or = Obs.Metrics.counter "executor.plan_or_index_total"
 let m_plan_seq = Obs.Metrics.counter "executor.plan_seq_total"
+let m_plan_traverse = Obs.Metrics.counter "executor.plan_range_traverse_total"
+let m_trav_nodes = Obs.Metrics.counter "range.nodes_visited_total"
+let m_trav_leaves = Obs.Metrics.counter "range.leaf_probes_total"
+let h_trav_roots = Obs.Metrics.histogram "range.cover_roots"
+let h_trav_leaves = Obs.Metrics.histogram "range.leaf_probes"
 let m_candidates = Obs.Metrics.counter "executor.candidates_total"
 let m_returned = Obs.Metrics.counter "executor.rows_returned_total"
 let h_wall = Obs.Metrics.histogram "executor.wall_ns"
@@ -169,6 +178,7 @@ let run table ~projection p =
   (match plan with
   | Index_scan _ -> Obs.Metrics.incr m_plan_index
   | Or_index_scan _ -> Obs.Metrics.incr m_plan_or
+  | Range_traverse _ -> Obs.Metrics.incr m_plan_traverse
   | Seq_scan -> Obs.Metrics.incr m_plan_seq);
   Obs.Metrics.add m_candidates (Array.length candidate_ids);
   Obs.Metrics.add m_returned (Array.length row_ids);
@@ -181,6 +191,7 @@ let run table ~projection p =
             match plan with
             | Index_scan c -> "index(" ^ c ^ ")"
             | Or_index_scan cs -> "or_index(" ^ String.concat "," cs ^ ")"
+            | Range_traverse c -> "range_traverse(" ^ c ^ ")"
             | Seq_scan -> "seq" );
           ("candidates", string_of_int (Array.length candidate_ids));
           ("rows", string_of_int (Array.length row_ids));
@@ -292,6 +303,7 @@ let run_view ?pool view ~projection p =
   (match plan with
   | Index_scan _ -> Obs.Metrics.incr m_plan_index
   | Or_index_scan _ -> Obs.Metrics.incr m_plan_or
+  | Range_traverse _ -> Obs.Metrics.incr m_plan_traverse
   | Seq_scan -> Obs.Metrics.incr m_plan_seq);
   Obs.Metrics.add m_candidates (Array.length candidate_ids);
   Obs.Metrics.add m_returned (Array.length row_ids);
@@ -304,8 +316,109 @@ let run_view ?pool view ~projection p =
             match plan with
             | Index_scan c -> "index(" ^ c ^ ")"
             | Or_index_scan cs -> "or_index(" ^ String.concat "," cs ^ ")"
+            | Range_traverse c -> "range_traverse(" ^ c ^ ")"
             | Seq_scan -> "seq" );
           ("epoch", string_of_int (Read_view.epoch view));
+          ("candidates", string_of_int (Array.length candidate_ids));
+          ("rows", string_of_int (Array.length row_ids));
+        ];
+  { row_ids; rows; plan; wall_ns; stats }
+
+(* The ESEDS range plan (DESIGN.md §5k): the query ships the canonical
+   cover of a range as O(log B) encrypted-tree roots; the server
+   expands each root through [Range_tree.traverse] to its leaf bucket
+   tags and probes the rtag index. One task per subtree root fans
+   across the pool; each root's probe set is a sorted+deduplicated
+   lookup and roots combine through [union_ids], so the candidate set —
+   and hence [row_ids]/[rows] — is byte-identical at any domain count,
+   the same determinism contract as [run_view]. Candidates are always
+   re-checked against the full server predicate, which both filters
+   conjunctive companions and keeps the traversal interchangeable with
+   the flat tag IN-list plan. *)
+let run_traverse ?pool view ~tree ~tag_column ~roots ~projection p =
+  Obs.Metrics.incr m_queries;
+  Obs.Trace.with_span "executor.run_traverse" @@ fun () ->
+  let pager = Read_view.pager view in
+  let self_dom = (Domain.self () :> int) in
+  let before = Pager.local_stats () in
+  let t0 = Stdx.Clock.now_ns () in
+  let schema = Read_view.schema view in
+  let eval = Predicate.compile schema p in
+  let worker_stats = ref Pager.zero_stats in
+  let plan, candidate_ids, nodes_visited, leaf_probes =
+    match Read_view.index_on view ~column:tag_column with
+    | None ->
+        (* No rtag index on this view: degrade to a sequential scan;
+           the shared tail re-checks the predicate over every row. *)
+        let acc = Stdx.Vec.create () in
+        Read_view.scan view (fun id _row -> Stdx.Vec.push acc id);
+        (Seq_scan, Stdx.Vec.to_array acc, 0, 0)
+    | Some idx ->
+        let outcomes =
+          Stdx.Task_pool.map_array ?pool roots (fun root ->
+              let b = Pager.local_stats () in
+              let ids, visited, leaves =
+                match Range_tree.traverse tree ~root with
+                | None ->
+                    (* Unknown root pseudonym: an empty subtree, not an
+                       error — traversal stays total for any query. *)
+                    ([||], 0, 0)
+                | Some (leaf_tags, visited) ->
+                    let keys = List.map (fun tag -> Value.Int tag) (Array.to_list leaf_tags) in
+                    (Table_index.lookup_many idx keys, visited, Array.length leaf_tags)
+              in
+              (ids, visited, leaves, (Domain.self () :> int), Pager.diff_stats b (Pager.local_stats ())))
+        in
+        Array.iter
+          (fun (_, _, _, dom, d) ->
+            if dom <> self_dom then worker_stats := Pager.sum_stats !worker_stats d)
+          outcomes;
+        let id_arrays = Array.to_list (Array.map (fun (ids, _, _, _, _) -> ids) outcomes) in
+        let visited = Array.fold_left (fun acc (_, v, _, _, _) -> acc + v) 0 outcomes in
+        let leaves = Array.fold_left (fun acc (_, _, l, _, _) -> acc + l) 0 outcomes in
+        (Range_traverse tag_column, union_ids id_arrays, visited, leaves)
+  in
+  let candidate_ids =
+    if Read_view.live_count view = Read_view.row_count view then candidate_ids
+    else Array.of_list (List.filter (Read_view.is_live view) (Array.to_list candidate_ids))
+  in
+  let row_ids =
+    Array.of_list
+      (List.filter (fun id -> eval (Read_view.peek_row view id)) (Array.to_list candidate_ids))
+  in
+  let rows =
+    match projection with
+    | Row_ids ->
+        Pager.charge_transfer pager (8 * Array.length row_ids);
+        [||]
+    | All_columns -> Array.map (fun id -> Read_view.read_row view id) row_ids
+  in
+  let wall_ns = Stdx.Clock.now_ns () -. t0 in
+  let stats = Pager.sum_stats (Pager.diff_stats before (Pager.local_stats ())) !worker_stats in
+  (match plan with
+  | Range_traverse _ -> Obs.Metrics.incr m_plan_traverse
+  | Index_scan _ | Or_index_scan _ | Seq_scan -> Obs.Metrics.incr m_plan_seq);
+  Obs.Metrics.add m_trav_nodes nodes_visited;
+  Obs.Metrics.add m_trav_leaves leaf_probes;
+  Obs.Metrics.observe h_trav_roots (float_of_int (Array.length roots));
+  Obs.Metrics.observe h_trav_leaves (float_of_int leaf_probes);
+  Obs.Metrics.add m_candidates (Array.length candidate_ids);
+  Obs.Metrics.add m_returned (Array.length row_ids);
+  Obs.Metrics.observe h_wall wall_ns;
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.event "executor.plan"
+      ~attrs:
+        [
+          ( "plan",
+            match plan with
+            | Range_traverse c -> "range_traverse(" ^ c ^ ")"
+            | Index_scan c -> "index(" ^ c ^ ")"
+            | Or_index_scan cs -> "or_index(" ^ String.concat "," cs ^ ")"
+            | Seq_scan -> "seq" );
+          ("epoch", string_of_int (Read_view.epoch view));
+          ("roots", string_of_int (Array.length roots));
+          ("nodes_visited", string_of_int nodes_visited);
+          ("leaf_probes", string_of_int leaf_probes);
           ("candidates", string_of_int (Array.length candidate_ids));
           ("rows", string_of_int (Array.length row_ids));
         ];

@@ -27,6 +27,8 @@ type plan_kind =
   | Index_scan of string
   | Or_index_scan of string list
       (** union of per-leg index lookups, one column per OR leg *)
+  | Range_traverse of string
+      (** ESEDS boundary-tree walk probing the named rtag column *)
   | Seq_scan
 
 type result = {
@@ -68,3 +70,25 @@ val run_view : ?pool:Stdx.Task_pool.t -> Read_view.t -> projection:projection ->
     query's own pager delta, exact even under concurrent queries:
     probe tasks measure domain-local deltas that are summed into the
     caller's window. *)
+
+val run_traverse :
+  ?pool:Stdx.Task_pool.t ->
+  Read_view.t ->
+  tree:Range_tree.t ->
+  tag_column:string ->
+  roots:int64 array ->
+  projection:projection ->
+  Predicate.t ->
+  result
+(** The ESEDS range plan: expand each canonical-cover root of [roots]
+    through [Range_tree.traverse] into leaf bucket tags, probe the
+    B-tree/hash index on [tag_column] (the rtag column) for each, and
+    re-check the full server predicate over the candidates. One task
+    per subtree root fans across [pool]; per-root probe results are
+    sorted + deduplicated and roots combine through a sort + dedup
+    union, so the result is byte-identical at any domain count and to
+    the flat tag IN-list plan over the same range. Unknown root
+    pseudonyms expand to nothing (total, never an error); a view with
+    no index on [tag_column] degrades to a filtered sequential scan.
+    Feeds the [range.*] Obs counters (nodes visited, leaf probes) and
+    histograms (cover roots, probes per query). *)

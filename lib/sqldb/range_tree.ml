@@ -1,0 +1,71 @@
+(* lint: guarded-by construction (by_tag filled in make, read-only afterwards) *)
+type node = { tag : int64; left : int; right : int; bucket : int64 }
+
+type t = {
+  nodes : node array;
+  by_tag : (int64, int) Hashtbl.t;
+  depth : int;
+  leaf_count : int;
+}
+
+let is_leaf nd = nd.left < 0
+
+let make nodes =
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Range_tree.make: empty node table";
+  let by_tag = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i nd ->
+      if Hashtbl.mem by_tag nd.tag then invalid_arg "Range_tree.make: duplicate node tag";
+      Hashtbl.replace by_tag nd.tag i;
+      (* Children strictly after the parent (preorder layout): every
+         walk terminates, no cycles representable. *)
+      let child c =
+        if c >= 0 && (c <= i || c >= n) then
+          invalid_arg "Range_tree.make: child index breaks preorder layout"
+      in
+      child nd.left;
+      child nd.right;
+      if (nd.left < 0) <> (nd.right < 0) then
+        invalid_arg "Range_tree.make: internal nodes need both children")
+    nodes;
+  (* Preorder means parents precede children, so one forward sweep
+     computes every node's depth. *)
+  let depth_of = Array.make n 1 in
+  let depth = ref 1 in
+  let leaf_count = ref 0 in
+  Array.iteri
+    (fun i nd ->
+      if is_leaf nd then incr leaf_count
+      else begin
+        depth_of.(nd.left) <- depth_of.(i) + 1;
+        depth_of.(nd.right) <- depth_of.(i) + 1
+      end;
+      if depth_of.(i) > !depth then depth := depth_of.(i))
+    nodes;
+  { nodes; by_tag; depth = !depth; leaf_count = !leaf_count }
+
+let node_count t = Array.length t.nodes
+let depth t = t.depth
+let leaf_count t = t.leaf_count
+let mem t ~tag = Hashtbl.mem t.by_tag tag
+
+(* Depth-first from [root], children left-first, so leaves come out in
+   bucket order (the builder lays buckets left to right). *)
+let traverse t ~root =
+  match Hashtbl.find_opt t.by_tag root with
+  | None -> None
+  | Some start ->
+      let leaves = Stdx.Vec.create () in
+      let visited = ref 0 in
+      let rec go i =
+        incr visited;
+        let nd = t.nodes.(i) in
+        if is_leaf nd then Stdx.Vec.push leaves nd.bucket
+        else begin
+          go nd.left;
+          go nd.right
+        end
+      in
+      go start;
+      Some (Stdx.Vec.to_array leaves, !visited)

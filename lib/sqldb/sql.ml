@@ -353,10 +353,25 @@ and parse_atom ~col p =
           | Ge ->
               advance p;
               Predicate.Range (col, Some (parse_literal p), None)
-          | Lt | Gt ->
-              (* Strict bounds are not representable in the inclusive
-                 Range; the engine's workload never needs them. *)
-              error (pos p) "strict comparisons are not supported; use BETWEEN / <= / >="
+          | (Lt | Gt) as op ->
+              (* Strict bounds rewrite to the inclusive Range the rest
+                 of the planner speaks: [col < n] ≡ [col <= n-1] over
+                 integers, [col > n] ≡ [col >= n+1]. The int64 edges
+                 have no adjacent value — [< min_int] / [> max_int] is
+                 unsatisfiable, which [NOT TRUE] expresses exactly. *)
+              advance p;
+              let vpos = pos p in
+              let v = parse_literal p in
+              (match (v, op) with
+              | Value.Int x, Lt ->
+                  if Int64.equal x Int64.min_int then Predicate.Not Predicate.True
+                  else Predicate.Range (col, None, Some (Value.Int (Int64.pred x)))
+              | Value.Int x, _ ->
+                  if Int64.equal x Int64.max_int then Predicate.Not Predicate.True
+                  else Predicate.Range (col, Some (Value.Int (Int64.succ x)), None)
+              | _ ->
+                  error vpos
+                    "strict comparisons take an integer bound; use BETWEEN / <= / >= otherwise")
           | _ -> error (pos p) "expected a comparison after column %S" col
         end
   end

@@ -115,7 +115,7 @@ type stmt =
 
 let gen_where t prng =
   let atom () =
-    match Stdx.Prng.int prng 6 with
+    match Stdx.Prng.int prng 8 with
     | 0 -> Printf.sprintf "name = '%s'" (pick prng t.p_names)
     | 1 -> Printf.sprintf "city = '%s'" (pick prng t.p_cities)
     | 2 ->
@@ -123,6 +123,8 @@ let gen_where t prng =
         Printf.sprintf "id BETWEEN %d AND %d" a (a + Stdx.Prng.int prng 20)
     | 3 -> Printf.sprintf "age >= %d" (18 + Stdx.Prng.int prng 50)
     | 4 -> Printf.sprintf "name IN ('%s', '%s')" (pick prng t.p_names) (pick prng t.p_names)
+    | 5 -> Printf.sprintf "id < %d" (Stdx.Prng.int prng 70)
+    | 6 -> Printf.sprintf "age > %d" (18 + Stdx.Prng.int prng 50)
     | _ -> Printf.sprintf "NOT city = '%s'" (pick prng t.p_cities)
   in
   match Stdx.Prng.int prng 4 with
@@ -442,6 +444,229 @@ let run_join_workload ~pool ~kind ~seed =
   in
   steps 0
 
+(* ---------------- Range (ESEDS traversal) workloads ---------------- *)
+
+(* One table with a bucketized range column: every range predicate at
+   conjunctive position must take the [Range_traverse] plan and still
+   agree with the plaintext oracle and the flat-era semantics — byte-
+   identical between sequential and parallel, sub-multiset under
+   LIMIT. OR'd ranges keep the flat rtag rewrite; inverted and strict
+   bounds must stay total. *)
+
+let range_schema =
+  Schema.create
+    [
+      { name = "id"; ty = TInt; nullable = false };
+      { name = "name"; ty = TText; nullable = false };
+      { name = "score"; ty = TInt; nullable = false };
+      { name = "age"; ty = TInt; nullable = false };
+    ]
+
+let n_range_rows = 48
+let n_range_statements = 6
+let range_buckets = 8
+
+type range_targets = {
+  r_plain : Database.t;
+  r_proxy : Wre.Proxy.t;
+  r_next_id : int ref;
+  r_names : string array;
+}
+
+(* Skewed scores (product of two uniforms): equi-depth boundaries land
+   unevenly, so covers regularly straddle subtree seams. *)
+let gen_score prng = Stdx.Prng.int prng 100 * Stdx.Prng.int prng 10
+
+let build_range ~kind ~seed =
+  let prng = Stdx.Prng.create seed in
+  let rows =
+    List.init n_range_rows (fun i ->
+        [|
+          Value.Int (Int64.of_int i);
+          Value.Text (pick prng names);
+          Value.Int (Int64.of_int (gen_score prng));
+          Value.Int (Int64.of_int (18 + Stdx.Prng.int prng 50));
+        |])
+  in
+  let r_plain = Database.create () in
+  let pt = Database.create_table r_plain ~name:"scores" ~schema:range_schema in
+  List.iter (fun r -> ignore (Table.insert pt r)) rows;
+  ignore (Table.create_index pt ~column:"name");
+  ignore (Table.create_index pt ~column:"score");
+  let enc_db = Database.create () in
+  let master = Crypto.Keys.of_raw ~k0:(String.make 16 'd') ~k1:(String.make 32 'f') in
+  let training =
+    Array.of_list
+      (List.map (fun r -> match r.(2) with Value.Int x -> x | _ -> 0L) rows)
+  in
+  let edb =
+    Wre.Encrypted_db.create ~db:enc_db ~name:"scores" ~plain_schema:range_schema
+      ~key_column:"id" ~encrypted_columns:[ "name" ] ~kind ~master
+      ~range_columns:[ ("score", range_buckets) ]
+      ~range_training:(fun _ -> training)
+      ~dist_of:
+        (Wre.Dist_est.of_rows ~schema:range_schema ~columns:[ "name" ] (List.to_seq rows))
+      ~seed:(Int64.logxor seed 0x5eedL) ()
+  in
+  List.iter (fun r -> ignore (Wre.Encrypted_db.insert edb r)) rows;
+  ( {
+      r_plain;
+      r_proxy = Wre.Proxy.create edb;
+      r_next_id = ref n_range_rows;
+      r_names = present rows 1 names;
+    },
+    prng )
+
+type range_stmt =
+  | R_mutation of string
+  | R_select of {
+      rs_projection : string;
+      rs_where : string option;
+      rs_limit : int option;
+      rs_traverse : bool;  (** generated shape puts a range leg at conjunctive position *)
+    }
+
+(* Range atoms: BETWEEN (sometimes inverted), one-sided <= / >=, the
+   newly-accepted strict < / >, and point-as-range equality. *)
+let gen_range_atom prng =
+  let v () = Stdx.Prng.int prng 1000 in
+  match Stdx.Prng.int prng 6 with
+  | 0 ->
+      let a = v () in
+      Printf.sprintf "score BETWEEN %d AND %d" a (a - 40 + Stdx.Prng.int prng 400)
+  | 1 -> Printf.sprintf "score <= %d" (v ())
+  | 2 -> Printf.sprintf "score >= %d" (v ())
+  | 3 -> Printf.sprintf "score < %d" (v ())
+  | 4 -> Printf.sprintf "score > %d" (v ())
+  | _ -> Printf.sprintf "score = %d" (v ())
+
+let gen_range_other t prng =
+  match Stdx.Prng.int prng 3 with
+  | 0 -> Printf.sprintf "name = '%s'" (pick prng t.r_names)
+  | 1 ->
+      let a = Stdx.Prng.int prng 60 in
+      Printf.sprintf "id BETWEEN %d AND %d" a (a + Stdx.Prng.int prng 20)
+  | _ -> Printf.sprintf "age >= %d" (18 + Stdx.Prng.int prng 50)
+
+let gen_range_where t prng =
+  match Stdx.Prng.int prng 5 with
+  | 0 -> (gen_range_atom prng, true)
+  | 1 -> (Printf.sprintf "%s AND %s" (gen_range_atom prng) (gen_range_other t prng), true)
+  | 2 -> (Printf.sprintf "%s AND %s" (gen_range_other t prng) (gen_range_atom prng), true)
+  | 3 -> (Printf.sprintf "%s AND %s" (gen_range_atom prng) (gen_range_atom prng), true)
+  | _ ->
+      (* Range under OR: the flat rtag rewrite stays in charge. *)
+      (Printf.sprintf "%s OR %s" (gen_range_atom prng) (gen_range_other t prng), false)
+
+let gen_range_statement t prng =
+  match Stdx.Prng.int prng 10 with
+  | 0 ->
+      let id = !(t.r_next_id) in
+      incr t.r_next_id;
+      R_mutation
+        (Printf.sprintf "INSERT INTO scores VALUES (%d, '%s', %d, %d)" id (pick prng t.r_names)
+           (gen_score prng)
+           (18 + Stdx.Prng.int prng 50))
+  | 1 ->
+      (* UPDATE through a range predicate: rows move between buckets. *)
+      let w, _ = gen_range_where t prng in
+      let a = Stdx.Prng.int prng 50 in
+      R_mutation
+        (Printf.sprintf "UPDATE scores SET score = %d WHERE id BETWEEN %d AND %d AND (%s)"
+           (gen_score prng) a (a + Stdx.Prng.int prng 10) w)
+  | 2 ->
+      let a = Stdx.Prng.int prng 60 in
+      R_mutation
+        (Printf.sprintf "DELETE FROM scores WHERE id BETWEEN %d AND %d AND %s" a (a + 1)
+           (gen_range_atom prng))
+  | _ ->
+      let rs_projection =
+        match Stdx.Prng.int prng 3 with 0 -> "*" | 1 -> "id" | _ -> "id, name, score"
+      in
+      let rs_where, rs_traverse =
+        if Stdx.Prng.int prng 10 = 0 then (None, false)
+        else
+          let w, trav = gen_range_where t prng in
+          (Some w, trav)
+      in
+      let rs_limit =
+        if Stdx.Prng.int prng 4 = 0 then Some (1 + Stdx.Prng.int prng 12) else None
+      in
+      R_select { rs_projection; rs_where; rs_limit; rs_traverse }
+
+(* The three-way oracle, plus a plan assertion: a conjunctive range
+   SELECT must actually execute as [Range_traverse score_rtag] — this
+   is what stops the traversal path from silently regressing to the
+   flat plan (or a full scan). *)
+let run_range_workload ~pool ~kind ~seed =
+  let t, prng = build_range ~kind ~seed in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let took_traverse (r : Wre.Proxy.query_result) =
+    match r.Wre.Proxy.exec with
+    | Some e -> e.Executor.plan = Executor.Range_traverse "score_rtag"
+    | None -> false
+  in
+  let rec steps i =
+    if i >= n_range_statements then Ok ()
+    else
+      match gen_range_statement t prng with
+      | R_mutation sql -> (
+          match (Sql.execute t.r_plain sql, Wre.Proxy.execute t.r_proxy sql) with
+          | Ok p, Ok e ->
+              if p.Sql.affected = e.Wre.Proxy.affected then steps (i + 1)
+              else
+                fail "affected mismatch on %S: plain %d, encrypted %d" sql p.Sql.affected
+                  e.Wre.Proxy.affected
+          | Error e, _ -> fail "plain error on %S: %s" sql e
+          | _, Error e -> fail "encrypted error on %S: %s" sql e)
+      | R_select { rs_projection; rs_where; rs_limit; rs_traverse } -> (
+          let base =
+            Printf.sprintf "SELECT %s FROM scores%s" rs_projection
+              (match rs_where with None -> "" | Some w -> " WHERE " ^ w)
+          in
+          let sql =
+            match rs_limit with None -> base | Some n -> Printf.sprintf "%s LIMIT %d" base n
+          in
+          match
+            ( Sql.execute t.r_plain sql,
+              Wre.Proxy.execute t.r_proxy sql,
+              Wre.Proxy.execute_snapshot ~pool t.r_proxy sql )
+          with
+          | Ok p, Ok s, Ok par -> (
+              if rs_traverse && not (took_traverse s) then
+                fail "encrypted %S did not take the Range_traverse plan" sql
+              else if rs_traverse && not (took_traverse par) then
+                fail "parallel %S did not take the Range_traverse plan" sql
+              else if par.Wre.Proxy.rows <> s.Wre.Proxy.rows then
+                fail "parallel differs from sequential on %S (%d vs %d rows)" sql
+                  (List.length par.Wre.Proxy.rows)
+                  (List.length s.Wre.Proxy.rows)
+              else
+                match rs_limit with
+                | None ->
+                    if sorted s.Wre.Proxy.rows = sorted p.Sql.rows then steps (i + 1)
+                    else
+                      fail "row sets differ on %S: plain %d rows, encrypted %d rows" sql
+                        (List.length p.Sql.rows)
+                        (List.length s.Wre.Proxy.rows)
+                | Some n -> (
+                    match Sql.execute t.r_plain base with
+                    | Error e -> fail "plain error on %S: %s" base e
+                    | Ok full ->
+                        let want = min n (List.length full.Sql.rows) in
+                        if List.length s.Wre.Proxy.rows <> want then
+                          fail "LIMIT count on %S: got %d, want %d" sql
+                            (List.length s.Wre.Proxy.rows)
+                            want
+                        else if not (is_submultiset s.Wre.Proxy.rows full.Sql.rows) then
+                          fail "LIMIT rows on %S are not a subset of the full plain result" sql
+                        else steps (i + 1)))
+          | Error e, _, _ -> fail "plain error on %S: %s" sql e
+          | _, Error e, _ -> fail "sequential error on %S: %s" sql e
+          | _, _, Error e -> fail "parallel error on %S: %s" sql e)
+  in
+  steps 0
+
 (* ---------------- Corpus persistence + replay ---------------- *)
 
 let corpus_dir = "corpus"
@@ -501,7 +726,11 @@ let replay_corpus () =
       | Error e -> Alcotest.fail (file ^ ": " ^ e)
       | Ok (mode, kind, domains, seed) -> (
           Stdx.Task_pool.with_pool ~domains @@ fun pool ->
-          let run = if mode = "join" then run_join_workload else run_workload in
+          let run =
+            if mode = "join" then run_join_workload
+            else if mode = "range" then run_range_workload
+            else run_workload
+          in
           match run ~pool ~kind ~seed with
           | Ok () -> ()
           | Error msg -> Alcotest.fail (Printf.sprintf "%s: %s" file msg)))
@@ -561,5 +790,6 @@ let () =
     [
       ("oracle", cases ~mode:"single" ~run:run_workload);
       ("join-oracle", cases ~mode:"join" ~run:run_join_workload);
+      ("range-oracle", cases ~mode:"range" ~run:run_range_workload);
       ("corpus", [ Alcotest.test_case "replay saved seeds" `Quick replay_corpus ]);
     ]

@@ -29,6 +29,27 @@ let test_parse_predicates () =
   check_bool "ge" true (parse_pred "id >= 5" = Predicate.Range ("id", Some (Value.Int 5L), None));
   check_bool "neq" true (parse_pred "id <> 5" = Predicate.Not (Predicate.Eq ("id", Value.Int 5L)))
 
+(* Strict comparisons rewrite to inclusive integer bounds at parse
+   time, so everything downstream (executor, proxy, range traversal)
+   sees only inclusive [Range]s. The int64 domain edges have no
+   representable strict bound, so they collapse to an unsatisfiable
+   predicate instead of wrapping around. *)
+let test_parse_strict_comparisons () =
+  check_bool "lt" true (parse_pred "id < 5" = Predicate.Range ("id", None, Some (Value.Int 4L)));
+  check_bool "gt" true (parse_pred "id > 5" = Predicate.Range ("id", Some (Value.Int 6L), None));
+  check_bool "lt negative" true
+    (parse_pred "id < -7" = Predicate.Range ("id", None, Some (Value.Int (-8L))));
+  check_bool "lt min_int is unsatisfiable" true
+    (parse_pred "id < -9223372036854775808" = Predicate.Not Predicate.True);
+  check_bool "gt max_int is unsatisfiable" true
+    (parse_pred "id > 9223372036854775807" = Predicate.Not Predicate.True);
+  check_bool "lt max_int stays a range" true
+    (parse_pred "id < 9223372036854775807"
+    = Predicate.Range ("id", None, Some (Value.Int (Int64.sub Int64.max_int 1L))));
+  check_bool "strict real bound rejected" true
+    (Result.is_error (Sql.parse_predicate "score < 1.5"));
+  check_bool "strict text bound rejected" true (Result.is_error (Sql.parse_predicate "a > 'x'"))
+
 let test_parse_boolean_structure () =
   check_bool "and binds tighter than or" true
     (parse_pred "a = 1 OR b = 2 AND c = 3"
@@ -85,7 +106,7 @@ let test_parse_errors () =
   check_bool "unterminated string" true (is_err "SELECT * FROM t WHERE a = 'x");
   check_bool "trailing tokens" true (is_err "SELECT * FROM t WHERE a = 1 garbage extra");
   check_bool "keyword as ident" true (is_err "SELECT * FROM where");
-  check_bool "strict compare rejected" true (is_err "SELECT * FROM t WHERE a < 3");
+  check_bool "strict non-integer bound rejected" true (is_err "SELECT * FROM t WHERE a < 'x'");
   check_bool "bad limit" true (is_err "SELECT * FROM t LIMIT 'x'")
 
 (* ---------------- JOIN parsing ---------------- *)
@@ -883,6 +904,7 @@ let () =
       ( "parser",
         [
           Alcotest.test_case "predicates" `Quick test_parse_predicates;
+          Alcotest.test_case "strict comparisons" `Quick test_parse_strict_comparisons;
           Alcotest.test_case "boolean structure" `Quick test_parse_boolean_structure;
           Alcotest.test_case "string escapes" `Quick test_parse_string_escapes;
           Alcotest.test_case "select shapes" `Quick test_parse_select_shapes;

@@ -676,9 +676,10 @@ let test_range_through_proxy () =
              range_rows)
       in
       check_int "proxy range+eq conjunction" expected (List.length r.rows);
-      (* And the server predicate used the rtag index, not a full scan. *)
-      check_bool "server used an index" true
-        (match (Option.get r.exec).plan with Sqldb.Executor.Index_scan _ -> true | _ -> false)
+      (* And the conjunctive range leg took the ESEDS traversal plan
+         probing the rtag index, not a full scan (DESIGN.md §5k). *)
+      check_bool "server walked the range tree" true
+        ((Option.get r.exec).plan = Sqldb.Executor.Range_traverse "income_rtag")
 
 let test_range_tag_frequencies_flat () =
   (* Equi-depth buckets: tag counts in the encrypted table are roughly
